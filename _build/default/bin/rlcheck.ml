@@ -1,0 +1,368 @@
+(* rlcheck — relative liveness checking from the command line.
+
+   Subcommands:
+     sat       classical satisfaction  Lω ⊆ P
+     rl        relative liveness (Definition 4.1 / Lemma 4.3)
+     rs        relative safety (Definition 4.2 / Lemma 4.4)
+     abstract  behavior-abstraction pipeline (Theorems 8.2/8.3)
+     impl      Theorem 5.1 fair-implementation construction
+     info      system statistics
+     dot       GraphViz output
+
+   Systems are transition-system files (see lib/core/ts_format.mli), or
+   Petri nets when the file ends in .pn. *)
+
+open Cmdliner
+open Rl_sigma
+open Rl_automata
+open Rl_buchi
+open Rl_core
+
+let load_system path =
+  try Ok (Nfa.trim (Ts_format.load path)) with
+  | Ts_format.Syntax_error (line, msg) ->
+      Error (Printf.sprintf "%s:%d: %s" path line msg)
+  | Sys_error msg -> Error msg
+  | Invalid_argument msg -> Error msg
+
+let parse_formula s =
+  try Ok (Rl_ltl.Parser.parse s)
+  with Rl_ltl.Parser.Parse_error msg ->
+    Error (Printf.sprintf "formula %S: %s" s msg)
+
+(* --- common arguments --- *)
+
+let system_arg =
+  let doc = "System file: a transition system, or a Petri net if it ends in .pn." in
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"SYSTEM" ~doc)
+
+let formula_arg =
+  let doc = "PLTL formula, e.g. '[]<> result'." in
+  Arg.(required & opt (some string) None & info [ "f"; "formula" ] ~docv:"FORMULA" ~doc)
+
+let handle = function
+  | Ok () -> exit 0
+  | Error msg ->
+      Format.eprintf "rlcheck: %s@." msg;
+      exit 2
+
+let ( let* ) r f = Result.bind r f
+
+(* --- sat / rl / rs --- *)
+
+let run_check mode path formula_src =
+  handle
+    (let* ts = load_system path in
+     let* f = parse_formula formula_src in
+     let alpha = Nfa.alphabet ts in
+     let system = Buchi.of_transition_system ts in
+     let p = Relative.ltl alpha f in
+     match mode with
+     | `Sat -> (
+         match Relative.satisfies ~system p with
+         | Ok () ->
+             Format.printf "SATISFIED: every behavior satisfies %a@."
+               Rl_ltl.Formula.pp f;
+             Ok ()
+         | Error cex ->
+             Format.printf "VIOLATED: counterexample %a@." (Lasso.pp alpha) cex;
+             exit 1)
+     | `Rl -> (
+         match Relative.is_relative_liveness ~system p with
+         | Ok () ->
+             Format.printf
+               "RELATIVE LIVENESS: every prefix extends to a behavior \
+                satisfying %a@."
+               Rl_ltl.Formula.pp f;
+             Ok ()
+         | Error w ->
+             Format.printf "NOT RELATIVE LIVENESS: doomed prefix %a@."
+               (Word.pp alpha) w;
+             exit 1)
+     | `Rs -> (
+         match Relative.is_relative_safety ~system p with
+         | Ok () ->
+             Format.printf "RELATIVE SAFETY: violations are irredeemable@.";
+             Ok ()
+         | Error x ->
+             Format.printf
+               "NOT RELATIVE SAFETY: %a violates the property but is never \
+                doomed@."
+               (Lasso.pp alpha) x;
+             exit 1))
+
+let check_cmd name mode doc =
+  let term = Term.(const (run_check mode) $ system_arg $ formula_arg) in
+  Cmd.v (Cmd.info name ~doc) term
+
+(* --- abstract --- *)
+
+let keep_arg =
+  let doc = "Comma-separated observable actions; all others are hidden." in
+  Arg.(required & opt (some (list string)) None & info [ "keep" ] ~docv:"ACTIONS" ~doc)
+
+let eps_check =
+  let doc = "Also run the direct concrete check of R̄(η) and compare." in
+  Arg.(value & flag & info [ "check-concrete" ] ~doc)
+
+let run_abstract path formula_src keep check_concrete =
+  handle
+    (let* ts = load_system path in
+     let* f = parse_formula formula_src in
+     let* hom =
+       try Ok (Rl_hom.Hom.hiding ~concrete:(Nfa.alphabet ts) ~keep)
+       with Invalid_argument m -> Error m
+     in
+     let* report =
+       try Ok (Abstraction.verify ~ts ~hom ~formula:f)
+       with Invalid_argument m -> Error m
+     in
+     Format.printf "%a@." Abstraction.pp_report report;
+     if check_concrete then begin
+       let direct = Abstraction.check_concrete ~ts ~hom ~formula:f in
+       Format.printf "direct concrete check: %s@."
+         (match direct with
+         | Ok () -> "R̄(η) is a relative liveness property of lim(L)"
+         | Error _ -> "R̄(η) is NOT a relative liveness property of lim(L)")
+     end;
+     match report.Abstraction.conclusion with
+     | `Concrete_holds -> Ok ()
+     | `Concrete_fails -> exit 1
+     | `Unknown -> exit 3)
+
+let abstract_cmd =
+  let doc = "verify through a hiding abstraction (Theorems 8.2/8.3)" in
+  let term =
+    Term.(const run_abstract $ system_arg $ formula_arg $ keep_arg $ eps_check)
+  in
+  Cmd.v (Cmd.info "abstract" ~doc) term
+
+(* --- impl (Theorem 5.1) --- *)
+
+let samples_arg =
+  let doc = "Number of strongly fair runs to sample." in
+  Arg.(value & opt int 5 & info [ "samples" ] ~docv:"N" ~doc)
+
+let seed_arg =
+  let doc = "PRNG seed for run sampling." in
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let run_impl path formula_src samples seed =
+  handle
+    (let* ts = load_system path in
+     let* f = parse_formula formula_src in
+     let alpha = Nfa.alphabet ts in
+     let system = Buchi.of_transition_system ts in
+     let p = Relative.ltl alpha f in
+     (match Relative.is_relative_liveness ~system p with
+     | Ok () -> ()
+     | Error w ->
+         Format.printf
+           "warning: %a is not a relative liveness property (doomed prefix \
+            %a); Theorem 5.1 does not apply@."
+           Rl_ltl.Formula.pp f (Word.pp alpha) w);
+     let impl = Implement.construct ~system p in
+     Format.printf "implementation: %d states (system had %d)@."
+       (Buchi.states impl.Implement.implementation)
+       (Buchi.states system);
+     (match Implement.language_preserved ~system impl with
+     | Ok () -> Format.printf "behaviors preserved: yes@."
+     | Error x ->
+         Format.printf "behaviors preserved: NO, witness %a@." (Word.pp alpha) x);
+     let ok, generated =
+       Implement.sample_fair_check (Rl_prelude.Prng.create seed) ~samples impl p
+     in
+     Format.printf "strongly fair runs sampled: %d, satisfying the property: %d@."
+       generated ok;
+     (match Implement.verify_fair_exact impl p with
+     | Ok () ->
+         Format.printf
+           "exact (Streett) check: every strongly fair run satisfies the \
+            property@."
+     | Error run ->
+         Format.printf "exact check FAILED; fair violating run:@.  %a@."
+           (Rl_fair.Fair.pp_run impl.Implement.implementation)
+           run);
+     Ok ())
+
+let impl_cmd =
+  let doc = "build the Theorem 5.1 fair implementation and validate it" in
+  let term =
+    Term.(const run_impl $ system_arg $ formula_arg $ samples_arg $ seed_arg)
+  in
+  Cmd.v (Cmd.info "impl" ~doc) term
+
+(* --- fair: model checking under strong fairness --- *)
+
+let run_fair path formula_src =
+  handle
+    (let* ts = load_system path in
+     let* f = parse_formula formula_src in
+     let alpha = Nfa.alphabet ts in
+     let system = Buchi.of_transition_system ts in
+     let neg =
+       Rl_ltl.Translate.to_buchi_neg ~alphabet:alpha
+         ~labeling:(Rl_ltl.Semantics.canonical alpha)
+         f
+     in
+     match Rl_fair.Streett.fair_run_within system ~property:neg with
+     | None ->
+         Format.printf
+           "FAIR-SATISFIED: every strongly fair run satisfies %a@."
+           Rl_ltl.Formula.pp f;
+         Ok ()
+     | Some run ->
+         Format.printf "FAIR-VIOLATED: a strongly fair run violates it:@.  %a@."
+           (Rl_fair.Fair.pp_run system) run;
+         Format.printf "  action word: %a@." (Lasso.pp alpha)
+           (Rl_fair.Fair.label_lasso system run);
+         exit 1)
+
+let fair_cmd =
+  let doc =
+    "decide whether every strongly fair run satisfies a property (exact, via \
+     Streett fair emptiness)"
+  in
+  Cmd.v (Cmd.info "fair" ~doc) Term.(const run_fair $ system_arg $ formula_arg)
+
+(* --- simple: simplicity of a hiding abstraction --- *)
+
+let run_simple path keep =
+  handle
+    (let* ts = load_system path in
+     let* hom =
+       try Ok (Rl_hom.Hom.hiding ~concrete:(Nfa.alphabet ts) ~keep)
+       with Invalid_argument m -> Error m
+     in
+     let verdict = Rl_hom.Hom.analyze hom ts in
+     Format.printf "configurations examined: %d@."
+       verdict.Rl_hom.Hom.configurations;
+     match (verdict.Rl_hom.Hom.simple, verdict.Rl_hom.Hom.witness) with
+     | true, _ ->
+         Format.printf "SIMPLE: abstract relative-liveness verdicts transfer \
+                        (Theorem 8.2)@.";
+         Ok ()
+     | false, Some w ->
+         Format.printf
+           "NOT SIMPLE: Definition 6.3 fails at the word %a@."
+           (Word.pp (Nfa.alphabet ts))
+           w;
+         exit 1
+     | false, None -> Error "inconsistent analysis")
+
+let simple_cmd =
+  let doc = "decide simplicity (Definition 6.3) of a hiding abstraction" in
+  Cmd.v (Cmd.info "simple" ~doc) Term.(const run_simple $ system_arg $ keep_arg)
+
+(* --- decompose: safety/liveness classification --- *)
+
+let run_decompose path formula_src =
+  handle
+    (let* ts = load_system path in
+     let* f = parse_formula formula_src in
+     let alpha = Nfa.alphabet ts in
+     let b =
+       Rl_ltl.Translate.to_buchi ~alphabet:alpha
+         ~labeling:(Rl_ltl.Semantics.canonical alpha)
+         f
+     in
+     Format.printf "property automaton: %d states@." (Buchi.states b);
+     Format.printf "safety property: %b@." (Classify.is_safety b);
+     Format.printf "liveness property: %b@." (Classify.is_liveness b);
+     let s, l = Classify.decompose b in
+     Format.printf
+       "decomposition (Alpern–Schneider): safety closure %d states, liveness \
+        part %d states@."
+       (Buchi.states s) (Buchi.states l);
+     Ok ())
+
+let decompose_cmd =
+  let doc = "classify a property as safety/liveness and decompose it" in
+  Cmd.v
+    (Cmd.info "decompose" ~doc)
+    Term.(const run_decompose $ system_arg $ formula_arg)
+
+(* --- compose: parallel composition of systems --- *)
+
+let systems_arg =
+  let doc = "System files to compose (two or more)." in
+  Arg.(non_empty & pos_all file [] & info [] ~docv:"SYSTEM..." ~doc)
+
+let run_compose paths =
+  handle
+    (let* systems =
+       List.fold_left
+         (fun acc path ->
+           let* acc = acc in
+           let* ts = load_system path in
+           Ok (ts :: acc))
+         (Ok []) paths
+     in
+     match List.rev systems with
+     | [] | [ _ ] -> Error "need at least two systems"
+     | systems ->
+         let composed = Rl_compose.Compose.parallel_many systems in
+         print_string (Ts_format.print_ts composed);
+         Ok ())
+
+let compose_cmd =
+  let doc =
+    "compose systems in parallel (synchronizing on shared action names) and \
+     print the result as a transition system"
+  in
+  Cmd.v (Cmd.info "compose" ~doc) Term.(const run_compose $ systems_arg)
+
+(* --- info / dot --- *)
+
+let run_info path =
+  handle
+    (let* ts = load_system path in
+     Format.printf "states: %d@." (Nfa.states ts);
+     Format.printf "alphabet (%d): %a@."
+       (Alphabet.size (Nfa.alphabet ts))
+       Alphabet.pp (Nfa.alphabet ts);
+     Format.printf "transitions: %d@." (List.length (Nfa.transitions ts));
+     let deadlocks =
+       List.filter
+         (fun q ->
+           List.for_all
+             (fun a -> Nfa.successors ts q a = [])
+             (Alphabet.symbols (Nfa.alphabet ts)))
+         (List.init (Nfa.states ts) Fun.id)
+     in
+     Format.printf "deadlock states: %d@." (List.length deadlocks);
+     Ok ())
+
+let info_cmd =
+  let doc = "print system statistics" in
+  Cmd.v (Cmd.info "info" ~doc) Term.(const run_info $ system_arg)
+
+let run_dot path =
+  handle
+    (let* ts = load_system path in
+     print_string (Nfa.to_dot ts);
+     Ok ())
+
+let dot_cmd =
+  let doc = "emit the system as a GraphViz digraph" in
+  Cmd.v (Cmd.info "dot" ~doc) Term.(const run_dot $ system_arg)
+
+let main =
+  let doc = "relative liveness and behavior abstraction checking" in
+  let info = Cmd.info "rlcheck" ~version:"1.0.0" ~doc in
+  Cmd.group info
+    [
+      check_cmd "sat" `Sat "classical satisfaction Lω ⊆ P";
+      check_cmd "rl" `Rl "relative liveness (Definition 4.1)";
+      check_cmd "rs" `Rs "relative safety (Definition 4.2)";
+      abstract_cmd;
+      impl_cmd;
+      fair_cmd;
+      simple_cmd;
+      decompose_cmd;
+      compose_cmd;
+      info_cmd;
+      dot_cmd;
+    ]
+
+let () = exit (Cmd.eval main)

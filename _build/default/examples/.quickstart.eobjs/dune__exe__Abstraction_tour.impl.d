@@ -1,0 +1,1 @@
+examples/abstraction_tour.ml: Abstraction Alphabet Format Fun List Nfa Paper Parser Rl_automata Rl_core Rl_hom Rl_ltl Rl_sigma

@@ -1,0 +1,1 @@
+examples/mutex.ml: Alphabet Buchi Format Fun Implement Lasso List Nfa Parser Relative Rl_automata Rl_buchi Rl_core Rl_fair Rl_ltl Rl_prelude Rl_sigma Semantics Word

@@ -1,0 +1,1 @@
+examples/philosophers.ml: Abstraction Alphabet Buchi Format Fun Lasso List Nfa Printf Relative Rl_automata Rl_buchi Rl_compose Rl_core Rl_hom Rl_ltl Rl_sigma Word

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Abstraction Alphabet Buchi Format Lasso Nfa Paper Relative Rl_automata Rl_buchi Rl_core Rl_hom Rl_petri Rl_sigma Word

@@ -1,0 +1,1 @@
+examples/telephone.ml: Abstraction Alphabet Buchi Format Lasso Nfa Parser Relative Rl_automata Rl_buchi Rl_core Rl_hom Rl_ltl Rl_sigma Word

@@ -1,0 +1,112 @@
+(* A tour of behavior abstraction: when can you trust an abstract verdict?
+
+   We take a parameterized family of pipeline systems, abstract away their
+   internal steps, and watch three things interact:
+   - the abstract relative-liveness verdict,
+   - the simplicity of the abstracting homomorphism (Definition 6.3),
+   - the directly-checked concrete verdict for R̄(η).
+
+   Theorem 8.2 says abstract-yes + simple ⟹ concrete-yes; the tour also
+   exhibits the counterexample pattern showing why simplicity cannot be
+   dropped, and the effect of maximal words with the #-extension.
+
+   Run with:  dune exec examples/abstraction_tour.exe *)
+
+open Rl_sigma
+open Rl_automata
+open Rl_ltl
+open Rl_core
+
+(* A pipeline: n internal stages (step), then the system either commits to
+   an "ok" loop or — in the tricky variant — silently commits at the start
+   to a degraded mode that can only "fail". *)
+let pipeline ~stages ~tricky =
+  let names = [ "go"; "silent"; "step"; "ok"; "fail" ] in
+  let alpha = Alphabet.make names in
+  let s = Alphabet.symbol alpha in
+  (* states: 0 = start; 1..stages = pipeline; stages+1 = good loop;
+     stages+2 = degraded loop *)
+  let good_loop = stages + 1 and bad_loop = stages + 2 in
+  let t = ref [] in
+  t := (0, s "go", 1) :: !t;
+  if tricky then t := (0, s "silent", bad_loop) :: !t;
+  for i = 1 to stages - 1 do
+    t := (i, s "step", i + 1) :: !t
+  done;
+  t := (stages, s "step", good_loop) :: !t;
+  t := (good_loop, s "ok", good_loop) :: !t;
+  t := (good_loop, s "fail", good_loop) :: !t;
+  t := (bad_loop, s "fail", bad_loop) :: !t;
+  let n = stages + 3 in
+  Nfa.trim
+    (Nfa.create ~alphabet:alpha ~states:n ~initial:[ 0 ]
+       ~finals:(List.init n Fun.id) ~transitions:!t ())
+
+let observe ts =
+  Rl_hom.Hom.hiding ~concrete:(Nfa.alphabet ts) ~keep:[ "ok"; "fail" ]
+
+let goal = Parser.parse "[]<> ok"
+
+let show name ts =
+  Format.printf "@.== %s ==@." name;
+  let hom = observe ts in
+  let report = Abstraction.verify ~ts ~hom ~formula:goal in
+  Format.printf "%a@." Abstraction.pp_report report;
+  let direct = Abstraction.check_concrete ~ts ~hom ~formula:goal in
+  Format.printf "direct concrete check of R̄(η): %s@."
+    (match direct with Ok () -> "holds" | Error _ -> "fails");
+  report
+
+let () =
+  Format.printf "Behavior abstraction tour: □◇ok through hidden pipelines@.";
+
+  (* 1. the plain pipeline: abstraction is drastic (all the internal steps
+     disappear) and simple; the verdict transfers. *)
+  let r1 = show "plain pipeline (5 hidden stages)" (pipeline ~stages:5 ~tricky:false) in
+  assert (r1.Abstraction.conclusion = `Concrete_holds);
+
+  (* 2. the tricky pipeline: a silent transition commits to a fail-only
+     loop. The abstract behaviors are {ok,fail}^ω — □◇ok is still a
+     relative liveness property THERE — but the silent commitment destroys
+     simplicity, so the positive abstract verdict does not transfer; the
+     direct concrete check shows it would have been wrong to trust it. *)
+  let r2 = show "tricky pipeline (silent degraded mode)" (pipeline ~stages:5 ~tricky:true) in
+  assert (r2.Abstraction.conclusion = `Unknown);
+  assert (not r2.Abstraction.simple);
+
+  (* 3. the paper's own Figure 3 pattern, with its own observables. *)
+  Format.printf "@.== faulty server under the observable abstraction ==@.";
+  let r3 =
+    Abstraction.verify ~ts:Paper.faulty_ts
+      ~hom:(Paper.observable_hom Paper.faulty_ts)
+      ~formula:Paper.progress
+  in
+  Format.printf "%a@." Abstraction.pp_report r3;
+  assert (r3.Abstraction.conclusion = `Unknown);
+  Format.printf
+    "@.Here the abstract verdict is positive but worthless: the homomorphism@.\
+     is not simple, and the direct concrete check indeed fails. An abstract@.\
+     'yes' without simplicity proves nothing — exactly the paper's warning.@.";
+
+  (* 4. maximal words: a system that can deadlock after abstraction. *)
+  let dead_alpha = Alphabet.make [ "work"; "stop"; "tick" ] in
+  let sd = Alphabet.symbol dead_alpha in
+  let with_deadlock =
+    (* work... or stop and then tick forever; hiding tick makes "stop" a
+       maximal word of h(L). *)
+    Nfa.create ~alphabet:dead_alpha ~states:2 ~initial:[ 0 ] ~finals:[ 0; 1 ]
+      ~transitions:[ (0, sd "work", 0); (0, sd "stop", 1); (1, sd "tick", 1) ]
+      ()
+  in
+  let hom4 = Rl_hom.Hom.hiding ~concrete:dead_alpha ~keep:[ "work"; "stop" ] in
+  let r4 =
+    Abstraction.verify ~ts:with_deadlock ~hom:hom4
+      ~formula:(Parser.parse "[]<> work")
+  in
+  Format.printf "@.== abstraction with maximal words ==@.%a@."
+    Abstraction.pp_report r4;
+  assert r4.Abstraction.maximal_words;
+  Format.printf
+    "h(L) has maximal words (the abstract trace 'stop' is a dead end), so@.\
+     the theorems' precondition fails; the abstract system was #-extended@.\
+     to keep the dead behavior visible, and no conclusion is transferred.@."

@@ -1,0 +1,80 @@
+(* Quickstart: the paper's Section 2 example, end to end.
+
+   A server manages a resource that clients can lock and free. After a
+   request it answers with a result (resource available) or a rejection
+   (resource locked). We build the Petri net of Figure 1, compute its
+   reachability graph (Figure 2), check the progress property □◇(result)
+   classically and relatively, break the system as in Figure 3, and verify
+   through the Figure 4 abstraction.
+
+   Run with:  dune exec examples/quickstart.exe *)
+
+open Rl_sigma
+open Rl_automata
+open Rl_buchi
+open Rl_core
+
+let section title = Format.printf "@.== %s ==@." title
+
+let () =
+  section "Figure 1: the server as a Petri net";
+  Format.printf "%a@." Rl_petri.Petri.pp Paper.server_net;
+
+  section "Figure 2: its reachability graph";
+  let ts = Paper.server_ts in
+  let alpha = Nfa.alphabet ts in
+  Format.printf "states: %d, alphabet: %a@." (Nfa.states ts) Alphabet.pp alpha;
+  let system = Buchi.of_transition_system ts in
+
+  section "□◇(result) is not satisfied classically";
+  let progress = Relative.ltl alpha Paper.progress in
+  (match Relative.satisfies ~system progress with
+  | Ok () -> Format.printf "unexpectedly satisfied?!@."
+  | Error cex ->
+      Format.printf "counterexample computation: %a@." (Lasso.pp alpha) cex);
+  let starve = Paper.starvation alpha in
+  Format.printf "the paper's own counterexample %a is a behavior: %b@."
+    (Lasso.pp alpha) starve (Buchi.member system starve);
+
+  section "... but it is a relative liveness property";
+  (match Relative.is_relative_liveness ~system progress with
+  | Ok () -> Format.printf "every prefix can be extended to satisfy □◇result@."
+  | Error w ->
+      Format.printf "unexpected bad prefix %a@." (Word.pp alpha) w);
+  (* make the density concrete: recover even from lock·request·no *)
+  let stuck = Word.of_names alpha [ "lock"; "request"; "no" ] in
+  (match Relative.witness_extension ~system progress stuck with
+  | Some x ->
+      Format.printf "after %a the system can continue as %a@." (Word.pp alpha)
+        stuck (Lasso.pp alpha) x
+  | None -> Format.printf "no extension?!@.");
+
+  section "Figure 3: the faulty server (lock is irreversible)";
+  let fsystem = Buchi.of_transition_system Paper.faulty_ts in
+  let falpha = Nfa.alphabet Paper.faulty_ts in
+  let fprogress = Relative.ltl falpha Paper.progress in
+  (match Relative.is_relative_liveness ~system:fsystem fprogress with
+  | Ok () -> Format.printf "unexpectedly relative-live?!@."
+  | Error w ->
+      Format.printf
+        "□◇result is NOT a relative liveness property; no fairness can save \
+         it.@.doomed prefix: %a@."
+        (Word.pp falpha) w);
+
+  section "Figure 4: verification through abstraction";
+  let hom = Paper.observable_hom ts in
+  Format.printf "%a@." Rl_hom.Hom.pp hom;
+  let report = Abstraction.verify ~ts ~hom ~formula:Paper.progress in
+  Format.printf "%a@." Abstraction.pp_report report;
+
+  section "the same abstraction is NOT trustworthy for the faulty system";
+  let fhom = Paper.observable_hom Paper.faulty_ts in
+  let freport =
+    Abstraction.verify ~ts:Paper.faulty_ts ~hom:fhom ~formula:Paper.progress
+  in
+  Format.printf "%a@." Abstraction.pp_report freport;
+  Format.printf
+    "@.Both systems abstract to the Figure 4 diagram, and the abstract@.\
+     verdict is positive in both cases — but only the homomorphism on the@.\
+     correct system is simple, so only there does Theorem 8.2 transfer the@.\
+     verdict to the concrete system.@."

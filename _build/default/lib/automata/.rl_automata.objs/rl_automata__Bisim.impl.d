@@ -1,0 +1,1 @@
+lib/automata/bisim.ml: Alphabet Array Fun Hashtbl List Nfa Rl_sigma

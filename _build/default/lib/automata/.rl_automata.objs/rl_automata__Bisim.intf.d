@@ -1,0 +1,1 @@
+lib/automata/bisim.mli: Nfa

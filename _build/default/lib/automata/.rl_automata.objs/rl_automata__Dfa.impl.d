@@ -1,0 +1,1 @@
+lib/automata/dfa.ml: Alphabet Array Bitset Buffer Format Fun Hashtbl List Nfa Printf Queue Rl_prelude Rl_sigma Union_find Word

@@ -1,0 +1,1 @@
+lib/automata/gen.ml: Alphabet Array Dfa Fun Lasso List Nfa Prng Rl_prelude Rl_sigma Word

@@ -1,0 +1,1 @@
+lib/automata/gen.mli: Alphabet Dfa Lasso Nfa Prng Rl_prelude Rl_sigma Word

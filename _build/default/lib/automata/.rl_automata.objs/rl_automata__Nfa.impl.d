@@ -1,0 +1,1 @@
+lib/automata/nfa.ml: Alphabet Array Bitset Buffer Format List Printf Queue Rl_prelude Rl_sigma Word

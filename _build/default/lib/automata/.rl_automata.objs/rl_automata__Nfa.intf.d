@@ -1,0 +1,1 @@
+lib/automata/nfa.mli: Alphabet Format Rl_prelude Rl_sigma Word

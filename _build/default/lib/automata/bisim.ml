@@ -1,0 +1,73 @@
+open Rl_sigma
+
+(* Partition refinement on successor-class signatures: two states stay in
+   the same class while they are equi-final and have, for every symbol,
+   the same set of successor classes. This is the coarsest strong
+   bisimulation respecting finality. *)
+let classes n =
+  if Nfa.has_eps n then invalid_arg "Bisim: ε-moves not supported";
+  let states = Nfa.states n in
+  if states = 0 then ([||], 0)
+  else begin
+    let k = Alphabet.size (Nfa.alphabet n) in
+    let cls = Array.init states (fun q -> if Nfa.is_final n q then 1 else 0) in
+    let changed = ref true in
+    while !changed do
+      changed := false;
+      let signature q =
+        ( cls.(q),
+          List.init k (fun a ->
+              Nfa.successors n q a
+              |> List.map (fun q' -> cls.(q'))
+              |> List.sort_uniq compare) )
+      in
+      let table = Hashtbl.create states in
+      let next = Array.make states 0 in
+      let count = ref 0 in
+      for q = 0 to states - 1 do
+        let s = signature q in
+        match Hashtbl.find_opt table s with
+        | Some c -> next.(q) <- c
+        | None ->
+            Hashtbl.add table s !count;
+            next.(q) <- !count;
+            incr count
+      done;
+      if next <> cls then begin
+        Array.blit next 0 cls 0 states;
+        changed := true
+      end
+    done;
+    (* densify class ids *)
+    let remap = Hashtbl.create 16 in
+    let count = ref 0 in
+    let dense = Array.make states 0 in
+    for q = 0 to states - 1 do
+      match Hashtbl.find_opt remap cls.(q) with
+      | Some c -> dense.(q) <- c
+      | None ->
+          Hashtbl.add remap cls.(q) !count;
+          dense.(q) <- !count;
+          incr count
+    done;
+    (dense, !count)
+  end
+
+let quotient n =
+  let cls, count = classes n in
+  if count = Nfa.states n then n
+  else begin
+    let transitions =
+      Nfa.transitions n
+      |> List.map (fun (q, a, q') -> (cls.(q), a, cls.(q')))
+      |> List.sort_uniq compare
+    in
+    let finals =
+      List.init (Nfa.states n) Fun.id
+      |> List.filter_map (fun q -> if Nfa.is_final n q then Some cls.(q) else None)
+      |> List.sort_uniq compare
+    in
+    let initial = List.sort_uniq compare (List.map (fun q -> cls.(q)) (Nfa.initial n)) in
+    Nfa.create ~alphabet:(Nfa.alphabet n) ~states:count ~initial ~finals
+      ~transitions ()
+  end

@@ -1,0 +1,21 @@
+(** Strong bisimulation minimization of NFAs
+    (Kanellakis–Smolka partition refinement).
+
+    Bisimilar states have identical branching behavior, so the quotient
+    preserves the language {e and} the transition-system structure — which
+    matters here: relative liveness and simplicity are properties of the
+    behavior language, and products and abstractions all shrink when the
+    operands do. Unlike determinization-based minimization, the quotient
+    of a transition system is again a transition system of at most the
+    same size. *)
+
+(** [quotient n] is [n] with bisimilar states merged. Finality is part of
+    the bisimulation (final and non-final states are never merged); the
+    language and the all-states-final shape are preserved.
+    @raise Invalid_argument on automata with ε-moves. *)
+val quotient : Nfa.t -> Nfa.t
+
+(** [classes n] is the bisimulation partition: an array mapping each state
+    to its class identifier (dense, [0 .. count-1]), and the class
+    count. *)
+val classes : Nfa.t -> int array * int

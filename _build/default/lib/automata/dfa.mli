@@ -1,0 +1,103 @@
+(** Complete deterministic finite automata.
+
+    DFAs are produced from NFAs by the subset construction and are the
+    representation on which language equality, inclusion, complement and
+    residual-equivalence questions are decided — the questions to which the
+    paper's Lemma 4.3 reduces relative liveness, and on which the
+    simplicity check of Definition 6.3 rests. Every DFA here is {e complete}:
+    [delta] is a total function (a rejecting sink is added where needed). *)
+
+open Rl_sigma
+
+type t
+
+(** {1 Construction} *)
+
+(** [create ~alphabet ~states ~initial ~finals ~delta] wraps explicit
+    transition arrays [delta.(q).(a) = q'].
+    @raise Invalid_argument on malformed input. *)
+val create :
+  alphabet:Alphabet.t ->
+  states:int ->
+  initial:int ->
+  finals:int list ->
+  delta:int array array ->
+  t
+
+(** [determinize n] is the subset construction applied to [n]. The result is
+    complete and has only reachable states. *)
+val determinize : Nfa.t -> t
+
+(** {1 Accessors} *)
+
+val alphabet : t -> Alphabet.t
+val states : t -> int
+val initial : t -> int
+val is_final : t -> int -> bool
+
+(** [step d q a] is the unique [a]-successor of [q]. *)
+val step : t -> int -> Alphabet.symbol -> int
+
+(** [run d w] is the state reached from the initial state on [w]. *)
+val run : t -> Word.t -> int
+
+(** [run_from d q w] is the state reached from [q] on [w]. *)
+val run_from : t -> int -> Word.t -> int
+
+val accepts : t -> Word.t -> bool
+
+(** {1 Boolean operations} *)
+
+val complement : t -> t
+
+(** [product op a b] recognizes [{w | op (w ∈ L(a)) (w ∈ L(b))}] — use
+    [(&&)] for intersection, [(||)] for union, etc. Only reachable product
+    states are built. *)
+val product : (bool -> bool -> bool) -> t -> t -> t
+
+(** {1 Decision procedures} *)
+
+(** [is_empty d] decides [L(d) = ∅]. *)
+val is_empty : t -> bool
+
+(** [shortest_word d] is a shortest accepted word, if any. *)
+val shortest_word : t -> Word.t option
+
+(** [equivalent a b] decides [L(a) = L(b)] by the Hopcroft–Karp union–find
+    procedure; on failure returns a witness word in the symmetric
+    difference. *)
+val equivalent : t -> t -> (unit, Word.t) result
+
+(** [included a b] decides [L(a) ⊆ L(b)]; on failure returns a witness in
+    [L(a) \ L(b)]. *)
+val included : t -> t -> (unit, Word.t) result
+
+(** [states_equivalent a qa b qb] decides whether the residual languages of
+    state [qa] in [a] and state [qb] in [b] are equal. *)
+val states_equivalent : t -> int -> t -> int -> bool
+
+(** [equivalence_classes a b] assigns a class identifier to every state of
+    [a] and of [b] such that two states (possibly across automata) get the
+    same class iff their residual languages are equal. Returned as
+    [(classes_a, classes_b)]. Computed by minimizing the disjoint union. *)
+val equivalence_classes : t -> t -> int array * int array
+
+(** {1 Minimization} *)
+
+(** [minimize d] is the unique minimal complete DFA for [L(d)]
+    (Hopcroft's partition-refinement algorithm, over reachable states). *)
+val minimize : t -> t
+
+(** [minimize_moore d] — Moore's O(kn²) minimization; used to cross-check
+    [minimize] in the test suite. *)
+val minimize_moore : t -> t
+
+(** {1 Conversions} *)
+
+val to_nfa : t -> Nfa.t
+
+(** [residual_from d q] is [d] with its initial state moved to [q]. *)
+val residual_from : t -> int -> t
+
+val pp : Format.formatter -> t -> unit
+val to_dot : ?name:string -> t -> string

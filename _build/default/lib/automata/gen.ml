@@ -1,0 +1,65 @@
+open Rl_sigma
+open Rl_prelude
+
+let nfa rng ~alphabet ~states ~density ~final_prob =
+  if states <= 0 then invalid_arg "Gen.nfa: states must be positive";
+  let k = Alphabet.size alphabet in
+  let transitions = ref [] in
+  for q = 0 to states - 1 do
+    for a = 0 to k - 1 do
+      for q' = 0 to states - 1 do
+        if Prng.float rng < density then transitions := (q, a, q') :: !transitions
+      done
+    done
+  done;
+  let finals = ref [] in
+  for q = 0 to states - 1 do
+    if Prng.float rng < final_prob then finals := q :: !finals
+  done;
+  Nfa.create ~alphabet ~states ~initial:[ 0 ] ~finals:!finals
+    ~transitions:!transitions ()
+
+let dfa rng ~alphabet ~states ~final_prob =
+  if states <= 0 then invalid_arg "Gen.dfa: states must be positive";
+  let k = Alphabet.size alphabet in
+  let delta =
+    Array.init states (fun _ -> Array.init k (fun _ -> Prng.int rng states))
+  in
+  let finals = ref [] in
+  for q = 0 to states - 1 do
+    if Prng.float rng < final_prob then finals := q :: !finals
+  done;
+  Dfa.create ~alphabet ~states ~initial:0 ~finals:!finals ~delta
+
+let transition_system rng ~alphabet ~states ~branching =
+  if states <= 0 then invalid_arg "Gen.transition_system: states must be positive";
+  let k = Alphabet.size alphabet in
+  let transitions = ref [] in
+  for q = 0 to states - 1 do
+    (* Guarantee one outgoing edge, then add extras to reach the expected
+       branching factor. *)
+    transitions := (q, Prng.int rng k, Prng.int rng states) :: !transitions;
+    let extra_prob = (branching -. 1.) /. float_of_int (max 1 (k * states)) in
+    for a = 0 to k - 1 do
+      for q' = 0 to states - 1 do
+        if Prng.float rng < extra_prob then transitions := (q, a, q') :: !transitions
+      done
+    done
+  done;
+  let all = List.init states Fun.id in
+  let n =
+    Nfa.create ~alphabet ~states ~initial:[ 0 ] ~finals:all
+      ~transitions:!transitions ()
+  in
+  (* All states final and every state has an outgoing edge, so trimming only
+     removes unreachable states; the result is prefix-closed and free of
+     maximal words. *)
+  Nfa.trim n
+
+let word rng ~alphabet ~len =
+  let k = Alphabet.size alphabet in
+  Word.of_list (List.init len (fun _ -> Prng.int rng k))
+
+let lasso rng ~alphabet ~stem ~cycle =
+  if cycle < 1 then invalid_arg "Gen.lasso: cycle must be non-empty";
+  Lasso.make (word rng ~alphabet ~len:stem) (word rng ~alphabet ~len:cycle)

@@ -1,0 +1,34 @@
+(** Random automata, for property-based tests and benchmark workloads.
+
+    All generators are deterministic functions of the supplied PRNG, so
+    every test failure and benchmark row is reproducible from a seed. *)
+
+open Rl_sigma
+open Rl_prelude
+
+(** [nfa rng ~alphabet ~states ~density ~final_prob] is a random NFA:
+    each [(q, a, q')] transition is present with probability [density];
+    each state is final with probability [final_prob]; state [0] is initial.
+    [states] must be positive. *)
+val nfa :
+  Prng.t -> alphabet:Alphabet.t -> states:int -> density:float -> final_prob:float -> Nfa.t
+
+(** [dfa rng ~alphabet ~states ~final_prob] is a random complete DFA with
+    uniform transitions and initial state [0]. *)
+val dfa : Prng.t -> alphabet:Alphabet.t -> states:int -> final_prob:float -> Dfa.t
+
+(** [transition_system rng ~alphabet ~states ~branching] is a random
+    {e prefix-closed, maximal-word-free} behavior representation: a trim NFA
+    in which every state is final and has at least one outgoing transition
+    (so its language [L] is prefix-closed and every word of [L] extends).
+    [branching] is the expected number of outgoing transitions per state
+    (at least 1 is enforced). *)
+val transition_system :
+  Prng.t -> alphabet:Alphabet.t -> states:int -> branching:float -> Nfa.t
+
+(** [word rng ~alphabet ~len] is a uniform word of length [len]. *)
+val word : Prng.t -> alphabet:Alphabet.t -> len:int -> Word.t
+
+(** [lasso rng ~alphabet ~stem ~cycle] is a uniform lasso with the given
+    stem and cycle lengths ([cycle >= 1]). *)
+val lasso : Prng.t -> alphabet:Alphabet.t -> stem:int -> cycle:int -> Lasso.t

@@ -1,0 +1,1 @@
+lib/buchi/buchi.ml: Alphabet Array Bitset Buffer Dfa Format Fun Hashtbl Lasso List Nfa Printf Queue Rl_automata Rl_prelude Rl_sigma Word

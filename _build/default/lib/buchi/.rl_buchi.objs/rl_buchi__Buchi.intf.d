@@ -1,0 +1,1 @@
+lib/buchi/buchi.mli: Alphabet Dfa Format Lasso Nfa Rl_automata Rl_prelude Rl_sigma

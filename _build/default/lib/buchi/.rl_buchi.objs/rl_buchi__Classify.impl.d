@@ -1,0 +1,1 @@
+lib/buchi/classify.ml: Alphabet Array Buchi Complement Dfa List Omega_lang Rl_automata Rl_sigma

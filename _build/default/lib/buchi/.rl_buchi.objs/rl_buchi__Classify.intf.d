@@ -1,0 +1,1 @@
+lib/buchi/classify.mli: Alphabet Buchi Rl_sigma

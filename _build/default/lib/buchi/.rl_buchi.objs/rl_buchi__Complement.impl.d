@@ -1,0 +1,1 @@
+lib/buchi/complement.ml: Alphabet Array Buchi Hashtbl List Queue Rl_sigma

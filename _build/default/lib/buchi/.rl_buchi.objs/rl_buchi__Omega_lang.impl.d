@@ -1,0 +1,1 @@
+lib/buchi/omega_lang.ml: Buchi Complement Reduce

@@ -1,0 +1,1 @@
+lib/buchi/omega_lang.mli: Buchi Lasso Rl_sigma

@@ -1,0 +1,1 @@
+lib/buchi/reduce.ml: Alphabet Array Buchi Fun List Rl_sigma

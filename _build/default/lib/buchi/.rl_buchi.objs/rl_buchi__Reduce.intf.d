@@ -1,0 +1,1 @@
+lib/buchi/reduce.mli: Buchi

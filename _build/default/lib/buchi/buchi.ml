@@ -1,0 +1,606 @@
+open Rl_prelude
+open Rl_sigma
+open Rl_automata
+
+type t = {
+  alphabet : Alphabet.t;
+  states : int;
+  initial : int list;
+  accepting : Bitset.t;
+  delta : int list array array;
+}
+
+let check_state t q =
+  if q < 0 || q >= t.states then invalid_arg "Buchi: state out of range"
+
+let create ~alphabet ~states ~initial ~accepting ~transitions () =
+  if states < 0 then invalid_arg "Buchi.create: negative state count";
+  let k = Alphabet.size alphabet in
+  let delta = Array.init states (fun _ -> Array.make k []) in
+  let acc = Bitset.create states in
+  let t = { alphabet; states; initial; accepting = acc; delta } in
+  List.iter (fun q -> check_state t q) initial;
+  List.iter
+    (fun q ->
+      check_state t q;
+      Bitset.add acc q)
+    accepting;
+  List.iter
+    (fun (q, a, q') ->
+      check_state t q;
+      check_state t q';
+      if a < 0 || a >= k then invalid_arg "Buchi.create: symbol out of range";
+      delta.(q).(a) <- q' :: delta.(q).(a))
+    transitions;
+  t
+
+let alphabet t = t.alphabet
+let states t = t.states
+let initial t = t.initial
+let accepting t = t.accepting
+let is_accepting t q = Bitset.mem t.accepting q
+let successors t q a = t.delta.(q).(a)
+
+let transitions t =
+  let acc = ref [] in
+  for q = t.states - 1 downto 0 do
+    for a = Alphabet.size t.alphabet - 1 downto 0 do
+      List.iter (fun q' -> acc := (q, a, q') :: !acc) t.delta.(q).(a)
+    done
+  done;
+  !acc
+
+let of_transition_system n =
+  if Nfa.has_eps n then
+    invalid_arg "Buchi.of_transition_system: ε-moves not allowed";
+  if not (Nfa.all_states_final n) then
+    invalid_arg "Buchi.of_transition_system: all states must be final";
+  create ~alphabet:(Nfa.alphabet n) ~states:(Nfa.states n)
+    ~initial:(Nfa.initial n)
+    ~accepting:(List.init (Nfa.states n) Fun.id)
+    ~transitions:(Nfa.transitions n) ()
+
+let limit_of_dfa d =
+  let k = Alphabet.size (Dfa.alphabet d) in
+  let transitions = ref [] in
+  for q = 0 to Dfa.states d - 1 do
+    for a = 0 to k - 1 do
+      transitions := (q, a, Dfa.step d q a) :: !transitions
+    done
+  done;
+  let accepting =
+    List.filter (Dfa.is_final d) (List.init (Dfa.states d) Fun.id)
+  in
+  create ~alphabet:(Dfa.alphabet d) ~states:(Dfa.states d)
+    ~initial:[ Dfa.initial d ] ~accepting ~transitions:!transitions ()
+
+let limit n = limit_of_dfa (Dfa.determinize n)
+
+let of_lasso alphabet x =
+  let stem = Lasso.stem x and cycle = Lasso.cycle x in
+  let s = Word.length stem and p = Word.length cycle in
+  let n = s + p in
+  let transitions = ref [] in
+  for i = 0 to s - 1 do
+    transitions := (i, Word.get stem i, i + 1) :: !transitions
+  done;
+  for i = 0 to p - 1 do
+    let target = if i = p - 1 then s else s + i + 1 in
+    transitions := (s + i, Word.get cycle i, target) :: !transitions
+  done;
+  create ~alphabet ~states:n ~initial:[ 0 ]
+    ~accepting:(List.init n Fun.id) ~transitions:!transitions ()
+
+(* --- graph analyses --- *)
+
+let all_successors t q =
+  Array.fold_left (fun acc l -> List.rev_append l acc) [] t.delta.(q)
+
+let reachable t =
+  let seen = Bitset.create t.states in
+  let stack = ref [] in
+  List.iter
+    (fun q ->
+      if not (Bitset.mem seen q) then begin
+        Bitset.add seen q;
+        stack := q :: !stack
+      end)
+    t.initial;
+  while !stack <> [] do
+    match !stack with
+    | [] -> ()
+    | q :: rest ->
+        stack := rest;
+        List.iter
+          (fun q' ->
+            if not (Bitset.mem seen q') then begin
+              Bitset.add seen q';
+              stack := q' :: !stack
+            end)
+          (all_successors t q)
+  done;
+  seen
+
+(* Iterative Tarjan SCC. Returns (scc_id array, scc_count). *)
+let tarjan t =
+  let n = t.states in
+  let index = Array.make n (-1) in
+  let lowlink = Array.make n 0 in
+  let on_stack = Array.make n false in
+  let scc_id = Array.make n (-1) in
+  let stack = ref [] in
+  let next_index = ref 0 in
+  let scc_count = ref 0 in
+  (* Explicit DFS stack: (state, remaining successors). *)
+  for root = 0 to n - 1 do
+    if index.(root) = -1 then begin
+      let call = ref [ (root, ref (all_successors t root)) ] in
+      index.(root) <- !next_index;
+      lowlink.(root) <- !next_index;
+      incr next_index;
+      stack := root :: !stack;
+      on_stack.(root) <- true;
+      while !call <> [] do
+        match !call with
+        | [] -> ()
+        | (v, succs) :: rest -> (
+            match !succs with
+            | w :: more ->
+                succs := more;
+                if index.(w) = -1 then begin
+                  index.(w) <- !next_index;
+                  lowlink.(w) <- !next_index;
+                  incr next_index;
+                  stack := w :: !stack;
+                  on_stack.(w) <- true;
+                  call := (w, ref (all_successors t w)) :: !call
+                end
+                else if on_stack.(w) then
+                  lowlink.(v) <- min lowlink.(v) index.(w)
+            | [] ->
+                call := rest;
+                (match rest with
+                | (parent, _) :: _ ->
+                    lowlink.(parent) <- min lowlink.(parent) lowlink.(v)
+                | [] -> ());
+                if lowlink.(v) = index.(v) then begin
+                  let id = !scc_count in
+                  incr scc_count;
+                  let continue = ref true in
+                  while !continue do
+                    match !stack with
+                    | [] -> continue := false
+                    | w :: tl ->
+                        stack := tl;
+                        on_stack.(w) <- false;
+                        scc_id.(w) <- id;
+                        if w = v then continue := false
+                  done
+                end)
+      done
+    end
+  done;
+  (scc_id, !scc_count)
+
+let sccs = tarjan
+
+(* An SCC is "good" when a run can loop inside it through an accepting
+   state: it is non-trivial (contains an edge) and contains an accepting
+   state. *)
+let good_sccs t (scc_id, scc_count) =
+  let nontrivial = Array.make scc_count false in
+  let has_acc = Array.make scc_count false in
+  for q = 0 to t.states - 1 do
+    let id = scc_id.(q) in
+    if Bitset.mem t.accepting q then has_acc.(id) <- true;
+    List.iter (fun q' -> if scc_id.(q') = id then nontrivial.(id) <- true)
+      (all_successors t q)
+  done;
+  Array.init scc_count (fun id -> nontrivial.(id) && has_acc.(id))
+
+let live t =
+  if t.states = 0 then Bitset.create 0
+  else begin
+    let ((scc_id, _) as sccs) = tarjan t in
+    let good = good_sccs t sccs in
+    let live = Bitset.create t.states in
+    let pred = Array.make t.states [] in
+    for q = 0 to t.states - 1 do
+      List.iter (fun q' -> pred.(q') <- q :: pred.(q')) (all_successors t q)
+    done;
+    let stack = ref [] in
+    for q = 0 to t.states - 1 do
+      if good.(scc_id.(q)) && not (Bitset.mem live q) then begin
+        Bitset.add live q;
+        stack := q :: !stack
+      end
+    done;
+    while !stack <> [] do
+      match !stack with
+      | [] -> ()
+      | q :: rest ->
+          stack := rest;
+          List.iter
+            (fun p ->
+              if not (Bitset.mem live p) then begin
+                Bitset.add live p;
+                stack := p :: !stack
+              end)
+            pred.(q)
+    done;
+    live
+  end
+
+let restrict t keep =
+  let remap = Array.make (max t.states 1) (-1) in
+  let count = ref 0 in
+  Bitset.iter
+    (fun q ->
+      remap.(q) <- !count;
+      incr count)
+    keep;
+  let n = !count in
+  let k = Alphabet.size t.alphabet in
+  let delta = Array.init n (fun _ -> Array.make k []) in
+  let accepting = Bitset.create n in
+  Bitset.iter
+    (fun q ->
+      let q2 = remap.(q) in
+      if Bitset.mem t.accepting q then Bitset.add accepting q2;
+      for a = 0 to k - 1 do
+        delta.(q2).(a) <-
+          List.filter_map
+            (fun q' -> if Bitset.mem keep q' then Some remap.(q') else None)
+            t.delta.(q).(a)
+      done)
+    keep;
+  let initial =
+    List.filter_map
+      (fun q -> if Bitset.mem keep q then Some remap.(q) else None)
+      t.initial
+  in
+  { alphabet = t.alphabet; states = n; initial; accepting; delta }
+
+let trim t =
+  let keep = reachable t in
+  Bitset.inter_into ~into:keep (live t);
+  restrict t keep
+
+let is_empty t =
+  let l = live t in
+  not (List.exists (Bitset.mem l) t.initial)
+
+(* Nested DFS (Courcoubetis–Vardi–Wolper–Yannakakis), used as an
+   independent oracle for [is_empty] in tests. *)
+let is_empty_ndfs t =
+  let n = t.states in
+  if n = 0 then true
+  else begin
+    let blue = Array.make n false in
+    let red = Array.make n false in
+    let on_path = Array.make n false in
+    let exception Found in
+    let rec red_dfs q =
+      List.iter
+        (fun q' ->
+          if on_path.(q') then raise Found;
+          if not red.(q') then begin
+            red.(q') <- true;
+            red_dfs q'
+          end)
+        (all_successors t q)
+    in
+    let rec blue_dfs q =
+      blue.(q) <- true;
+      on_path.(q) <- true;
+      List.iter (fun q' -> if not blue.(q') then blue_dfs q') (all_successors t q);
+      if Bitset.mem t.accepting q then begin
+        (* post-order check from accepting state *)
+        red_dfs q
+      end;
+      on_path.(q) <- false
+    in
+    try
+      List.iter (fun q -> if not blue.(q) then blue_dfs q) t.initial;
+      true
+    with Found -> false
+  end
+
+let accepting_lasso t =
+  if t.states = 0 then None
+  else begin
+    let reach = reachable t in
+    let ((scc_id, _) as sccs) = tarjan t in
+    let good = good_sccs t sccs in
+    (* Find a reachable accepting state inside a good SCC. *)
+    let target = ref None in
+    for q = 0 to t.states - 1 do
+      if
+        !target = None && Bitset.mem reach q
+        && Bitset.mem t.accepting q
+        && good.(scc_id.(q))
+      then target := Some q
+    done;
+    match !target with
+    | None -> None
+    | Some f ->
+        (* BFS path initial → f with labels. *)
+        let bfs start stop restrict_scc =
+          let parent = Array.make t.states None in
+          let seen = Bitset.create t.states in
+          let queue = Queue.create () in
+          List.iter
+            (fun (q, lab) ->
+              if not (Bitset.mem seen q) then begin
+                Bitset.add seen q;
+                parent.(q) <- lab;
+                Queue.add q queue
+              end)
+            start;
+          let found = ref None in
+          while !found = None && not (Queue.is_empty queue) do
+            let q = Queue.pop queue in
+            if q = stop then found := Some q
+            else
+              Array.iteri
+                (fun a succs ->
+                  List.iter
+                    (fun q' ->
+                      let ok =
+                        match restrict_scc with
+                        | None -> true
+                        | Some id -> scc_id.(q') = id
+                      in
+                      if ok && not (Bitset.mem seen q') then begin
+                        Bitset.add seen q';
+                        parent.(q') <- Some (q, a);
+                        Queue.add q' queue
+                      end)
+                    succs)
+                t.delta.(q)
+          done;
+          match !found with
+          | None -> None
+          | Some q ->
+              let rec back q acc =
+                match parent.(q) with
+                | None -> acc
+                | Some (p, a) -> back p (a :: acc)
+              in
+              Some (back q [])
+        in
+        let stem =
+          match bfs (List.map (fun q -> (q, None)) t.initial) f None with
+          | Some labels -> Word.of_list labels
+          | None -> assert false
+        in
+        (* Cycle: take one edge f --a--> q' inside f's SCC, then a path
+           q' → f. The BFS starts fresh at q' (parent None) so the back
+           walk terminates there; the first edge is prepended. *)
+        let id = scc_id.(f) in
+        let first_edges = ref [] in
+        Array.iteri
+          (fun a succs ->
+            List.iter
+              (fun q' -> if scc_id.(q') = id then first_edges := (a, q') :: !first_edges)
+              succs)
+          t.delta.(f);
+        let rec try_edges = function
+          | [] -> None
+          | (a, q') :: rest -> (
+              match bfs [ (q', None) ] f (Some id) with
+              | Some labels -> Some (Word.of_list (a :: labels))
+              | None -> try_edges rest)
+        in
+        let cycle =
+          match try_edges !first_edges with
+          | Some c -> c
+          | None -> assert false (* f lies in a good (non-trivial) SCC *)
+        in
+        Some (Lasso.make stem cycle)
+  end
+
+(* --- generalized Büchi --- *)
+
+module Gba = struct
+  type gba = {
+    g_alphabet : Alphabet.t;
+    g_states : int;
+    g_initial : int list;
+    g_sets : Bitset.t array;
+    g_delta : int list array array;
+  }
+
+  let create ~alphabet ~states ~initial ~accepting_sets ~transitions () =
+    let base =
+      create ~alphabet ~states ~initial ~accepting:[] ~transitions ()
+    in
+    let sets =
+      Array.of_list
+        (List.map
+           (fun set ->
+             let b = Bitset.create states in
+             List.iter
+               (fun q ->
+                 if q < 0 || q >= states then
+                   invalid_arg "Gba.create: state out of range";
+                 Bitset.add b q)
+               set;
+             b)
+           accepting_sets)
+    in
+    {
+      g_alphabet = alphabet;
+      g_states = states;
+      g_initial = initial;
+      g_sets = sets;
+      g_delta = base.delta;
+    }
+
+  let degeneralize g =
+    let m = Array.length g.g_sets in
+    if m = 0 then
+      (* no constraint: every infinite run accepts *)
+      {
+        alphabet = g.g_alphabet;
+        states = g.g_states;
+        initial = g.g_initial;
+        accepting = Bitset.of_list g.g_states (List.init g.g_states Fun.id);
+        delta = g.g_delta;
+      }
+    else begin
+      let k = Alphabet.size g.g_alphabet in
+      let n = g.g_states in
+      let encode q i = (q * m) + i in
+      let next i q = if Bitset.mem g.g_sets.(i) q then (i + 1) mod m else i in
+      let total = n * m in
+      let delta = Array.init total (fun _ -> Array.make k []) in
+      for q = 0 to n - 1 do
+        for i = 0 to m - 1 do
+          let j = next i q in
+          for a = 0 to k - 1 do
+            delta.(encode q i).(a) <- List.map (fun q' -> encode q' j) g.g_delta.(q).(a)
+          done
+        done
+      done;
+      let accepting = Bitset.create total in
+      for q = 0 to n - 1 do
+        if Bitset.mem g.g_sets.(0) q then Bitset.add accepting (encode q 0)
+      done;
+      {
+        alphabet = g.g_alphabet;
+        states = total;
+        initial = List.map (fun q -> encode q 0) g.g_initial;
+        accepting;
+        delta;
+      }
+    end
+end
+
+let inter a b =
+  if not (Alphabet.equal a.alphabet b.alphabet) then
+    invalid_arg "Buchi.inter: alphabet mismatch";
+  if a.states = 0 || b.states = 0 then
+    create ~alphabet:a.alphabet ~states:0 ~initial:[] ~accepting:[]
+      ~transitions:[] ()
+  else begin
+    (* explore only the reachable pairs: the full product is quadratic and
+       dominates memory when one operand is large (e.g. a complement) *)
+    let k = Alphabet.size a.alphabet in
+    let table = Hashtbl.create 64 in
+    let rev = ref [] in
+    let count = ref 0 in
+    let intern pair =
+      match Hashtbl.find_opt table pair with
+      | Some id -> (id, false)
+      | None ->
+          let id = !count in
+          incr count;
+          Hashtbl.add table pair id;
+          rev := pair :: !rev;
+          (id, true)
+    in
+    let queue = Queue.create () in
+    let initial =
+      List.concat_map
+        (fun p ->
+          List.map
+            (fun q ->
+              let pair = (p, q) in
+              let id, fresh = intern pair in
+              if fresh then Queue.add pair queue;
+              id)
+            b.initial)
+        a.initial
+    in
+    let transitions = ref [] in
+    while not (Queue.is_empty queue) do
+      let ((p, q) as pair) = Queue.pop queue in
+      let src = Hashtbl.find table pair in
+      for s = 0 to k - 1 do
+        List.iter
+          (fun p' ->
+            List.iter
+              (fun q' ->
+                let pair' = (p', q') in
+                let dst, fresh = intern pair' in
+                if fresh then Queue.add pair' queue;
+                transitions := (src, s, dst) :: !transitions)
+              b.delta.(q).(s))
+          a.delta.(p).(s)
+      done
+    done;
+    let n = !count in
+    let pairs = Array.of_list (List.rev !rev) in
+    let set1 = ref [] and set2 = ref [] in
+    Array.iteri
+      (fun id (p, q) ->
+        if Bitset.mem a.accepting p then set1 := id :: !set1;
+        if Bitset.mem b.accepting q then set2 := id :: !set2)
+      pairs;
+    let g =
+      Gba.create ~alphabet:a.alphabet ~states:n ~initial
+        ~accepting_sets:[ !set1; !set2 ] ~transitions:!transitions ()
+    in
+    trim (Gba.degeneralize g)
+  end
+
+let union a b =
+  if not (Alphabet.equal a.alphabet b.alphabet) then
+    invalid_arg "Buchi.union: alphabet mismatch";
+  let shift q = q + a.states in
+  let transitions =
+    transitions a
+    @ List.map (fun (q, s, q') -> (shift q, s, shift q')) (transitions b)
+  in
+  create ~alphabet:a.alphabet ~states:(a.states + b.states)
+    ~initial:(a.initial @ List.map shift b.initial)
+    ~accepting:
+      (Bitset.elements a.accepting
+      @ List.map shift (Bitset.elements b.accepting))
+    ~transitions ()
+
+let member t x = not (is_empty (inter t (of_lasso t.alphabet x)))
+
+let pre_language t =
+  let t = trim t in
+  if t.states = 0 then
+    Nfa.create ~alphabet:t.alphabet ~states:0 ~initial:[] ~finals:[]
+      ~transitions:[] ()
+  else
+    Nfa.create ~alphabet:t.alphabet ~states:t.states ~initial:t.initial
+      ~finals:(List.init t.states Fun.id)
+      ~transitions:(transitions t) ()
+
+let pp ppf t =
+  Format.fprintf ppf
+    "@[<v>Buchi over %a: %d states, initial %a, accepting %a@,"
+    Alphabet.pp t.alphabet t.states
+    (Format.pp_print_list ~pp_sep:Format.pp_print_space Format.pp_print_int)
+    t.initial Bitset.pp t.accepting;
+  List.iter
+    (fun (q, a, q') ->
+      Format.fprintf ppf "  %d --%s--> %d@," q (Alphabet.name t.alphabet a) q')
+    (transitions t);
+  Format.fprintf ppf "@]"
+
+let to_dot ?(name = "buchi") t =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "digraph %s {\n  rankdir=LR;\n" name);
+  List.iter
+    (fun q ->
+      Buffer.add_string buf
+        (Printf.sprintf "  init%d [shape=point];\n  init%d -> %d;\n" q q q))
+    t.initial;
+  for q = 0 to t.states - 1 do
+    let shape = if Bitset.mem t.accepting q then "doublecircle" else "circle" in
+    Buffer.add_string buf (Printf.sprintf "  %d [shape=%s];\n" q shape)
+  done;
+  List.iter
+    (fun (q, a, q') ->
+      Buffer.add_string buf
+        (Printf.sprintf "  %d -> %d [label=\"%s\"];\n" q q'
+           (Alphabet.name t.alphabet a)))
+    (transitions t);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

@@ -1,0 +1,133 @@
+(** Nondeterministic Büchi automata over ω-words.
+
+    Büchi automata represent the ω-regular data of the paper: the behavior
+    set [Lω] of a system, the property [P], their intersection [Lω ∩ P], and
+    the limits [lim(L)] of prefix-closed regular languages. States are
+    integers [0 .. states-1]; acceptance is the standard Büchi condition
+    (some accepting state visited infinitely often). *)
+
+open Rl_sigma
+open Rl_automata
+
+type t
+
+(** {1 Construction} *)
+
+(** [create ~alphabet ~states ~initial ~accepting ~transitions ()] builds a
+    Büchi automaton from [(source, symbol, target)] triples. *)
+val create :
+  alphabet:Alphabet.t ->
+  states:int ->
+  initial:int list ->
+  accepting:int list ->
+  transitions:(int * Alphabet.symbol * int) list ->
+  unit ->
+  t
+
+(** [of_transition_system n] reads a {e trim, all-states-final} NFA — the
+    representation of a prefix-closed behavior language [L] — as the Büchi
+    automaton for [lim(L)] (every state accepting). This matches the paper's
+    "finite-state system without acceptance conditions".
+    @raise Invalid_argument if [n] has ε-moves or non-final states. *)
+val of_transition_system : Nfa.t -> t
+
+(** [limit_of_dfa d] accepts [lim(L(d))]: the DFA read as a Büchi automaton
+    (correct because DFA runs are unique). *)
+val limit_of_dfa : Dfa.t -> t
+
+(** [limit n] accepts [lim(L(n))] for an arbitrary NFA [n]
+    (via determinization). *)
+val limit : Nfa.t -> t
+
+(** [of_lasso alphabet x] accepts exactly the singleton ω-language [{x}]. *)
+val of_lasso : Alphabet.t -> Lasso.t -> t
+
+(** {1 Accessors} *)
+
+val alphabet : t -> Alphabet.t
+val states : t -> int
+val initial : t -> int list
+val accepting : t -> Rl_prelude.Bitset.t
+val is_accepting : t -> int -> bool
+val successors : t -> int -> Alphabet.symbol -> int list
+val transitions : t -> (int * Alphabet.symbol * int) list
+
+(** {1 Structural operations} *)
+
+(** [reachable b] is the set of states reachable from the initial states. *)
+val reachable : t -> Rl_prelude.Bitset.t
+
+(** [live b] is the set of states from which some accepting run exists
+    (states that reach a non-trivial SCC containing an accepting state). *)
+val live : t -> Rl_prelude.Bitset.t
+
+(** [sccs b] is Tarjan's strongly-connected-component decomposition:
+    [(component_of_state, component_count)]. Components are numbered in
+    reverse topological order (every edge goes from a higher-numbered
+    component to a lower or equal one). *)
+val sccs : t -> int array * int
+
+(** [trim b] is the "reduced" automaton of the paper's Theorem 5.1 proof:
+    restricted to reachable states from which an ω-word can be accepted.
+    Preserves the language; may have zero states if the language is empty. *)
+val trim : t -> t
+
+(** {1 Decision procedures} *)
+
+(** [is_empty b] decides [L(b) = ∅] via SCC analysis (Tarjan). *)
+val is_empty : t -> bool
+
+(** [is_empty_ndfs b] — the same decision by nested depth-first search;
+    used to cross-check [is_empty] in the test suite. *)
+val is_empty_ndfs : t -> bool
+
+(** [accepting_lasso b] is a witness [u·v^ω ∈ L(b)], if the language is
+    non-empty. The cycle passes through an accepting state. *)
+val accepting_lasso : t -> Lasso.t option
+
+(** [member b x] decides [x ∈ L(b)] for an ultimately periodic [x]. *)
+val member : t -> Lasso.t -> bool
+
+(** {1 Boolean operations} *)
+
+(** [inter a b] accepts [L(a) ∩ L(b)] (generalized-Büchi product,
+    degeneralized). *)
+val inter : t -> t -> t
+
+(** [union a b] accepts [L(a) ∪ L(b)] (disjoint sum). *)
+val union : t -> t -> t
+
+(** {1 Prefixes and limits} *)
+
+(** [pre_language b] is an NFA recognizing [pre(L(b))], the set of finite
+    prefixes of accepted ω-words. *)
+val pre_language : t -> Nfa.t
+
+(** {1 Generalized acceptance} *)
+
+module Gba : sig
+  (** Büchi automata with multiple acceptance sets, as produced by the
+      LTL translation; a run is accepting iff it visits {e every} set
+      infinitely often. *)
+
+  type gba
+
+  val create :
+    alphabet:Alphabet.t ->
+    states:int ->
+    initial:int list ->
+    accepting_sets:int list list ->
+    transitions:(int * Alphabet.symbol * int) list ->
+    unit ->
+    gba
+
+  (** [degeneralize g] is an equivalent plain Büchi automaton (counter
+      construction; [m] sets multiply the state count by [m]). An empty
+      list of sets means "all runs accepting". *)
+  val degeneralize : gba -> t
+end
+
+(** {1 Output} *)
+
+val pp : Format.formatter -> t -> unit
+val to_dot : ?name:string -> t -> string

@@ -1,0 +1,27 @@
+open Rl_sigma
+open Rl_automata
+
+let is_safety = Omega_lang.is_limit_closed
+
+let is_liveness b =
+  (* pre(L) = Σ*: the prefix automaton, determinized, accepts everything *)
+  let pre = Dfa.determinize (Buchi.pre_language b) in
+  let k = Alphabet.size (Buchi.alphabet b) in
+  let sigma_star =
+    Dfa.create
+      ~alphabet:(Buchi.alphabet b)
+      ~states:1 ~initial:0 ~finals:[ 0 ]
+      ~delta:[| Array.make k 0 |]
+  in
+  match Dfa.included sigma_star pre with Ok () -> true | Error _ -> false
+
+let universal_buchi alphabet =
+  let k = Alphabet.size alphabet in
+  Buchi.create ~alphabet ~states:1 ~initial:[ 0 ] ~accepting:[ 0 ]
+    ~transitions:(List.init k (fun a -> (0, a, 0)))
+    ()
+
+let liveness_part b =
+  Buchi.union b (Complement.complement (Omega_lang.safety_closure b))
+
+let decompose b = (Omega_lang.safety_closure b, liveness_part b)

@@ -1,0 +1,32 @@
+(** Absolute safety and liveness of ω-regular properties
+    (Alpern–Schneider, the paper's reference [3]).
+
+    Relative liveness/safety relativize these notions to a behavior set
+    [Lω]; Remark 1 of the paper says the two coincide when [Lω = Σ^ω].
+    This module provides the absolute side of that remark — used by the
+    test suite to cross-validate the relative deciders — together with the
+    classical decomposition of an arbitrary property into a safety and a
+    liveness part. *)
+
+open Rl_sigma
+
+(** [is_safety b] — [L(b)] is a safety property: it equals its topological
+    closure [lim(pre(L))] (equivalently: every violation has an
+    irrecoverable finite prefix). *)
+val is_safety : Buchi.t -> bool
+
+(** [is_liveness b] — [L(b)] is a liveness property: [pre(L(b)) = Σ*]
+    (every finite word can be extended into [L(b)]). *)
+val is_liveness : Buchi.t -> bool
+
+(** [universal_buchi alphabet] accepts [Σ^ω]. *)
+val universal_buchi : Alphabet.t -> Buchi.t
+
+(** [liveness_part b] is [L(b) ∪ (Σ^ω \ closure(L(b)))] — a liveness
+    property (Alpern–Schneider). *)
+val liveness_part : Buchi.t -> Buchi.t
+
+(** [decompose b] is [(safety, liveness)] with
+    [L(b) = L(safety) ∩ L(liveness)], [safety = lim(pre(L(b)))] the safety
+    closure and [liveness = liveness_part b]. *)
+val decompose : Buchi.t -> Buchi.t * Buchi.t

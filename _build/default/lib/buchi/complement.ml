@@ -1,0 +1,123 @@
+open Rl_sigma
+
+(* Kupferman–Vardi rank-based complementation.
+
+   A state of the complement is a pair (g, o):
+   - g maps each state of the input automaton to a rank in 0..2n, or ⊥
+     (represented by -1) when no run of the input can be in that state;
+     accepting input states only carry even ranks;
+   - o is the subset of even-ranked tracked states whose runs still have to
+     "pay" a rank decrease (the breakpoint construction).
+
+   A word is accepted by the complement iff some ranking run empties o
+   infinitely often, which happens exactly when every run of the input gets
+   trapped in odd ranks — i.e. visits accepting states only finitely
+   often. *)
+
+type key = int array * int list
+
+exception Too_large of int
+
+let complement ?max_states b =
+  let n = Buchi.states b in
+  let alphabet = Buchi.alphabet b in
+  let k = Alphabet.size alphabet in
+  if n = 0 then begin
+    (* L(b) = ∅: the complement accepts everything. *)
+    let transitions = List.init k (fun a -> (0, a, 0)) in
+    Buchi.create ~alphabet ~states:1 ~initial:[ 0 ] ~accepting:[ 0 ]
+      ~transitions ()
+  end
+  else begin
+    let max_rank = 2 * n in
+    let table : (key, int) Hashtbl.t = Hashtbl.create 256 in
+    let rev_states = ref [] in
+    let count = ref 0 in
+    let intern key =
+      match Hashtbl.find_opt table key with
+      | Some id -> (id, false)
+      | None ->
+          (match max_states with
+          | Some limit when !count >= limit -> raise (Too_large limit)
+          | _ -> ());
+          let id = !count in
+          incr count;
+          Hashtbl.add table key id;
+          rev_states := key :: !rev_states;
+          (id, true)
+    in
+    let init_ranks =
+      Array.init n (fun q -> if List.mem q (Buchi.initial b) then max_rank else -1)
+    in
+    (* Initial accepting states must hold an even rank: max_rank is even. *)
+    let init_key = (init_ranks, []) in
+    let init_id, _ = intern init_key in
+    let worklist = Queue.create () in
+    Queue.add init_key worklist;
+    let transitions = ref [] in
+    let accepting = ref [] in
+    let note_accepting key id = if snd key = [] then accepting := id :: !accepting in
+    note_accepting init_key init_id;
+    while not (Queue.is_empty worklist) do
+      let ((g, o) as key) = Queue.pop worklist in
+      let src = Hashtbl.find table key in
+      for a = 0 to k - 1 do
+        (* Rank bound for each successor state: min over its ranked
+           predecessors. -1 means "not a successor" (stays ⊥). *)
+        let bound = Array.make n (-1) in
+        for q = 0 to n - 1 do
+          if g.(q) >= 0 then
+            List.iter
+              (fun q' ->
+                bound.(q') <-
+                  (if bound.(q') = -1 then g.(q) else min bound.(q') g.(q)))
+              (Buchi.successors b q a)
+        done;
+        (* Successors of the breakpoint set o. *)
+        let o_succ = Array.make n false in
+        List.iter
+          (fun q ->
+            List.iter (fun q' -> o_succ.(q') <- true) (Buchi.successors b q a))
+          o;
+        (* Enumerate all rankings g' compatible with the bounds. *)
+        let dom = ref [] in
+        for q = n - 1 downto 0 do
+          if bound.(q) >= 0 then dom := q :: !dom
+        done;
+        let rec enumerate assigned = function
+          | [] ->
+              let g' = Array.make n (-1) in
+              List.iter (fun (q, r) -> g'.(q) <- r) assigned;
+              let o' =
+                if o = [] then
+                  List.filter_map
+                    (fun (q, r) -> if r mod 2 = 0 then Some q else None)
+                    assigned
+                  |> List.sort compare
+                else
+                  List.filter_map
+                    (fun (q, r) ->
+                      if o_succ.(q) && r mod 2 = 0 then Some q else None)
+                    assigned
+                  |> List.sort compare
+              in
+              let key' = (g', o') in
+              let dst, fresh = intern key' in
+              if fresh then begin
+                Queue.add key' worklist;
+                note_accepting key' dst
+              end;
+              transitions := (src, a, dst) :: !transitions
+          | q :: rest ->
+              let is_acc = Buchi.is_accepting b q in
+              for r = 0 to bound.(q) do
+                if not (is_acc && r mod 2 = 1) then
+                  enumerate ((q, r) :: assigned) rest
+              done
+        in
+        enumerate [] !dom
+      done
+    done;
+    Buchi.create ~alphabet ~states:!count ~initial:[ init_id ]
+      ~accepting:!accepting ~transitions:!transitions ()
+  end

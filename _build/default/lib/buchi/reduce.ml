@@ -1,0 +1,72 @@
+open Rl_sigma
+
+(* Greatest fixpoint of the direct-simulation conditions: start from the
+   acceptance-compatible relation and remove pairs whose step condition
+   fails, until stable. O(n² · m) per sweep — fine at the sizes where the
+   constructions downstream (complementation) are the actual bottleneck. *)
+let direct_simulation b =
+  let n = Buchi.states b in
+  let k = Alphabet.size (Buchi.alphabet b) in
+  let sim = Array.init n (fun q -> Array.init n (fun p ->
+      (not (Buchi.is_accepting b q)) || Buchi.is_accepting b p))
+  in
+  let step_ok q p =
+    (* every move of q is matched by some move of p to a simulating state *)
+    List.for_all
+      (fun a ->
+        List.for_all
+          (fun q' ->
+            List.exists (fun p' -> sim.(q').(p')) (Buchi.successors b p a))
+          (Buchi.successors b q a))
+      (List.init k Fun.id)
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for q = 0 to n - 1 do
+      for p = 0 to n - 1 do
+        if sim.(q).(p) && not (step_ok q p) then begin
+          sim.(q).(p) <- false;
+          changed := true
+        end
+      done
+    done
+  done;
+  sim
+
+let quotient b =
+  let n = Buchi.states b in
+  if n = 0 then b
+  else begin
+    let sim = direct_simulation b in
+    let cls = Array.make n (-1) in
+    let count = ref 0 in
+    for q = 0 to n - 1 do
+      if cls.(q) = -1 then begin
+        cls.(q) <- !count;
+        for p = q + 1 to n - 1 do
+          if cls.(p) = -1 && sim.(q).(p) && sim.(p).(q) then cls.(p) <- !count
+        done;
+        incr count
+      end
+    done;
+    if !count = n then b
+    else begin
+      let transitions =
+        Buchi.transitions b
+        |> List.map (fun (q, a, q') -> (cls.(q), a, cls.(q')))
+        |> List.sort_uniq compare
+      in
+      let accepting =
+        List.init n Fun.id
+        |> List.filter_map (fun q ->
+               if Buchi.is_accepting b q then Some cls.(q) else None)
+        |> List.sort_uniq compare
+      in
+      let initial =
+        List.sort_uniq compare (List.map (fun q -> cls.(q)) (Buchi.initial b))
+      in
+      Buchi.create ~alphabet:(Buchi.alphabet b) ~states:!count ~initial
+        ~accepting ~transitions ()
+    end
+  end

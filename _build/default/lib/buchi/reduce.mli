@@ -1,0 +1,17 @@
+(** Simulation-based reduction of Büchi automata.
+
+    [p] {e directly simulates} [q] when [p] can mimic every move of [q]
+    with at least the same acceptance: [q ∈ F ⇒ p ∈ F], and every
+    [a]-successor of [q] is directly simulated by some [a]-successor of
+    [p]. Quotienting by mutual direct simulation preserves the ω-language
+    (Dill–Hu–Wong-Toi). The reduction matters most in front of the
+    Kupferman–Vardi complementation, whose cost is exponential in the
+    state count. *)
+
+(** [direct_simulation b] is the direct-simulation preorder as a matrix:
+    [(sim, n)] with [sim.(q).(p) = true] iff [p] simulates [q]. *)
+val direct_simulation : Buchi.t -> bool array array
+
+(** [quotient b] merges mutually simulating states. Language-preserving;
+    never larger than [b]. *)
+val quotient : Buchi.t -> Buchi.t

@@ -1,0 +1,1 @@
+lib/compose/compose.ml: Alphabet Fun Hashtbl Hom List Nfa Queue Rl_automata Rl_hom Rl_sigma

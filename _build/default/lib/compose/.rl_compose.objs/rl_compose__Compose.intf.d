@@ -1,0 +1,1 @@
+lib/compose/compose.mli: Alphabet Nfa Rl_automata Rl_hom Rl_sigma

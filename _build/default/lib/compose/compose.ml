@@ -1,0 +1,203 @@
+open Rl_sigma
+open Rl_automata
+open Rl_hom
+
+let check_ts n =
+  if Nfa.has_eps n then invalid_arg "Compose: ε-moves not allowed";
+  if not (Nfa.all_states_final n) then
+    invalid_arg "Compose: operands must be transition systems (all states final)"
+
+let union_alphabet a b =
+  let na = Alphabet.names (Nfa.alphabet a) in
+  let nb = Alphabet.names (Nfa.alphabet b) in
+  Alphabet.make (na @ List.filter (fun n -> not (List.mem n na)) nb)
+
+(* Per-letter moves of the product: (pairs of successor chooser).
+   [moves_a] / [moves_b] give the component moves for a union-alphabet
+   symbol, or None when the component does not know the action (it then
+   stays put). *)
+let component_view n union_alpha =
+  let alpha = Nfa.alphabet n in
+  fun sym ->
+    Alphabet.symbol_opt alpha (Alphabet.name union_alpha sym)
+
+let parallel a b =
+  check_ts a;
+  check_ts b;
+  let alpha = union_alphabet a b in
+  let k = Alphabet.size alpha in
+  let view_a = component_view a alpha and view_b = component_view b alpha in
+  let table = Hashtbl.create 64 in
+  let rev = ref [] in
+  let count = ref 0 in
+  let intern pair =
+    match Hashtbl.find_opt table pair with
+    | Some id -> (id, false)
+    | None ->
+        let id = !count in
+        incr count;
+        Hashtbl.add table pair id;
+        rev := pair :: !rev;
+        (id, true)
+  in
+  let queue = Queue.create () in
+  List.iter
+    (fun p ->
+      List.iter
+        (fun q ->
+          let pair = (p, q) in
+          let _, fresh = intern pair in
+          if fresh then Queue.add pair queue)
+        (Nfa.initial b))
+    (Nfa.initial a);
+  let edges = ref [] in
+  while not (Queue.is_empty queue) do
+    let ((p, q) as pair) = Queue.pop queue in
+    let src = Hashtbl.find table pair in
+    for sym = 0 to k - 1 do
+      let succs =
+        match (view_a sym, view_b sym) with
+        | Some sa, Some sb ->
+            (* shared action: synchronize *)
+            List.concat_map
+              (fun p' -> List.map (fun q' -> (p', q')) (Nfa.successors b q sb))
+              (Nfa.successors a p sa)
+        | Some sa, None ->
+            List.map (fun p' -> (p', q)) (Nfa.successors a p sa)
+        | None, Some sb ->
+            List.map (fun q' -> (p, q')) (Nfa.successors b q sb)
+        | None, None -> []
+      in
+      List.iter
+        (fun pair' ->
+          let dst, fresh = intern pair' in
+          if fresh then Queue.add pair' queue;
+          edges := (src, sym, dst) :: !edges)
+        succs
+    done
+  done;
+  Nfa.trim
+    (Nfa.create ~alphabet:alpha ~states:!count
+       ~initial:
+         (List.concat_map
+            (fun p -> List.filter_map (fun q -> Hashtbl.find_opt table (p, q)) (Nfa.initial b))
+            (Nfa.initial a))
+       ~finals:(List.init !count Fun.id)
+       ~transitions:!edges ())
+
+let parallel_many = function
+  | [] -> invalid_arg "Compose.parallel_many: empty list"
+  | first :: rest -> List.fold_left parallel first rest
+
+type stats = {
+  abstract_states : int;
+  product_pairs_touched : int;
+  product_pairs_total : int;
+}
+
+let abstracted_parallel hom a b =
+  check_ts a;
+  check_ts b;
+  let alpha = union_alphabet a b in
+  if not (Alphabet.equal alpha (Hom.concrete hom)) then
+    invalid_arg
+      "Compose.abstracted_parallel: homomorphism alphabet must be the union \
+       alphabet";
+  let k = Alphabet.size alpha in
+  let abstract = Hom.abstract hom in
+  let ka = Alphabet.size abstract in
+  let view_a = component_view a alpha and view_b = component_view b alpha in
+  let nb = Nfa.states b in
+  let encode p q = (p * nb) + q in
+  let touched = Hashtbl.create 64 in
+  let touch pair = if not (Hashtbl.mem touched pair) then Hashtbl.add touched pair () in
+  (* one concrete product step from pair (p,q) on union symbol sym *)
+  let step (p, q) sym =
+    match (view_a sym, view_b sym) with
+    | Some sa, Some sb ->
+        List.concat_map
+          (fun p' -> List.map (fun q' -> (p', q')) (Nfa.successors b q sb))
+          (Nfa.successors a p sa)
+    | Some sa, None -> List.map (fun p' -> (p', q)) (Nfa.successors a p sa)
+    | None, Some sb -> List.map (fun q' -> (p, q')) (Nfa.successors b q sb)
+    | None, None -> []
+  in
+  (* ε-closure: saturate a set of pairs under hidden actions *)
+  let closure pairs =
+    let seen = Hashtbl.create 16 in
+    let stack = ref pairs in
+    let add pair =
+      if not (Hashtbl.mem seen pair) then begin
+        Hashtbl.add seen pair ();
+        touch pair;
+        stack := pair :: !stack
+      end
+    in
+    List.iter add pairs;
+    while !stack <> [] do
+      match !stack with
+      | [] -> ()
+      | pair :: rest ->
+          stack := rest;
+          for sym = 0 to k - 1 do
+            if Hom.apply_symbol hom sym = None then List.iter add (step pair sym)
+          done
+    done;
+    Hashtbl.fold (fun pair () acc -> pair :: acc) seen []
+    |> List.sort_uniq compare
+  in
+  let key pairs = List.map (fun (p, q) -> encode p q) pairs in
+  let table = Hashtbl.create 64 in
+  let count = ref 0 in
+  let intern pairs =
+    let kk = key pairs in
+    match Hashtbl.find_opt table kk with
+    | Some id -> (id, false)
+    | None ->
+        let id = !count in
+        incr count;
+        Hashtbl.add table kk id;
+        (id, true)
+  in
+  let inits =
+    List.concat_map (fun p -> List.map (fun q -> (p, q)) (Nfa.initial b)) (Nfa.initial a)
+  in
+  let init_set = closure inits in
+  let init_id, _ = intern init_set in
+  let queue = Queue.create () in
+  Queue.add init_set queue;
+  let edges = ref [] in
+  while not (Queue.is_empty queue) do
+    let set = Queue.pop queue in
+    let src = Hashtbl.find table (key set) in
+    for bsym = 0 to ka - 1 do
+      (* all concrete symbols abstracting to bsym *)
+      let moved =
+        List.concat_map
+          (fun pair ->
+            List.concat
+              (List.init k (fun sym ->
+                   if Hom.apply_symbol hom sym = Some bsym then step pair sym
+                   else [])))
+          set
+      in
+      if moved <> [] then begin
+        let set' = closure (List.sort_uniq compare moved) in
+        let dst, fresh = intern set' in
+        if fresh then Queue.add set' queue;
+        edges := (src, bsym, dst) :: !edges
+      end
+    done
+  done;
+  let ts =
+    Nfa.trim
+      (Nfa.create ~alphabet:abstract ~states:!count ~initial:[ init_id ]
+         ~finals:(List.init !count Fun.id)
+         ~transitions:!edges ())
+  in
+  ( ts,
+    {
+      abstract_states = Nfa.states ts;
+      product_pairs_touched = Hashtbl.length touched;
+      product_pairs_total = Nfa.states a * Nfa.states b;
+    } )

@@ -1,0 +1,51 @@
+(** Parallel composition of transition systems, and on-the-fly abstraction.
+
+    The paper's conclusion points to Ochsenschläger's compositional
+    technique ([22]): to check relative liveness properties of a composed
+    system, one wants the finite-state representation of its {e abstract}
+    behavior without an exhaustive construction of the concrete state
+    space. This module provides the two ingredients:
+
+    - {!parallel}: CSP-style parallel composition — components synchronize
+      on shared action names and interleave their private actions;
+    - {!abstracted_parallel}: computes a transition system for
+      [h(L(a ∥ b))] directly, interleaving the product construction with
+      the ε-closure of hidden actions, so that only the product states
+      reachable through {e observably distinct} histories are enumerated.
+
+    All operands and results are transition systems: trim NFAs with every
+    state final (prefix-closed languages). *)
+
+open Rl_sigma
+open Rl_automata
+
+(** [parallel a b] is the parallel composition [a ∥ b] over the union of
+    the two alphabets: actions named in both alphabets synchronize, others
+    interleave. Only reachable product states are built.
+    @raise Invalid_argument if an operand is not a transition system. *)
+val parallel : Nfa.t -> Nfa.t -> Nfa.t
+
+(** [parallel_many systems] folds {!parallel} over a non-empty list. *)
+val parallel_many : Nfa.t list -> Nfa.t
+
+(** Exploration statistics of {!abstracted_parallel}: how much of the
+    concrete product was avoided. *)
+type stats = {
+  abstract_states : int;  (** states of the returned abstract system *)
+  product_pairs_touched : int;
+      (** concrete product states entered by any ε-closure *)
+  product_pairs_total : int;  (** size of the full concrete product *)
+}
+
+(** [abstracted_parallel hom a b] is a deterministic transition system for
+    [h(L(a ∥ b))], built without materializing [a ∥ b] first: abstract
+    states are ε-closed sets of product states, explored on the fly.
+    [hom]'s concrete alphabet must equal the union alphabet of
+    [parallel a b] (same names, same order).
+    Equivalent to [Hom.image_ts hom (parallel a b)] up to language
+    equality. *)
+val abstracted_parallel : Rl_hom.Hom.t -> Nfa.t -> Nfa.t -> Nfa.t * stats
+
+(** [union_alphabet a b] is the alphabet [parallel a b] is built over:
+    the names of [a] followed by the names of [b] not already present. *)
+val union_alphabet : Nfa.t -> Nfa.t -> Alphabet.t

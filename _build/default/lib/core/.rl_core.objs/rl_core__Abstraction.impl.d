@@ -1,0 +1,1 @@
+lib/core/abstraction.ml: Buchi Format Formula Hom Nfa Printf Relative Rl_automata Rl_buchi Rl_hom Rl_ltl Rl_sigma Transform Word

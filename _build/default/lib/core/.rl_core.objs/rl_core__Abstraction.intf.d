@@ -1,0 +1,1 @@
+lib/core/abstraction.mli: Format Formula Nfa Rl_automata Rl_hom Rl_ltl Rl_sigma Word

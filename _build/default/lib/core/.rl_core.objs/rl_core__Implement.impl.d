@@ -1,0 +1,1 @@
+lib/core/implement.ml: Buchi Fair Fun List Relative Rl_automata Rl_buchi Rl_fair Streett

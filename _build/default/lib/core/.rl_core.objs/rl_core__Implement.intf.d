@@ -1,0 +1,1 @@
+lib/core/implement.mli: Buchi Relative Rl_buchi Rl_fair Rl_prelude Rl_sigma

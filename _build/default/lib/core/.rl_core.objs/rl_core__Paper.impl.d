@@ -1,0 +1,1 @@
+lib/core/paper.ml: Alphabet Buchi Hom Lasso Nfa Parser Petri Rl_automata Rl_buchi Rl_hom Rl_ltl Rl_petri Rl_sigma

@@ -1,0 +1,1 @@
+lib/core/paper.mli: Alphabet Buchi Formula Hom Lasso Nfa Petri Rl_automata Rl_buchi Rl_hom Rl_ltl Rl_petri Rl_sigma

@@ -1,0 +1,1 @@
+lib/core/relative.ml: Buchi Complement Dfa Formula Lasso List Reduce Rl_automata Rl_buchi Rl_ltl Rl_prelude Rl_sigma Semantics Translate Word

@@ -1,0 +1,1 @@
+lib/core/relative.mli: Alphabet Buchi Formula Lasso Rl_buchi Rl_ltl Rl_sigma Semantics Word

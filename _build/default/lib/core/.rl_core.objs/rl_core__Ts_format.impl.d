@@ -1,0 +1,1 @@
+lib/core/ts_format.ml: Alphabet Buffer Filename Format Fun List Nfa Printf Rl_automata Rl_petri Rl_sigma String

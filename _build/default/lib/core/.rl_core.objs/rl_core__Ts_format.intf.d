@@ -1,0 +1,1 @@
+lib/core/ts_format.mli: Rl_automata Rl_petri

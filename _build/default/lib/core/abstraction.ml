@@ -1,0 +1,93 @@
+open Rl_sigma
+open Rl_automata
+open Rl_buchi
+open Rl_ltl
+open Rl_hom
+
+type conclusion = [ `Concrete_holds | `Concrete_fails | `Unknown ]
+
+type report = {
+  abstract_states : int;
+  concrete_states : int;
+  maximal_words : bool;
+  simple : bool;
+  simplicity_witness : Word.t option;
+  abstract_verdict : (unit, Word.t) result;
+  rbar : Formula.t;
+  conclusion : conclusion;
+}
+
+let abstract_system ~hom ~ts = Hom.image_ts hom ts
+
+let verify ~ts ~hom ~formula =
+  let abstract_alpha = Hom.abstract hom in
+  if not (Rl_ltl.Transform.is_sigma_normal ~alphabet:abstract_alpha (Formula.expand formula))
+  then
+    invalid_arg
+      (Printf.sprintf "Abstraction.verify: %s is not Σ'-normal"
+         (Formula.to_string formula));
+  let abstract_ts = abstract_system ~hom ~ts in
+  let maximal_words = Hom.has_maximal_words abstract_ts in
+  let checked_ts =
+    if maximal_words then Hom.hash_extend abstract_ts else abstract_ts
+  in
+  let verdict_system = Buchi.of_transition_system checked_ts in
+  let abstract_verdict =
+    Relative.is_relative_liveness ~system:verdict_system
+      (Relative.ltl (Nfa.alphabet checked_ts) formula)
+  in
+  let analysis = Hom.analyze hom ts in
+  let rbar = Transform.rbar ~abstract:abstract_alpha ~eps_tail:`Strong formula in
+  let conclusion =
+    if maximal_words then `Unknown
+    else
+      match abstract_verdict with
+      | Error _ -> `Concrete_fails (* Theorem 8.3, contrapositive *)
+      | Ok () -> if analysis.Hom.simple then `Concrete_holds else `Unknown
+  in
+  {
+    abstract_states = Nfa.states abstract_ts;
+    concrete_states = Nfa.states ts;
+    maximal_words;
+    simple = analysis.Hom.simple;
+    simplicity_witness = analysis.Hom.witness;
+    abstract_verdict;
+    rbar;
+    conclusion;
+  }
+
+(* The strong reading of R̄ is the one under which Theorems 8.2 and 8.3
+   both hold. The weak (vacuously-true-on-silent-divergence) reading that
+   the proof sketch of Theorem 8.3 suggests actually refutes that theorem:
+   see DESIGN.md §4 and the enumeration test in the suite. *)
+let check_concrete ~ts ~hom ~formula =
+  let abstract_alpha = Hom.abstract hom in
+  let rbar = Transform.rbar ~abstract:abstract_alpha ~eps_tail:`Strong formula in
+  let labeling = Transform.epsilon_labeling ~abstract:abstract_alpha (Hom.apply_symbol hom) in
+  let system = Buchi.of_transition_system (Nfa.trim ts) in
+  Relative.is_relative_liveness ~system
+    (Relative.Ltl { formula = rbar; labeling })
+
+let pp_report ppf r =
+  let concl =
+    match r.conclusion with
+    | `Concrete_holds -> "R̄(η) is a relative liveness property of lim(L) (Thm 8.2)"
+    | `Concrete_fails -> "R̄(η) is NOT a relative liveness property of lim(L) (Thm 8.3)"
+    | `Unknown -> "no conclusion transfers"
+  in
+  Format.fprintf ppf
+    "@[<v>abstraction: %d states → %d states@,h(L) maximal words: %b@,\
+     h simple on L: %b%a@,abstract verdict: %s%a@,R̄(η) = %a@,conclusion: %s@]"
+    r.concrete_states r.abstract_states r.maximal_words r.simple
+    (fun ppf -> function
+      | Some w -> Format.fprintf ppf " (fails at a word of length %d)" (Word.length w)
+      | None -> ())
+    r.simplicity_witness
+    (match r.abstract_verdict with
+    | Ok () -> "relative liveness holds"
+    | Error _ -> "relative liveness fails")
+    (fun ppf -> function
+      | Error w when Word.length w > 0 ->
+          Format.fprintf ppf " (bad prefix of length %d)" (Word.length w)
+      | _ -> ())
+    r.abstract_verdict Formula.pp r.rbar concl

@@ -1,0 +1,46 @@
+open Rl_buchi
+open Rl_fair
+
+type t = { product : Buchi.t; implementation : Buchi.t }
+
+let strip_acceptance b =
+  Buchi.create ~alphabet:(Buchi.alphabet b) ~states:(Buchi.states b)
+    ~initial:(Buchi.initial b)
+    ~accepting:(List.init (Buchi.states b) Fun.id)
+    ~transitions:(Buchi.transitions b) ()
+
+let construct ~system p =
+  let pb = Relative.property_buchi (Buchi.alphabet system) p in
+  let product = Buchi.trim (Buchi.inter system pb) in
+  { product; implementation = strip_acceptance product }
+
+(* Both sides are limit closed (the system by Theorem 5.1's hypothesis,
+   the implementation because its acceptance condition is trivial), so
+   language equality is prefix-language equality — no complementation. *)
+let language_preserved ~system t =
+  let module Dfa = Rl_automata.Dfa in
+  Dfa.equivalent
+    (Dfa.determinize (Buchi.pre_language system))
+    (Dfa.determinize (Buchi.pre_language t.implementation))
+
+let fair_run_satisfies t labels p =
+  let pb = Relative.property_buchi (Buchi.alphabet t.product) p in
+  Buchi.member pb labels
+
+let verify_fair_exact t p =
+  let neg = Relative.property_neg_buchi (Buchi.alphabet t.product) p in
+  match Streett.fair_run_within t.implementation ~property:neg with
+  | None -> Ok ()
+  | Some run -> Error run
+
+let sample_fair_check rng ~samples t p =
+  let ok = ref 0 and generated = ref 0 in
+  for _ = 1 to samples do
+    match Fair.generate_strongly_fair rng t.implementation with
+    | None -> ()
+    | Some run ->
+        incr generated;
+        let labels = Fair.label_lasso t.implementation run in
+        if fair_run_satisfies t labels p then incr ok
+  done;
+  (!ok, !generated)

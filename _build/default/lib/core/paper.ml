@@ -1,0 +1,82 @@
+open Rl_sigma
+open Rl_automata
+open Rl_buchi
+open Rl_ltl
+open Rl_petri
+open Rl_hom
+
+(* Figure 1. Places model the server's control state (idle / holding a
+   request / answer chosen) and the resource's state (free / locked).
+   The figure itself is an image in our source; the net below realizes its
+   textual description, and the paper's stated verdicts about Figures 2-4
+   (checked in the test suite) pin the reconstruction down. *)
+let server_net =
+  Petri.create
+    ~places:
+      [
+        ("idle", 1);
+        ("busy", 0);
+        ("answer_ok", 0);
+        ("answer_no", 0);
+        ("res_free", 1);
+        ("res_locked", 0);
+      ]
+    ~transitions:
+      [
+        ("request", [ ("idle", 1) ], [ ("busy", 1) ]);
+        (* availability check: consults the resource without consuming it *)
+        ("ok", [ ("busy", 1); ("res_free", 1) ], [ ("answer_ok", 1); ("res_free", 1) ]);
+        ("no", [ ("busy", 1); ("res_locked", 1) ], [ ("answer_no", 1); ("res_locked", 1) ]);
+        ("result", [ ("answer_ok", 1) ], [ ("idle", 1) ]);
+        ("reject", [ ("answer_no", 1) ], [ ("idle", 1) ]);
+        ("lock", [ ("res_free", 1) ], [ ("res_locked", 1) ]);
+        ("free", [ ("res_locked", 1) ], [ ("res_free", 1) ]);
+      ]
+
+(* Figure 3's system: the resource can never be freed again once locked,
+   and a request can be rejected even when the resource is available. *)
+let faulty_net =
+  Petri.create
+    ~places:
+      [
+        ("idle", 1);
+        ("busy", 0);
+        ("answer_ok", 0);
+        ("answer_no", 0);
+        ("res_free", 1);
+        ("res_locked", 0);
+      ]
+    ~transitions:
+      [
+        ("request", [ ("idle", 1) ], [ ("busy", 1) ]);
+        ("ok", [ ("busy", 1); ("res_free", 1) ], [ ("answer_ok", 1); ("res_free", 1) ]);
+        (* the faulty extra branch: rejection despite availability *)
+        ("no", [ ("busy", 1); ("res_free", 1) ], [ ("answer_no", 1); ("res_free", 1) ]);
+        ("no", [ ("busy", 1); ("res_locked", 1) ], [ ("answer_no", 1); ("res_locked", 1) ]);
+        ("result", [ ("answer_ok", 1) ], [ ("idle", 1) ]);
+        ("reject", [ ("answer_no", 1) ], [ ("idle", 1) ]);
+        ("lock", [ ("res_free", 1) ], [ ("res_locked", 1) ]);
+        (* no "free" transition: locking is irreversible *)
+      ]
+
+let reach net = Nfa.trim (fst (Petri.reachability_graph net))
+let server_ts = reach server_net
+let faulty_ts = reach faulty_net
+
+let observable_hom ts =
+  Hom.hiding ~concrete:(Nfa.alphabet ts) ~keep:[ "request"; "result"; "reject" ]
+
+let abstract_server_ts = Hom.image_ts (observable_hom server_ts) server_ts
+let progress = Parser.parse "[]<> result"
+
+let starvation alphabet =
+  Lasso.of_names alphabet ~stem:[ "lock" ] ~cycle:[ "request"; "no"; "reject" ]
+
+let ab = Alphabet.make [ "a"; "b" ]
+
+let sec5_universe =
+  Buchi.create ~alphabet:ab ~states:1 ~initial:[ 0 ] ~accepting:[ 0 ]
+    ~transitions:[ (0, 0, 0); (0, 1, 0) ]
+    ()
+
+let sec5_formula = Parser.parse "<>(a & X a)"

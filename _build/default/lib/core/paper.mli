@@ -1,0 +1,64 @@
+(** The paper's running examples (Sections 2 and 5), as constructible
+    values.
+
+    Everything here is reproduced from the text:
+    - {!server_net} is the Figure 1 Petri net: a server that, after a
+      [request], answers [result] or [reject] depending on whether its
+      resource has been [free]d or [lock]ed;
+    - {!server_ts} is its reachability graph — the Figure 2 behavior
+      system (computed from the net, not transcribed);
+    - {!faulty_ts} is the Figure 3 variant: once [lock]ed, the resource
+      can never be freed again, and a request can be rejected even when
+      the resource is available;
+    - {!observable_hom} hides every action but [request], [result] and
+      [reject] — abstracting either system yields the Figure 4 diagram;
+    - {!progress} is the property [□◇(result)];
+    - {!starvation} is the computation [lock·(request·no·reject)^ω] the
+      paper uses to show [□◇(result)] is not classically satisfied;
+    - {!sec5_universe} and {!sec5_formula} are the [{a,b}^ω] /
+      [◇(a ∧ ◯a)] example of Section 5. *)
+
+open Rl_sigma
+open Rl_automata
+open Rl_buchi
+open Rl_ltl
+open Rl_petri
+open Rl_hom
+
+(** {1 Figures 1–4: the client/server system} *)
+
+val server_net : Petri.t
+val faulty_net : Petri.t
+
+(** The reachability graph of {!server_net} as a transition system (trim,
+    all states final). State [0] is the initial marking. *)
+val server_ts : Nfa.t
+
+val faulty_ts : Nfa.t
+
+(** [observable_hom ts] hides every action of [ts] except [request],
+    [result] and [reject]. *)
+val observable_hom : Nfa.t -> Hom.t
+
+(** [abstract_server_ts] — the Figure 4 system: the image of {!server_ts}
+    under {!observable_hom}. *)
+val abstract_server_ts : Nfa.t
+
+(** The property [□◇(result)]. *)
+val progress : Formula.t
+
+(** [starvation alphabet] is [lock·(request·no·reject)^ω]. Defined for any
+    alphabet containing those actions. *)
+val starvation : Alphabet.t -> Lasso.t
+
+(** {1 Section 5: fairness needs state} *)
+
+(** The two-letter alphabet [{a, b}]. *)
+val ab : Alphabet.t
+
+(** The one-state system with behaviors [{a,b}^ω]. *)
+val sec5_universe : Buchi.t
+
+(** [◇(a ∧ ◯a)] — a relative liveness property of [{a,b}^ω] that strong
+    fairness over the one-state system does not deliver. *)
+val sec5_formula : Formula.t

@@ -1,0 +1,96 @@
+open Rl_sigma
+open Rl_automata
+open Rl_buchi
+open Rl_ltl
+
+type property =
+  | Auto of Buchi.t
+  | Ltl of { formula : Formula.t; labeling : Semantics.labeling }
+
+let ltl ?labeling alphabet f =
+  let labeling =
+    match labeling with Some l -> l | None -> Semantics.canonical alphabet
+  in
+  Ltl { formula = f; labeling }
+
+let property_buchi alphabet = function
+  | Auto b -> b
+  | Ltl { formula; labeling } -> Translate.to_buchi ~alphabet ~labeling formula
+
+let property_neg_buchi alphabet = function
+  | Auto b ->
+      (* complementation is exponential: shrink the input first *)
+      Complement.complement (Reduce.quotient (Buchi.trim b))
+  | Ltl { formula; labeling } ->
+      Translate.to_buchi_neg ~alphabet ~labeling formula
+
+let satisfies ~system p =
+  let neg = property_neg_buchi (Buchi.alphabet system) p in
+  match Buchi.accepting_lasso (Buchi.inter system neg) with
+  | None -> Ok ()
+  | Some x -> Error x
+
+let is_relative_liveness ~system p =
+  let pb = property_buchi (Buchi.alphabet system) p in
+  let pre_l = Dfa.determinize (Buchi.pre_language system) in
+  let pre_lp = Dfa.determinize (Buchi.pre_language (Buchi.inter system pb)) in
+  (* pre(Lω ∩ P) ⊆ pre(Lω) holds by construction; Lemma 4.3 reduces to the
+     converse inclusion. *)
+  Dfa.included pre_l pre_lp
+
+let is_relative_safety ~system p =
+  let pb = property_buchi (Buchi.alphabet system) p in
+  let neg = property_neg_buchi (Buchi.alphabet system) p in
+  let closure = Buchi.limit (Buchi.pre_language (Buchi.inter system pb)) in
+  let lhs = Buchi.inter system closure in
+  match Buchi.accepting_lasso (Buchi.inter lhs neg) with
+  | None -> Ok ()
+  | Some x -> Error x
+
+let is_machine_closed ~system ~live_part =
+  let pre_l = Dfa.determinize (Buchi.pre_language system) in
+  let pre_lambda = Dfa.determinize (Buchi.pre_language live_part) in
+  match Dfa.included pre_l pre_lambda with Ok () -> true | Error _ -> false
+
+let witness_extension ~system p w =
+  (* advance the system's initial states along w *)
+  let reached =
+    List.fold_left
+      (fun states a ->
+        List.sort_uniq compare
+          (List.concat_map (fun q -> Buchi.successors system q a) states))
+      (Buchi.initial system) (Word.to_list w)
+  in
+  if reached = [] then None
+  else begin
+    let residual =
+      Buchi.create
+        ~alphabet:(Buchi.alphabet system)
+        ~states:(Buchi.states system) ~initial:reached
+        ~accepting:(Rl_prelude.Bitset.elements (Buchi.accepting system))
+        ~transitions:(Buchi.transitions system) ()
+    in
+    let pb = property_buchi (Buchi.alphabet system) p in
+    (* x must satisfy P after the prefix w: accepting behaviors of the
+       residual system whose w-prefixed version lies in P. Shift P by w. *)
+    let p_reached =
+      List.fold_left
+        (fun states a ->
+          List.sort_uniq compare
+            (List.concat_map (fun q -> Buchi.successors pb q a) states))
+        (Buchi.initial pb) (Word.to_list w)
+    in
+    if p_reached = [] then None
+    else begin
+      let p_residual =
+        Buchi.create ~alphabet:(Buchi.alphabet pb) ~states:(Buchi.states pb)
+          ~initial:p_reached
+          ~accepting:(Rl_prelude.Bitset.elements (Buchi.accepting pb))
+          ~transitions:(Buchi.transitions pb) ()
+      in
+      match Buchi.accepting_lasso (Buchi.inter residual p_residual) with
+      | None -> None
+      | Some x ->
+          Some (Lasso.make (Word.append w (Lasso.stem x)) (Lasso.cycle x))
+    end
+  end

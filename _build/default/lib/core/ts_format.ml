@@ -1,0 +1,119 @@
+open Rl_sigma
+open Rl_automata
+
+exception Syntax_error of int * string
+
+let fail line fmt = Format.kasprintf (fun s -> raise (Syntax_error (line, s))) fmt
+
+let relevant_lines src =
+  String.split_on_char '\n' src
+  |> List.mapi (fun i l -> (i + 1, String.trim l))
+  |> List.filter (fun (_, l) -> l <> "" && l.[0] <> '#')
+
+let words l =
+  String.split_on_char ' ' l |> List.filter (fun w -> w <> "")
+
+let parse_ts src =
+  let lines = relevant_lines src in
+  let initial = ref [] in
+  let transitions = ref [] in
+  let labels = ref [] in
+  let max_state = ref (-1) in
+  let intern_label name =
+    if not (List.mem name !labels) then labels := !labels @ [ name ]
+  in
+  let state line s =
+    match int_of_string_opt s with
+    | Some n when n >= 0 ->
+        if n > !max_state then max_state := n;
+        n
+    | _ -> fail line "expected a non-negative state number, got %S" s
+  in
+  List.iter
+    (fun (ln, l) ->
+      match words l with
+      | "alphabet" :: rest ->
+          if rest = [] then fail ln "alphabet needs at least one symbol";
+          List.iter intern_label rest
+      | "initial" :: rest ->
+          if rest = [] then fail ln "initial needs at least one state";
+          initial := !initial @ List.map (state ln) rest
+      | [ src; label; dst ] ->
+          intern_label label;
+          transitions := (state ln src, label, state ln dst) :: !transitions
+      | _ ->
+          fail ln "expected 'alphabet ...', 'initial q...' or 'src label dst': %S" l)
+    lines;
+  if !max_state < 0 then fail 0 "no states";
+  if !labels = [] then fail 0 "no transitions";
+  let alphabet = Alphabet.make !labels in
+  let initial = if !initial = [] then [ 0 ] else !initial in
+  let n = !max_state + 1 in
+  Nfa.create ~alphabet ~states:n ~initial
+    ~finals:(List.init n Fun.id)
+    ~transitions:
+      (List.map (fun (s, l, d) -> (s, Alphabet.symbol alphabet l, d)) !transitions)
+    ()
+
+let parse_weighted line tokens =
+  List.map
+    (fun tok ->
+      match String.index_opt tok ':' with
+      | None -> (tok, 1)
+      | Some i -> (
+          let name = String.sub tok 0 i in
+          let w = String.sub tok (i + 1) (String.length tok - i - 1) in
+          match int_of_string_opt w with
+          | Some w when w > 0 -> (name, w)
+          | _ -> fail line "bad weight in %S" tok))
+    tokens
+
+let parse_petri src =
+  let lines = relevant_lines src in
+  let places = ref [] in
+  let transitions = ref [] in
+  List.iter
+    (fun (ln, l) ->
+      match words l with
+      | [ "place"; name; tokens ] -> (
+          match int_of_string_opt tokens with
+          | Some t when t >= 0 -> places := !places @ [ (name, t) ]
+          | _ -> fail ln "bad token count %S" tokens)
+      | "trans" :: label :: ":" :: rest -> (
+          let rec split pre = function
+            | "->" :: post -> (List.rev pre, post)
+            | x :: more -> split (x :: pre) more
+            | [] -> fail ln "missing '->' in transition"
+          in
+          match split [] rest with
+          | pre, post ->
+              transitions :=
+                !transitions
+                @ [ (label, parse_weighted ln pre, parse_weighted ln post) ])
+      | _ -> fail ln "expected 'place NAME TOKENS' or 'trans L : PRE -> POST': %S" l)
+    lines;
+  Rl_petri.Petri.create ~places:!places ~transitions:!transitions
+
+let load path =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let src = really_input_string ic len in
+  close_in ic;
+  if Filename.check_suffix path ".pn" then
+    Nfa.trim (fst (Rl_petri.Petri.reachability_graph (parse_petri src)))
+  else parse_ts src
+
+let print_ts ts =
+  let buf = Buffer.create 256 in
+  let al = Nfa.alphabet ts in
+  Buffer.add_string buf
+    ("alphabet " ^ String.concat " " (Alphabet.names al) ^ "\n");
+  Buffer.add_string buf
+    ("initial "
+    ^ String.concat " " (List.map string_of_int (Nfa.initial ts))
+    ^ "\n");
+  List.iter
+    (fun (q, a, q') ->
+      Buffer.add_string buf (Printf.sprintf "%d %s %d\n" q (Alphabet.name al a) q'))
+    (Nfa.transitions ts);
+  Buffer.contents buf

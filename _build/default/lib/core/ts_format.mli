@@ -1,0 +1,49 @@
+(** Plain-text formats for transition systems and Petri nets, used by the
+    [rlcheck] command-line tool and the examples.
+
+    {2 Transition systems ([.ts])}
+
+    {v
+    # comments start with '#'
+    alphabet request result reject
+    initial 0
+    0 request 1
+    1 result 0
+    1 reject 0
+    v}
+
+    States are non-negative integers (the state count is inferred), every
+    state is final (the language is the prefix-closed set of action
+    sequences), and the alphabet is the set of labels in order of first
+    appearance unless an optional [alphabet] line fixes the order up
+    front. [initial] defaults to state [0].
+
+    {2 Petri nets ([.pn])}
+
+    {v
+    place idle 1
+    place busy 0
+    trans request : idle -> busy
+    trans both : p:2 q -> r
+    v}
+
+    [place NAME TOKENS] declares a place; [trans LABEL : PRE -> POST]
+    declares a transition consuming the (weighted) places in [PRE] and
+    producing [POST]; [p:2] means weight 2. *)
+
+exception Syntax_error of int * string
+(** line number (1-based) and message *)
+
+(** [parse_ts src] parses a transition system. *)
+val parse_ts : string -> Rl_automata.Nfa.t
+
+(** [parse_petri src] parses a Petri net. *)
+val parse_petri : string -> Rl_petri.Petri.t
+
+(** [load path] loads a system from a file: [.pn] files are Petri nets
+    (their reachability graph is returned), anything else is parsed as a
+    transition system. *)
+val load : string -> Rl_automata.Nfa.t
+
+(** [print_ts ts] renders a transition system in the [.ts] syntax. *)
+val print_ts : Rl_automata.Nfa.t -> string

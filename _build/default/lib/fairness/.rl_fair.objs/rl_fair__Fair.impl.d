@@ -1,0 +1,1 @@
+lib/fairness/fair.ml: Alphabet Array Bitset Buchi Format Fun Lasso List Prng Queue Rl_buchi Rl_prelude Rl_sigma Word

@@ -1,0 +1,1 @@
+lib/fairness/fair.mli: Alphabet Buchi Format Lasso Rl_buchi Rl_prelude Rl_sigma

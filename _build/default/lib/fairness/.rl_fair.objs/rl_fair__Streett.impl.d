@@ -1,0 +1,1 @@
+lib/fairness/streett.ml: Alphabet Array Bitset Buchi Fair Fun Hashtbl List Queue Rl_buchi Rl_prelude Rl_sigma

@@ -1,0 +1,1 @@
+lib/fairness/streett.mli: Buchi Fair Hashtbl Rl_buchi

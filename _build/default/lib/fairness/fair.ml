@@ -1,0 +1,260 @@
+open Rl_prelude
+open Rl_sigma
+open Rl_buchi
+
+type run = {
+  stem : (int * Alphabet.symbol) list;
+  cycle : (int * Alphabet.symbol) list;
+}
+
+let states_of r = List.map fst r.stem @ List.map fst r.cycle
+
+let label_lasso b r =
+  ignore b;
+  Lasso.make
+    (Word.of_list (List.map snd r.stem))
+    (Word.of_list (List.map snd r.cycle))
+
+(* The state entered after position i: the next pair's state, wrapping the
+   cycle to its head. *)
+let consecutive_ok b seq next_state =
+  let rec check = function
+    | [] -> true
+    | [ (q, a) ] -> List.mem next_state (Buchi.successors b q a)
+    | (q, a) :: ((q', _) :: _ as rest) ->
+        List.mem q' (Buchi.successors b q a) && check rest
+  in
+  check seq
+
+let is_run b r =
+  match r.cycle with
+  | [] -> false
+  | (chead, _) :: _ ->
+      let first =
+        match r.stem with (q, _) :: _ -> q | [] -> chead
+      in
+      List.mem first (Buchi.initial b)
+      && consecutive_ok b r.stem chead
+      && consecutive_ok b r.cycle chead
+      && List.for_all (fun q -> q >= 0 && q < Buchi.states b) (states_of r)
+
+let infinitely_visited r = List.sort_uniq compare (List.map fst r.cycle)
+
+let cycle_edges r =
+  match r.cycle with
+  | [] -> []
+  | (chead, _) :: _ ->
+      let rec edges = function
+        | [] -> []
+        | [ (q, a) ] -> [ (q, a, chead) ]
+        | (q, a) :: ((q', _) :: _ as rest) -> (q, a, q') :: edges rest
+      in
+      List.sort_uniq compare (edges r.cycle)
+
+let is_strongly_fair b r =
+  let inf = infinitely_visited r in
+  let taken = cycle_edges r in
+  let k = Alphabet.size (Buchi.alphabet b) in
+  List.for_all
+    (fun q ->
+      List.for_all
+        (fun a ->
+          List.for_all
+            (fun q' -> List.mem (q, a, q') taken)
+            (Buchi.successors b q a))
+        (List.init k Fun.id))
+    inf
+
+let is_weakly_fair b r =
+  match infinitely_visited r with
+  | [ q ] ->
+      (* the run eventually stays at q: all of q's transitions are
+         continuously enabled *)
+      let taken = cycle_edges r in
+      let k = Alphabet.size (Buchi.alphabet b) in
+      List.for_all
+        (fun a ->
+          List.for_all
+            (fun q' -> List.mem (q, a, q') taken)
+            (Buchi.successors b q a))
+        (List.init k Fun.id)
+  | _ -> true (* no transition is continuously enabled *)
+
+let visits_accepting_infinitely b r =
+  List.exists (Buchi.is_accepting b) (infinitely_visited r)
+
+(* BFS for a path src → dst whose intermediate states stay inside
+   [allowed]; returns the (state, symbol) pairs along the way
+   ([] when src = dst). *)
+let bfs_path b ~allowed ~src ~dst =
+  if src = dst then Some []
+  else begin
+    let n = Buchi.states b in
+    let k = Alphabet.size (Buchi.alphabet b) in
+    let parent = Array.make n None in
+    let seen = Bitset.create n in
+    let queue = Queue.create () in
+    Bitset.add seen src;
+    Queue.add src queue;
+    let found = ref false in
+    while (not !found) && not (Queue.is_empty queue) do
+      let q = Queue.pop queue in
+      for a = 0 to k - 1 do
+        List.iter
+          (fun q' ->
+            if allowed q' && not (Bitset.mem seen q') then begin
+              Bitset.add seen q';
+              parent.(q') <- Some (q, a);
+              Queue.add q' queue;
+              if q' = dst then found := true
+            end)
+          (Buchi.successors b q a)
+      done
+    done;
+    if not !found then None
+    else begin
+      let rec back q acc =
+        match parent.(q) with
+        | None -> acc
+        | Some (p, a) -> back p ((p, a) :: acc)
+      in
+      Some (back dst [])
+    end
+  end
+
+(* Bottom SCCs of the reachable part: no edge leaves the component. *)
+let bottom_sccs b =
+  let scc_id, n_scc = Buchi.sccs b in
+  let k = Alphabet.size (Buchi.alphabet b) in
+  let reach = Buchi.reachable b in
+  let leaves = Array.make n_scc false in
+  let has_edge = Array.make n_scc false in
+  let members = Array.make n_scc [] in
+  List.iter
+    (fun q ->
+      let id = scc_id.(q) in
+      members.(id) <- q :: members.(id);
+      for a = 0 to k - 1 do
+        List.iter
+          (fun q' ->
+            if scc_id.(q') <> id then leaves.(id) <- true else has_edge.(id) <- true)
+          (Buchi.successors b q a)
+      done)
+    (Bitset.elements reach);
+  List.filter_map
+    (fun id ->
+      if members.(id) <> [] && (not leaves.(id)) && has_edge.(id) then
+        Some members.(id)
+      else None)
+    (List.init n_scc Fun.id)
+
+let generate_strongly_fair rng b =
+  if Buchi.states b = 0 || Buchi.initial b = [] then None
+  else
+    match bottom_sccs b with
+    | [] -> None
+    | sccs ->
+        let scc = Prng.choose rng sccs in
+        let entry = Prng.choose rng scc in
+        let init = Prng.choose rng (Buchi.initial b) in
+        let inside q = List.mem q scc in
+        (match bfs_path b ~allowed:(fun _ -> true) ~src:init ~dst:entry with
+        | None -> None (* unreachable: should not happen, scc is reachable *)
+        | Some stem ->
+            (* Cover every edge of the SCC: walk edge to edge. *)
+            let k = Alphabet.size (Buchi.alphabet b) in
+            let edges =
+              List.concat_map
+                (fun q ->
+                  List.concat_map
+                    (fun a ->
+                      List.filter_map
+                        (fun q' -> if inside q' then Some (q, a, q') else None)
+                        (Buchi.successors b q a))
+                    (List.init k Fun.id))
+                scc
+            in
+            let edges = Array.of_list edges in
+            Prng.shuffle rng edges;
+            let cycle = ref [] in
+            let pos = ref entry in
+            Array.iter
+              (fun (q, a, q') ->
+                match bfs_path b ~allowed:inside ~src:!pos ~dst:q with
+                | None -> assert false (* SCC is strongly connected *)
+                | Some hop ->
+                    cycle := List.rev_append hop !cycle;
+                    cycle := (q, a) :: !cycle;
+                    pos := q')
+              edges;
+            (match bfs_path b ~allowed:inside ~src:!pos ~dst:entry with
+            | None -> assert false
+            | Some hop -> cycle := List.rev_append hop !cycle);
+            let cycle = List.rev !cycle in
+            if cycle = [] then None else Some { stem; cycle })
+
+let generate_unfair rng b ~avoid =
+  if Buchi.states b = 0 || Buchi.initial b = [] then None
+  else begin
+    let n = Buchi.states b in
+    let k = Alphabet.size (Buchi.alphabet b) in
+    let allowed q = not (List.mem q avoid) in
+    (* find a state on a cycle within the allowed subgraph, reachable from
+       an initial state *)
+    let reach = Buchi.reachable b in
+    let candidates =
+      List.filter
+        (fun q ->
+          allowed q
+          && Bitset.mem reach q
+          &&
+          (* cycle through q within allowed states? *)
+          List.exists
+            (fun a ->
+              List.exists
+                (fun q' ->
+                  allowed q'
+                  && (q' = q
+                     || bfs_path b ~allowed ~src:q' ~dst:q <> None))
+                (Buchi.successors b q a))
+            (List.init k Fun.id))
+        (List.init n Fun.id)
+    in
+    match candidates with
+    | [] -> None
+    | _ ->
+        let c = Prng.choose rng candidates in
+        let init = Prng.choose rng (Buchi.initial b) in
+        (* stem may pass through any state *)
+        let stem = bfs_path b ~allowed:(fun _ -> true) ~src:init ~dst:c in
+        let first_hop =
+          List.concat_map
+            (fun a ->
+              List.filter_map
+                (fun q' -> if allowed q' then Some (a, q') else None)
+                (Buchi.successors b c a))
+            (List.init k Fun.id)
+          |> List.filter (fun (_, q') ->
+                 q' = c || bfs_path b ~allowed ~src:q' ~dst:c <> None)
+        in
+        match (stem, first_hop) with
+        | Some stem, (a, q') :: _ ->
+            let rest =
+              match bfs_path b ~allowed ~src:q' ~dst:c with
+              | Some hop -> hop
+              | None -> assert false
+            in
+            Some { stem; cycle = (c, a) :: rest }
+        | _ -> None
+  end
+
+let pp_run b ppf r =
+  let al = Buchi.alphabet b in
+  let pp_pair ppf (q, a) =
+    Format.fprintf ppf "%d --%s-->" q (Alphabet.name al a)
+  in
+  Format.fprintf ppf "@[<h>%a [%a]^ω@]"
+    (Format.pp_print_list ~pp_sep:Format.pp_print_space pp_pair)
+    r.stem
+    (Format.pp_print_list ~pp_sep:Format.pp_print_space pp_pair)
+    r.cycle

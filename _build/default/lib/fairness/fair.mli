@@ -1,0 +1,65 @@
+(** Fairness of runs in finite-state systems.
+
+    The paper's Section 5 relates relative liveness to {e strong fairness}:
+    a relative liveness property of a limit-closed behavior set is made
+    true, classically, by the strongly fair runs of a suitable
+    implementation (Theorem 5.1). This module gives fairness its
+    operational meaning: lasso-shaped runs, strong/weak transition-fairness
+    checks, and a generator of strongly fair runs (random walk into a
+    bottom SCC, then an edge-covering cycle), used to validate the
+    Theorem 5.1 construction empirically. *)
+
+open Rl_sigma
+open Rl_buchi
+
+(** A lasso-shaped run of a Büchi automaton (or transition system):
+    state sequence plus the symbols read. [cycle] is non-empty and loops
+    back to its own first state. *)
+type run = {
+  stem : (int * Alphabet.symbol) list;  (** [(state, symbol read from it)] *)
+  cycle : (int * Alphabet.symbol) list;
+}
+
+(** [label_lasso b r] is the ω-word read by [r]. *)
+val label_lasso : Buchi.t -> run -> Lasso.t
+
+(** [is_run b r] — [r] is structurally a run of [b]: consecutive
+    transitions exist, the stem starts in an initial state, and the cycle
+    closes. *)
+val is_run : Buchi.t -> run -> bool
+
+(** [infinitely_visited r] is the set of states the run visits infinitely
+    often (the cycle states), sorted. *)
+val infinitely_visited : run -> int list
+
+(** {1 Fairness} *)
+
+(** [is_strongly_fair b r] — every transition enabled infinitely often is
+    taken infinitely often. For a lasso this means: every transition whose
+    source lies on the cycle appears on the cycle. *)
+val is_strongly_fair : Buchi.t -> run -> bool
+
+(** [is_weakly_fair b r] — every transition continuously enabled from some
+    point on is taken infinitely often. For transition-indexed enabledness
+    this constrains only runs whose cycle is a single state's self-loops. *)
+val is_weakly_fair : Buchi.t -> run -> bool
+
+(** [visits_accepting_infinitely b r] — the cycle contains an accepting
+    state of [b] (the run is accepting in the Büchi sense). *)
+val visits_accepting_infinitely : Buchi.t -> run -> bool
+
+(** {1 Generation} *)
+
+(** [generate_strongly_fair rng b] builds a strongly fair run: a random
+    walk from an initial state into a bottom SCC, followed by a cycle
+    covering {e every} edge inside that SCC. Returns [None] when no
+    infinite run exists from the initial states (all paths die). *)
+val generate_strongly_fair : Rl_prelude.Prng.t -> Buchi.t -> run option
+
+(** [generate_unfair rng b ~avoid] builds an arbitrary (not necessarily
+    fair) run whose cycle avoids the states in [avoid] when possible —
+    used by examples and tests to exhibit unfair executions. Returns [None]
+    if no cycle avoiding [avoid] is reachable. *)
+val generate_unfair : Rl_prelude.Prng.t -> Buchi.t -> avoid:int list -> run option
+
+val pp_run : Buchi.t -> Format.formatter -> run -> unit

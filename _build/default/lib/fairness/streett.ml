@@ -1,0 +1,373 @@
+open Rl_prelude
+open Rl_sigma
+open Rl_buchi
+
+type pair = { enables : int list; fulfils : int list }
+type t = { graph : Buchi.t; pairs : pair list }
+
+let create ~graph ~pairs = { graph; pairs }
+let graph s = s.graph
+
+(* SCC decomposition of the subgraph induced by [alive]; returns
+   (component id per state or -1, component count). Iterative Tarjan. *)
+let sccs_within g alive =
+  let n = Buchi.states g in
+  let k = Alphabet.size (Buchi.alphabet g) in
+  let succs q =
+    List.concat (List.init k (fun a -> Buchi.successors g q a))
+    |> List.filter (fun q' -> alive.(q'))
+  in
+  let index = Array.make n (-1) in
+  let lowlink = Array.make n 0 in
+  let on_stack = Array.make n false in
+  let comp = Array.make n (-1) in
+  let stack = ref [] in
+  let next = ref 0 in
+  let count = ref 0 in
+  for root = 0 to n - 1 do
+    if alive.(root) && index.(root) = -1 then begin
+      let call = ref [ (root, ref (succs root)) ] in
+      index.(root) <- !next;
+      lowlink.(root) <- !next;
+      incr next;
+      stack := root :: !stack;
+      on_stack.(root) <- true;
+      while !call <> [] do
+        match !call with
+        | [] -> ()
+        | (v, rest) :: tail -> (
+            match !rest with
+            | w :: more ->
+                rest := more;
+                if index.(w) = -1 then begin
+                  index.(w) <- !next;
+                  lowlink.(w) <- !next;
+                  incr next;
+                  stack := w :: !stack;
+                  on_stack.(w) <- true;
+                  call := (w, ref (succs w)) :: !call
+                end
+                else if on_stack.(w) then lowlink.(v) <- min lowlink.(v) index.(w)
+            | [] ->
+                call := tail;
+                (match tail with
+                | (parent, _) :: _ -> lowlink.(parent) <- min lowlink.(parent) lowlink.(v)
+                | [] -> ());
+                if lowlink.(v) = index.(v) then begin
+                  let id = !count in
+                  incr count;
+                  let continue = ref true in
+                  while !continue do
+                    match !stack with
+                    | [] -> continue := false
+                    | w :: tl ->
+                        stack := tl;
+                        on_stack.(w) <- false;
+                        comp.(w) <- id;
+                        if w = v then continue := false
+                  done
+                end)
+      done
+    end
+  done;
+  (comp, !count)
+
+let has_internal_edge g members =
+  let k = Alphabet.size (Buchi.alphabet g) in
+  let inside = Hashtbl.create 16 in
+  List.iter (fun q -> Hashtbl.replace inside q ()) members;
+  List.exists
+    (fun q ->
+      List.exists
+        (fun a -> List.exists (Hashtbl.mem inside) (Buchi.successors g q a))
+        (List.init k Fun.id))
+    members
+
+(* Find a reachable, non-trivial, strongly connected set of states meeting
+   every pair ("good component"): SCC decomposition; remove the enabling
+   states of violated pairs; recurse. *)
+let find_good_component s =
+  let g = s.graph in
+  let n = Buchi.states g in
+  if n = 0 then None
+  else begin
+    let reach = Buchi.reachable g in
+    let rec go vertices =
+      if vertices = [] then None
+      else begin
+        let alive = Array.make n false in
+        List.iter (fun q -> alive.(q) <- true) vertices;
+        let comp, count = sccs_within g alive in
+        let members = Array.make count [] in
+        List.iter (fun q -> members.(comp.(q)) <- q :: members.(comp.(q))) vertices;
+        let rec scan id =
+          if id >= count then None
+          else begin
+            let c = members.(id) in
+            if not (has_internal_edge g c) then scan (id + 1)
+            else begin
+              let in_c = Hashtbl.create 16 in
+              List.iter (fun q -> Hashtbl.replace in_c q ()) c;
+              let violated =
+                List.filter
+                  (fun p ->
+                    List.exists (Hashtbl.mem in_c) p.enables
+                    && not (List.exists (Hashtbl.mem in_c) p.fulfils))
+                  s.pairs
+              in
+              if violated = [] then Some c
+              else begin
+                let bad = Hashtbl.create 16 in
+                List.iter
+                  (fun p ->
+                    List.iter
+                      (fun q -> if Hashtbl.mem in_c q then Hashtbl.replace bad q ())
+                      p.enables)
+                  violated;
+                let reduced = List.filter (fun q -> not (Hashtbl.mem bad q)) c in
+                match go reduced with Some c' -> Some c' | None -> scan (id + 1)
+              end
+            end
+          end
+        in
+        scan 0
+      end
+    in
+    go (Rl_prelude.Bitset.elements reach)
+  end
+
+let is_empty s = find_good_component s = None
+
+(* BFS path src → dst with intermediate states restricted by [allowed];
+   returns (state, symbol) steps, [] when src = dst. *)
+let bfs_path g ~allowed ~src ~dst =
+  if src = dst then Some []
+  else begin
+    let n = Buchi.states g in
+    let k = Alphabet.size (Buchi.alphabet g) in
+    let parent = Array.make n None in
+    let seen = Bitset.create n in
+    let queue = Queue.create () in
+    Bitset.add seen src;
+    Queue.add src queue;
+    let found = ref false in
+    while (not !found) && not (Queue.is_empty queue) do
+      let q = Queue.pop queue in
+      for a = 0 to k - 1 do
+        List.iter
+          (fun q' ->
+            if allowed q' && not (Bitset.mem seen q') then begin
+              Bitset.add seen q';
+              parent.(q') <- Some (q, a);
+              Queue.add q' queue;
+              if q' = dst then found := true
+            end)
+          (Buchi.successors g q a)
+      done
+    done;
+    if not !found then None
+    else begin
+      let rec back q acc =
+        match parent.(q) with
+        | None -> acc
+        | Some (p, a) -> back p ((p, a) :: acc)
+      in
+      Some (back dst [])
+    end
+  end
+
+let accepting_run s =
+  match find_good_component s with
+  | None -> None
+  | Some c ->
+      let g = s.graph in
+      let inside q = List.mem q c in
+      let entry = List.hd c in
+      let init =
+        match Buchi.initial g with [] -> None | q :: _ -> Some q
+      in
+      (match init with
+      | None -> None
+      | Some init -> (
+          match bfs_path g ~allowed:(fun _ -> true) ~src:init ~dst:entry with
+          | None -> None
+          | Some stem ->
+              (* cycle visiting every vertex of the component *)
+              let cycle = ref [] in
+              let pos = ref entry in
+              let visit target =
+                match bfs_path g ~allowed:inside ~src:!pos ~dst:target with
+                | None -> assert false (* strongly connected *)
+                | Some hop ->
+                    cycle := List.rev_append hop !cycle;
+                    pos := target
+              in
+              List.iter visit c;
+              (* close the loop with at least one step *)
+              (if !pos = entry then begin
+                 (* force a non-empty cycle: take any internal edge then
+                    return *)
+                 let k = Alphabet.size (Buchi.alphabet g) in
+                 let edge =
+                   List.find_map
+                     (fun a ->
+                       match
+                         List.filter inside (Buchi.successors g entry a)
+                       with
+                       | q' :: _ -> Some (a, q')
+                       | [] -> None)
+                     (List.init k Fun.id)
+                 in
+                 match edge with
+                 | Some (a, q') ->
+                     cycle := (entry, a) :: !cycle;
+                     pos := q';
+                     visit entry
+                 | None -> assert false (* has_internal_edge held *)
+               end
+               else visit entry);
+              Some { Fair.stem; cycle = List.rev !cycle }))
+
+(* --- transition fairness --- *)
+
+type edge_graph = {
+  eg : Buchi.t;
+  vertex_of_transition : (int * int * int, int) Hashtbl.t;
+  transition_of_vertex : (int * int * int) option array;
+}
+
+let edge_graph b =
+  let transitions = Buchi.transitions b in
+  let vertex_of_transition = Hashtbl.create 64 in
+  let m = List.length transitions in
+  let transition_of_vertex = Array.make (m + 1) None in
+  List.iteri
+    (fun i t ->
+      Hashtbl.replace vertex_of_transition t (i + 1);
+      transition_of_vertex.(i + 1) <- Some t)
+    transitions;
+  let edges = ref [] in
+  (* ι → v_t when source(t) is initial; v_t1 → v_t2 when they chain *)
+  List.iter
+    (fun ((q, a, _) as t) ->
+      let v = Hashtbl.find vertex_of_transition t in
+      if List.mem q (Buchi.initial b) then edges := (0, a, v) :: !edges)
+    transitions;
+  List.iter
+    (fun ((_, _, q1') as t1) ->
+      let v1 = Hashtbl.find vertex_of_transition t1 in
+      List.iter
+        (fun ((q2, a2, _) as t2) ->
+          if q1' = q2 then
+            let v2 = Hashtbl.find vertex_of_transition t2 in
+            edges := (v1, a2, v2) :: !edges)
+        transitions)
+    transitions;
+  let eg =
+    Buchi.create ~alphabet:(Buchi.alphabet b) ~states:(m + 1) ~initial:[ 0 ]
+      ~accepting:[] ~transitions:!edges ()
+  in
+  { eg; vertex_of_transition; transition_of_vertex }
+
+let strong_fairness_pairs egr =
+  let by_source = Hashtbl.create 16 in
+  Array.iteri
+    (fun v t ->
+      match t with
+      | None -> ()
+      | Some (q, _, _) ->
+          Hashtbl.replace by_source q
+            (v :: (try Hashtbl.find by_source q with Not_found -> [])))
+    egr.transition_of_vertex;
+  Array.to_list egr.transition_of_vertex
+  |> List.concat_map (fun t ->
+         match t with
+         | None -> []
+         | Some ((q, _, _) as tr) ->
+             [
+               {
+                 enables = Hashtbl.find by_source q;
+                 fulfils = [ Hashtbl.find egr.vertex_of_transition tr ];
+               };
+             ])
+
+let fair_run_exists b =
+  let egr = edge_graph b in
+  not (is_empty (create ~graph:egr.eg ~pairs:(strong_fairness_pairs egr)))
+
+let fair_run_within b ~property =
+  let egr = edge_graph b in
+  let fair_pairs = strong_fairness_pairs egr in
+  (* product of the edge graph with the property automaton *)
+  let np = Buchi.states property in
+  if np = 0 then None
+  else begin
+    let encode v s = (v * np) + s in
+    let k = Alphabet.size (Buchi.alphabet b) in
+    let transitions = ref [] in
+    let nv = Buchi.states egr.eg in
+    for v = 0 to nv - 1 do
+      for a = 0 to k - 1 do
+        List.iter
+          (fun v' ->
+            List.iter
+              (fun s ->
+                List.iter
+                  (fun s' ->
+                    transitions := (encode v s, a, encode v' s') :: !transitions)
+                  (Buchi.successors property s a))
+              (List.init np Fun.id))
+          (Buchi.successors egr.eg v a)
+      done
+    done;
+    let total = nv * np in
+    let initial =
+      List.concat_map
+        (fun s -> List.map (fun v -> encode v s) (Buchi.initial egr.eg))
+        (Buchi.initial property)
+    in
+    let pg =
+      Buchi.create ~alphabet:(Buchi.alphabet b) ~states:total ~initial
+        ~accepting:[] ~transitions:!transitions ()
+    in
+    let lift p =
+      {
+        enables =
+          List.concat_map (fun v -> List.init np (fun s -> encode v s)) p.enables;
+        fulfils =
+          List.concat_map (fun v -> List.init np (fun s -> encode v s)) p.fulfils;
+      }
+    in
+    let buchi_pair =
+      {
+        enables = List.init total Fun.id;
+        fulfils =
+          List.concat_map
+            (fun s ->
+              if Buchi.is_accepting property s then
+                List.init nv (fun v -> encode v s)
+              else [])
+            (List.init np Fun.id);
+      }
+    in
+    let streett =
+      create ~graph:pg ~pairs:(buchi_pair :: List.map lift fair_pairs)
+    in
+    match accepting_run streett with
+    | None -> None
+    | Some run ->
+        (* map product-run positions back to original transitions *)
+        let decode_pair (state, _sym) =
+          let v = state / np in
+          egr.transition_of_vertex.(v)
+        in
+        let to_orig pairs =
+          List.filter_map
+            (fun p ->
+              match decode_pair p with
+              | None -> None (* the ι vertex *)
+              | Some (q, a, _) -> Some (q, a))
+            pairs
+        in
+        Some { Fair.stem = to_orig run.Fair.stem; cycle = to_orig run.Fair.cycle }
+  end

@@ -1,0 +1,1 @@
+lib/hom/hom.ml: Alphabet Array Bitset Dfa Format Fun Hashtbl Lasso List Nfa Printf Queue Rl_automata Rl_prelude Rl_sigma Word

@@ -1,0 +1,1 @@
+lib/hom/hom.mli: Alphabet Dfa Format Lasso Nfa Rl_automata Rl_sigma Word

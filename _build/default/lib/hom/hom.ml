@@ -1,0 +1,303 @@
+open Rl_prelude
+open Rl_sigma
+open Rl_automata
+
+type t = {
+  concrete : Alphabet.t;
+  abstract : Alphabet.t;
+  map : int option array; (* concrete symbol -> abstract symbol or ε *)
+}
+
+let create ~concrete ~abstract mapping =
+  let map = Array.make (Alphabet.size concrete) None in
+  let seen = Array.make (Alphabet.size concrete) false in
+  List.iter
+    (fun (cname, target) ->
+      let c =
+        match Alphabet.symbol_opt concrete cname with
+        | Some c -> c
+        | None ->
+            invalid_arg (Printf.sprintf "Hom.create: unknown concrete symbol %S" cname)
+      in
+      if seen.(c) then
+        invalid_arg (Printf.sprintf "Hom.create: %S mapped twice" cname);
+      seen.(c) <- true;
+      map.(c) <-
+        (match target with
+        | None -> None
+        | Some aname -> (
+            match Alphabet.symbol_opt abstract aname with
+            | Some a -> Some a
+            | None ->
+                invalid_arg
+                  (Printf.sprintf "Hom.create: unknown abstract symbol %S" aname))))
+    mapping;
+  if not (Array.for_all Fun.id seen) then
+    invalid_arg "Hom.create: some concrete symbol left unmapped";
+  { concrete; abstract; map }
+
+let hiding ~concrete ~keep =
+  let abstract = Alphabet.make keep in
+  let mapping =
+    List.map
+      (fun name -> (name, if List.mem name keep then Some name else None))
+      (Alphabet.names concrete)
+  in
+  create ~concrete ~abstract mapping
+
+let concrete h = h.concrete
+let abstract h = h.abstract
+let apply_symbol h a = h.map.(a)
+
+let apply_word h w =
+  Word.of_list (List.filter_map (fun a -> h.map.(a)) (Word.to_list w))
+
+let apply_lasso h x = Lasso.map (fun a -> h.map.(a)) x
+
+let image h n = Nfa.remove_eps (Nfa.map_symbols ~alphabet:h.abstract (fun a -> h.map.(a)) n)
+let image_ts h n = Nfa.trim (image h n)
+
+let preimage h d =
+  let k = Alphabet.size h.concrete in
+  let delta =
+    Array.init (Dfa.states d) (fun q ->
+        Array.init k (fun a ->
+            match h.map.(a) with None -> q | Some b -> Dfa.step d q b))
+  in
+  let finals = List.filter (Dfa.is_final d) (List.init (Dfa.states d) Fun.id) in
+  Dfa.create ~alphabet:h.concrete ~states:(Dfa.states d) ~initial:(Dfa.initial d)
+    ~finals ~delta
+
+(* --- maximal words --- *)
+
+(* In the complete DFA of L, a reachable accepting state with no non-empty
+   path back to an accepting state witnesses a maximal word. *)
+let maximal_states d =
+  let n = Dfa.states d in
+  let k = Alphabet.size (Dfa.alphabet d) in
+  (* extendable.(q): some non-empty path from q reaches an accepting state *)
+  let extendable = Array.make n false in
+  let pred = Array.make n [] in
+  for q = 0 to n - 1 do
+    for a = 0 to k - 1 do
+      pred.(Dfa.step d q a) <- q :: pred.(Dfa.step d q a)
+    done
+  done;
+  let stack = ref [] in
+  for q = 0 to n - 1 do
+    if Dfa.is_final d q then
+      List.iter
+        (fun p ->
+          if not extendable.(p) then begin
+            extendable.(p) <- true;
+            stack := p :: !stack
+          end)
+        pred.(q)
+  done;
+  while !stack <> [] do
+    match !stack with
+    | [] -> ()
+    | q :: rest ->
+        stack := rest;
+        List.iter
+          (fun p ->
+            if not extendable.(p) then begin
+              extendable.(p) <- true;
+              stack := p :: !stack
+            end)
+          pred.(q)
+  done;
+  let reach = Bitset.create n in
+  let bfs = Queue.create () in
+  Bitset.add reach (Dfa.initial d);
+  Queue.add (Dfa.initial d) bfs;
+  while not (Queue.is_empty bfs) do
+    let q = Queue.pop bfs in
+    for a = 0 to k - 1 do
+      let q' = Dfa.step d q a in
+      if not (Bitset.mem reach q') then begin
+        Bitset.add reach q';
+        Queue.add q' bfs
+      end
+    done
+  done;
+  List.filter
+    (fun q -> Bitset.mem reach q && Dfa.is_final d q && not extendable.(q))
+    (List.init n Fun.id)
+
+let has_maximal_words n = maximal_states (Dfa.determinize n) <> []
+
+let hash_extend ?(hash = "#") n =
+  let d = Dfa.determinize n in
+  let maximal = maximal_states d in
+  let old_alpha = Dfa.alphabet d in
+  if Alphabet.mem_name old_alpha hash then
+    invalid_arg "Hom.hash_extend: hash symbol already in alphabet";
+  let alphabet = Alphabet.make (Alphabet.names old_alpha @ [ hash ]) in
+  let hsym = Alphabet.symbol alphabet hash in
+  let transitions = ref [] in
+  for q = 0 to Dfa.states d - 1 do
+    for a = 0 to Alphabet.size old_alpha - 1 do
+      transitions := (q, a, Dfa.step d q a) :: !transitions
+    done
+  done;
+  List.iter (fun q -> transitions := (q, hsym, q) :: !transitions) maximal;
+  let finals = List.filter (Dfa.is_final d) (List.init (Dfa.states d) Fun.id) in
+  Nfa.trim
+    (Nfa.create ~alphabet ~states:(Dfa.states d) ~initial:[ Dfa.initial d ]
+       ~finals ~transitions:!transitions ())
+
+(* --- simplicity --- *)
+
+type verdict = { simple : bool; configurations : int; witness : Word.t option }
+
+module Config_key = struct
+  type t = Bitset.t * int
+
+  let equal (s1, t1) (s2, t2) = t1 = t2 && Bitset.equal s1 s2
+  let hash (s, t) = (Bitset.hash s * 31) + t
+end
+
+module Config_tbl = Hashtbl.Make (Config_key)
+
+let check_ts l =
+  if Nfa.has_eps l then invalid_arg "Hom: transition system has ε-moves";
+  if not (Nfa.all_states_final l) then
+    invalid_arg "Hom: transition system must have all states final"
+
+(* Decide Definition 6.3 at one configuration: S = possible states of the
+   transition system after w, big = DFA of h(L), t0 = its state after h(w).
+   Simplicity at (S, t0) asks for a reachable product state (t, y) with
+   t accepting in big (so that u ∈ cont(h w, h L)) whose residual languages
+   agree. Residual equality is precomputed by minimizing the disjoint
+   union of the two DFAs ([Dfa.equivalence_classes]). *)
+let config_ok ~big ~classes_big ~y_dfa ~classes_y t0 =
+  let seen = Hashtbl.create 16 in
+  let queue = Queue.create () in
+  let k = Alphabet.size (Dfa.alphabet big) in
+  let start = (t0, Dfa.initial y_dfa) in
+  Hashtbl.add seen start ();
+  Queue.add start queue;
+  let found = ref false in
+  while (not !found) && not (Queue.is_empty queue) do
+    let t, y = Queue.pop queue in
+    if Dfa.is_final big t && classes_big.(t) = classes_y.(y) then found := true
+    else
+      for a = 0 to k - 1 do
+        let pair' = (Dfa.step big t a, Dfa.step y_dfa y a) in
+        if not (Hashtbl.mem seen pair') then begin
+          Hashtbl.add seen pair' ();
+          Queue.add pair' queue
+        end
+      done
+  done;
+  !found
+
+let analyze h l =
+  check_ts l;
+  let l = Nfa.trim l in
+  if Nfa.states l = 0 then { simple = true; configurations = 0; witness = None }
+  else begin
+    let big = Dfa.determinize (image h l) in
+    let nl = Nfa.states l in
+    (* memoized per-S data: DFA of h(cont_S) and equivalence classes
+       against [big] *)
+    let y_cache : (Bitset.t, Dfa.t * int array * int array) Hashtbl.t =
+      Hashtbl.create 16
+    in
+    let y_data s =
+      match Hashtbl.find_opt y_cache s with
+      | Some d -> d
+      | None ->
+          let from_s =
+            Nfa.create ~alphabet:(Nfa.alphabet l) ~states:nl
+              ~initial:(Bitset.elements s)
+              ~finals:(List.init nl Fun.id)
+              ~transitions:(Nfa.transitions l) ()
+          in
+          let y_dfa = Dfa.determinize (image h from_s) in
+          let classes_big, classes_y = Dfa.equivalence_classes big y_dfa in
+          let data = (y_dfa, classes_big, classes_y) in
+          Hashtbl.add y_cache (Bitset.copy s) data;
+          data
+    in
+    (* BFS over configurations (S, T), tracking access words for
+       counterexamples. *)
+    let seen = Config_tbl.create 64 in
+    let queue = Queue.create () in
+    let s0 = Bitset.of_list nl (Nfa.initial l) in
+    let start = (s0, Dfa.initial big) in
+    Config_tbl.add seen start ();
+    Queue.add (start, []) queue;
+    let k = Alphabet.size (Nfa.alphabet l) in
+    let count = ref 0 in
+    let failure = ref None in
+    while !failure = None && not (Queue.is_empty queue) do
+      let (s, t), rpath = Queue.pop queue in
+      incr count;
+      let y_dfa, classes_big, classes_y = y_data s in
+      if not (config_ok ~big ~classes_big ~y_dfa ~classes_y t) then
+        failure := Some (Word.of_list (List.rev rpath))
+      else
+        for a = 0 to k - 1 do
+          let s' = Bitset.create nl in
+          Bitset.iter
+            (fun q -> List.iter (Bitset.add s') (Nfa.successors l q a))
+            s;
+          if not (Bitset.is_empty s') then begin
+            let t' =
+              match h.map.(a) with None -> t | Some b -> Dfa.step big t b
+            in
+            let cfg = (s', t') in
+            if not (Config_tbl.mem seen cfg) then begin
+              Config_tbl.add seen cfg ();
+              Queue.add (cfg, a :: rpath) queue
+            end
+          end
+        done
+    done;
+    match !failure with
+    | Some w -> { simple = false; configurations = !count; witness = Some w }
+    | None -> { simple = true; configurations = !count; witness = None }
+  end
+
+let is_simple h l = (analyze h l).simple
+
+let simple_at h l w =
+  check_ts l;
+  let l = Nfa.trim l in
+  let nl = Nfa.states l in
+  let s =
+    List.fold_left
+      (fun s a ->
+        let s' = Bitset.create nl in
+        Bitset.iter (fun q -> List.iter (Bitset.add s') (Nfa.successors l q a)) s;
+        s')
+      (Bitset.of_list nl (Nfa.initial l))
+      (Word.to_list w)
+  in
+  if Bitset.is_empty s then invalid_arg "Hom.simple_at: word not in L";
+  let big = Dfa.determinize (image h l) in
+  let t = Dfa.run big (apply_word h w) in
+  let from_s =
+    Nfa.create ~alphabet:(Nfa.alphabet l) ~states:nl
+      ~initial:(Bitset.elements s)
+      ~finals:(List.init nl Fun.id)
+      ~transitions:(Nfa.transitions l) ()
+  in
+  let y_dfa = Dfa.determinize (image h from_s) in
+  let classes_big, classes_y = Dfa.equivalence_classes big y_dfa in
+  config_ok ~big ~classes_big ~y_dfa ~classes_y t
+
+let pp ppf h =
+  Format.fprintf ppf "@[<v>h : %a → %a ∪ {ε}@," Alphabet.pp h.concrete
+    Alphabet.pp h.abstract;
+  Array.iteri
+    (fun c target ->
+      Format.fprintf ppf "  %s ↦ %s@,"
+        (Alphabet.name h.concrete c)
+        (match target with
+        | None -> "ε"
+        | Some a -> Alphabet.name h.abstract a))
+    h.map;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,1 @@
+lib/ltl/formula.ml: Format List Stdlib String

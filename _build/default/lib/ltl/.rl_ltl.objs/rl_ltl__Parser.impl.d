@@ -1,0 +1,1 @@
+lib/ltl/parser.ml: Format Formula List String

@@ -1,0 +1,1 @@
+lib/ltl/semantics.ml: Alphabet Array Formula Hashtbl Lasso List Rl_sigma

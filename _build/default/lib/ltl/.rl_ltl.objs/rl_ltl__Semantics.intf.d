@@ -1,0 +1,1 @@
+lib/ltl/semantics.mli: Alphabet Formula Lasso Rl_sigma

@@ -1,0 +1,1 @@
+lib/ltl/transform.ml: Alphabet Formula Fun List Printf Rl_sigma

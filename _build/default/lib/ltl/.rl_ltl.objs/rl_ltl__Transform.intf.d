@@ -1,0 +1,1 @@
+lib/ltl/transform.mli: Alphabet Formula Rl_sigma Semantics

@@ -1,0 +1,1 @@
+lib/ltl/translate.ml: Alphabet Buchi Formula Fun Hashtbl List Rl_buchi Rl_sigma Set

@@ -1,0 +1,1 @@
+lib/ltl/translate.mli: Alphabet Formula Rl_buchi Rl_sigma Semantics

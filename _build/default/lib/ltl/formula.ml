@@ -1,0 +1,198 @@
+type t =
+  | True
+  | False
+  | Atom of string
+  | Not of t
+  | And of t * t
+  | Or of t * t
+  | Implies of t * t
+  | Iff of t * t
+  | Next of t
+  | Until of t * t
+  | Release of t * t
+  | Wuntil of t * t
+  | Back of t * t
+  | Eventually of t
+  | Always of t
+
+let atom p = Atom p
+
+let not_ = function
+  | True -> False
+  | False -> True
+  | Not f -> f
+  | f -> Not f
+
+let and_ f g =
+  match (f, g) with
+  | True, h | h, True -> h
+  | False, _ | _, False -> False
+  | _ -> And (f, g)
+
+let or_ f g =
+  match (f, g) with
+  | False, h | h, False -> h
+  | True, _ | _, True -> True
+  | _ -> Or (f, g)
+
+let implies f g = match f with True -> g | False -> True | _ -> Implies (f, g)
+let iff f g = Iff (f, g)
+let next f = Next f
+let until f g =
+  match g with True -> True | False -> False | _ -> Until (f, g)
+let release f g = Release (f, g)
+let wuntil f g = Wuntil (f, g)
+let back f g = Back (f, g)
+let eventually f = match f with True -> True | False -> False | _ -> Eventually f
+let always f = match f with True -> True | False -> False | _ -> Always f
+let conj fs = List.fold_left and_ True fs
+let disj fs = List.fold_left or_ False fs
+
+let rec expand = function
+  | (True | False | Atom _) as f -> f
+  | Not f -> Not (expand f)
+  | And (f, g) -> And (expand f, expand g)
+  | Or (f, g) -> Or (expand f, expand g)
+  | Implies (f, g) -> Or (Not (expand f), expand g)
+  | Iff (f, g) ->
+      let f = expand f and g = expand g in
+      And (Or (Not f, g), Or (Not g, f))
+  | Next f -> Next (expand f)
+  | Until (f, g) -> Until (expand f, expand g)
+  | Release (f, g) -> Release (expand f, expand g)
+  | Wuntil (f, g) ->
+      (* f W g = g R (f ∨ g) *)
+      let f = expand f and g = expand g in
+      Release (g, Or (f, g))
+  | Back (f, g) ->
+      (* f B g = ¬(¬f U g) = f R ¬g *)
+      let f = expand f and g = expand g in
+      Release (f, Not g)
+  | Eventually f -> Until (True, expand f)
+  | Always f -> Release (False, expand f)
+
+let nnf f =
+  let rec pos = function
+    | (True | False | Atom _) as f -> f
+    | Not f -> neg f
+    | And (f, g) -> And (pos f, pos g)
+    | Or (f, g) -> Or (pos f, pos g)
+    | Next f -> Next (pos f)
+    | Until (f, g) -> Until (pos f, pos g)
+    | Release (f, g) -> Release (pos f, pos g)
+    | Implies _ | Iff _ | Wuntil _ | Back _ | Eventually _ | Always _ ->
+        assert false (* removed by expand *)
+  and neg = function
+    | True -> False
+    | False -> True
+    | Atom _ as f -> Not f
+    | Not f -> pos f
+    | And (f, g) -> Or (neg f, neg g)
+    | Or (f, g) -> And (neg f, neg g)
+    | Next f -> Next (neg f)
+    | Until (f, g) -> Release (neg f, neg g)
+    | Release (f, g) -> Until (neg f, neg g)
+    | Implies _ | Iff _ | Wuntil _ | Back _ | Eventually _ | Always _ ->
+        assert false
+  in
+  pos (expand f)
+
+let rec is_positive_normal = function
+  | True | False | Atom _ | Not (Atom _) -> true
+  | Not _ -> false
+  | And (f, g)
+  | Or (f, g)
+  | Implies (f, g)
+  | Iff (f, g)
+  | Until (f, g)
+  | Release (f, g)
+  | Wuntil (f, g)
+  | Back (f, g) ->
+      is_positive_normal f && is_positive_normal g
+  | Next f | Eventually f | Always f -> is_positive_normal f
+
+let rec is_pure_boolean = function
+  | True | False | Atom _ -> true
+  | Not f -> is_pure_boolean f
+  | And (f, g) | Or (f, g) | Implies (f, g) | Iff (f, g) ->
+      is_pure_boolean f && is_pure_boolean g
+  | Next _ | Until _ | Release _ | Wuntil _ | Back _ | Eventually _ | Always _
+    ->
+      false
+
+let rec is_negation_free = function
+  | True | False | Atom _ -> true
+  | Not _ -> false
+  | And (f, g)
+  | Or (f, g)
+  | Implies (f, g)
+  | Iff (f, g)
+  | Until (f, g)
+  | Release (f, g)
+  | Wuntil (f, g)
+  | Back (f, g) ->
+      is_negation_free f && is_negation_free g
+  | Next f | Eventually f | Always f -> is_negation_free f
+
+let rec fold acc f fn =
+  let acc = fn acc f in
+  match f with
+  | True | False | Atom _ -> acc
+  | Not g | Next g | Eventually g | Always g -> fold acc g fn
+  | And (g, h)
+  | Or (g, h)
+  | Implies (g, h)
+  | Iff (g, h)
+  | Until (g, h)
+  | Release (g, h)
+  | Wuntil (g, h)
+  | Back (g, h) ->
+      fold (fold acc g fn) h fn
+
+let atoms f =
+  fold [] f (fun acc g -> match g with Atom p -> p :: acc | _ -> acc)
+  |> List.sort_uniq String.compare
+
+let size f = fold 0 f (fun acc _ -> acc + 1)
+
+let subformulas f =
+  fold [] f (fun acc g -> g :: acc) |> List.sort_uniq Stdlib.compare
+
+let equal = ( = )
+let compare = Stdlib.compare
+
+(* Precedence: unary (¬ ◯ ◇ □) > binary temporal (U R W B) > ∧ > ∨ > ⇒ > ⇔ *)
+let rec pp_prec prec ppf f =
+  let open Format in
+  let paren p body =
+    if p < prec then fprintf ppf "(%t)" body else body ppf
+  in
+  match f with
+  | True -> pp_print_string ppf "true"
+  | False -> pp_print_string ppf "false"
+  | Atom p -> pp_print_string ppf p
+  | Not f -> paren 5 (fun ppf -> fprintf ppf "!%a" (pp_prec 5) f)
+  | Next f -> paren 5 (fun ppf -> fprintf ppf "X %a" (pp_prec 5) f)
+  | Eventually f -> paren 5 (fun ppf -> fprintf ppf "<>%a" (pp_prec 5) f)
+  | Always f -> paren 5 (fun ppf -> fprintf ppf "[]%a" (pp_prec 5) f)
+  | Until (f, g) ->
+      paren 4 (fun ppf -> fprintf ppf "%a U %a" (pp_prec 5) f (pp_prec 4) g)
+  | Release (f, g) ->
+      paren 4 (fun ppf -> fprintf ppf "%a R %a" (pp_prec 5) f (pp_prec 4) g)
+  | Wuntil (f, g) ->
+      paren 4 (fun ppf -> fprintf ppf "%a W %a" (pp_prec 5) f (pp_prec 4) g)
+  | Back (f, g) ->
+      paren 4 (fun ppf -> fprintf ppf "%a B %a" (pp_prec 5) f (pp_prec 4) g)
+  | And (f, g) ->
+      (* parser is left-associative for & and |, so the right operand is
+         printed at a strictly higher level *)
+      paren 3 (fun ppf -> fprintf ppf "%a & %a" (pp_prec 3) f (pp_prec 4) g)
+  | Or (f, g) ->
+      paren 2 (fun ppf -> fprintf ppf "%a | %a" (pp_prec 2) f (pp_prec 3) g)
+  | Implies (f, g) ->
+      paren 1 (fun ppf -> fprintf ppf "%a -> %a" (pp_prec 2) f (pp_prec 1) g)
+  | Iff (f, g) ->
+      paren 0 (fun ppf -> fprintf ppf "%a <-> %a" (pp_prec 0) f (pp_prec 1) g)
+
+let pp ppf f = pp_prec 0 ppf f
+let to_string f = Format.asprintf "%a" pp f

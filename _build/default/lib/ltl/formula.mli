@@ -1,0 +1,94 @@
+(** Propositional linear temporal logic (PLTL), as in Section 3 of the
+    paper.
+
+    The core grammar is [true], atomic propositions, [¬], [∧], [◯] (next)
+    and [U] (until); everything else — including the paper's rarely-seen
+    [B] operator ([ξ B ζ = ¬(¬ξ U ζ)]) — is definable sugar. The AST keeps
+    the sugar so formulas print the way they were written; [expand] and
+    [nnf] normalize. *)
+
+type t =
+  | True
+  | False
+  | Atom of string
+  | Not of t
+  | And of t * t
+  | Or of t * t
+  | Implies of t * t
+  | Iff of t * t
+  | Next of t
+  | Until of t * t
+  | Release of t * t  (** dual of until: [ξ R ζ = ¬(¬ξ U ¬ζ)] *)
+  | Wuntil of t * t  (** weak until: [ξ W ζ = (ξ U ζ) ∨ □ξ] *)
+  | Back of t * t  (** the paper's [B]: [ξ B ζ = ¬(¬ξ U ζ)] *)
+  | Eventually of t  (** [◇ξ = true U ξ] *)
+  | Always of t  (** [□ξ = ¬◇¬ξ] *)
+
+(** {1 Smart constructors} — perform cheap simplification
+    ([⊤ ∧ f = f], …). *)
+
+val atom : string -> t
+val not_ : t -> t
+val and_ : t -> t -> t
+val or_ : t -> t -> t
+val implies : t -> t -> t
+val iff : t -> t -> t
+val next : t -> t
+val until : t -> t -> t
+val release : t -> t -> t
+val wuntil : t -> t -> t
+val back : t -> t -> t
+val eventually : t -> t
+val always : t -> t
+
+(** [conj fs] / [disj fs] — n-ary conjunction / disjunction ([True] /
+    [False] on the empty list). *)
+val conj : t list -> t
+
+val disj : t list -> t
+
+(** {1 Normal forms} *)
+
+(** [expand f] rewrites all sugar ([⇒], [⇔], [W], [B], [◇], [□]) into the
+    core connectives [∧ ∨ ¬ ◯ U R] plus constants and atoms. *)
+val expand : t -> t
+
+(** [nnf f] is the negation normal form: sugar expanded, negations pushed
+    to atoms. The result is in the paper's {e positive normal form}
+    (Definition 7.1). *)
+val nnf : t -> t
+
+(** [is_positive_normal f] — Definition 7.1: every negation applies to an
+    atom. *)
+val is_positive_normal : t -> bool
+
+(** [is_pure_boolean f] — no temporal operator occurs in [f]
+    (the [ξb] of Definition 7.4). *)
+val is_pure_boolean : t -> bool
+
+(** [is_negation_free f] — no negation at all (the shape produced by
+    {!Transform.sigma_normal_form}). *)
+val is_negation_free : t -> bool
+
+(** {1 Inspection} *)
+
+(** [atoms f] is the set of atomic propositions of [f], sorted. *)
+val atoms : t -> string list
+
+(** [size f] is the number of AST nodes. *)
+val size : t -> int
+
+(** [subformulas f] lists all distinct subformulas of [f]. *)
+val subformulas : t -> t list
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+(** {1 Printing} *)
+
+(** Prints with the parser's ASCII operators ([[] <> X U R W B ! & | ->
+    <->]); parenthesized only where precedence requires. The output
+    re-parses ({!Parser.parse}) to an equal formula. *)
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string

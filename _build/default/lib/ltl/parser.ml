@@ -1,0 +1,206 @@
+exception Parse_error of string
+
+type token =
+  | TRUE
+  | FALSE
+  | ATOM of string
+  | NOT
+  | AND
+  | OR
+  | IMPLIES
+  | IFF
+  | NEXT
+  | EVENTUALLY
+  | ALWAYS
+  | UNTIL
+  | RELEASE
+  | WUNTIL
+  | BACK
+  | LPAREN
+  | RPAREN
+  | EOF
+
+let fail fmt = Format.kasprintf (fun s -> raise (Parse_error s)) fmt
+
+let is_atom_start c = (c >= 'a' && c <= 'z') || c = '_'
+
+let is_atom_char c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || (c >= '0' && c <= '9')
+  || c = '_' || c = '\''
+
+let tokenize s =
+  let n = String.length s in
+  let tokens = ref [] in
+  let emit t = tokens := t :: !tokens in
+  let i = ref 0 in
+  while !i < n do
+    let c = s.[!i] in
+    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr i
+    else if is_atom_start c then begin
+      let start = !i in
+      while !i < n && is_atom_char s.[!i] do
+        incr i
+      done;
+      match String.sub s start (!i - start) with
+      | "true" -> emit TRUE
+      | "false" -> emit FALSE
+      | ident -> emit (ATOM ident)
+    end
+    else begin
+      let two = if !i + 1 < n then String.sub s !i 2 else "" in
+      match two with
+      | "[]" -> emit ALWAYS; i := !i + 2
+      | "<>" -> emit EVENTUALLY; i := !i + 2
+      | "->" -> emit IMPLIES; i := !i + 2
+      | "/\\" -> emit AND; i := !i + 2
+      | "\\/" -> emit OR; i := !i + 2
+      | _ ->
+          if !i + 2 < n && String.sub s !i 3 = "<->" then begin
+            emit IFF;
+            i := !i + 3
+          end
+          else begin
+            (match c with
+            | '!' -> emit NOT
+            | '&' -> emit AND
+            | '|' -> emit OR
+            | '(' -> emit LPAREN
+            | ')' -> emit RPAREN
+            | 'X' -> emit NEXT
+            | 'F' -> emit EVENTUALLY
+            | 'G' -> emit ALWAYS
+            | 'U' -> emit UNTIL
+            | 'R' -> emit RELEASE
+            | 'W' -> emit WUNTIL
+            | 'B' -> emit BACK
+            | _ -> fail "unexpected character %C at offset %d" c !i);
+            incr i
+          end
+    end
+  done;
+  emit EOF;
+  List.rev !tokens
+
+(* A '<->' lexes as '<-' '>'? No: we try "<->" only when the two-char
+   prefix is not a known operator; "<>" is matched first, so "<->" needs
+   its own check before the single-char fallback — done above by testing
+   the three-char string when the two-char lookahead fails. *)
+
+type stream = { mutable toks : token list }
+
+let peek st = match st.toks with [] -> EOF | t :: _ -> t
+
+let advance st =
+  match st.toks with [] -> () | _ :: rest -> st.toks <- rest
+
+let expect st t name =
+  if peek st = t then advance st else fail "expected %s" name
+
+let rec parse_iff st =
+  let lhs = parse_implies st in
+  if peek st = IFF then begin
+    advance st;
+    let rhs = parse_implies st in
+    parse_iff_rest st (Formula.Iff (lhs, rhs))
+  end
+  else lhs
+
+and parse_iff_rest st acc =
+  if peek st = IFF then begin
+    advance st;
+    let rhs = parse_implies st in
+    parse_iff_rest st (Formula.Iff (acc, rhs))
+  end
+  else acc
+
+and parse_implies st =
+  let lhs = parse_or st in
+  if peek st = IMPLIES then begin
+    advance st;
+    let rhs = parse_implies st in
+    Formula.Implies (lhs, rhs)
+  end
+  else lhs
+
+and parse_or st =
+  let lhs = parse_and st in
+  let rec rest acc =
+    if peek st = OR then begin
+      advance st;
+      let rhs = parse_and st in
+      rest (Formula.Or (acc, rhs))
+    end
+    else acc
+  in
+  rest lhs
+
+and parse_and st =
+  let lhs = parse_until st in
+  let rec rest acc =
+    if peek st = AND then begin
+      advance st;
+      let rhs = parse_until st in
+      rest (Formula.And (acc, rhs))
+    end
+    else acc
+  in
+  rest lhs
+
+and parse_until st =
+  let lhs = parse_unary st in
+  match peek st with
+  | UNTIL ->
+      advance st;
+      Formula.Until (lhs, parse_until st)
+  | RELEASE ->
+      advance st;
+      Formula.Release (lhs, parse_until st)
+  | WUNTIL ->
+      advance st;
+      Formula.Wuntil (lhs, parse_until st)
+  | BACK ->
+      advance st;
+      Formula.Back (lhs, parse_until st)
+  | _ -> lhs
+
+and parse_unary st =
+  match peek st with
+  | NOT ->
+      advance st;
+      Formula.Not (parse_unary st)
+  | NEXT ->
+      advance st;
+      Formula.Next (parse_unary st)
+  | EVENTUALLY ->
+      advance st;
+      Formula.Eventually (parse_unary st)
+  | ALWAYS ->
+      advance st;
+      Formula.Always (parse_unary st)
+  | TRUE ->
+      advance st;
+      Formula.True
+  | FALSE ->
+      advance st;
+      Formula.False
+  | ATOM p ->
+      advance st;
+      Formula.Atom p
+  | LPAREN ->
+      advance st;
+      let f = parse_iff st in
+      expect st RPAREN ")";
+      f
+  | RPAREN | EOF | AND | OR | IMPLIES | IFF | UNTIL | RELEASE | WUNTIL | BACK
+    ->
+      fail "unexpected token"
+
+let parse s =
+  let st = { toks = tokenize s } in
+  let f = parse_iff st in
+  if peek st <> EOF then fail "trailing input";
+  f
+
+let parse_opt s = try Some (parse s) with Parse_error _ -> None

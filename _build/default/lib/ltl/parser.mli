@@ -1,0 +1,26 @@
+(** Concrete syntax for PLTL formulas.
+
+    Grammar (precedence low → high; [U R W B] and [->] right-associative):
+    {v
+      iff     ::= implies ('<->' implies)*
+      implies ::= or ('->' implies)?
+      or      ::= and (('|' | '\/') and)*
+      and     ::= until (('&' | '/\') until)*
+      until   ::= unary (('U' | 'R' | 'W' | 'B') until)?
+      unary   ::= '!' unary | 'X' unary | 'F' unary | 'G' unary
+                | '[]' unary | '<>' unary | atom | 'true' | 'false'
+                | '(' iff ')'
+      atom    ::= [a-z_][a-zA-Z0-9_']*
+    v}
+    ['[]'] and ['G'] both mean always; ['<>'] and ['F'] both mean
+    eventually; ['X'] is next. The paper's [□◇(result)] is written
+    ["[]<> result"]. *)
+
+(** [parse s] parses [s].
+    @raise Parse_error on malformed input. *)
+val parse : string -> Formula.t
+
+exception Parse_error of string
+
+(** [parse_opt s] is [Some f], or [None] on malformed input. *)
+val parse_opt : string -> Formula.t option

@@ -1,0 +1,18 @@
+open Formula
+
+let universality p = always (atom p)
+let absence p = always (not_ (atom p))
+let existence p = eventually (atom p)
+let recurrence p = always (eventually (atom p))
+let stability p = eventually (always (atom p))
+
+let response ~trigger ~reaction =
+  always (implies (atom trigger) (eventually (atom reaction)))
+
+let precedence ~first ~then_ = wuntil (not_ (atom then_)) (atom first)
+let until_released ~hold ~release = wuntil (atom hold) (atom release)
+
+let chain_response ~trigger ~r1 ~r2 =
+  always (implies (atom trigger) (eventually (and_ (atom r1) (eventually (atom r2)))))
+
+let mutual_exclusion p q = always (not_ (and_ (atom p) (atom q)))

@@ -1,0 +1,43 @@
+(** Common specification patterns (Dwyer–Avrunin–Corbett style), as PLTL
+    formula builders.
+
+    The paper's examples are instances of these: [□◇(result)] is
+    {!recurrence}; "every request is eventually answered" is {!response}.
+    Having them as named builders keeps example and benchmark
+    specifications readable, and the test suite checks each against its
+    quantifier definition on ultimately periodic words. All builders take
+    and return plain {!Formula.t}; atoms are proposition names. *)
+
+(** [universality p] — [□p]: [p] at every position. *)
+val universality : string -> Formula.t
+
+(** [absence p] — [□¬p]: [p] never holds. *)
+val absence : string -> Formula.t
+
+(** [existence p] — [◇p]. *)
+val existence : string -> Formula.t
+
+(** [recurrence p] — [□◇p]: [p] holds infinitely often (the paper's
+    progress property shape). *)
+val recurrence : string -> Formula.t
+
+(** [stability p] — [◇□p]: eventually [p] forever. *)
+val stability : string -> Formula.t
+
+(** [response ~trigger ~reaction] — [□(trigger → ◇reaction)]. *)
+val response : trigger:string -> reaction:string -> Formula.t
+
+(** [precedence ~first ~then_] — [then_] cannot happen before [first]:
+    [¬then_ W first]. *)
+val precedence : first:string -> then_:string -> Formula.t
+
+(** [until_released ~hold ~release] — [hold W release]: [hold] stays true
+    until (if ever) [release]. *)
+val until_released : hold:string -> release:string -> Formula.t
+
+(** [chain_response ~trigger ~r1 ~r2] — every [trigger] is followed by
+    [r1] and then [r2]: [□(trigger → ◇(r1 ∧ ◇r2))]. *)
+val chain_response : trigger:string -> r1:string -> r2:string -> Formula.t
+
+(** [mutual_exclusion p q] — [□¬(p ∧ q)]. *)
+val mutual_exclusion : string -> string -> Formula.t

@@ -1,0 +1,86 @@
+open Rl_sigma
+
+type labeling = Alphabet.symbol -> string list
+
+let canonical alphabet s = [ Alphabet.name alphabet s ]
+
+(* Positions of a lasso form a finite structure: 0 .. spoke-1 (stem), then
+   spoke .. spoke+period-1 (cycle), with successor wrapping back to the
+   cycle start. Each subformula denotes a boolean vector over these
+   positions; Until/Release are the least/greatest fixpoints of their
+   one-step unfoldings, computed by iteration (each sweep is monotone, so
+   at most [total] sweeps are needed). *)
+
+let eval ~labeling x f =
+  let spoke = Lasso.spoke x and period = Lasso.period x in
+  let total = spoke + period in
+  let next i = if i + 1 < total then i + 1 else spoke in
+  let letter_props =
+    Array.init total (fun i -> labeling (Lasso.at x i))
+  in
+  let cache : (Formula.t, bool array) Hashtbl.t = Hashtbl.create 64 in
+  let rec go f =
+    match Hashtbl.find_opt cache f with
+    | Some v -> v
+    | None ->
+        let v = compute f in
+        Hashtbl.add cache f v;
+        v
+  and compute f =
+    match (f : Formula.t) with
+    | True -> Array.make total true
+    | False -> Array.make total false
+    | Atom p -> Array.init total (fun i -> List.mem p letter_props.(i))
+    | Not g -> Array.map not (go g)
+    | And (g, h) ->
+        let vg = go g and vh = go h in
+        Array.init total (fun i -> vg.(i) && vh.(i))
+    | Or (g, h) ->
+        let vg = go g and vh = go h in
+        Array.init total (fun i -> vg.(i) || vh.(i))
+    | Next g ->
+        let vg = go g in
+        Array.init total (fun i -> vg.(next i))
+    | Until (g, h) ->
+        (* least fixpoint of  v(i) = h(i) ∨ (g(i) ∧ v(next i)) *)
+        let vg = go g and vh = go h in
+        let v = Array.make total false in
+        let changed = ref true in
+        while !changed do
+          changed := false;
+          for i = total - 1 downto 0 do
+            let nv = vh.(i) || (vg.(i) && v.(next i)) in
+            if nv && not v.(i) then begin
+              v.(i) <- nv;
+              changed := true
+            end
+          done
+        done;
+        v
+    | Release (g, h) ->
+        (* greatest fixpoint of  v(i) = h(i) ∧ (g(i) ∨ v(next i)) *)
+        let vg = go g and vh = go h in
+        let v = Array.make total true in
+        let changed = ref true in
+        while !changed do
+          changed := false;
+          for i = total - 1 downto 0 do
+            let nv = vh.(i) && (vg.(i) || v.(next i)) in
+            if (not nv) && v.(i) then begin
+              v.(i) <- nv;
+              changed := true
+            end
+          done
+        done;
+        v
+    | Implies _ | Iff _ | Wuntil _ | Back _ | Eventually _ | Always _ ->
+        assert false (* expanded before evaluation *)
+  in
+  go (Formula.expand f)
+
+let satisfies_at ~labeling x i f =
+  let spoke = Lasso.spoke x and period = Lasso.period x in
+  let pos = if i < spoke then i else spoke + ((i - spoke) mod period) in
+  (eval ~labeling x f).(pos)
+
+let satisfies ~labeling x f = satisfies_at ~labeling x 0 f

@@ -1,0 +1,25 @@
+(** Direct semantics of PLTL over ultimately periodic ω-words.
+
+    This is the paper's Section 3 satisfaction relation [x, λ ⊨ η],
+    evaluated exactly (fixpoint computation on the lasso's finitely many
+    distinct positions). It serves as the ground-truth oracle against which
+    the automaton translation ({!Translate}) is property-tested, and as the
+    cheap path for checking single counterexamples. *)
+
+open Rl_sigma
+
+(** A labeling function [λ : Σ → 2^AP], giving the atomic propositions true
+    of each letter. *)
+type labeling = Alphabet.symbol -> string list
+
+(** [canonical alphabet] is the paper's [λ_Σ] (Definition 7.2):
+    [λ(a) = {a}], using symbol names as propositions. *)
+val canonical : Alphabet.t -> labeling
+
+(** [satisfies ~labeling x f] decides [x, λ ⊨ f]. Sugar is expanded first;
+    all of PLTL (including [B] and [W]) is supported. *)
+val satisfies : labeling:labeling -> Lasso.t -> Formula.t -> bool
+
+(** [satisfies_at ~labeling x i f] decides [x_(i...), λ ⊨ f] (the suffix
+    satisfaction used in the until clause of the semantics). *)
+val satisfies_at : labeling:labeling -> Lasso.t -> int -> Formula.t -> bool

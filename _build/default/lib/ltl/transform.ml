@@ -1,0 +1,104 @@
+open Rl_sigma
+
+let eps_prop = "ε"
+
+let sigma_normal_form ~alphabet ~labeling f =
+  let letters = Alphabet.symbols alphabet in
+  let letter_atom a = Formula.Atom (Alphabet.name alphabet a) in
+  let rec subst = function
+    | Formula.True -> Formula.True
+    | Formula.False -> Formula.False
+    | Formula.Atom p ->
+        Formula.disj
+          (List.filter_map
+             (fun a -> if List.mem p (labeling a) then Some (letter_atom a) else None)
+             letters)
+    | Formula.Not (Formula.Atom p) ->
+        (* exactly one letter-proposition holds per position *)
+        Formula.disj
+          (List.filter_map
+             (fun a -> if List.mem p (labeling a) then None else Some (letter_atom a))
+             letters)
+    | Formula.Not _ -> assert false (* nnf *)
+    | Formula.And (g, h) -> Formula.and_ (subst g) (subst h)
+    | Formula.Or (g, h) -> Formula.or_ (subst g) (subst h)
+    | Formula.Next g -> Formula.next (subst g)
+    | Formula.Until (g, h) -> Formula.until (subst g) (subst h)
+    | Formula.Release (g, h) -> Formula.release (subst g) (subst h)
+    | Formula.Implies _ | Formula.Iff _ | Formula.Wuntil _ | Formula.Back _
+    | Formula.Eventually _ | Formula.Always _ ->
+        assert false (* nnf *)
+  in
+  subst (Formula.nnf f)
+
+let is_sigma_normal ~alphabet f =
+  Formula.is_negation_free f
+  && List.for_all (Alphabet.mem_name alphabet) (Formula.atoms f)
+
+let epsilon_labeling ~abstract h a =
+  match h a with
+  | Some b -> [ Alphabet.name abstract b ]
+  | None -> [ eps_prop ]
+
+(* Expand sugar first: ◇ and □ are positive and stay negation-free; ⇒, ⇔
+   and B would introduce negations and are rejected with the rest. *)
+let check_sigma_normal ~abstract f =
+  let f' = Formula.expand f in
+  if not (is_sigma_normal ~alphabet:abstract f') then
+    invalid_arg
+      (Printf.sprintf "Transform: formula %s is not in Σ'-normal form"
+         (Formula.to_string f));
+  f'
+
+(* vis = "this position is not erased" = ⋁ of all abstract letters. *)
+let visible abstract =
+  Formula.disj
+    (List.map (fun a -> Formula.Atom (Alphabet.name abstract a)) (Alphabet.symbols abstract))
+
+let eps = Formula.Atom eps_prop
+
+(* Shared recursion for T and R̄. [wrap_bool] says what to do with a
+   maximal pure-Boolean subformula: T leaves it alone, R̄ anchors it to the
+   next visible position. [u] is the until flavor used for the anchors and
+   for the skip-forward obligations (strong U, or weak W for vacuous truth
+   on all-ε tails). *)
+let rec transform ~vis ~wrap_bool ~u f =
+  if Formula.is_pure_boolean f then wrap_bool f
+  else
+    let k = transform ~vis ~wrap_bool ~u in
+    match (f : Formula.t) with
+    | And (g, h) -> Formula.and_ (k g) (k h)
+    | Or (g, h) -> Formula.or_ (k g) (k h)
+    | Next g ->
+        (* at the first visible position from here, the next position
+           starts the evaluation of g *)
+        u eps (Formula.and_ vis (Formula.next (k g)))
+    | Until (g, h) -> u (Formula.or_ eps (k g)) (Formula.and_ vis (k h))
+    | Release (g, h) ->
+        Formula.release (Formula.and_ vis (k g)) (Formula.or_ eps (k h))
+    | True | False | Atom _ -> wrap_bool f
+    | Not _ | Implies _ | Iff _ | Wuntil _ | Back _ | Eventually _ | Always _
+      ->
+        assert false (* Σ'-normal form *)
+
+let t_transform ~abstract f =
+  let f = check_sigma_normal ~abstract f in
+  transform ~vis:(visible abstract) ~wrap_bool:Fun.id ~u:Formula.until f
+
+let rbar ~abstract ?(eps_tail = `Strong) f =
+  let f = check_sigma_normal ~abstract f in
+  let u =
+    match eps_tail with
+    | `Strong -> Formula.until
+    | `Weak ->
+        (* [◇□ε] holds exactly on the suffixes whose homomorphic image is
+           finite (the "h(x) undefined" case); disjoining it into every
+           introduced until makes R̄(f) vacuously true there — as the proof
+           of Theorem 8.3 needs — while leaving the semantics on
+           defined-image words untouched (there [◇□ε] is false
+           everywhere). *)
+        let erased_tail = Formula.eventually (Formula.always eps) in
+        fun f g -> Formula.or_ (Formula.until f g) erased_tail
+  in
+  let wrap_bool b = u eps b in
+  transform ~vis:(visible abstract) ~wrap_bool ~u f

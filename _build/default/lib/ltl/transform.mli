@@ -1,0 +1,76 @@
+(** Normal forms and the formula transformations of Section 7.
+
+    An abstracting homomorphism [h : Σ → Σ' ∪ {ε}] renames or hides
+    letters. A property [η] established over the abstract alphabet [Σ']
+    cannot be read back directly over [Σ]: renamed letters are handled by
+    the labeling [λ_hΣΣ'] ([λ(a) = {h(a)}], Definition 7.3), and hidden
+    letters — positions labeled only with the pseudo-proposition [ε] — must
+    be skipped by the formula itself. [rbar] (the paper's [R̄], built on the
+    [T] of Figure 5 / Definition 7.4) performs that skipping, so that
+    Lemma 7.5 holds: [x, λ_hΣΣ' ⊨ R̄(η)  ⟺  h(x), λ_Σ' ⊨ η] whenever [h(x)]
+    is defined.
+
+    The paper's Figure 5 (an image in our source) is reconstructed here
+    with one repair, documented in DESIGN.md: the until-witness and the
+    next-step obligation are anchored at {e visible} positions
+    ([vis = ⋁ Σ']); without the anchor, nested [◯] can fire one visible
+    letter too early. The reconstruction is validated against Lemma 7.5 by
+    a randomized test over formulas, homomorphisms and words. *)
+
+open Rl_sigma
+
+(** The pseudo-proposition standing for "this position was erased by the
+    homomorphism". Deliberately not expressible in the parser's atom
+    syntax, so it cannot collide with user propositions. *)
+val eps_prop : string
+
+(** {1 Σ-normal form (Definition 7.2)} *)
+
+(** [sigma_normal_form ~alphabet ~labeling f] is a formula [f'] in Σ-normal
+    form — negation-free, atoms drawn from the symbol names of [alphabet] —
+    such that for all [x]: [x, labeling ⊨ f ⟺ x, λ_Σ ⊨ f'].
+    Each literal [p] becomes the disjunction of the letters carrying [p];
+    [¬p] the disjunction of the letters not carrying it (sound because
+    exactly one letter-proposition holds per position under [λ_Σ]). *)
+val sigma_normal_form :
+  alphabet:Alphabet.t -> labeling:Semantics.labeling -> Formula.t -> Formula.t
+
+(** [is_sigma_normal ~alphabet f] — [f] is negation-free and every atom
+    names a symbol of [alphabet]. *)
+val is_sigma_normal : alphabet:Alphabet.t -> Formula.t -> bool
+
+(** {1 Homomorphism labelings} *)
+
+(** [epsilon_labeling ~abstract h] is [λ_hΣΣ'] of Definition 7.3: symbol
+    [a] of the concrete alphabet is labeled [{name (h a)}], or [{ε}] when
+    [h a = None]. *)
+val epsilon_labeling :
+  abstract:Alphabet.t -> (Alphabet.symbol -> Alphabet.symbol option) ->
+  Semantics.labeling
+
+(** {1 The transformations} *)
+
+(** [t_transform ~abstract f] is [T(f)] (Definition 7.4): the temporal
+    skeleton is rewritten to skip [ε]-positions; pure-Boolean subformulas
+    are left in place. [f] must be in Σ'-normal form for [abstract].
+    @raise Invalid_argument otherwise. *)
+val t_transform : abstract:Alphabet.t -> Formula.t -> Formula.t
+
+(** [rbar ~abstract ?eps_tail f] is [R̄(f)]: [T(f)] with every maximal
+    pure-Boolean subformula [ξb] additionally anchored to the next visible
+    position ([(ε) U ξb]).
+
+    [eps_tail] selects the reading on runs whose homomorphic image is
+    finite (an all-[ε] tail — the "[h(x)] undefined" case): [`Strong]
+    (the default) uses the paper's literal strong until, under which such
+    runs can only satisfy the [R]-shaped obligations; [`Weak] (for
+    compatibility with the vacuous-truth claim in the proof sketch of
+    Theorem 8.3) additionally disjoins [◇□ε] into every introduced until,
+    making [R̄(f)] true on every divergent run. The two readings agree
+    whenever [h(x)] is defined.
+
+    {b Warning}: Theorem 8.3 is {e false} under the [`Weak] reading (see
+    DESIGN.md §4 for the counterexample our test suite found); the
+    verification pipeline in [Rl_core.Abstraction] uses [`Strong]. *)
+val rbar :
+  abstract:Alphabet.t -> ?eps_tail:[ `Weak | `Strong ] -> Formula.t -> Formula.t

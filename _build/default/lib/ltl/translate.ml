@@ -1,0 +1,194 @@
+open Rl_sigma
+open Rl_buchi
+
+module FSet = Set.Make (struct
+  type t = Formula.t
+
+  let compare = Formula.compare
+end)
+
+(* GPVW tableau node. [old_] holds the processed obligations for the
+   current position (literals constrain the letter read when leaving the
+   node); [next_] holds obligations passed to the successor position. *)
+type node = {
+  id : int;
+  mutable incoming : int list; (* -1 stands for the virtual initial node *)
+  new_ : FSet.t;
+  old_ : FSet.t;
+  next_ : FSet.t;
+}
+
+let contradicts old_ f =
+  match (f : Formula.t) with
+  | True -> false
+  | False -> true
+  | Atom _ -> FSet.mem (Formula.Not f) old_
+  | Not (Atom _ as a) -> FSet.mem a old_
+  | _ -> false
+
+let is_literal (f : Formula.t) =
+  match f with True | False | Atom _ | Not (Atom _) -> true | _ -> false
+
+let to_buchi ~alphabet ~labeling f =
+  let f = Formula.nnf f in
+  let counter = ref 0 in
+  let fresh () =
+    let id = !counter in
+    incr counter;
+    id
+  in
+  let nodes : node list ref = ref [] in
+  (* expand is the core GPVW recursion over unprocessed obligations. *)
+  let rec expand node =
+    match FSet.choose_opt node.new_ with
+    | None -> (
+        match
+          List.find_opt
+            (fun nd -> FSet.equal nd.old_ node.old_ && FSet.equal nd.next_ node.next_)
+            !nodes
+        with
+        | Some nd -> nd.incoming <- node.incoming @ nd.incoming
+        | None ->
+            nodes := node :: !nodes;
+            expand
+              {
+                id = fresh ();
+                incoming = [ node.id ];
+                new_ = node.next_;
+                old_ = FSet.empty;
+                next_ = FSet.empty;
+              })
+    | Some eta -> (
+        let new_ = FSet.remove eta node.new_ in
+        if is_literal eta then begin
+          if not (contradicts node.old_ eta || eta = Formula.False) then
+            expand { node with new_; old_ = FSet.add eta node.old_ }
+          (* else: inconsistent node, discarded *)
+        end
+        else
+          match eta with
+          | Formula.And (g, h) ->
+              let add f s = if FSet.mem f node.old_ then s else FSet.add f s in
+              expand
+                { node with new_ = add g (add h new_); old_ = FSet.add eta node.old_ }
+          | Formula.Or (g, h) ->
+              let old_ = FSet.add eta node.old_ in
+              expand { node with id = node.id; new_ = FSet.add g new_; old_ };
+              expand { id = fresh (); incoming = node.incoming; new_ = FSet.add h new_; old_; next_ = node.next_ }
+          | Formula.Next g ->
+              expand
+                {
+                  node with
+                  new_;
+                  old_ = FSet.add eta node.old_;
+                  next_ = FSet.add g node.next_;
+                }
+          | Formula.Until (g, h) ->
+              let old_ = FSet.add eta node.old_ in
+              expand
+                {
+                  node with
+                  new_ = FSet.add g new_;
+                  old_;
+                  next_ = FSet.add eta node.next_;
+                };
+              expand
+                { id = fresh (); incoming = node.incoming; new_ = FSet.add h new_; old_; next_ = node.next_ }
+          | Formula.Release (g, h) ->
+              let old_ = FSet.add eta node.old_ in
+              expand
+                {
+                  node with
+                  new_ = FSet.add h new_;
+                  old_;
+                  next_ = FSet.add eta node.next_;
+                };
+              expand
+                {
+                  id = fresh ();
+                  incoming = node.incoming;
+                  new_ = FSet.add g (FSet.add h new_);
+                  old_;
+                  next_ = node.next_;
+                }
+          | Formula.True | Formula.False | Formula.Atom _ | Formula.Not _
+          | Formula.Implies _ | Formula.Iff _ | Formula.Wuntil _
+          | Formula.Back _ | Formula.Eventually _ | Formula.Always _ ->
+              assert false (* nnf output contains none of these here *))
+  in
+  let root_id = fresh () in
+  expand
+    {
+      id = root_id;
+      incoming = [ -1 ];
+      new_ = FSet.singleton f;
+      old_ = FSet.empty;
+      next_ = FSet.empty;
+    };
+  let node_list = !nodes in
+  (* Dense renumbering: node ids are sparse (discarded branches). *)
+  let id_map = Hashtbl.create 16 in
+  List.iteri (fun i nd -> Hashtbl.add id_map nd.id i) node_list;
+  let n_nodes = List.length node_list in
+  let iota = n_nodes in
+  (* extra virtual initial state *)
+  let k = Alphabet.size alphabet in
+  (* A letter matches a node when it satisfies all its literals. *)
+  let letter_matches nd a =
+    let props = labeling a in
+    FSet.for_all
+      (fun lit ->
+        match (lit : Formula.t) with
+        | Atom p -> List.mem p props
+        | Not (Atom p) -> not (List.mem p props)
+        | True -> true
+        | _ -> true (* non-literals in old_ impose no letter constraint *))
+      nd.old_
+  in
+  let transitions = ref [] in
+  List.iter
+    (fun target ->
+      let tgt = Hashtbl.find id_map target.id in
+      let letters =
+        List.filter (letter_matches target) (List.init k Fun.id)
+      in
+      List.iter
+        (fun src_id ->
+          let src =
+            if src_id = -1 then iota
+            else
+              match Hashtbl.find_opt id_map src_id with
+              | Some s -> s
+              | None -> -1 (* source branch was discarded *)
+          in
+          if src >= 0 then
+            List.iter (fun a -> transitions := (src, a, tgt) :: !transitions) letters)
+        target.incoming)
+    node_list;
+  (* Acceptance: one set per until subformula g U h:
+     nodes with  (g U h ∉ old) ∨ (h ∈ old). *)
+  let untils =
+    List.filter
+      (fun g -> match (g : Formula.t) with Until _ -> true | _ -> false)
+      (Formula.subformulas f)
+  in
+  let accepting_sets =
+    List.map
+      (fun u ->
+        let h = match (u : Formula.t) with Until (_, h) -> h | _ -> assert false in
+        List.filter_map
+          (fun nd ->
+            if (not (FSet.mem u nd.old_)) || FSet.mem h nd.old_ then
+              Some (Hashtbl.find id_map nd.id)
+            else None)
+          node_list)
+      untils
+  in
+  let g =
+    Buchi.Gba.create ~alphabet ~states:(n_nodes + 1) ~initial:[ iota ]
+      ~accepting_sets ~transitions:!transitions ()
+  in
+  Buchi.trim (Buchi.Gba.degeneralize g)
+
+let to_buchi_neg ~alphabet ~labeling f =
+  to_buchi ~alphabet ~labeling (Formula.not_ f)

@@ -1,0 +1,24 @@
+(** Translation of PLTL formulas to Büchi automata (the tableau
+    construction of Gerth–Peled–Vardi–Wolper, "Simple on-the-fly automatic
+    verification of linear temporal logic").
+
+    This provides the automaton for [L_η = {x | x, λ ⊨ η}] used by all the
+    decision procedures of the paper: relative liveness (Lemma 4.3),
+    relative safety (Lemma 4.4, via the automaton of [¬η]) and classical
+    satisfaction. The construction goes formula → negation normal form →
+    generalized Büchi (one acceptance set per until subformula) →
+    degeneralized Büchi, interpreted over an alphabet [Σ] through a
+    labeling [λ : Σ → 2^AP]. *)
+
+open Rl_sigma
+
+(** [to_buchi ~alphabet ~labeling f] accepts exactly
+    [{x ∈ Σ^ω | x, λ ⊨ f}]. *)
+val to_buchi :
+  alphabet:Alphabet.t -> labeling:Semantics.labeling -> Formula.t -> Rl_buchi.Buchi.t
+
+(** [to_buchi_neg ~alphabet ~labeling f] accepts the complement
+    [{x | x, λ ⊭ f}] — by translating [¬f], which is exponentially cheaper
+    than complementing the automaton of [f]. *)
+val to_buchi_neg :
+  alphabet:Alphabet.t -> labeling:Semantics.labeling -> Formula.t -> Rl_buchi.Buchi.t

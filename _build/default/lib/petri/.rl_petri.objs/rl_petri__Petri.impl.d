@@ -1,0 +1,1 @@
+lib/petri/petri.ml: Alphabet Array Format Fun Hashtbl List Nfa Printf Queue Rl_automata Rl_sigma String

@@ -1,0 +1,1 @@
+lib/petri/petri.mli: Alphabet Format Nfa Rl_automata Rl_sigma

@@ -1,0 +1,163 @@
+open Rl_sigma
+open Rl_automata
+
+type marking = int array
+
+type transition = {
+  label : string;
+  consume : (int * int) array; (* (place, weight) *)
+  produce : (int * int) array;
+}
+
+type t = {
+  place_names : string array;
+  place_index : (string, int) Hashtbl.t;
+  transitions : transition array;
+  initial : marking;
+  alphabet : Alphabet.t;
+  label_sym : int array; (* transition index -> alphabet symbol *)
+}
+
+let create ~places ~transitions =
+  if places = [] then invalid_arg "Petri.create: no places";
+  let place_names = Array.of_list (List.map fst places) in
+  let place_index = Hashtbl.create 16 in
+  Array.iteri
+    (fun i n ->
+      if Hashtbl.mem place_index n then
+        invalid_arg (Printf.sprintf "Petri.create: duplicate place %S" n);
+      Hashtbl.add place_index n i)
+    place_names;
+  let initial =
+    Array.of_list
+      (List.map
+         (fun (n, tokens) ->
+           if tokens < 0 then
+             invalid_arg (Printf.sprintf "Petri.create: negative tokens in %S" n);
+           tokens)
+         places)
+  in
+  let resolve side =
+    Array.of_list
+      (List.map
+         (fun (name, w) ->
+           if w < 0 then invalid_arg "Petri.create: negative arc weight";
+           match Hashtbl.find_opt place_index name with
+           | Some i -> (i, w)
+           | None ->
+               invalid_arg (Printf.sprintf "Petri.create: unknown place %S" name))
+         side)
+  in
+  let transitions =
+    Array.of_list
+      (List.map
+         (fun (label, consumed, produced) ->
+           { label; consume = resolve consumed; produce = resolve produced })
+         transitions)
+  in
+  let labels =
+    Array.to_list transitions
+    |> List.map (fun tr -> tr.label)
+    |> List.sort_uniq String.compare
+  in
+  if labels = [] then invalid_arg "Petri.create: no transitions";
+  let alphabet = Alphabet.make labels in
+  let label_sym =
+    Array.map (fun tr -> Alphabet.symbol alphabet tr.label) transitions
+  in
+  { place_names; place_index; transitions; initial; alphabet; label_sym }
+
+let num_places n = Array.length n.place_names
+let num_transitions n = Array.length n.transitions
+let place_names n = Array.to_list n.place_names
+let initial_marking n = Array.copy n.initial
+let alphabet n = n.alphabet
+
+let enabled n m i =
+  Array.for_all (fun (p, w) -> m.(p) >= w) n.transitions.(i).consume
+
+let fire n m i =
+  if not (enabled n m i) then invalid_arg "Petri.fire: transition not enabled";
+  let m' = Array.copy m in
+  Array.iter (fun (p, w) -> m'.(p) <- m'.(p) - w) n.transitions.(i).consume;
+  Array.iter (fun (p, w) -> m'.(p) <- m'.(p) + w) n.transitions.(i).produce;
+  m'
+
+let enabled_transitions n m =
+  List.filter (enabled n m) (List.init (num_transitions n) Fun.id)
+
+exception Unbounded of string
+
+let reachability_graph ?(bound = 64) n =
+  let table : (marking, int) Hashtbl.t = Hashtbl.create 64 in
+  let rev = ref [] in
+  let count = ref 0 in
+  let intern m =
+    match Hashtbl.find_opt table m with
+    | Some id -> (id, false)
+    | None ->
+        Array.iteri
+          (fun p tokens -> if tokens > bound then raise (Unbounded n.place_names.(p)))
+          m;
+        let id = !count in
+        incr count;
+        Hashtbl.add table m id;
+        rev := m :: !rev;
+        (id, true)
+  in
+  let init = initial_marking n in
+  let _ = intern init in
+  let queue = Queue.create () in
+  Queue.add init queue;
+  let edges = ref [] in
+  while not (Queue.is_empty queue) do
+    let m = Queue.pop queue in
+    let src = Hashtbl.find table m in
+    List.iter
+      (fun i ->
+        let m' = fire n m i in
+        let dst, fresh = intern m' in
+        if fresh then Queue.add m' queue;
+        edges := (src, n.label_sym.(i), dst) :: !edges)
+      (enabled_transitions n m)
+  done;
+  let nfa =
+    Nfa.create ~alphabet:n.alphabet ~states:!count ~initial:[ 0 ]
+      ~finals:(List.init !count Fun.id) ~transitions:!edges ()
+  in
+  (nfa, Array.of_list (List.rev !rev))
+
+let is_bounded ?(bound = 64) n =
+  match reachability_graph ~bound n with
+  | _ -> true
+  | exception Unbounded _ -> false
+
+let pp_marking n ppf m =
+  Format.fprintf ppf "{";
+  let first = ref true in
+  Array.iteri
+    (fun p tokens ->
+      if tokens > 0 then begin
+        if not !first then Format.fprintf ppf ", ";
+        first := false;
+        if tokens = 1 then Format.pp_print_string ppf n.place_names.(p)
+        else Format.fprintf ppf "%s:%d" n.place_names.(p) tokens
+      end)
+    m;
+  Format.fprintf ppf "}"
+
+let pp ppf n =
+  Format.fprintf ppf "@[<v>Petri net: %d places, %d transitions@,"
+    (num_places n) (num_transitions n);
+  Format.fprintf ppf "  initial %a@," (pp_marking n) n.initial;
+  Array.iter
+    (fun tr ->
+      Format.fprintf ppf "  %s: consume [%s] produce [%s]@," tr.label
+        (String.concat "; "
+           (Array.to_list
+              (Array.map (fun (p, w) -> Printf.sprintf "%s:%d" n.place_names.(p) w) tr.consume)))
+        (String.concat "; "
+           (Array.to_list
+              (Array.map (fun (p, w) -> Printf.sprintf "%s:%d" n.place_names.(p) w) tr.produce))))
+    n.transitions;
+  Format.fprintf ppf "@]"

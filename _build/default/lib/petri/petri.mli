@@ -1,0 +1,78 @@
+(** Place/transition Petri nets, and their reachability graphs.
+
+    The paper's running example (Figure 1) is a Petri net whose
+    reachability graph (Figure 2) is the finite-state behavior
+    representation everything else operates on. This module implements
+    exactly that pipeline: nets with weighted arcs, the firing rule, and
+    bounded reachability-graph construction producing a labeled transition
+    system (a trim, all-states-final NFA whose language is the prefix-closed
+    set of firing sequences, labeled by transition names). *)
+
+open Rl_sigma
+open Rl_automata
+
+type t
+
+(** A marking: tokens per place, indexed by place id. *)
+type marking = int array
+
+(** {1 Construction} *)
+
+(** [create ~places ~transitions] builds a net.
+    [places] are [(name, initial_tokens)]; [transitions] are
+    [(label, consumed, produced)] where [consumed]/[produced] list
+    [(place_name, weight)] pairs. Transition labels need not be unique
+    (two transitions may produce the same observable action).
+    @raise Invalid_argument on unknown place names, negative weights or
+    negative initial tokens. *)
+val create :
+  places:(string * int) list ->
+  transitions:(string * (string * int) list * (string * int) list) list ->
+  t
+
+(** {1 Accessors} *)
+
+val num_places : t -> int
+val num_transitions : t -> int
+val place_names : t -> string list
+val initial_marking : t -> marking
+
+(** [alphabet n] is the alphabet of distinct transition labels. *)
+val alphabet : t -> Alphabet.t
+
+(** {1 Token game} *)
+
+(** [enabled n m i] — transition [i] can fire in marking [m]. *)
+val enabled : t -> marking -> int -> bool
+
+(** [fire n m i] is the successor marking.
+    @raise Invalid_argument if not enabled. *)
+val fire : t -> marking -> int -> marking
+
+(** [enabled_transitions n m] lists the indices of enabled transitions. *)
+val enabled_transitions : t -> marking -> int list
+
+(** {1 Reachability} *)
+
+exception Unbounded of string
+(** Raised (with the offending place's name) when the reachability graph
+    construction exceeds its marking bound, witnessing unboundedness up to
+    that bound. *)
+
+(** [reachability_graph ?bound n] explores the markings reachable from the
+    initial marking and returns the labeled transition system: states are
+    reachable markings, edges are firings labeled with transition labels,
+    every state final (the language is the prefix-closed set of firing
+    sequences — the paper's [L]). [bound] (default [64]) caps tokens per
+    place; exceeding it raises {!Unbounded}.
+    Also returns the marking of each state. *)
+val reachability_graph : ?bound:int -> t -> Nfa.t * marking array
+
+(** [is_bounded ?bound n] — no reachable marking exceeds [bound] tokens in
+    any place. *)
+val is_bounded : ?bound:int -> t -> bool
+
+(** {1 Output} *)
+
+val pp : Format.formatter -> t -> unit
+val pp_marking : t -> Format.formatter -> marking -> unit

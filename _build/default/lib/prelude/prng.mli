@@ -1,0 +1,30 @@
+(** Deterministic splittable pseudo-random generator (SplitMix64).
+
+    All randomized constructions in the library (random automata, random
+    formulas, fair-run sampling, benchmark workloads) draw from this
+    generator so that every experiment is reproducible from a printed seed;
+    nothing uses the ambient [Stdlib.Random] state. *)
+
+type t
+
+(** [create seed] is a fresh generator determined entirely by [seed]. *)
+val create : int -> t
+
+(** [int t bound] is uniform in [0 .. bound-1]. [bound] must be positive. *)
+val int : t -> int -> int
+
+(** [bool t] is a uniform boolean. *)
+val bool : t -> bool
+
+(** [float t] is uniform in [0, 1). *)
+val float : t -> float
+
+(** [split t] is a new generator statistically independent of the future of
+    [t]. *)
+val split : t -> t
+
+(** [choose t xs] picks a uniform element of the non-empty list [xs]. *)
+val choose : t -> 'a list -> 'a
+
+(** [shuffle t a] shuffles the array [a] in place (Fisher–Yates). *)
+val shuffle : t -> 'a array -> unit

@@ -1,0 +1,27 @@
+type t = { parent : int array; rank : int array; mutable classes : int }
+
+let create n =
+  { parent = Array.init n (fun i -> i); rank = Array.make n 0; classes = n }
+
+let rec find uf i =
+  let p = uf.parent.(i) in
+  if p = i then i
+  else begin
+    let root = find uf p in
+    uf.parent.(i) <- root;
+    root
+  end
+
+let union uf i j =
+  let ri = find uf i and rj = find uf j in
+  if ri = rj then false
+  else begin
+    let ri, rj = if uf.rank.(ri) < uf.rank.(rj) then (rj, ri) else (ri, rj) in
+    uf.parent.(rj) <- ri;
+    if uf.rank.(ri) = uf.rank.(rj) then uf.rank.(ri) <- uf.rank.(ri) + 1;
+    uf.classes <- uf.classes - 1;
+    true
+  end
+
+let same uf i j = find uf i = find uf j
+let count uf = uf.classes

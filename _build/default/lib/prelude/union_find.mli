@@ -1,0 +1,24 @@
+(** Imperative union–find with path compression and union by rank.
+
+    Backbone of the Hopcroft–Karp language-equivalence check: two automata
+    states are merged whenever the algorithm proves their residual languages
+    equal. *)
+
+type t
+
+(** [create n] is a structure over the elements [0 .. n-1], each a
+    singleton. *)
+val create : int -> t
+
+(** [find uf i] is the canonical representative of [i]'s class. *)
+val find : t -> int -> int
+
+(** [union uf i j] merges the classes of [i] and [j]; returns [true] iff the
+    classes were distinct (a merge actually happened). *)
+val union : t -> int -> int -> bool
+
+(** [same uf i j] is [true] iff [i] and [j] are in the same class. *)
+val same : t -> int -> int -> bool
+
+(** [count uf] is the current number of classes. *)
+val count : t -> int

@@ -1,0 +1,1 @@
+lib/sigma/alphabet.ml: Array Format Fun Hashtbl List Printf

@@ -1,0 +1,1 @@
+lib/sigma/alphabet.mli: Format

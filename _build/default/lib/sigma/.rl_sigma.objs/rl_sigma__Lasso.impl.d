@@ -1,0 +1,1 @@
+lib/sigma/lasso.ml: Format List Word

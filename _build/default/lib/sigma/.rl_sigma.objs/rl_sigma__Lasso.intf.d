@@ -1,0 +1,1 @@
+lib/sigma/lasso.mli: Alphabet Format Word

@@ -1,0 +1,1 @@
+lib/sigma/word.ml: Alphabet Array Format List Stdlib

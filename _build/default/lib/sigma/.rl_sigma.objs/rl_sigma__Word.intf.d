@@ -1,0 +1,1 @@
+lib/sigma/word.mli: Alphabet Format

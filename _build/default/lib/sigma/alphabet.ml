@@ -1,0 +1,36 @@
+type symbol = int
+type t = { names : string array; index : (string, int) Hashtbl.t }
+
+let make names =
+  if names = [] then invalid_arg "Alphabet.make: empty alphabet";
+  let arr = Array.of_list names in
+  let index = Hashtbl.create (Array.length arr) in
+  Array.iteri
+    (fun i n ->
+      if Hashtbl.mem index n then
+        invalid_arg (Printf.sprintf "Alphabet.make: duplicate name %S" n);
+      Hashtbl.add index n i)
+    arr;
+  { names = arr; index }
+
+let size a = Array.length a.names
+
+let name a s =
+  if s < 0 || s >= size a then invalid_arg "Alphabet.name: bad symbol";
+  a.names.(s)
+
+let symbol a n = Hashtbl.find a.index n
+let symbol_opt a n = Hashtbl.find_opt a.index n
+let mem_name a n = Hashtbl.mem a.index n
+let symbols a = List.init (size a) Fun.id
+let names a = Array.to_list a.names
+let equal a b = a.names = b.names
+
+let pp ppf a =
+  Format.fprintf ppf "{%a}"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+       Format.pp_print_string)
+    (names a)
+
+let pp_symbol a ppf s = Format.pp_print_string ppf (name a s)

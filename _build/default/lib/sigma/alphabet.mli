@@ -1,0 +1,46 @@
+(** Finite alphabets with named symbols.
+
+    A symbol is an [int] in [0 .. size-1]; the alphabet records the
+    bijection between symbols and their user-facing names. Automata, words
+    and homomorphisms all carry an alphabet so that printed output uses the
+    action names of the modelled system (e.g. [request], [result]). *)
+
+type t
+
+(** A symbol of an alphabet: an index in [0 .. size-1]. *)
+type symbol = int
+
+(** [make names] builds an alphabet whose symbols are the given names, in
+    order. @raise Invalid_argument on duplicate or empty name lists. *)
+val make : string list -> t
+
+(** [size a] is the number of symbols. *)
+val size : t -> int
+
+(** [name a s] is the name of symbol [s]. *)
+val name : t -> symbol -> string
+
+(** [symbol a n] is the symbol named [n].
+    @raise Not_found if no symbol has that name. *)
+val symbol : t -> string -> symbol
+
+(** [symbol_opt a n] is [Some (symbol a n)] or [None]. *)
+val symbol_opt : t -> string -> symbol option
+
+(** [mem_name a n] tests whether [n] names a symbol of [a]. *)
+val mem_name : t -> string -> bool
+
+(** [symbols a] is [0; 1; ...; size a - 1]. *)
+val symbols : t -> symbol list
+
+(** [names a] is the list of names in symbol order. *)
+val names : t -> string list
+
+(** [equal a b] holds iff [a] and [b] have the same names in the same
+    order. *)
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit
+
+(** [pp_symbol a] prints a symbol by name. *)
+val pp_symbol : t -> Format.formatter -> symbol -> unit

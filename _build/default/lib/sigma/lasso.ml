@@ -1,0 +1,97 @@
+type t = { stem : Word.t; cycle : Word.t }
+
+(* Canonical form: the cycle is primitive (not a power of a shorter word)
+   and the stem cannot be shortened by rotating its last letter into the
+   cycle. Two ultimately periodic words are equal iff their canonical forms
+   are structurally equal. *)
+
+let primitive_cycle v =
+  let n = Word.length v in
+  let divides d = n mod d = 0 in
+  let is_period d =
+    let rec loop i = i >= n || (Word.get v i = Word.get v (i mod d) && loop (i + 1)) in
+    loop d
+  in
+  let rec find d = if divides d && is_period d then d else find (d + 1) in
+  let d = find 1 in
+  Word.prefix v d
+
+let rotate_right v =
+  let n = Word.length v in
+  Word.append (Word.prefix (Word.drop v (n - 1)) 1) (Word.prefix v (n - 1))
+
+let rec roll_back stem cycle =
+  let ls = Word.length stem in
+  if ls = 0 then (stem, cycle)
+  else
+    let last_stem = Word.get stem (ls - 1) in
+    let last_cycle = Word.get cycle (Word.length cycle - 1) in
+    if last_stem = last_cycle then
+      roll_back (Word.prefix stem (ls - 1)) (rotate_right cycle)
+    else (stem, cycle)
+
+let make stem cycle =
+  if Word.length cycle = 0 then invalid_arg "Lasso.make: empty cycle";
+  let cycle = primitive_cycle cycle in
+  let stem, cycle = roll_back stem cycle in
+  { stem; cycle }
+
+let of_cycle v = make Word.empty v
+
+let of_names a ~stem ~cycle =
+  make (Word.of_names a stem) (Word.of_names a cycle)
+
+let stem x = x.stem
+let cycle x = x.cycle
+let period x = Word.length x.cycle
+let spoke x = Word.length x.stem
+
+let at x i =
+  let ls = Word.length x.stem in
+  if i < ls then Word.get x.stem i
+  else Word.get x.cycle ((i - ls) mod Word.length x.cycle)
+
+let suffix x n =
+  let ls = Word.length x.stem in
+  if n <= ls then make (Word.drop x.stem n) x.cycle
+  else
+    let k = (n - ls) mod Word.length x.cycle in
+    make Word.empty (Word.append (Word.drop x.cycle k) (Word.prefix x.cycle k))
+
+let prefix x n = Word.of_list (List.init n (at x))
+let equal x y = Word.equal x.stem y.stem && Word.equal x.cycle y.cycle
+
+let compare x y =
+  let c = Word.compare x.stem y.stem in
+  if c <> 0 then c else Word.compare x.cycle y.cycle
+
+let hash x = (Word.hash x.stem * 31) + Word.hash x.cycle
+
+let rec gcd a b = if b = 0 then a else gcd b (a mod b)
+let lcm a b = a / gcd a b * b
+
+let common_prefix_length x y =
+  if equal x y then None
+  else
+    (* Two distinct ultimately periodic words must differ within the first
+       [max spoke + lcm of periods] letters. *)
+    let bound = max (spoke x) (spoke y) + lcm (period x) (period y) in
+    let rec loop i =
+      if i >= bound then Some bound else if at x i <> at y i then Some i else loop (i + 1)
+    in
+    loop 0
+
+let cantor_distance x y =
+  match common_prefix_length x y with
+  | None -> 0.
+  | Some n -> 1. /. float_of_int (n + 1)
+
+let map_word f w =
+  Word.of_list (List.filter_map f (Word.to_list w))
+
+let map f x =
+  let stem' = map_word f x.stem and cycle' = map_word f x.cycle in
+  if Word.length cycle' = 0 then Error stem' else Ok (make stem' cycle')
+
+let pp a ppf x =
+  Format.fprintf ppf "%a·(%a)^ω" (Word.pp a) x.stem (Word.pp a) x.cycle

@@ -1,0 +1,66 @@
+(** Ultimately periodic ω-words ("lassos"): [u · v^ω] with [v] non-empty.
+
+    Lassos are the finite representation of ω-words used throughout the
+    library: Büchi emptiness witnesses, LTL counterexamples, fair runs, and
+    the sample points of all randomized ω-language tests. Every lasso is kept
+    in a canonical form (primitive cycle, maximally rolled-back stem), so
+    that structural equality coincides with equality of the represented
+    ω-words. *)
+
+type t
+
+(** [make stem cycle] is [stem · cycle^ω], canonicalized.
+    @raise Invalid_argument if [cycle] is empty. *)
+val make : Word.t -> Word.t -> t
+
+(** [of_cycle v] is [v^ω]. *)
+val of_cycle : Word.t -> t
+
+(** [of_names a ~stem ~cycle] builds a lasso from symbol names. *)
+val of_names : Alphabet.t -> stem:string list -> cycle:string list -> t
+
+(** [stem x] is the canonical stem. *)
+val stem : t -> Word.t
+
+(** [cycle x] is the canonical (primitive) cycle. *)
+val cycle : t -> Word.t
+
+(** [at x i] is the [i]-th letter of the ω-word ([0]-based). *)
+val at : t -> int -> Alphabet.symbol
+
+(** [suffix x n] is the ω-word with the first [n] letters removed
+    (the paper's [x_(n...)]). *)
+val suffix : t -> int -> t
+
+(** [prefix x n] is the finite prefix of length [n]. *)
+val prefix : t -> int -> Word.t
+
+(** [equal x y] is equality of the represented ω-words. *)
+val equal : t -> t -> bool
+
+val compare : t -> t -> int
+val hash : t -> int
+
+(** [period x] is the length of the canonical cycle. *)
+val period : t -> int
+
+(** [spoke x] is the length of the canonical stem (the index at which the
+    periodic part starts). *)
+val spoke : t -> int
+
+(** [common_prefix_length x y] is [None] when [x] and [y] are equal, and
+    otherwise [Some n] with [n] the length of their longest common prefix. *)
+val common_prefix_length : t -> t -> int option
+
+(** [cantor_distance x y] is the paper's Definition 4.8 metric:
+    [1 / (|common(x,y)| + 1)], and [0] when [x = y]. *)
+val cantor_distance : t -> t -> float
+
+(** [map f x] applies a letter-to-letter-or-ε map to the ω-word. Returns
+    [Ok y] when the image is infinite (i.e. [f] keeps at least one letter of
+    the cycle) and [Error w] with the finite image word when the image is
+    finite — the "[h(x)] undefined" case of Definition 6.1. *)
+val map : (Alphabet.symbol -> Alphabet.symbol option) -> t -> (t, Word.t) result
+
+(** [pp a] prints as [u·(v)^ω]. *)
+val pp : Alphabet.t -> Format.formatter -> t -> unit

@@ -1,0 +1,48 @@
+type t = int array
+
+let empty = [||]
+let of_list = Array.of_list
+let to_list = Array.to_list
+let of_array = Array.copy
+let to_array = Array.copy
+let of_names a ns = Array.of_list (List.map (Alphabet.symbol a) ns)
+let length = Array.length
+let get w i = w.(i)
+let append = Array.append
+let snoc w s = Array.append w [| s |]
+let prefix w n = Array.sub w 0 n
+let drop w n = Array.sub w n (Array.length w - n)
+let prefixes w = List.init (Array.length w + 1) (fun n -> prefix w n)
+
+let is_prefix ~prefix w =
+  Array.length prefix <= Array.length w
+  && Array.for_all2 ( = ) prefix (Array.sub w 0 (Array.length prefix))
+
+let repeat w n = Array.concat (List.init n (fun _ -> w))
+
+let common_prefix_length a b =
+  let n = min (Array.length a) (Array.length b) in
+  let rec loop i = if i < n && a.(i) = b.(i) then loop (i + 1) else i in
+  loop 0
+
+let equal = ( = )
+let compare = Stdlib.compare
+let hash w = Array.fold_left (fun acc s -> (acc * 31) + s) 7 w
+
+let enumerate k len =
+  let rec go len =
+    if len = 0 then [ [] ]
+    else
+      let shorter = go (len - 1) in
+      List.concat_map (fun w -> List.init k (fun s -> s :: w)) shorter
+  in
+  (* Build in reversed-suffix order then fix orientation for lexicographic
+     enumeration. *)
+  go len |> List.map (fun l -> Array.of_list (List.rev l)) |> List.sort compare
+
+let pp a ppf w =
+  if Array.length w = 0 then Format.pp_print_string ppf "ε"
+  else
+    Format.pp_print_list
+      ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "·")
+      (Alphabet.pp_symbol a) ppf (to_list w)

@@ -1,0 +1,58 @@
+(** Finite words over an alphabet.
+
+    Words are immutable symbol arrays. They model the finite behaviors of a
+    system: elements of the prefix-closed language [L] in the paper, and the
+    [w] of the left quotients [cont(w, L)]. *)
+
+type t
+
+val empty : t
+val of_list : Alphabet.symbol list -> t
+val to_list : t -> Alphabet.symbol list
+val of_array : Alphabet.symbol array -> t
+val to_array : t -> Alphabet.symbol array
+
+(** [of_names a ns] is the word spelled by the symbol names [ns] in
+    alphabet [a]. @raise Not_found on an unknown name. *)
+val of_names : Alphabet.t -> string list -> t
+
+val length : t -> int
+
+(** [get w i] is the [i]-th symbol ([0]-based). *)
+val get : t -> int -> Alphabet.symbol
+
+val append : t -> t -> t
+
+(** [snoc w s] is [w] extended by one symbol [s]. *)
+val snoc : t -> Alphabet.symbol -> t
+
+(** [prefix w n] is the prefix of [w] of length [n]. *)
+val prefix : t -> int -> t
+
+(** [drop w n] is [w] without its first [n] symbols. *)
+val drop : t -> int -> t
+
+(** [prefixes w] is [pre(w)]: all prefixes of [w] including the empty word
+    and [w] itself, in increasing length order. *)
+val prefixes : t -> t list
+
+(** [is_prefix ~prefix w] tests whether [prefix] is a prefix of [w]. *)
+val is_prefix : prefix:t -> t -> bool
+
+(** [repeat w n] is [w] concatenated [n] times. *)
+val repeat : t -> int -> t
+
+(** [common_prefix_length a b] is the length of the longest common prefix. *)
+val common_prefix_length : t -> t -> int
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+
+(** [enumerate k len] is all [k^len] words of length [len] over a [k]-letter
+    alphabet, in lexicographic order. Intended for small brute-force
+    cross-checks in tests. *)
+val enumerate : int -> int -> t list
+
+(** [pp a] prints a word as dot-separated symbol names ([ε] when empty). *)
+val pp : Alphabet.t -> Format.formatter -> t -> unit

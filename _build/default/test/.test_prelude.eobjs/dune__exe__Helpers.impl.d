@@ -1,0 +1,1 @@
+test/helpers.ml: Formula Lasso List QCheck2 Rl_ltl Rl_prelude Rl_sigma Word

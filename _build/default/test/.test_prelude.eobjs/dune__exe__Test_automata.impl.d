@@ -1,0 +1,1 @@
+test/test_automata.ml: Alcotest Alphabet Array Bisim Dfa Fun Gen List Nfa Option QCheck2 QCheck_alcotest Rl_automata Rl_prelude Rl_sigma String Word

@@ -1,0 +1,1 @@
+test/test_buchi.ml: Alcotest Alphabet Array Buchi Complement Dfa Fun Gen Hashtbl Lasso List Nfa Omega_lang Option QCheck2 QCheck_alcotest Reduce Rl_automata Rl_buchi Rl_prelude Rl_sigma String Word

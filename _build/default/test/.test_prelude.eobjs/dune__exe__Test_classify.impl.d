@@ -1,0 +1,1 @@
+test/test_classify.ml: Alcotest Alphabet Buchi Classify Formula Helpers Lasso List Parser QCheck2 QCheck_alcotest Relative Rl_buchi Rl_core Rl_ltl Rl_sigma Semantics Translate

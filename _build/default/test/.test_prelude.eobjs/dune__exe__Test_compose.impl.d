@@ -1,0 +1,1 @@
+test/test_compose.ml: Alcotest Alphabet Dfa Helpers List Nfa QCheck2 QCheck_alcotest Rl_automata Rl_compose Rl_hom Rl_sigma Word

@@ -1,0 +1,1 @@
+test/test_fair.ml: Alcotest Alphabet Buchi Fun Helpers Lasso List QCheck2 QCheck_alcotest Rl_automata Rl_buchi Rl_fair Rl_prelude Rl_sigma

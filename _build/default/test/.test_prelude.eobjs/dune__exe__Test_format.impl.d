@@ -1,0 +1,1 @@
+test/test_format.ml: Alcotest Alphabet Dfa Gen Helpers List Nfa QCheck2 QCheck_alcotest Rl_automata Rl_core Rl_petri Rl_sigma Ts_format Word

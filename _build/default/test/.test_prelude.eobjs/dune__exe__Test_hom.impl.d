@@ -1,0 +1,1 @@
+test/test_hom.ml: Alcotest Alphabet Array Dfa Fun Gen Helpers Hom Lasso List Nfa QCheck2 QCheck_alcotest Rl_automata Rl_hom Rl_prelude Rl_sigma String Word

@@ -1,0 +1,1 @@
+test/test_ltl.ml: Alcotest Alphabet Array Buchi Formula Lasso List Option Parser Patterns QCheck2 QCheck_alcotest Rl_buchi Rl_ltl Rl_sigma Semantics Transform Translate Word

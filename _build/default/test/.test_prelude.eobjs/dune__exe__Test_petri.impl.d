@@ -1,0 +1,1 @@
+test/test_petri.ml: Alcotest Alphabet Array Fun Helpers List Nfa Petri Printf QCheck2 QCheck_alcotest Rl_automata Rl_petri Rl_prelude Rl_sigma String Word

@@ -1,0 +1,1 @@
+test/test_prelude.ml: Alcotest Array Bitset Fun List Prng QCheck2 QCheck_alcotest Rl_prelude Union_find

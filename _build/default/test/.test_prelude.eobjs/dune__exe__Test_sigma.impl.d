@@ -1,0 +1,1 @@
+test/test_sigma.ml: Alcotest Alphabet Fun Lasso List QCheck2 QCheck_alcotest Rl_sigma Word

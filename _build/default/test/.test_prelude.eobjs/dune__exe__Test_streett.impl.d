@@ -1,0 +1,1 @@
+test/test_streett.ml: Alcotest Alphabet Buchi Fair Fun Helpers List Parser QCheck2 QCheck_alcotest Rl_buchi Rl_fair Rl_ltl Rl_prelude Rl_sigma Semantics Streett Translate

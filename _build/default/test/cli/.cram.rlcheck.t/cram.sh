@@ -1,0 +1,32 @@
+  $ rlcheck info server.ts
+  $ rlcheck rl server.ts -f '[]<>result'
+  $ rlcheck sat server.ts -f '[]<>result'
+  $ rlcheck rl faulty.ts -f '[]<>result'
+  $ rlcheck rs server.ts -f '[]request'
+  $ rlcheck info server.pn
+  $ rlcheck impl server.ts -f '[]<>result' --samples 3
+  $ rlcheck abstract server.ts -f '[]<>result' --keep result,reject
+  $ rlcheck rl server.ts -f '[]<>'
+  $ echo "0 request" > broken.ts
+  $ rlcheck info broken.ts
+  $ rlcheck dot server.pn
+  $ rlcheck simple server.ts --keep result,reject
+  $ rlcheck decompose server.ts -f '[]<>result'
+  $ rlcheck decompose server.ts -f '[]result'
+  $ cat > phil_a.ts <<'TS'
+  > initial 0
+  > 0 think_a 0
+  > 0 sync 1
+  > 1 done_a 1
+  > TS
+  $ cat > phil_b.ts <<'TS'
+  > initial 0
+  > 0 think_b 0
+  > 0 sync 1
+  > 1 done_b 1
+  > TS
+  $ rlcheck compose phil_a.ts phil_b.ts
+  $ rlcheck fair server.ts -f '[]<>result'
+  $ rlcheck rl server.ts -f '<>(result & X request & X X result)'
+  $ rlcheck fair server.ts -f '<>(result & X request & X X result)' > fair.out 2>&1; echo "exit $?"
+  $ head -1 fair.out

@@ -1,0 +1,149 @@
+The rlcheck command-line tool, exercised on small systems.
+
+System statistics:
+
+  $ rlcheck info server.ts
+  states: 2
+  alphabet (3): {request, result, reject}
+  transitions: 3
+  deadlock states: 0
+
+Relative liveness of the progress property (Definition 4.1): every prefix
+can still be extended to a behavior with infinitely many results.
+
+  $ rlcheck rl server.ts -f '[]<>result'
+  RELATIVE LIVENESS: every prefix extends to a behavior satisfying []<>result
+
+Classical satisfaction fails, with an ultimately periodic counterexample:
+
+  $ rlcheck sat server.ts -f '[]<>result'
+  VIOLATED: counterexample ε·(request·reject)^ω
+  [1]
+
+The faulty variant loses the relative liveness property, and the tool
+reports a doomed prefix (after it, no continuation ever produces a
+result):
+
+  $ rlcheck rl faulty.ts -f '[]<>result'
+  NOT RELATIVE LIVENESS: doomed prefix request·reject
+  [1]
+
+Relative safety (Definition 4.2):
+
+  $ rlcheck rs server.ts -f '[]request'
+  RELATIVE SAFETY: violations are irredeemable
+
+Petri nets are accepted directly (.pn files are explored to their
+reachability graph):
+
+  $ rlcheck info server.pn
+  states: 2
+  alphabet (2): {consume, produce}
+  transitions: 2
+  deadlock states: 0
+
+The Theorem 5.1 fair implementation: same behaviors, and every strongly
+fair run satisfies the property (decided exactly via Streett emptiness,
+and sampled for illustration):
+
+  $ rlcheck impl server.ts -f '[]<>result' --samples 3
+  implementation: 6 states (system had 2)
+  behaviors preserved: yes
+  strongly fair runs sampled: 3, satisfying the property: 3
+  exact (Streett) check: every strongly fair run satisfies the property
+
+Verification through abstraction (Theorems 8.2/8.3): hide everything but
+the outcome actions; the homomorphism is simple here, so the abstract
+verdict transfers.
+
+  $ rlcheck abstract server.ts -f '[]<>result' --keep result,reject
+  abstraction: 2 states → 1 states
+  h(L) maximal words: false
+  h simple on L: true
+  abstract verdict: relative liveness holds
+  R̄(η) = false R (ε | true U ((result | reject) & ε U result))
+  conclusion: R̄(η) is a relative liveness property of lim(L) (Thm 8.2)
+
+Bad inputs are reported with positions:
+
+  $ rlcheck rl server.ts -f '[]<>'
+  rlcheck: formula "[]<>": unexpected token
+  [2]
+
+  $ echo "0 request" > broken.ts
+  $ rlcheck info broken.ts
+  rlcheck: broken.ts:1: expected 'alphabet ...', 'initial q...' or 'src label dst': "0 request"
+  [2]
+
+DOT export:
+
+  $ rlcheck dot server.pn
+  digraph nfa {
+    rankdir=LR;
+    init0 [shape=point];
+    init0 -> 0;
+    0 [shape=doublecircle];
+    1 [shape=doublecircle];
+    0 -> 1 [label="produce"];
+    1 -> 0 [label="consume"];
+  }
+
+Simplicity of an abstraction (Definition 6.3):
+
+  $ rlcheck simple server.ts --keep result,reject
+  configurations examined: 2
+  SIMPLE: abstract relative-liveness verdicts transfer (Theorem 8.2)
+
+Safety/liveness classification and decomposition (Alpern-Schneider):
+
+  $ rlcheck decompose server.ts -f '[]<>result'
+  property automaton: 4 states
+  safety property: false
+  liveness property: true
+  decomposition (Alpern–Schneider): safety closure 4 states, liveness part 20 states
+
+  $ rlcheck decompose server.ts -f '[]result'
+  property automaton: 2 states
+  safety property: true
+  liveness property: false
+  decomposition (Alpern–Schneider): safety closure 3 states, liveness part 14 states
+
+Parallel composition with synchronization on shared names:
+
+  $ cat > phil_a.ts <<'TS'
+  > initial 0
+  > 0 think_a 0
+  > 0 sync 1
+  > 1 done_a 1
+  > TS
+  $ cat > phil_b.ts <<'TS'
+  > initial 0
+  > 0 think_b 0
+  > 0 sync 1
+  > 1 done_b 1
+  > TS
+  $ rlcheck compose phil_a.ts phil_b.ts
+  alphabet think_a sync done_a think_b done_b
+  initial 0
+  0 think_a 0
+  0 sync 1
+  0 think_b 0
+  1 done_a 1
+  1 done_b 1
+
+Model checking under strong fairness (exact, via Streett emptiness). The
+server satisfies progress under fairness alone:
+
+  $ rlcheck fair server.ts -f '[]<>result'
+  FAIR-SATISFIED: every strongly fair run satisfies []<>result
+
+...but the Section-5 phenomenon shows on it too: "a result, then after
+the next request another result" is a relative liveness property that
+fairness alone does not deliver (the Theorem 5.1 implementation would):
+
+  $ rlcheck rl server.ts -f '<>(result & X request & X X result)'
+  RELATIVE LIVENESS: every prefix extends to a behavior satisfying <>(result & X request & X X result)
+  $ rlcheck fair server.ts -f '<>(result & X request & X X result)' > fair.out 2>&1; echo "exit $?"
+  exit 1
+  $ head -1 fair.out
+  FAIR-VIOLATED: a strongly fair run violates it:

@@ -1,0 +1,137 @@
+(* Tests for parallel composition and on-the-fly abstracted composition. *)
+
+open Rl_sigma
+open Rl_automata
+open Rl_compose.Compose
+
+(* component A: a private loop "ta" then a shared "sync" *)
+let comp_a =
+  let al = Alphabet.make [ "ta"; "sync" ] in
+  Nfa.create ~alphabet:al ~states:2 ~initial:[ 0 ] ~finals:[ 0; 1 ]
+    ~transitions:
+      [ (0, Alphabet.symbol al "ta", 0); (0, Alphabet.symbol al "sync", 1);
+        (1, Alphabet.symbol al "ta", 1) ]
+    ()
+
+(* component B: a private loop "tb" then the same shared "sync" *)
+let comp_b =
+  let al = Alphabet.make [ "tb"; "sync" ] in
+  Nfa.create ~alphabet:al ~states:2 ~initial:[ 0 ] ~finals:[ 0; 1 ]
+    ~transitions:
+      [ (0, Alphabet.symbol al "tb", 0); (0, Alphabet.symbol al "sync", 1);
+        (1, Alphabet.symbol al "tb", 1) ]
+    ()
+
+let test_union_alphabet () =
+  let al = union_alphabet comp_a comp_b in
+  Alcotest.(check (list string)) "names" [ "ta"; "sync"; "tb" ] (Alphabet.names al)
+
+let test_parallel_sync () =
+  let p = parallel comp_a comp_b in
+  let al = Nfa.alphabet p in
+  let w names = Word.of_names al names in
+  Alcotest.(check bool) "interleave then sync" true
+    (Nfa.accepts p (w [ "ta"; "tb"; "ta"; "sync"; "tb" ]));
+  Alcotest.(check bool) "sync only happens jointly: single sync ok" true
+    (Nfa.accepts p (w [ "sync" ]));
+  Alcotest.(check bool) "after sync, no second sync" false
+    (Nfa.accepts p (w [ "sync"; "sync" ]));
+  Alcotest.(check bool) "prefix-closed shape" true (Nfa.all_states_final p)
+
+let test_parallel_independent () =
+  (* disjoint alphabets: pure interleaving; state count = product *)
+  let mk names =
+    let al = Alphabet.make names in
+    Nfa.create ~alphabet:al ~states:2 ~initial:[ 0 ] ~finals:[ 0; 1 ]
+      ~transitions:[ (0, 0, 1); (1, 0, 0) ]
+      ()
+  in
+  let p = parallel (mk [ "x" ]) (mk [ "y" ]) in
+  Alcotest.(check int) "4 interleaved states" 4 (Nfa.states p);
+  let al = Nfa.alphabet p in
+  Alcotest.(check bool) "xyxy" true
+    (Nfa.accepts p (Word.of_names al [ "x"; "y"; "x"; "y" ]))
+
+(* Defining property of CSP composition: w ∈ L(a ∥ b) iff its projections
+   to each component's alphabet are in the component languages. *)
+let project al_sub al w =
+  Word.of_list
+    (List.filter_map
+       (fun s -> Alphabet.symbol_opt al_sub (Alphabet.name al s))
+       (Word.to_list w))
+
+let gen_ts names seed states =
+  Rl_automata.Gen.transition_system (Helpers.mk_rng seed)
+    ~alphabet:(Alphabet.make names) ~states ~branching:1.5
+
+let prop_parallel_projection =
+  QCheck2.Test.make ~name:"w ∈ a∥b iff projections are component words"
+    ~count:300
+    QCheck2.Gen.(
+      let* sa = 0 -- 1_000_000 in
+      let* sb = 0 -- 1_000_000 in
+      let* na = 1 -- 3 in
+      let* nb = 1 -- 3 in
+      let a = gen_ts [ "x"; "s" ] sa na in
+      let b = gen_ts [ "y"; "s" ] sb nb in
+      let* w = list_size (0 -- 6) (0 -- 2) in
+      return (a, b, w))
+    (fun (a, b, w) ->
+      let p = parallel a b in
+      let al = Nfa.alphabet p in
+      let w = Word.of_list (List.filter (fun s -> s < Alphabet.size al) w) in
+      let in_p = Nfa.accepts p w in
+      let proj_ok =
+        Nfa.accepts a (project (Nfa.alphabet a) al w)
+        && Nfa.accepts b (project (Nfa.alphabet b) al w)
+      in
+      in_p = proj_ok)
+
+let prop_abstracted_parallel_correct =
+  QCheck2.Test.make
+    ~name:"abstracted_parallel ≡ image of the full product" ~count:150
+    QCheck2.Gen.(
+      let* sa = 0 -- 1_000_000 in
+      let* sb = 0 -- 1_000_000 in
+      let* na = 1 -- 3 in
+      let* nb = 1 -- 3 in
+      let a = gen_ts [ "x"; "s" ] sa na in
+      let b = gen_ts [ "y"; "s" ] sb nb in
+      let* keep_mask = 1 -- 6 in
+      return (a, b, keep_mask))
+    (fun (a, b, keep_mask) ->
+      let al = union_alphabet a b in
+      let keep =
+        List.filteri (fun i _ -> keep_mask land (1 lsl i) <> 0) (Alphabet.names al)
+      in
+      if keep = [] then true
+      else begin
+        let hom = Rl_hom.Hom.hiding ~concrete:al ~keep in
+        let direct, stats = abstracted_parallel hom a b in
+        let reference = Rl_hom.Hom.image_ts hom (parallel a b) in
+        stats.product_pairs_touched <= max 1 stats.product_pairs_total
+        &&
+        match
+          Dfa.equivalent
+            (Dfa.determinize direct)
+            (Dfa.determinize reference)
+        with
+        | Ok () -> true
+        | Error _ -> false
+      end)
+
+let qsuite =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_parallel_projection; prop_abstracted_parallel_correct ]
+
+let () =
+  Alcotest.run "compose"
+    [
+      ( "parallel",
+        [
+          Alcotest.test_case "union alphabet" `Quick test_union_alphabet;
+          Alcotest.test_case "synchronization" `Quick test_parallel_sync;
+          Alcotest.test_case "independence" `Quick test_parallel_independent;
+        ] );
+      ("properties", qsuite);
+    ]

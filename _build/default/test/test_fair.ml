@@ -1,0 +1,171 @@
+(* Tests for the fairness library: run well-formedness, strong/weak
+   fairness checks and the fair-run generator. *)
+
+open Rl_sigma
+open Rl_buchi
+open Rl_fair.Fair
+
+let ab = Alphabet.make [ "a"; "b" ]
+let a = Alphabet.symbol ab "a"
+let b = Alphabet.symbol ab "b"
+
+(* two states: 0 can do a (stay) or b (go to 1); 1 loops on a, or b back *)
+let sys =
+  Buchi.create ~alphabet:ab ~states:2 ~initial:[ 0 ] ~accepting:[ 0; 1 ]
+    ~transitions:[ (0, a, 0); (0, b, 1); (1, a, 1); (1, b, 0) ]
+    ()
+
+let test_is_run () =
+  let good = { stem = [ (0, b) ]; cycle = [ (1, a) ] } in
+  Alcotest.(check bool) "valid run" true (is_run sys good);
+  let bad_edge = { stem = []; cycle = [ (0, a); (1, a) ] } in
+  Alcotest.(check bool) "broken transition" false (is_run sys bad_edge);
+  let bad_cycle = { stem = []; cycle = [] } in
+  Alcotest.(check bool) "empty cycle" false (is_run sys bad_cycle);
+  let bad_init = { stem = [ (1, a) ]; cycle = [ (1, a) ] } in
+  Alcotest.(check bool) "wrong initial" false (is_run sys bad_init)
+
+let test_label_lasso () =
+  let r = { stem = [ (0, b) ]; cycle = [ (1, a); (1, b); (0, b) ] } in
+  Alcotest.(check bool) "labels" true
+    (Lasso.equal (label_lasso sys r)
+       (Lasso.of_names ab ~stem:[ "b" ] ~cycle:[ "a"; "b"; "b" ]))
+
+let test_strong_fairness () =
+  (* staying at 0 on a only: ignores the enabled b-transition *)
+  let unfair = { stem = []; cycle = [ (0, a) ] } in
+  Alcotest.(check bool) "unfair: enabled edge never taken" false
+    (is_strongly_fair sys unfair);
+  (* covering all four edges *)
+  let fair = { stem = []; cycle = [ (0, a); (0, b); (1, a); (1, b) ] } in
+  Alcotest.(check bool) "covering cycle is fair" true (is_strongly_fair sys fair);
+  Alcotest.(check bool) "covering cycle is a run" true (is_run sys fair)
+
+let test_weak_fairness () =
+  (* single-state cycle: both self-loops of 0... 0 has self-loop a and
+     edge b to 1; staying at 0 with only a is weakly unfair (b continuously
+     enabled). *)
+  let stay = { stem = []; cycle = [ (0, a) ] } in
+  Alcotest.(check bool) "weakly unfair" false (is_weakly_fair sys stay);
+  (* multi-state cycles have no continuously enabled transition *)
+  let move = { stem = []; cycle = [ (0, b); (1, b) ] } in
+  Alcotest.(check bool) "vacuously weakly fair" true (is_weakly_fair sys move)
+
+let test_accepting () =
+  let acc_sys =
+    Buchi.create ~alphabet:ab ~states:2 ~initial:[ 0 ] ~accepting:[ 1 ]
+      ~transitions:[ (0, a, 0); (0, b, 1); (1, b, 0) ]
+      ()
+  in
+  let through1 = { stem = []; cycle = [ (0, b); (1, b) ] } in
+  let avoid1 = { stem = []; cycle = [ (0, a) ] } in
+  Alcotest.(check bool) "visits accepting" true
+    (visits_accepting_infinitely acc_sys through1);
+  Alcotest.(check bool) "avoids accepting" false
+    (visits_accepting_infinitely acc_sys avoid1)
+
+let test_generate_unfair () =
+  let rng = Helpers.mk_rng 3 in
+  match generate_unfair rng sys ~avoid:[ 1 ] with
+  | None -> Alcotest.fail "expected a run avoiding state 1"
+  | Some r ->
+      Alcotest.(check bool) "is a run" true (is_run sys r);
+      Alcotest.(check bool) "cycle avoids 1" false
+        (List.mem 1 (infinitely_visited r))
+
+let test_generate_none_when_dead () =
+  (* all paths die: single state, no transitions *)
+  let dead =
+    Buchi.create ~alphabet:ab ~states:1 ~initial:[ 0 ] ~accepting:[ 0 ]
+      ~transitions:[] ()
+  in
+  Alcotest.(check bool) "no fair run" true
+    (generate_strongly_fair (Helpers.mk_rng 1) dead = None)
+
+(* --- properties --- *)
+
+let gen_buchi =
+  QCheck2.Gen.(
+    let* seed = 0 -- 1_000_000 in
+    let* states = 1 -- 6 in
+    let rng = Helpers.mk_rng seed in
+    let transitions = ref [] in
+    for q = 0 to states - 1 do
+      for sym = 0 to 1 do
+        for q' = 0 to states - 1 do
+          if Rl_prelude.Prng.float rng < 0.3 then
+            transitions := (q, sym, q') :: !transitions
+        done
+      done
+    done;
+    let accepting =
+      List.filter
+        (fun _ -> Rl_prelude.Prng.float rng < 0.5)
+        (List.init states Fun.id)
+    in
+    return
+      (Buchi.create ~alphabet:ab ~states ~initial:[ 0 ] ~accepting
+         ~transitions:!transitions ()))
+
+let prop_generated_runs_are_fair =
+  QCheck2.Test.make ~name:"generated runs are valid and strongly fair" ~count:300
+    QCheck2.Gen.(pair gen_buchi (0 -- 1_000_000))
+    (fun (bu, seed) ->
+      match generate_strongly_fair (Helpers.mk_rng seed) bu with
+      | None -> true
+      | Some r -> is_run bu r && is_strongly_fair bu r)
+
+let prop_strong_implies_weak =
+  QCheck2.Test.make ~name:"strong fairness implies weak fairness" ~count:300
+    QCheck2.Gen.(pair gen_buchi (0 -- 1_000_000))
+    (fun (bu, seed) ->
+      match generate_strongly_fair (Helpers.mk_rng seed) bu with
+      | None -> true
+      | Some r -> (not (is_strongly_fair bu r)) || is_weakly_fair bu r)
+
+let prop_fair_run_labels_are_behaviors =
+  (* over a transition system, the label lasso of any run is a behavior *)
+  QCheck2.Test.make ~name:"fair run labels are accepted behaviors" ~count:200
+    QCheck2.Gen.(
+      let* seed = 0 -- 1_000_000 in
+      let* states = 1 -- 5 in
+      let ts =
+        Rl_automata.Gen.transition_system (Helpers.mk_rng seed) ~alphabet:ab
+          ~states ~branching:1.5
+      in
+      let* rseed = 0 -- 1_000_000 in
+      return (Buchi.of_transition_system ts, rseed))
+    (fun (bu, rseed) ->
+      match generate_strongly_fair (Helpers.mk_rng rseed) bu with
+      | None -> true
+      | Some r -> Buchi.member bu (label_lasso bu r))
+
+let qsuite =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_generated_runs_are_fair;
+      prop_strong_implies_weak;
+      prop_fair_run_labels_are_behaviors;
+    ]
+
+let () =
+  Alcotest.run "fair"
+    [
+      ( "runs",
+        [
+          Alcotest.test_case "is_run" `Quick test_is_run;
+          Alcotest.test_case "label lasso" `Quick test_label_lasso;
+        ] );
+      ( "fairness",
+        [
+          Alcotest.test_case "strong" `Quick test_strong_fairness;
+          Alcotest.test_case "weak" `Quick test_weak_fairness;
+          Alcotest.test_case "accepting visits" `Quick test_accepting;
+        ] );
+      ( "generation",
+        [
+          Alcotest.test_case "unfair generator" `Quick test_generate_unfair;
+          Alcotest.test_case "dead system" `Quick test_generate_none_when_dead;
+        ] );
+      ("properties", qsuite);
+    ]

@@ -1,0 +1,154 @@
+(* Tests for the Petri net library: token game, reachability graphs,
+   boundedness detection. *)
+
+open Rl_sigma
+open Rl_automata
+open Rl_petri
+
+(* a producer/consumer net with a 1-slot buffer *)
+let prodcons =
+  Petri.create
+    ~places:[ ("ready", 1); ("buffer", 0) ]
+    ~transitions:
+      [
+        ("produce", [ ("ready", 1) ], [ ("buffer", 1) ]);
+        ("consume", [ ("buffer", 1) ], [ ("ready", 1) ]);
+      ]
+
+let test_firing () =
+  let m0 = Petri.initial_marking prodcons in
+  Alcotest.(check bool) "produce enabled" true (Petri.enabled prodcons m0 0);
+  Alcotest.(check bool) "consume disabled" false (Petri.enabled prodcons m0 1);
+  let m1 = Petri.fire prodcons m0 0 in
+  Alcotest.(check (list int)) "tokens moved" [ 0; 1 ] (Array.to_list m1);
+  Alcotest.(check bool) "consume now enabled" true (Petri.enabled prodcons m1 1);
+  Alcotest.check_raises "refire produce"
+    (Invalid_argument "Petri.fire: transition not enabled") (fun () ->
+      ignore (Petri.fire prodcons m1 0))
+
+let test_enabled_transitions () =
+  let m0 = Petri.initial_marking prodcons in
+  Alcotest.(check (list int)) "only produce" [ 0 ]
+    (Petri.enabled_transitions prodcons m0)
+
+let test_reachability () =
+  let ts, markings = Petri.reachability_graph prodcons in
+  Alcotest.(check int) "two markings" 2 (Nfa.states ts);
+  Alcotest.(check int) "marking array" 2 (Array.length markings);
+  let al = Nfa.alphabet ts in
+  let w names = Word.of_names al names in
+  Alcotest.(check bool) "alternating word" true
+    (Nfa.accepts ts (w [ "produce"; "consume"; "produce" ]));
+  Alcotest.(check bool) "double produce rejected" false
+    (Nfa.accepts ts (w [ "produce"; "produce" ]));
+  Alcotest.(check bool) "prefix closed" true (Nfa.all_states_final ts)
+
+let test_weighted_arcs () =
+  (* needs two tokens to fire *)
+  let net =
+    Petri.create
+      ~places:[ ("p", 2); ("q", 0) ]
+      ~transitions:[ ("both", [ ("p", 2) ], [ ("q", 1) ]) ]
+  in
+  let m0 = Petri.initial_marking net in
+  Alcotest.(check bool) "enabled with 2 tokens" true (Petri.enabled net m0 0);
+  let m1 = Petri.fire net m0 0 in
+  Alcotest.(check (list int)) "consumed both" [ 0; 1 ] (Array.to_list m1);
+  Alcotest.(check bool) "now disabled" false (Petri.enabled net m1 0)
+
+let test_unbounded () =
+  let net =
+    Petri.create
+      ~places:[ ("p", 1) ]
+      ~transitions:[ ("grow", [ ("p", 1) ], [ ("p", 2) ]) ]
+  in
+  Alcotest.(check bool) "unbounded detected" false (Petri.is_bounded ~bound:16 net);
+  Alcotest.check_raises "raises with place name" (Petri.Unbounded "p") (fun () ->
+      ignore (Petri.reachability_graph ~bound:16 net))
+
+let test_concurrent_independence () =
+  (* two independent loops: reachability graph is the product *)
+  let net =
+    Petri.create
+      ~places:[ ("a0", 1); ("a1", 0); ("b0", 1); ("b1", 0) ]
+      ~transitions:
+        [
+          ("ago", [ ("a0", 1) ], [ ("a1", 1) ]);
+          ("aback", [ ("a1", 1) ], [ ("a0", 1) ]);
+          ("bgo", [ ("b0", 1) ], [ ("b1", 1) ]);
+          ("bback", [ ("b1", 1) ], [ ("b0", 1) ]);
+        ]
+  in
+  let ts, _ = Petri.reachability_graph net in
+  Alcotest.(check int) "4 interleaved states" 4 (Nfa.states ts);
+  let al = Nfa.alphabet ts in
+  Alcotest.(check bool) "interleaving allowed" true
+    (Nfa.accepts ts (Word.of_names al [ "ago"; "bgo"; "aback"; "bback" ]))
+
+let test_errors () =
+  Alcotest.check_raises "unknown place"
+    (Invalid_argument "Petri.create: unknown place \"nope\"") (fun () ->
+      ignore
+        (Petri.create ~places:[ ("p", 1) ]
+           ~transitions:[ ("t", [ ("nope", 1) ], []) ]));
+  Alcotest.check_raises "duplicate place"
+    (Invalid_argument "Petri.create: duplicate place \"p\"") (fun () ->
+      ignore (Petri.create ~places:[ ("p", 1); ("p", 0) ] ~transitions:[]))
+
+(* random nets stay consistent: every edge of the reachability graph is a
+   legal firing *)
+let prop_reachability_edges_are_firings =
+  QCheck2.Test.make ~name:"reachability edges are legal firings" ~count:100
+    QCheck2.Gen.(0 -- 1_000_000)
+    (fun seed ->
+      let rng = Helpers.mk_rng seed in
+      let n_places = 2 + Rl_prelude.Prng.int rng 3 in
+      let places =
+        List.init n_places (fun i ->
+            (Printf.sprintf "p%d" i, Rl_prelude.Prng.int rng 2))
+      in
+      let n_trans = 1 + Rl_prelude.Prng.int rng 4 in
+      let pick () =
+        List.init (1 + Rl_prelude.Prng.int rng 2) (fun _ ->
+            (Printf.sprintf "p%d" (Rl_prelude.Prng.int rng n_places), 1))
+      in
+      let transitions =
+        List.init n_trans (fun i -> (Printf.sprintf "t%d" i, pick (), pick ()))
+      in
+      let net = Petri.create ~places ~transitions in
+      match Petri.reachability_graph ~bound:8 net with
+      | exception Petri.Unbounded _ -> true
+      | ts, markings ->
+          List.for_all
+            (fun (src, sym, dst) ->
+              (* some transition with this label connects the markings *)
+              let name = Alphabet.name (Nfa.alphabet ts) sym in
+              List.exists
+                (fun i ->
+                  Petri.enabled net markings.(src) i
+                  && Petri.fire net markings.(src) i = markings.(dst))
+                (List.init (Petri.num_transitions net) Fun.id)
+              && String.length name > 0)
+            (Nfa.transitions ts))
+
+let qsuite =
+  List.map QCheck_alcotest.to_alcotest [ prop_reachability_edges_are_firings ]
+
+let () =
+  Alcotest.run "petri"
+    [
+      ( "token-game",
+        [
+          Alcotest.test_case "firing" `Quick test_firing;
+          Alcotest.test_case "enabled transitions" `Quick test_enabled_transitions;
+          Alcotest.test_case "weighted arcs" `Quick test_weighted_arcs;
+        ] );
+      ( "reachability",
+        [
+          Alcotest.test_case "graph" `Quick test_reachability;
+          Alcotest.test_case "unboundedness" `Quick test_unbounded;
+          Alcotest.test_case "concurrency" `Quick test_concurrent_independence;
+        ] );
+      ("errors", [ Alcotest.test_case "bad input" `Quick test_errors ]);
+      ("properties", qsuite);
+    ]

@@ -1,0 +1,194 @@
+(* Tests for the prelude: bitsets, union-find, and the deterministic PRNG. *)
+
+open Rl_prelude
+
+(* --- Bitset --- *)
+
+let test_bitset_basic () =
+  let s = Bitset.create 100 in
+  Alcotest.(check bool) "empty" true (Bitset.is_empty s);
+  Bitset.add s 0;
+  Bitset.add s 63;
+  Bitset.add s 64;
+  Bitset.add s 99;
+  Alcotest.(check bool) "mem 63" true (Bitset.mem s 63);
+  Alcotest.(check bool) "mem 64" true (Bitset.mem s 64);
+  Alcotest.(check bool) "not mem 1" false (Bitset.mem s 1);
+  Alcotest.(check int) "cardinal" 4 (Bitset.cardinal s);
+  Bitset.remove s 63;
+  Alcotest.(check bool) "removed" false (Bitset.mem s 63);
+  Alcotest.(check (list int)) "elements sorted" [ 0; 64; 99 ] (Bitset.elements s)
+
+let test_bitset_bounds () =
+  let s = Bitset.create 10 in
+  Alcotest.check_raises "add out of range"
+    (Invalid_argument "Bitset: element out of range") (fun () -> Bitset.add s 10);
+  Alcotest.check_raises "negative"
+    (Invalid_argument "Bitset: element out of range") (fun () ->
+      ignore (Bitset.mem s (-1)))
+
+let test_bitset_setops () =
+  let mk xs = Bitset.of_list 70 xs in
+  let a = mk [ 1; 2; 65 ] and b = mk [ 2; 3; 65 ] in
+  let u = Bitset.copy a in
+  Bitset.union_into ~into:u b;
+  Alcotest.(check (list int)) "union" [ 1; 2; 3; 65 ] (Bitset.elements u);
+  let i = Bitset.copy a in
+  Bitset.inter_into ~into:i b;
+  Alcotest.(check (list int)) "inter" [ 2; 65 ] (Bitset.elements i);
+  let d = Bitset.copy a in
+  Bitset.diff_into ~into:d b;
+  Alcotest.(check (list int)) "diff" [ 1 ] (Bitset.elements d);
+  Alcotest.(check bool) "subset" true (Bitset.subset i a);
+  Alcotest.(check bool) "not subset" false (Bitset.subset a b);
+  Alcotest.(check bool) "disjoint" true (Bitset.disjoint d (mk [ 2; 3 ]));
+  Alcotest.(check bool) "equal to self copy" true (Bitset.equal a (Bitset.copy a));
+  Alcotest.(check int) "choose = min" 1 (Bitset.choose a)
+
+let prop_bitset_model =
+  (* bitsets behave like integer sets *)
+  QCheck2.Test.make ~name:"bitset agrees with a list-set model" ~count:500
+    QCheck2.Gen.(list_size (0 -- 40) (0 -- 59))
+    (fun xs ->
+      let s = Bitset.of_list 60 xs in
+      let model = List.sort_uniq compare xs in
+      Bitset.elements s = model
+      && Bitset.cardinal s = List.length model
+      && List.for_all (Bitset.mem s) model
+      && Bitset.hash s = Bitset.hash (Bitset.of_list 60 (List.rev xs)))
+
+(* --- Union-find --- *)
+
+let test_union_find () =
+  let uf = Union_find.create 6 in
+  Alcotest.(check int) "classes" 6 (Union_find.count uf);
+  Alcotest.(check bool) "merge" true (Union_find.union uf 0 1);
+  Alcotest.(check bool) "again no-op" false (Union_find.union uf 1 0);
+  Alcotest.(check bool) "same" true (Union_find.same uf 0 1);
+  Alcotest.(check bool) "different" false (Union_find.same uf 0 2);
+  ignore (Union_find.union uf 2 3);
+  ignore (Union_find.union uf 1 3);
+  Alcotest.(check bool) "transitive" true (Union_find.same uf 0 2);
+  Alcotest.(check int) "count" 3 (Union_find.count uf)
+
+let prop_union_find_equivalence =
+  QCheck2.Test.make ~name:"union-find maintains an equivalence relation"
+    ~count:300
+    QCheck2.Gen.(list_size (0 -- 30) (pair (0 -- 14) (0 -- 14)))
+    (fun merges ->
+      let uf = Union_find.create 15 in
+      List.iter (fun (i, j) -> ignore (Union_find.union uf i j)) merges;
+      (* reflexive, symmetric (trivially), and consistent with the merge
+         closure computed by a naive fixpoint *)
+      let reach = Array.make_matrix 15 15 false in
+      for i = 0 to 14 do
+        reach.(i).(i) <- true
+      done;
+      List.iter
+        (fun (i, j) ->
+          reach.(i).(j) <- true;
+          reach.(j).(i) <- true)
+        merges;
+      let changed = ref true in
+      while !changed do
+        changed := false;
+        for i = 0 to 14 do
+          for j = 0 to 14 do
+            for k = 0 to 14 do
+              if reach.(i).(j) && reach.(j).(k) && not reach.(i).(k) then begin
+                reach.(i).(k) <- true;
+                changed := true
+              end
+            done
+          done
+        done
+      done;
+      let ok = ref true in
+      for i = 0 to 14 do
+        for j = 0 to 14 do
+          if Union_find.same uf i j <> reach.(i).(j) then ok := false
+        done
+      done;
+      !ok)
+
+(* --- PRNG --- *)
+
+let test_prng_deterministic () =
+  let a = Prng.create 42 and b = Prng.create 42 in
+  let xs g = List.init 20 (fun _ -> Prng.int g 1000) in
+  Alcotest.(check (list int)) "same seed, same stream" (xs a) (xs b);
+  let c = Prng.create 43 in
+  Alcotest.(check bool) "different seed, different stream" true
+    (xs (Prng.create 42) <> xs c)
+
+let test_prng_bounds () =
+  let g = Prng.create 7 in
+  for _ = 1 to 1000 do
+    let x = Prng.int g 17 in
+    if x < 0 || x >= 17 then Alcotest.fail "out of bounds"
+  done;
+  Alcotest.check_raises "zero bound"
+    (Invalid_argument "Prng.int: bound must be positive") (fun () ->
+      ignore (Prng.int g 0))
+
+let test_prng_split_independent () =
+  let g = Prng.create 5 in
+  let h = Prng.split g in
+  let xs = List.init 10 (fun _ -> Prng.int g 100) in
+  let ys = List.init 10 (fun _ -> Prng.int h 100) in
+  Alcotest.(check bool) "split streams differ" true (xs <> ys)
+
+let test_prng_float_range () =
+  let g = Prng.create 11 in
+  for _ = 1 to 1000 do
+    let f = Prng.float g in
+    if f < 0. || f >= 1. then Alcotest.fail "float out of [0,1)"
+  done
+
+let test_prng_shuffle_permutes () =
+  let g = Prng.create 13 in
+  let a = Array.init 20 Fun.id in
+  Prng.shuffle g a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check bool) "still a permutation" true (sorted = Array.init 20 Fun.id)
+
+let prop_prng_roughly_uniform =
+  QCheck2.Test.make ~name:"prng buckets are roughly uniform" ~count:20
+    QCheck2.Gen.(0 -- 1_000_000)
+    (fun seed ->
+      let g = Prng.create seed in
+      let buckets = Array.make 8 0 in
+      let n = 4000 in
+      for _ = 1 to n do
+        let b = Prng.int g 8 in
+        buckets.(b) <- buckets.(b) + 1
+      done;
+      (* expected 500 per bucket; allow generous slack *)
+      Array.for_all (fun c -> c > 300 && c < 700) buckets)
+
+let qsuite =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_bitset_model; prop_union_find_equivalence; prop_prng_roughly_uniform ]
+
+let () =
+  Alcotest.run "prelude"
+    [
+      ( "bitset",
+        [
+          Alcotest.test_case "basic" `Quick test_bitset_basic;
+          Alcotest.test_case "bounds" `Quick test_bitset_bounds;
+          Alcotest.test_case "set operations" `Quick test_bitset_setops;
+        ] );
+      ( "union-find",
+        [ Alcotest.test_case "basic" `Quick test_union_find ] );
+      ( "prng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_prng_deterministic;
+          Alcotest.test_case "bounds" `Quick test_prng_bounds;
+          Alcotest.test_case "split" `Quick test_prng_split_independent;
+          Alcotest.test_case "float range" `Quick test_prng_float_range;
+          Alcotest.test_case "shuffle permutes" `Quick test_prng_shuffle_permutes;
+        ] );
+      ("properties", qsuite);
+    ]

@@ -1,0 +1,222 @@
+(* Tests for the sigma library: alphabets, words, lassos, Cantor metric. *)
+
+open Rl_sigma
+
+let ab = Alphabet.make [ "a"; "b" ]
+let abc = Alphabet.make [ "a"; "b"; "c" ]
+let w names = Word.of_names abc names
+let check_word = Alcotest.(check (list int))
+
+(* --- Alphabet --- *)
+
+let test_alphabet_roundtrip () =
+  Alcotest.(check int) "size" 3 (Alphabet.size abc);
+  List.iter
+    (fun n -> Alcotest.(check string) n n (Alphabet.name abc (Alphabet.symbol abc n)))
+    [ "a"; "b"; "c" ];
+  Alcotest.(check (list string)) "names" [ "a"; "b"; "c" ] (Alphabet.names abc)
+
+let test_alphabet_duplicate () =
+  Alcotest.check_raises "duplicate" (Invalid_argument "Alphabet.make: duplicate name \"a\"")
+    (fun () -> ignore (Alphabet.make [ "a"; "a" ]))
+
+let test_alphabet_unknown () =
+  Alcotest.(check (option int)) "unknown" None (Alphabet.symbol_opt abc "zz");
+  Alcotest.(check bool) "mem" true (Alphabet.mem_name abc "b")
+
+(* --- Word --- *)
+
+let test_word_basics () =
+  let u = w [ "a"; "b"; "c" ] in
+  Alcotest.(check int) "length" 3 (Word.length u);
+  check_word "to_list" [ 0; 1; 2 ] (Word.to_list u);
+  check_word "append" [ 0; 1; 2; 0 ] (Word.to_list (Word.append u (w [ "a" ])));
+  check_word "snoc" [ 0; 1; 2; 1 ] (Word.to_list (Word.snoc u 1));
+  check_word "prefix" [ 0; 1 ] (Word.to_list (Word.prefix u 2));
+  check_word "drop" [ 1; 2 ] (Word.to_list (Word.drop u 1))
+
+let test_word_prefixes () =
+  let u = w [ "a"; "b" ] in
+  Alcotest.(check int) "count" 3 (List.length (Word.prefixes u));
+  Alcotest.(check bool) "is_prefix yes" true (Word.is_prefix ~prefix:(w [ "a" ]) u);
+  Alcotest.(check bool) "is_prefix no" false (Word.is_prefix ~prefix:(w [ "b" ]) u);
+  Alcotest.(check bool) "empty prefix" true (Word.is_prefix ~prefix:Word.empty u);
+  Alcotest.(check bool) "too long" false
+    (Word.is_prefix ~prefix:(w [ "a"; "b"; "c" ]) u)
+
+let test_word_repeat () =
+  check_word "repeat" [ 0; 1; 0; 1; 0; 1 ] (Word.to_list (Word.repeat (w [ "a"; "b" ]) 3));
+  check_word "repeat 0" [] (Word.to_list (Word.repeat (w [ "a" ]) 0))
+
+let test_word_common_prefix () =
+  Alcotest.(check int) "cpl" 2
+    (Word.common_prefix_length (w [ "a"; "b"; "c" ]) (w [ "a"; "b"; "a" ]));
+  Alcotest.(check int) "cpl distinct" 0
+    (Word.common_prefix_length (w [ "b" ]) (w [ "a" ]));
+  Alcotest.(check int) "cpl prefix" 1
+    (Word.common_prefix_length (w [ "a" ]) (w [ "a"; "b" ]))
+
+let test_word_enumerate () =
+  Alcotest.(check int) "2^3" 8 (List.length (Word.enumerate 2 3));
+  Alcotest.(check int) "3^0" 1 (List.length (Word.enumerate 3 0));
+  let all = Word.enumerate 2 2 in
+  let expected = [ [ 0; 0 ]; [ 0; 1 ]; [ 1; 0 ]; [ 1; 1 ] ] in
+  Alcotest.(check (list (list int))) "order" expected (List.map Word.to_list all)
+
+(* --- Lasso --- *)
+
+let lasso stem cycle = Lasso.of_names abc ~stem ~cycle
+
+let test_lasso_canonical_cycle () =
+  (* (abab)^ω = (ab)^ω *)
+  let x = lasso [] [ "a"; "b"; "a"; "b" ] in
+  Alcotest.(check int) "primitive period" 2 (Lasso.period x);
+  Alcotest.(check bool) "equal" true (Lasso.equal x (lasso [] [ "a"; "b" ]))
+
+let test_lasso_rollback () =
+  (* a·b·(ab)^ω ... rolling: a·(ba)^ω ... = (ab)^ω *)
+  let x = lasso [ "a"; "b" ] [ "a"; "b" ] in
+  Alcotest.(check int) "spoke" 0 (Lasso.spoke x);
+  Alcotest.(check bool) "equal (ab)^ω" true (Lasso.equal x (lasso [] [ "a"; "b" ]))
+
+let test_lasso_distinct () =
+  Alcotest.(check bool) "a(b)ω ≠ (b)ω" false
+    (Lasso.equal (lasso [ "a" ] [ "b" ]) (lasso [] [ "b" ]))
+
+let test_lasso_at () =
+  let x = lasso [ "c" ] [ "a"; "b" ] in
+  let letters = List.init 6 (Lasso.at x) in
+  Alcotest.(check (list int)) "letters" [ 2; 0; 1; 0; 1; 0 ] letters
+
+let test_lasso_suffix () =
+  let x = lasso [ "c" ] [ "a"; "b" ] in
+  Alcotest.(check bool) "suffix 1" true (Lasso.equal (Lasso.suffix x 1) (lasso [] [ "a"; "b" ]));
+  Alcotest.(check bool) "suffix 2" true (Lasso.equal (Lasso.suffix x 2) (lasso [] [ "b"; "a" ]));
+  Alcotest.(check bool) "suffix 4 = suffix 2" true
+    (Lasso.equal (Lasso.suffix x 4) (Lasso.suffix x 2))
+
+let test_lasso_prefix () =
+  let x = lasso [ "c" ] [ "a"; "b" ] in
+  check_word "prefix 4" [ 2; 0; 1; 0 ] (Word.to_list (Lasso.prefix x 4))
+
+let test_lasso_common_prefix () =
+  let x = lasso [] [ "a"; "b" ] and y = lasso [] [ "a"; "a" ] in
+  Alcotest.(check (option int)) "cpl" (Some 1) (Lasso.common_prefix_length x y);
+  Alcotest.(check (option int)) "equal gives None" None
+    (Lasso.common_prefix_length x (lasso [ "a"; "b" ] [ "a"; "b" ]))
+
+let test_cantor_metric () =
+  let x = lasso [] [ "a" ] and y = lasso [ "a"; "a" ] [ "b" ] in
+  (* common prefix aa, length 2 → d = 1/3 *)
+  Alcotest.(check (float 1e-9)) "d" (1. /. 3.) (Lasso.cantor_distance x y);
+  Alcotest.(check (float 1e-9)) "d self" 0. (Lasso.cantor_distance x x)
+
+let test_lasso_map () =
+  (* Erase c: c·(ab)^ω ↦ (ab)^ω; erase a and b: image finite. *)
+  let x = lasso [ "c" ] [ "a"; "b" ] in
+  let erase_c s = if s = 2 then None else Some s in
+  (match Lasso.map erase_c x with
+  | Ok y -> Alcotest.(check bool) "erase c" true (Lasso.equal y (lasso [] [ "a"; "b" ]))
+  | Error _ -> Alcotest.fail "image should be infinite");
+  let keep_c s = if s = 2 then Some s else None in
+  match Lasso.map keep_c x with
+  | Ok _ -> Alcotest.fail "image should be finite"
+  | Error fin -> check_word "finite image" [ 2 ] (Word.to_list fin)
+
+(* --- qcheck properties --- *)
+
+let gen_word k len_max =
+  QCheck2.Gen.(list_size (0 -- len_max) (0 -- (k - 1)) >|= Word.of_list)
+
+let gen_lasso k =
+  QCheck2.Gen.(
+    pair (list_size (0 -- 4) (0 -- (k - 1))) (list_size (1 -- 4) (0 -- (k - 1)))
+    >|= fun (s, c) -> Lasso.make (Word.of_list s) (Word.of_list c))
+
+let prop_lasso_at_independent_of_form =
+  (* Unrolling the cycle or growing the stem does not change the ω-word. *)
+  QCheck2.Test.make ~name:"lasso: at agrees with unrolled form" ~count:300
+    QCheck2.Gen.(pair (gen_lasso 3) (1 -- 3))
+    (fun (x, n) ->
+      let unrolled =
+        Lasso.make
+          (Word.append (Lasso.stem x) (Lasso.cycle x))
+          (Word.repeat (Lasso.cycle x) n)
+      in
+      Lasso.equal x unrolled
+      && List.for_all (fun i -> Lasso.at x i = Lasso.at unrolled i) (List.init 12 Fun.id))
+
+let prop_lasso_suffix_at =
+  QCheck2.Test.make ~name:"lasso: (suffix x n) at i = at x (n+i)" ~count:300
+    QCheck2.Gen.(pair (gen_lasso 3) (0 -- 8))
+    (fun (x, n) ->
+      let s = Lasso.suffix x n in
+      List.for_all (fun i -> Lasso.at s i = Lasso.at x (n + i)) (List.init 10 Fun.id))
+
+let prop_lasso_equal_iff_same_letters =
+  QCheck2.Test.make ~name:"lasso: equal iff letters agree on long prefix" ~count:500
+    QCheck2.Gen.(pair (gen_lasso 2) (gen_lasso 2))
+    (fun (x, y) ->
+      let bound = 64 in
+      let same =
+        List.for_all (fun i -> Lasso.at x i = Lasso.at y i) (List.init bound Fun.id)
+      in
+      (* For lassos of this size, agreement on 64 letters forces equality. *)
+      Lasso.equal x y = same)
+
+let prop_cantor_triangle =
+  (* d is an ultrametric: d(x,z) ≤ max(d(x,y), d(y,z)). *)
+  QCheck2.Test.make ~name:"cantor: ultrametric inequality" ~count:300
+    QCheck2.Gen.(triple (gen_lasso 2) (gen_lasso 2) (gen_lasso 2))
+    (fun (x, y, z) ->
+      Lasso.cantor_distance x z
+      <= max (Lasso.cantor_distance x y) (Lasso.cantor_distance y z) +. 1e-12)
+
+let prop_word_prefix_drop =
+  QCheck2.Test.make ~name:"word: prefix ++ drop = id" ~count:300
+    QCheck2.Gen.(pair (gen_word 3 8) (0 -- 8))
+    (fun (u, n) ->
+      let n = min n (Word.length u) in
+      Word.equal u (Word.append (Word.prefix u n) (Word.drop u n)))
+
+let qsuite = List.map QCheck_alcotest.to_alcotest
+    [
+      prop_lasso_at_independent_of_form;
+      prop_lasso_suffix_at;
+      prop_lasso_equal_iff_same_letters;
+      prop_cantor_triangle;
+      prop_word_prefix_drop;
+    ]
+
+let () =
+  ignore ab;
+  Alcotest.run "sigma"
+    [
+      ( "alphabet",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_alphabet_roundtrip;
+          Alcotest.test_case "duplicate rejected" `Quick test_alphabet_duplicate;
+          Alcotest.test_case "unknown name" `Quick test_alphabet_unknown;
+        ] );
+      ( "word",
+        [
+          Alcotest.test_case "basics" `Quick test_word_basics;
+          Alcotest.test_case "prefixes" `Quick test_word_prefixes;
+          Alcotest.test_case "repeat" `Quick test_word_repeat;
+          Alcotest.test_case "common prefix" `Quick test_word_common_prefix;
+          Alcotest.test_case "enumerate" `Quick test_word_enumerate;
+        ] );
+      ( "lasso",
+        [
+          Alcotest.test_case "primitive cycle" `Quick test_lasso_canonical_cycle;
+          Alcotest.test_case "stem rollback" `Quick test_lasso_rollback;
+          Alcotest.test_case "distinct" `Quick test_lasso_distinct;
+          Alcotest.test_case "at" `Quick test_lasso_at;
+          Alcotest.test_case "suffix" `Quick test_lasso_suffix;
+          Alcotest.test_case "prefix" `Quick test_lasso_prefix;
+          Alcotest.test_case "common prefix" `Quick test_lasso_common_prefix;
+          Alcotest.test_case "cantor metric" `Quick test_cantor_metric;
+          Alcotest.test_case "map / homomorphism image" `Quick test_lasso_map;
+        ] );
+      ("properties", qsuite);
+    ]

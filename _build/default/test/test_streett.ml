@@ -1,0 +1,192 @@
+(* Tests for Streett acceptance and exact fair emptiness — the machinery
+   that turns Theorem 5.1's "all strongly fair runs satisfy P" into a
+   decision procedure. *)
+
+open Rl_sigma
+open Rl_buchi
+open Rl_ltl
+open Rl_fair
+
+let ab = Alphabet.make [ "a"; "b" ]
+let a = Alphabet.symbol ab "a"
+let b = Alphabet.symbol ab "b"
+
+let two_loops =
+  (* 0 ⇄ 1 plus self-loops: one big SCC *)
+  Buchi.create ~alphabet:ab ~states:2 ~initial:[ 0 ] ~accepting:[]
+    ~transitions:[ (0, a, 0); (0, b, 1); (1, a, 1); (1, b, 0) ]
+    ()
+
+let test_streett_units () =
+  (* satisfiable: visiting 0 infinitely forces visiting 1 infinitely —
+     possible inside the single SCC *)
+  let s1 =
+    Streett.create ~graph:two_loops
+      ~pairs:[ { Streett.enables = [ 0 ]; fulfils = [ 1 ] } ]
+  in
+  Alcotest.(check bool) "satisfiable pair" false (Streett.is_empty s1);
+  (* unsatisfiable: visiting either state forces a fulfilment that does
+     not exist *)
+  let s2 =
+    Streett.create ~graph:two_loops
+      ~pairs:
+        [
+          { Streett.enables = [ 0 ]; fulfils = [] };
+          { Streett.enables = [ 1 ]; fulfils = [] };
+        ]
+  in
+  Alcotest.(check bool) "unsatisfiable pairs" true (Streett.is_empty s2);
+  (* escape: the run can avoid state 0's obligation by staying in 1 only —
+     but 1's self loop lets it *)
+  let s3 =
+    Streett.create ~graph:two_loops
+      ~pairs:[ { Streett.enables = [ 0 ]; fulfils = [] } ]
+  in
+  Alcotest.(check bool) "avoidable obligation" false (Streett.is_empty s3)
+
+let test_streett_witness () =
+  let s =
+    Streett.create ~graph:two_loops
+      ~pairs:[ { Streett.enables = [ 0 ]; fulfils = [ 1 ] } ]
+  in
+  match Streett.accepting_run s with
+  | None -> Alcotest.fail "expected witness"
+  | Some run ->
+      Alcotest.(check bool) "is a run" true (Fair.is_run two_loops run);
+      let inf = Fair.infinitely_visited run in
+      Alcotest.(check bool) "pair satisfied" true
+        ((not (List.mem 0 inf)) || List.mem 1 inf)
+
+let test_edge_graph () =
+  let egr = Streett.edge_graph two_loops in
+  (* 4 transitions + the initial vertex *)
+  Alcotest.(check int) "vertices" 5 (Buchi.states egr.Streett.eg);
+  Alcotest.(check int) "fairness pairs" 4
+    (List.length (Streett.strong_fairness_pairs egr))
+
+let test_fair_run_exists_units () =
+  Alcotest.(check bool) "two_loops has fair runs" true
+    (Streett.fair_run_exists two_loops);
+  let dead =
+    Buchi.create ~alphabet:ab ~states:1 ~initial:[ 0 ] ~accepting:[]
+      ~transitions:[] ()
+  in
+  Alcotest.(check bool) "dead system has none" false (Streett.fair_run_exists dead)
+
+let test_fair_run_within_sec5 () =
+  (* the Section 5 example, now decided exactly: the 1-state system for
+     {a,b}^ω has a strongly fair run violating ◇(a ∧ ◯a) *)
+  let universe =
+    Buchi.create ~alphabet:ab ~states:1 ~initial:[ 0 ] ~accepting:[ 0 ]
+      ~transitions:[ (0, a, 0); (0, b, 0) ]
+      ()
+  in
+  let formula = Parser.parse "<>(a & X a)" in
+  let neg =
+    Translate.to_buchi_neg ~alphabet:ab ~labeling:(Semantics.canonical ab)
+      formula
+  in
+  match Streett.fair_run_within universe ~property:neg with
+  | None -> Alcotest.fail "expected a fair violating run"
+  | Some run ->
+      Alcotest.(check bool) "run valid" true (Fair.is_run universe run);
+      Alcotest.(check bool) "strongly fair" true
+        (Fair.is_strongly_fair universe run);
+      Alcotest.(check bool) "violates the formula" false
+        (Semantics.satisfies ~labeling:(Semantics.canonical ab)
+           (Fair.label_lasso universe run)
+           formula)
+
+(* --- randomized cross-checks --- *)
+
+let gen_graph =
+  QCheck2.Gen.(
+    let* seed = 0 -- 1_000_000 in
+    let* states = 1 -- 5 in
+    let rng = Helpers.mk_rng seed in
+    let transitions = ref [] in
+    for q = 0 to states - 1 do
+      for sym = 0 to 1 do
+        for q' = 0 to states - 1 do
+          if Rl_prelude.Prng.float rng < 0.3 then
+            transitions := (q, sym, q') :: !transitions
+        done
+      done
+    done;
+    return
+      (Buchi.create ~alphabet:ab ~states ~initial:[ 0 ] ~accepting:[]
+         ~transitions:!transitions ()))
+
+let prop_fair_exists_matches_generator =
+  QCheck2.Test.make
+    ~name:"Streett fair-emptiness agrees with the bottom-SCC generator"
+    ~count:300
+    QCheck2.Gen.(pair gen_graph (0 -- 1_000_000))
+    (fun (g, seed) ->
+      Streett.fair_run_exists g
+      = (Fair.generate_strongly_fair (Helpers.mk_rng seed) g <> None))
+
+let prop_witness_satisfies_pairs =
+  QCheck2.Test.make ~name:"Streett witnesses satisfy every pair" ~count:300
+    QCheck2.Gen.(
+      let* g = gen_graph in
+      let* pseed = 0 -- 1_000_000 in
+      let rng = Helpers.mk_rng pseed in
+      let n = Buchi.states g in
+      let random_set () =
+        List.filter (fun _ -> Rl_prelude.Prng.float rng < 0.4) (List.init n Fun.id)
+      in
+      let pairs =
+        List.init
+          (1 + Rl_prelude.Prng.int rng 3)
+          (fun _ -> { Streett.enables = random_set (); fulfils = random_set () })
+      in
+      return (g, pairs))
+    (fun (g, pairs) ->
+      let s = Streett.create ~graph:g ~pairs in
+      match Streett.accepting_run s with
+      | None -> true
+      | Some run ->
+          Fair.is_run g run
+          &&
+          let inf = Fair.infinitely_visited run in
+          List.for_all
+            (fun p ->
+              (not (List.exists (fun q -> List.mem q inf) p.Streett.enables))
+              || List.exists (fun q -> List.mem q inf) p.Streett.fulfils)
+            pairs)
+
+let prop_fair_run_within_sound =
+  QCheck2.Test.make
+    ~name:"fair_run_within: witnesses are fair and satisfy the property"
+    ~count:150
+    QCheck2.Gen.(pair gen_graph gen_graph)
+    (fun (g, property) ->
+      match Streett.fair_run_within g ~property with
+      | None -> true
+      | Some run ->
+          Fair.is_run g run
+          && Fair.is_strongly_fair g run
+          && Buchi.member property (Fair.label_lasso g run))
+
+let qsuite =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_fair_exists_matches_generator;
+      prop_witness_satisfies_pairs;
+      prop_fair_run_within_sound;
+    ]
+
+let () =
+  Alcotest.run "streett"
+    [
+      ( "units",
+        [
+          Alcotest.test_case "emptiness" `Quick test_streett_units;
+          Alcotest.test_case "witness" `Quick test_streett_witness;
+          Alcotest.test_case "edge graph" `Quick test_edge_graph;
+          Alcotest.test_case "fair run existence" `Quick test_fair_run_exists_units;
+          Alcotest.test_case "section 5, exactly" `Quick test_fair_run_within_sec5;
+        ] );
+      ("properties", qsuite);
+    ]
