@@ -16,6 +16,11 @@
       checking, and the abstract-vs-concrete verification speedup that
       motivates Sections 6-8.
 
+   3. RESOURCE PROFILE — every decision procedure re-run under a fresh
+      counting budget (Rl_engine.Budget), reporting states explored per
+      case plus one deliberately capped run, as a table and as JSON
+      (add [--json FILE] to also write the JSON to a file).
+
    Run with:  dune exec bench/main.exe *)
 
 open Rl_sigma
@@ -86,7 +91,7 @@ let fig4 () =
   header "F4  Figure 4: abstraction to {request, result, reject}";
   let check name ts expected_simple =
     let hom = Paper.observable_hom ts in
-    let report = Abstraction.verify ~ts ~hom ~formula:Paper.progress in
+    let report = Abstraction.verify ~ts ~hom ~formula:Paper.progress () in
     Printf.printf "%s: %d -> %d states, abstract RL verdict: %s\n" name
       report.Abstraction.concrete_states report.Abstraction.abstract_states
       (match report.Abstraction.abstract_verdict with
@@ -100,7 +105,7 @@ let fig4 () =
       | `Concrete_holds -> "concrete property certified (Thm 8.2)"
       | `Concrete_fails -> "concrete property refuted (Thm 8.3)"
       | `Unknown -> "no transfer — abstract verdict untrusted");
-    let direct = Abstraction.check_concrete ~ts ~hom ~formula:Paper.progress in
+    let direct = Abstraction.check_concrete ~ts ~hom ~formula:Paper.progress () in
     Printf.printf "  direct concrete check of R̄(η): %s\n"
       (match direct with Ok () -> "holds" | Error _ -> "fails")
   in
@@ -277,7 +282,7 @@ let claim_necessity () =
             Relative.is_relative_liveness ~system:abstract_sys
               (Relative.ltl (Nfa.alphabet abstract_ts) eta)
             = Ok ()
-            && Abstraction.check_concrete ~ts ~hom ~formula:eta <> Ok ())
+            && Abstraction.check_concrete ~ts ~hom ~formula:eta () <> Ok ())
           pool
       in
       if broken then incr witnessed
@@ -489,7 +494,7 @@ let bench_tests () =
           Test.make
             ~name:(Printf.sprintf "abstraction/verify/stages=%03d" stages)
             (Staged.stage (fun () ->
-                 ignore (Abstraction.verify ~ts ~hom ~formula:goal)));
+                 ignore (Abstraction.verify ~ts ~hom ~formula:goal ())));
           (* only the abstract check: the work that remains once
              simplicity is known (e.g. established compositionally) *)
           Test.make
@@ -508,7 +513,7 @@ let bench_tests () =
           Test.make
             ~name:(Printf.sprintf "abstraction/concrete/stages=%03d" stages)
             (Staged.stage (fun () ->
-                 ignore (Abstraction.check_concrete ~ts ~hom ~formula:goal)));
+                 ignore (Abstraction.check_concrete ~ts ~hom ~formula:goal ())));
         ])
       [ 4; 16; 64 ]
   in
@@ -617,6 +622,163 @@ let run_benchmarks () =
       Printf.printf "%-44s %16s\n" name pretty)
     rows
 
+(* ------------------------------------------------------------------ *)
+(* Part 3: resource profile                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Every case below runs under a fresh counting budget
+   (Rl_engine.Budget), so the table and the JSON report how many states
+   each decision procedure actually explores — the observable cost behind
+   the time/run numbers above. One case runs with a deliberately small
+   state cap to record what a budget exhaustion looks like. *)
+
+module Budget = Rl_engine.Budget
+
+type profile = {
+  case : string;
+  verdict : string;
+  states_explored : int;
+  max_states : int option;
+  exhausted_in : string option; (* phase, when the budget ran out *)
+}
+
+let profile_case ?max_states case run =
+  let budget = Budget.create ?max_states () in
+  match Rl_engine.Error.protect (fun () -> run budget) with
+  | Ok verdict ->
+      {
+        case;
+        verdict;
+        states_explored = Budget.states_explored budget;
+        max_states;
+        exhausted_in = None;
+      }
+  | Error (Rl_engine.Error.Budget_exhausted e) ->
+      {
+        case;
+        verdict = "budget_exhausted";
+        states_explored = e.Budget.states_explored;
+        max_states;
+        exhausted_in = Some e.Budget.phase;
+      }
+  | Error err ->
+      {
+        case;
+        verdict = Format.asprintf "error: %a" Rl_engine.Error.pp err;
+        states_explored = Budget.states_explored budget;
+        max_states;
+        exhausted_in = None;
+      }
+
+(* the subset-construction blow-up family (a|b)*a(a|b)^n, 2^n DFA states *)
+let blowup_ts n =
+  let ab2 = Alphabet.make [ "a"; "b" ] in
+  let transitions =
+    (0, 0, 0) :: (0, 1, 0) :: (0, 0, 1)
+    :: (n + 1, 0, n + 1)
+    :: (n + 1, 1, n + 1)
+    :: List.concat_map (fun i -> [ (i, 0, i + 1); (i, 1, i + 1) ])
+         (List.init n (fun i -> i + 1))
+  in
+  Nfa.create ~alphabet:ab2 ~states:(n + 2) ~initial:[ 0 ]
+    ~finals:(List.init (n + 2) Fun.id)
+    ~transitions ()
+
+let profile_cases () =
+  let verdict_of = function Ok () -> "holds" | Error _ -> "fails" in
+  let alpha = Nfa.alphabet Paper.server_ts in
+  let server = Buchi.of_transition_system Paper.server_ts in
+  let progress = Relative.ltl alpha Paper.progress in
+  let rng = Rl_prelude.Prng.create 113 in
+  let semidet32 =
+    Buchi.of_transition_system (semidet_ts rng ~alphabet:abc ~states:32)
+  in
+  let p32 = Relative.ltl abc (Parser.parse "[]<> a") in
+  [
+    profile_case "sat/server-progress" (fun budget ->
+        verdict_of (Relative.satisfies ~budget ~system:server progress));
+    profile_case "rl/server-progress" (fun budget ->
+        verdict_of
+          (Relative.is_relative_liveness ~budget ~system:server progress));
+    profile_case "rs/server-progress" (fun budget ->
+        verdict_of (Relative.is_relative_safety ~budget ~system:server progress));
+    profile_case "rl/semidet-32" (fun budget ->
+        verdict_of (Relative.is_relative_liveness ~budget ~system:semidet32 p32));
+    profile_case "abstraction/server" (fun budget ->
+        let report =
+          Abstraction.verify ~budget ~ts:Paper.server_ts
+            ~hom:(Paper.observable_hom Paper.server_ts)
+            ~formula:Paper.progress ()
+        in
+        match report.Abstraction.conclusion with
+        | `Concrete_holds -> "concrete_holds"
+        | `Concrete_fails -> "concrete_fails"
+        | `Unknown -> "unknown");
+    profile_case "petri/server-reachability" (fun budget ->
+        let graph, _ = Rl_petri.Petri.reachability_graph ~budget Paper.server_net in
+        Printf.sprintf "completed (%d markings)" (Nfa.states graph));
+    profile_case ~max_states:1000 "rl/blowup-14-capped" (fun budget ->
+        let system = Buchi.of_transition_system (blowup_ts 14) in
+        verdict_of
+          (Relative.is_relative_liveness ~budget ~system
+             (Relative.ltl (Alphabet.make [ "a"; "b" ]) (Parser.parse "[]<> a"))));
+  ]
+
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let profile_json profiles =
+  let record p =
+    Printf.sprintf
+      "  {\"case\": \"%s\", \"verdict\": \"%s\", \"states_explored\": %d, \
+       \"max_states\": %s, \"exhausted_in\": %s}"
+      (json_escape p.case) (json_escape p.verdict) p.states_explored
+      (match p.max_states with Some n -> string_of_int n | None -> "null")
+      (match p.exhausted_in with
+      | Some ph -> Printf.sprintf "\"%s\"" (json_escape ph)
+      | None -> "null")
+  in
+  Printf.sprintf "[\n%s\n]\n" (String.concat ",\n" (List.map record profiles))
+
+let resource_profile () =
+  header "RESOURCE PROFILE (states explored per check, Rl_engine.Budget)";
+  let profiles = profile_cases () in
+  Printf.printf "%-28s %-20s %10s %10s\n" "case" "verdict" "explored" "cap";
+  List.iter
+    (fun p ->
+      Printf.printf "%-28s %-20s %10d %10s%s\n" p.case p.verdict
+        p.states_explored
+        (match p.max_states with Some n -> string_of_int n | None -> "-")
+        (match p.exhausted_in with
+        | Some ph -> Printf.sprintf "  (ran out in %s)" ph
+        | None -> ""))
+    profiles;
+  let json = profile_json profiles in
+  print_newline ();
+  print_string json;
+  (* `bench/main.exe --json FILE` also writes the report to FILE *)
+  let rec find_json_arg = function
+    | "--json" :: path :: _ -> Some path
+    | _ :: rest -> find_json_arg rest
+    | [] -> None
+  in
+  match find_json_arg (Array.to_list Sys.argv) with
+  | Some path ->
+      Out_channel.with_open_text path (fun oc -> output_string oc json);
+      Printf.printf "(written to %s)\n" path
+  | None -> ()
+
 let () =
   print_endline
     "Relative Liveness and Behavior Abstraction — reproduction harness";
@@ -631,5 +793,6 @@ let () =
   claim_necessity ();
   claim_compositional ();
   run_benchmarks ();
+  resource_profile ();
   line ();
   print_endline "done."

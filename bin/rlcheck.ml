@@ -10,25 +10,39 @@
      dot       GraphViz output
 
    Systems are transition-system files (see lib/core/ts_format.mli), or
-   Petri nets when the file ends in .pn. *)
+   Petri nets when the file ends in .pn.
+
+   Exit codes (also in the manual page):
+     0  the property holds
+     1  the property fails; a certified witness was printed
+     2  usage, input, or internal error
+     3  the analysis completed but no conclusion transfers
+     4  a resource budget (--max-states / --timeout) was exhausted
+
+   Every witness is replayed through Rl_engine.Certify before it is
+   printed; the tool never reports a verdict its own independent replay
+   does not confirm. *)
 
 open Cmdliner
 open Rl_sigma
 open Rl_automata
 open Rl_buchi
 open Rl_core
+module Budget = Rl_engine.Budget
+module Error = Rl_engine.Error
+module Certify = Rl_engine.Certify
 
-let load_system path =
-  try Ok (Nfa.trim (Ts_format.load path)) with
-  | Ts_format.Syntax_error (line, msg) ->
-      Error (Printf.sprintf "%s:%d: %s" path line msg)
-  | Sys_error msg -> Error msg
-  | Invalid_argument msg -> Error msg
+let warn msg = Format.eprintf "rlcheck: warning: %s@." msg
+
+let load_system ?budget ?bound path =
+  Result.map Nfa.trim (Ts_format.load_result ~on_warning:warn ?budget ?bound path)
 
 let parse_formula s =
   try Ok (Rl_ltl.Parser.parse s)
   with Rl_ltl.Parser.Parse_error msg ->
-    Error (Printf.sprintf "formula %S: %s" s msg)
+    Error
+      (Error.Parse_error
+         { file = None; line = 0; msg = Printf.sprintf "formula %S: %s" s msg })
 
 (* --- common arguments --- *)
 
@@ -40,59 +54,104 @@ let formula_arg =
   let doc = "PLTL formula, e.g. '[]<> result'." in
   Arg.(required & opt (some string) None & info [ "f"; "formula" ] ~docv:"FORMULA" ~doc)
 
+let max_states_arg =
+  let doc =
+    "Give up with exit code 4 after exploring $(docv) states across all \
+     phases of the check."
+  in
+  Arg.(value & opt (some int) None & info [ "max-states" ] ~docv:"N" ~doc)
+
+let timeout_arg =
+  let doc = "Give up with exit code 4 after $(docv) seconds of wall clock." in
+  Arg.(value & opt (some float) None & info [ "timeout" ] ~docv:"SECONDS" ~doc)
+
+let bound_arg =
+  let doc =
+    "Token bound per place when exploring a Petri net's reachability graph \
+     (default 64); a place exceeding it makes the net unbounded."
+  in
+  Arg.(value & opt (some int) None & info [ "bound" ] ~docv:"K" ~doc)
+
 let handle = function
   | Ok () -> exit 0
-  | Error msg ->
-      Format.eprintf "rlcheck: %s@." msg;
-      exit 2
+  | Error err ->
+      Format.eprintf "rlcheck: %a@." Error.pp err;
+      exit (Error.exit_code err)
+
+(* Run the body under the typed-error net: domain exceptions and budget
+   exhaustion come back as Error.t and exit through [handle] with the
+   documented code (4 for exhaustion, 2 otherwise). *)
+let guarded body = handle (Result.join (Error.protect body))
 
 let ( let* ) r f = Result.bind r f
 
+let uncertified failure =
+  Error
+    (Error.Internal
+       (Format.asprintf "refusing to report an uncertified witness: %a"
+          Certify.pp_failure failure))
+
+let certify check = match check with Ok () -> Ok () | Error f -> uncertified f
+
 (* --- sat / rl / rs --- *)
 
-let run_check mode path formula_src =
-  handle
-    (let* ts = load_system path in
-     let* f = parse_formula formula_src in
-     let alpha = Nfa.alphabet ts in
-     let system = Buchi.of_transition_system ts in
-     let p = Relative.ltl alpha f in
-     match mode with
-     | `Sat -> (
-         match Relative.satisfies ~system p with
-         | Ok () ->
-             Format.printf "SATISFIED: every behavior satisfies %a@."
-               Rl_ltl.Formula.pp f;
-             Ok ()
-         | Error cex ->
-             Format.printf "VIOLATED: counterexample %a@." (Lasso.pp alpha) cex;
-             exit 1)
-     | `Rl -> (
-         match Relative.is_relative_liveness ~system p with
-         | Ok () ->
-             Format.printf
-               "RELATIVE LIVENESS: every prefix extends to a behavior \
-                satisfying %a@."
-               Rl_ltl.Formula.pp f;
-             Ok ()
-         | Error w ->
-             Format.printf "NOT RELATIVE LIVENESS: doomed prefix %a@."
-               (Word.pp alpha) w;
-             exit 1)
-     | `Rs -> (
-         match Relative.is_relative_safety ~system p with
-         | Ok () ->
-             Format.printf "RELATIVE SAFETY: violations are irredeemable@.";
-             Ok ()
-         | Error x ->
-             Format.printf
-               "NOT RELATIVE SAFETY: %a violates the property but is never \
-                doomed@."
-               (Lasso.pp alpha) x;
-             exit 1))
+let run_check mode path formula_src max_states timeout bound =
+  let budget = Budget.create ?max_states ?timeout () in
+  guarded @@ fun () ->
+  let* ts = load_system ~budget ?bound path in
+  let* f = parse_formula formula_src in
+  let alpha = Nfa.alphabet ts in
+  let system = Buchi.of_transition_system ts in
+  let p = Relative.ltl alpha f in
+  (* certification replays get a fresh budget with the same limits: they
+     must not inherit a spent one, nor run unbounded on inputs the user
+     asked to bound *)
+  let fresh () = Budget.create ?max_states ?timeout () in
+  match mode with
+  | `Sat -> (
+      match Relative.satisfies ~budget ~system p with
+      | Ok () ->
+          Format.printf "SATISFIED: every behavior satisfies %a@."
+            Rl_ltl.Formula.pp f;
+          Ok ()
+      | Error cex ->
+          let* () = certify (Certify.counterexample ~system p cex) in
+          Format.printf "VIOLATED: counterexample %a@." (Lasso.pp alpha) cex;
+          exit 1)
+  | `Rl -> (
+      match Relative.is_relative_liveness ~budget ~system p with
+      | Ok () ->
+          Format.printf
+            "RELATIVE LIVENESS: every prefix extends to a behavior \
+             satisfying %a@."
+            Rl_ltl.Formula.pp f;
+          Ok ()
+      | Error w ->
+          let* () =
+            certify (Certify.doomed_prefix ~budget:(fresh ()) ~system p w)
+          in
+          Format.printf "NOT RELATIVE LIVENESS: doomed prefix %a@."
+            (Word.pp alpha) w;
+          exit 1)
+  | `Rs -> (
+      match Relative.is_relative_safety ~budget ~system p with
+      | Ok () ->
+          Format.printf "RELATIVE SAFETY: violations are irredeemable@.";
+          Ok ()
+      | Error x ->
+          let* () = certify (Certify.counterexample ~system p x) in
+          Format.printf
+            "NOT RELATIVE SAFETY: %a violates the property but is never \
+             doomed@."
+            (Lasso.pp alpha) x;
+          exit 1)
 
 let check_cmd name mode doc =
-  let term = Term.(const (run_check mode) $ system_arg $ formula_arg) in
+  let term =
+    Term.(
+      const (run_check mode) $ system_arg $ formula_arg $ max_states_arg
+      $ timeout_arg $ bound_arg)
+  in
   Cmd.v (Cmd.info name ~doc) term
 
 (* --- abstract --- *)
@@ -105,35 +164,38 @@ let eps_check =
   let doc = "Also run the direct concrete check of R̄(η) and compare." in
   Arg.(value & flag & info [ "check-concrete" ] ~doc)
 
-let run_abstract path formula_src keep check_concrete =
-  handle
-    (let* ts = load_system path in
-     let* f = parse_formula formula_src in
-     let* hom =
-       try Ok (Rl_hom.Hom.hiding ~concrete:(Nfa.alphabet ts) ~keep)
-       with Invalid_argument m -> Error m
-     in
-     let* report =
-       try Ok (Abstraction.verify ~ts ~hom ~formula:f)
-       with Invalid_argument m -> Error m
-     in
-     Format.printf "%a@." Abstraction.pp_report report;
-     if check_concrete then begin
-       let direct = Abstraction.check_concrete ~ts ~hom ~formula:f in
-       Format.printf "direct concrete check: %s@."
-         (match direct with
-         | Ok () -> "R̄(η) is a relative liveness property of lim(L)"
-         | Error _ -> "R̄(η) is NOT a relative liveness property of lim(L)")
-     end;
-     match report.Abstraction.conclusion with
-     | `Concrete_holds -> Ok ()
-     | `Concrete_fails -> exit 1
-     | `Unknown -> exit 3)
+let run_abstract path formula_src keep check_concrete max_states timeout bound =
+  let budget = Budget.create ?max_states ?timeout () in
+  guarded @@ fun () ->
+  let* ts = load_system ~budget ?bound path in
+  let* f = parse_formula formula_src in
+  let* hom =
+    try Ok (Rl_hom.Hom.hiding ~concrete:(Nfa.alphabet ts) ~keep)
+    with Invalid_argument m -> Error (Error.Internal m)
+  in
+  let* report =
+    try Ok (Abstraction.verify ~budget ~ts ~hom ~formula:f ())
+    with Invalid_argument m -> Error (Error.Internal m)
+  in
+  Format.printf "%a@." Abstraction.pp_report report;
+  if check_concrete then begin
+    let direct = Abstraction.check_concrete ~budget ~ts ~hom ~formula:f () in
+    Format.printf "direct concrete check: %s@."
+      (match direct with
+      | Ok () -> "R̄(η) is a relative liveness property of lim(L)"
+      | Error _ -> "R̄(η) is NOT a relative liveness property of lim(L)")
+  end;
+  match report.Abstraction.conclusion with
+  | `Concrete_holds -> Ok ()
+  | `Concrete_fails -> exit 1
+  | `Unknown -> exit 3
 
 let abstract_cmd =
   let doc = "verify through a hiding abstraction (Theorems 8.2/8.3)" in
   let term =
-    Term.(const run_abstract $ system_arg $ formula_arg $ keep_arg $ eps_check)
+    Term.(
+      const run_abstract $ system_arg $ formula_arg $ keep_arg $ eps_check
+      $ max_states_arg $ timeout_arg $ bound_arg)
   in
   Cmd.v (Cmd.info "abstract" ~doc) term
 
@@ -147,140 +209,146 @@ let seed_arg =
   let doc = "PRNG seed for run sampling." in
   Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc)
 
-let run_impl path formula_src samples seed =
-  handle
-    (let* ts = load_system path in
-     let* f = parse_formula formula_src in
-     let alpha = Nfa.alphabet ts in
-     let system = Buchi.of_transition_system ts in
-     let p = Relative.ltl alpha f in
-     (match Relative.is_relative_liveness ~system p with
-     | Ok () -> ()
-     | Error w ->
-         Format.printf
-           "warning: %a is not a relative liveness property (doomed prefix \
-            %a); Theorem 5.1 does not apply@."
-           Rl_ltl.Formula.pp f (Word.pp alpha) w);
-     let impl = Implement.construct ~system p in
-     Format.printf "implementation: %d states (system had %d)@."
-       (Buchi.states impl.Implement.implementation)
-       (Buchi.states system);
-     (match Implement.language_preserved ~system impl with
-     | Ok () -> Format.printf "behaviors preserved: yes@."
-     | Error x ->
-         Format.printf "behaviors preserved: NO, witness %a@." (Word.pp alpha) x);
-     let ok, generated =
-       Implement.sample_fair_check (Rl_prelude.Prng.create seed) ~samples impl p
-     in
-     Format.printf "strongly fair runs sampled: %d, satisfying the property: %d@."
-       generated ok;
-     (match Implement.verify_fair_exact impl p with
-     | Ok () ->
-         Format.printf
-           "exact (Streett) check: every strongly fair run satisfies the \
-            property@."
-     | Error run ->
-         Format.printf "exact check FAILED; fair violating run:@.  %a@."
-           (Rl_fair.Fair.pp_run impl.Implement.implementation)
-           run);
-     Ok ())
+let run_impl path formula_src samples seed max_states timeout bound =
+  let budget = Budget.create ?max_states ?timeout () in
+  guarded @@ fun () ->
+  let* ts = load_system ~budget ?bound path in
+  let* f = parse_formula formula_src in
+  let alpha = Nfa.alphabet ts in
+  let system = Buchi.of_transition_system ts in
+  let p = Relative.ltl alpha f in
+  (match Relative.is_relative_liveness ~budget ~system p with
+  | Ok () -> ()
+  | Error w ->
+      Format.printf
+        "warning: %a is not a relative liveness property (doomed prefix \
+         %a); Theorem 5.1 does not apply@."
+        Rl_ltl.Formula.pp f (Word.pp alpha) w);
+  let impl = Implement.construct ~budget ~system p in
+  Format.printf "implementation: %d states (system had %d)@."
+    (Buchi.states impl.Implement.implementation)
+    (Buchi.states system);
+  (match Implement.language_preserved ~budget ~system impl with
+  | Ok () -> Format.printf "behaviors preserved: yes@."
+  | Error x ->
+      Format.printf "behaviors preserved: NO, witness %a@." (Word.pp alpha) x);
+  let ok, generated =
+    Implement.sample_fair_check (Rl_prelude.Prng.create seed) ~samples impl p
+  in
+  Format.printf "strongly fair runs sampled: %d, satisfying the property: %d@."
+    generated ok;
+  (match Implement.verify_fair_exact impl p with
+  | Ok () ->
+      Format.printf
+        "exact (Streett) check: every strongly fair run satisfies the \
+         property@."
+  | Error run ->
+      Format.printf "exact check FAILED; fair violating run:@.  %a@."
+        (Rl_fair.Fair.pp_run impl.Implement.implementation)
+        run);
+  Ok ()
 
 let impl_cmd =
   let doc = "build the Theorem 5.1 fair implementation and validate it" in
   let term =
-    Term.(const run_impl $ system_arg $ formula_arg $ samples_arg $ seed_arg)
+    Term.(
+      const run_impl $ system_arg $ formula_arg $ samples_arg $ seed_arg
+      $ max_states_arg $ timeout_arg $ bound_arg)
   in
   Cmd.v (Cmd.info "impl" ~doc) term
 
 (* --- fair: model checking under strong fairness --- *)
 
-let run_fair path formula_src =
-  handle
-    (let* ts = load_system path in
-     let* f = parse_formula formula_src in
-     let alpha = Nfa.alphabet ts in
-     let system = Buchi.of_transition_system ts in
-     let neg =
-       Rl_ltl.Translate.to_buchi_neg ~alphabet:alpha
-         ~labeling:(Rl_ltl.Semantics.canonical alpha)
-         f
-     in
-     match Rl_fair.Streett.fair_run_within system ~property:neg with
-     | None ->
-         Format.printf
-           "FAIR-SATISFIED: every strongly fair run satisfies %a@."
-           Rl_ltl.Formula.pp f;
-         Ok ()
-     | Some run ->
-         Format.printf "FAIR-VIOLATED: a strongly fair run violates it:@.  %a@."
-           (Rl_fair.Fair.pp_run system) run;
-         Format.printf "  action word: %a@." (Lasso.pp alpha)
-           (Rl_fair.Fair.label_lasso system run);
-         exit 1)
+let run_fair path formula_src bound =
+  guarded @@ fun () ->
+  let* ts = load_system ?bound path in
+  let* f = parse_formula formula_src in
+  let alpha = Nfa.alphabet ts in
+  let system = Buchi.of_transition_system ts in
+  let neg =
+    Rl_ltl.Translate.to_buchi_neg ~alphabet:alpha
+      ~labeling:(Rl_ltl.Semantics.canonical alpha)
+      f
+  in
+  match Rl_fair.Streett.fair_run_within system ~property:neg with
+  | None ->
+      Format.printf "FAIR-SATISFIED: every strongly fair run satisfies %a@."
+        Rl_ltl.Formula.pp f;
+      Ok ()
+  | Some run ->
+      Format.printf "FAIR-VIOLATED: a strongly fair run violates it:@.  %a@."
+        (Rl_fair.Fair.pp_run system) run;
+      Format.printf "  action word: %a@." (Lasso.pp alpha)
+        (Rl_fair.Fair.label_lasso system run);
+      exit 1
 
 let fair_cmd =
   let doc =
     "decide whether every strongly fair run satisfies a property (exact, via \
      Streett fair emptiness)"
   in
-  Cmd.v (Cmd.info "fair" ~doc) Term.(const run_fair $ system_arg $ formula_arg)
+  Cmd.v (Cmd.info "fair" ~doc)
+    Term.(const run_fair $ system_arg $ formula_arg $ bound_arg)
 
 (* --- simple: simplicity of a hiding abstraction --- *)
 
-let run_simple path keep =
-  handle
-    (let* ts = load_system path in
-     let* hom =
-       try Ok (Rl_hom.Hom.hiding ~concrete:(Nfa.alphabet ts) ~keep)
-       with Invalid_argument m -> Error m
-     in
-     let verdict = Rl_hom.Hom.analyze hom ts in
-     Format.printf "configurations examined: %d@."
-       verdict.Rl_hom.Hom.configurations;
-     match (verdict.Rl_hom.Hom.simple, verdict.Rl_hom.Hom.witness) with
-     | true, _ ->
-         Format.printf "SIMPLE: abstract relative-liveness verdicts transfer \
-                        (Theorem 8.2)@.";
-         Ok ()
-     | false, Some w ->
-         Format.printf
-           "NOT SIMPLE: Definition 6.3 fails at the word %a@."
-           (Word.pp (Nfa.alphabet ts))
-           w;
-         exit 1
-     | false, None -> Error "inconsistent analysis")
+let run_simple path keep max_states timeout bound =
+  let budget = Budget.create ?max_states ?timeout () in
+  guarded @@ fun () ->
+  let* ts = load_system ~budget ?bound path in
+  let* hom =
+    try Ok (Rl_hom.Hom.hiding ~concrete:(Nfa.alphabet ts) ~keep)
+    with Invalid_argument m -> Error (Error.Internal m)
+  in
+  let verdict = Rl_hom.Hom.analyze ~budget hom ts in
+  Format.printf "configurations examined: %d@."
+    verdict.Rl_hom.Hom.configurations;
+  match (verdict.Rl_hom.Hom.simple, verdict.Rl_hom.Hom.witness) with
+  | true, _ ->
+      Format.printf "SIMPLE: abstract relative-liveness verdicts transfer \
+                     (Theorem 8.2)@.";
+      Ok ()
+  | false, Some w ->
+      Format.printf "NOT SIMPLE: Definition 6.3 fails at the word %a@."
+        (Word.pp (Nfa.alphabet ts))
+        w;
+      exit 1
+  | false, None -> Error (Error.Internal "inconsistent analysis")
 
 let simple_cmd =
   let doc = "decide simplicity (Definition 6.3) of a hiding abstraction" in
-  Cmd.v (Cmd.info "simple" ~doc) Term.(const run_simple $ system_arg $ keep_arg)
+  Cmd.v (Cmd.info "simple" ~doc)
+    Term.(
+      const run_simple $ system_arg $ keep_arg $ max_states_arg $ timeout_arg
+      $ bound_arg)
 
 (* --- decompose: safety/liveness classification --- *)
 
-let run_decompose path formula_src =
-  handle
-    (let* ts = load_system path in
-     let* f = parse_formula formula_src in
-     let alpha = Nfa.alphabet ts in
-     let b =
-       Rl_ltl.Translate.to_buchi ~alphabet:alpha
-         ~labeling:(Rl_ltl.Semantics.canonical alpha)
-         f
-     in
-     Format.printf "property automaton: %d states@." (Buchi.states b);
-     Format.printf "safety property: %b@." (Classify.is_safety b);
-     Format.printf "liveness property: %b@." (Classify.is_liveness b);
-     let s, l = Classify.decompose b in
-     Format.printf
-       "decomposition (Alpern–Schneider): safety closure %d states, liveness \
-        part %d states@."
-       (Buchi.states s) (Buchi.states l);
-     Ok ())
+let run_decompose path formula_src bound =
+  guarded @@ fun () ->
+  let* ts = load_system ?bound path in
+  let* f = parse_formula formula_src in
+  let alpha = Nfa.alphabet ts in
+  let b =
+    Rl_ltl.Translate.to_buchi ~alphabet:alpha
+      ~labeling:(Rl_ltl.Semantics.canonical alpha)
+      f
+  in
+  Format.printf "property automaton: %d states@." (Buchi.states b);
+  Format.printf "safety property: %b@." (Classify.is_safety b);
+  Format.printf "liveness property: %b@." (Classify.is_liveness b);
+  let s, l = Classify.decompose b in
+  Format.printf
+    "decomposition (Alpern–Schneider): safety closure %d states, liveness \
+     part %d states@."
+    (Buchi.states s) (Buchi.states l);
+  Ok ()
 
 let decompose_cmd =
   let doc = "classify a property as safety/liveness and decompose it" in
   Cmd.v
     (Cmd.info "decompose" ~doc)
-    Term.(const run_decompose $ system_arg $ formula_arg)
+    Term.(const run_decompose $ system_arg $ formula_arg $ bound_arg)
 
 (* --- compose: parallel composition of systems --- *)
 
@@ -288,68 +356,82 @@ let systems_arg =
   let doc = "System files to compose (two or more)." in
   Arg.(non_empty & pos_all file [] & info [] ~docv:"SYSTEM..." ~doc)
 
-let run_compose paths =
-  handle
-    (let* systems =
-       List.fold_left
-         (fun acc path ->
-           let* acc = acc in
-           let* ts = load_system path in
-           Ok (ts :: acc))
-         (Ok []) paths
-     in
-     match List.rev systems with
-     | [] | [ _ ] -> Error "need at least two systems"
-     | systems ->
-         let composed = Rl_compose.Compose.parallel_many systems in
-         print_string (Ts_format.print_ts composed);
-         Ok ())
+let run_compose paths bound =
+  guarded @@ fun () ->
+  let* systems =
+    List.fold_left
+      (fun acc path ->
+        let* acc = acc in
+        let* ts = load_system ?bound path in
+        Ok (ts :: acc))
+      (Ok []) paths
+  in
+  match List.rev systems with
+  | [] | [ _ ] -> Error (Error.Internal "need at least two systems")
+  | systems ->
+      let composed = Rl_compose.Compose.parallel_many systems in
+      print_string (Ts_format.print_ts composed);
+      Ok ()
 
 let compose_cmd =
   let doc =
     "compose systems in parallel (synchronizing on shared action names) and \
      print the result as a transition system"
   in
-  Cmd.v (Cmd.info "compose" ~doc) Term.(const run_compose $ systems_arg)
+  Cmd.v (Cmd.info "compose" ~doc)
+    Term.(const run_compose $ systems_arg $ bound_arg)
 
 (* --- info / dot --- *)
 
-let run_info path =
-  handle
-    (let* ts = load_system path in
-     Format.printf "states: %d@." (Nfa.states ts);
-     Format.printf "alphabet (%d): %a@."
-       (Alphabet.size (Nfa.alphabet ts))
-       Alphabet.pp (Nfa.alphabet ts);
-     Format.printf "transitions: %d@." (List.length (Nfa.transitions ts));
-     let deadlocks =
-       List.filter
-         (fun q ->
-           List.for_all
-             (fun a -> Nfa.successors ts q a = [])
-             (Alphabet.symbols (Nfa.alphabet ts)))
-         (List.init (Nfa.states ts) Fun.id)
-     in
-     Format.printf "deadlock states: %d@." (List.length deadlocks);
-     Ok ())
+let run_info path bound =
+  guarded @@ fun () ->
+  let* ts = load_system ?bound path in
+  Format.printf "states: %d@." (Nfa.states ts);
+  Format.printf "alphabet (%d): %a@."
+    (Alphabet.size (Nfa.alphabet ts))
+    Alphabet.pp (Nfa.alphabet ts);
+  Format.printf "transitions: %d@." (List.length (Nfa.transitions ts));
+  let deadlocks =
+    List.filter
+      (fun q ->
+        List.for_all
+          (fun a -> Nfa.successors ts q a = [])
+          (Alphabet.symbols (Nfa.alphabet ts)))
+      (List.init (Nfa.states ts) Fun.id)
+  in
+  Format.printf "deadlock states: %d@." (List.length deadlocks);
+  Ok ()
 
 let info_cmd =
   let doc = "print system statistics" in
-  Cmd.v (Cmd.info "info" ~doc) Term.(const run_info $ system_arg)
+  Cmd.v (Cmd.info "info" ~doc) Term.(const run_info $ system_arg $ bound_arg)
 
-let run_dot path =
-  handle
-    (let* ts = load_system path in
-     print_string (Nfa.to_dot ts);
-     Ok ())
+let run_dot path bound =
+  guarded @@ fun () ->
+  let* ts = load_system ?bound path in
+  print_string (Nfa.to_dot ts);
+  Ok ()
 
 let dot_cmd =
   let doc = "emit the system as a GraphViz digraph" in
-  Cmd.v (Cmd.info "dot" ~doc) Term.(const run_dot $ system_arg)
+  Cmd.v (Cmd.info "dot" ~doc) Term.(const run_dot $ system_arg $ bound_arg)
+
+let exits =
+  [
+    Cmd.Exit.info 0 ~doc:"the property holds.";
+    Cmd.Exit.info 1 ~doc:"the property fails; a certified witness was printed.";
+    Cmd.Exit.info 2 ~doc:"usage, input, or internal error.";
+    Cmd.Exit.info 3
+      ~doc:"the analysis completed but no conclusion transfers (abstract).";
+    Cmd.Exit.info 4
+      ~doc:
+        "a resource budget (--max-states / --timeout) was exhausted; a \
+         partial-progress report was printed.";
+  ]
 
 let main =
   let doc = "relative liveness and behavior abstraction checking" in
-  let info = Cmd.info "rlcheck" ~version:"1.0.0" ~doc in
+  let info = Cmd.info "rlcheck" ~version:"1.0.0" ~doc ~exits in
   Cmd.group info
     [
       check_cmd "sat" `Sat "classical satisfaction Lω ⊆ P";
@@ -365,4 +447,18 @@ let main =
       dot_cmd;
     ]
 
-let () = exit (Cmd.eval main)
+(* Last-resort crash handler: nothing escapes as an uncaught exception.
+   [~catch:false] lets exceptions out of cmdliner so the contract above
+   is kept even for defects guarded code did not anticipate. *)
+let () =
+  match Cmd.eval ~catch:false main with
+  (* cmdliner reports its own CLI-parsing errors with 124; fold them
+     into the documented usage exit *)
+  | 124 -> exit 2
+  | code -> exit code
+  | exception Budget.Exhausted e ->
+      Format.eprintf "rlcheck: %a@." Budget.pp_exhaustion e;
+      exit 4
+  | exception e ->
+      Format.eprintf "rlcheck: internal error: %s@." (Printexc.to_string e);
+      exit 2

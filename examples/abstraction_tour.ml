@@ -50,9 +50,9 @@ let goal = Parser.parse "[]<> ok"
 let show name ts =
   Format.printf "@.== %s ==@." name;
   let hom = observe ts in
-  let report = Abstraction.verify ~ts ~hom ~formula:goal in
+  let report = Abstraction.verify ~ts ~hom ~formula:goal () in
   Format.printf "%a@." Abstraction.pp_report report;
-  let direct = Abstraction.check_concrete ~ts ~hom ~formula:goal in
+  let direct = Abstraction.check_concrete ~ts ~hom ~formula:goal () in
   Format.printf "direct concrete check of R̄(η): %s@."
     (match direct with Ok () -> "holds" | Error _ -> "fails");
   report
@@ -79,7 +79,7 @@ let () =
   let r3 =
     Abstraction.verify ~ts:Paper.faulty_ts
       ~hom:(Paper.observable_hom Paper.faulty_ts)
-      ~formula:Paper.progress
+      ~formula:Paper.progress ()
   in
   Format.printf "%a@." Abstraction.pp_report r3;
   assert (r3.Abstraction.conclusion = `Unknown);
@@ -101,7 +101,7 @@ let () =
   let hom4 = Rl_hom.Hom.hiding ~concrete:dead_alpha ~keep:[ "work"; "stop" ] in
   let r4 =
     Abstraction.verify ~ts:with_deadlock ~hom:hom4
-      ~formula:(Parser.parse "[]<> work")
+      ~formula:(Parser.parse "[]<> work") ()
   in
   Format.printf "@.== abstraction with maximal words ==@.%a@."
     Abstraction.pp_report r4;

@@ -124,7 +124,7 @@ let () =
     stats.Rl_compose.Compose.product_pairs_total;
   ignore abs;
 
-  let report = Abstraction.verify ~ts:table ~hom ~formula:goal in
+  let report = Abstraction.verify ~ts:table ~hom ~formula:goal () in
   Format.printf "%a@." Abstraction.pp_report report;
   if report.Abstraction.maximal_words then
     Format.printf

@@ -64,13 +64,13 @@ let () =
   section "Figure 4: verification through abstraction";
   let hom = Paper.observable_hom ts in
   Format.printf "%a@." Rl_hom.Hom.pp hom;
-  let report = Abstraction.verify ~ts ~hom ~formula:Paper.progress in
+  let report = Abstraction.verify ~ts ~hom ~formula:Paper.progress () in
   Format.printf "%a@." Abstraction.pp_report report;
 
   section "the same abstraction is NOT trustworthy for the faulty system";
   let fhom = Paper.observable_hom Paper.faulty_ts in
   let freport =
-    Abstraction.verify ~ts:Paper.faulty_ts ~hom:fhom ~formula:Paper.progress
+    Abstraction.verify ~ts:Paper.faulty_ts ~hom:fhom ~formula:Paper.progress ()
   in
   Format.printf "%a@." Abstraction.pp_report freport;
   Format.printf

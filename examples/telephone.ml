@@ -107,7 +107,7 @@ let check name ts =
          => feature interaction detected@."
         (Word.pp (Nfa.alphabet ts))
         w);
-  let report = Abstraction.verify ~ts ~hom:(hom ts) ~formula:goal in
+  let report = Abstraction.verify ~ts ~hom:(hom ts) ~formula:goal () in
   Format.printf "via abstraction (%d → %d states): %s@."
     report.Abstraction.concrete_states report.Abstraction.abstract_states
     (match report.Abstraction.conclusion with

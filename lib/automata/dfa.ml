@@ -54,7 +54,7 @@ end
 
 module Set_tbl = Hashtbl.Make (Set_key)
 
-let determinize n =
+let determinize ?(budget = Rl_engine_kernel.Budget.unlimited) n =
   let n = Nfa.remove_eps n in
   let k = Alphabet.size (Nfa.alphabet n) in
   let nn = Nfa.states n in
@@ -66,6 +66,7 @@ let determinize n =
     match Set_tbl.find_opt table (key_of set) with
     | Some id -> id
     | None ->
+        Rl_engine_kernel.Budget.tick budget;
         let id = !count in
         incr count;
         Set_tbl.add table (key_of set) id;
@@ -108,7 +109,7 @@ let complement t =
   done;
   { t with finals }
 
-let product op a b =
+let product ?(budget = Rl_engine_kernel.Budget.unlimited) op a b =
   if not (Alphabet.equal a.alphabet b.alphabet) then
     invalid_arg "Dfa.product: alphabet mismatch";
   let k = Alphabet.size a.alphabet in
@@ -119,6 +120,7 @@ let product op a b =
     match Hashtbl.find_opt table pair with
     | Some id -> id
     | None ->
+        Rl_engine_kernel.Budget.tick budget;
         let id = !count in
         incr count;
         Hashtbl.add table pair id;
@@ -211,8 +213,8 @@ let equivalent a b =
   done;
   !result
 
-let included a b =
-  let diff = product (fun x y -> x && not y) a b in
+let included ?budget a b =
+  let diff = product ?budget (fun x y -> x && not y) a b in
   match shortest_word diff with None -> Ok () | Some w -> Error w
 
 (* Partition refinement (Hopcroft) over an explicit transition table.

@@ -24,9 +24,12 @@ val create :
   delta:int array array ->
   t
 
-(** [determinize n] is the subset construction applied to [n]. The result is
-    complete and has only reachable states. *)
-val determinize : Nfa.t -> t
+(** [determinize ?budget n] is the subset construction applied to [n]. The
+    result is complete and has only reachable states. The subset
+    construction is the exponential step of the paper's decision
+    procedures; [budget] is ticked once per constructed subset state.
+    @raise Rl_engine_kernel.Budget.Exhausted when [budget] runs out. *)
+val determinize : ?budget:Rl_engine_kernel.Budget.t -> Nfa.t -> t
 
 (** {1 Accessors} *)
 
@@ -50,10 +53,10 @@ val accepts : t -> Word.t -> bool
 
 val complement : t -> t
 
-(** [product op a b] recognizes [{w | op (w ∈ L(a)) (w ∈ L(b))}] — use
-    [(&&)] for intersection, [(||)] for union, etc. Only reachable product
-    states are built. *)
-val product : (bool -> bool -> bool) -> t -> t -> t
+(** [product ?budget op a b] recognizes [{w | op (w ∈ L(a)) (w ∈ L(b))}] —
+    use [(&&)] for intersection, [(||)] for union, etc. Only reachable
+    product states are built; [budget] is ticked once per product state. *)
+val product : ?budget:Rl_engine_kernel.Budget.t -> (bool -> bool -> bool) -> t -> t -> t
 
 (** {1 Decision procedures} *)
 
@@ -68,9 +71,9 @@ val shortest_word : t -> Word.t option
     difference. *)
 val equivalent : t -> t -> (unit, Word.t) result
 
-(** [included a b] decides [L(a) ⊆ L(b)]; on failure returns a witness in
-    [L(a) \ L(b)]. *)
-val included : t -> t -> (unit, Word.t) result
+(** [included ?budget a b] decides [L(a) ⊆ L(b)]; on failure returns a
+    witness in [L(a) \ L(b)]. *)
+val included : ?budget:Rl_engine_kernel.Budget.t -> t -> t -> (unit, Word.t) result
 
 (** [states_equivalent a qa b qb] decides whether the residual languages of
     state [qa] in [a] and state [qb] in [b] are equal. *)

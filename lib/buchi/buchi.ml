@@ -74,7 +74,7 @@ let limit_of_dfa d =
   create ~alphabet:(Dfa.alphabet d) ~states:(Dfa.states d)
     ~initial:[ Dfa.initial d ] ~accepting ~transitions:!transitions ()
 
-let limit n = limit_of_dfa (Dfa.determinize n)
+let limit ?budget n = limit_of_dfa (Dfa.determinize ?budget n)
 
 let of_lasso alphabet x =
   let stem = Lasso.stem x and cycle = Lasso.cycle x in
@@ -306,9 +306,12 @@ let is_empty_ndfs t =
     with Found -> false
   end
 
-let accepting_lasso t =
+let accepting_lasso ?(budget = Rl_engine_kernel.Budget.unlimited) t =
   if t.states = 0 then None
   else begin
+    (* the automaton is already built: the witness search is linear, so a
+       single bulk charge accounts for it *)
+    Rl_engine_kernel.Budget.charge budget t.states;
     let reach = reachable t in
     let ((scc_id, _) as sccs) = tarjan t in
     let good = good_sccs t sccs in
@@ -477,7 +480,7 @@ module Gba = struct
     end
 end
 
-let inter a b =
+let inter ?(budget = Rl_engine_kernel.Budget.unlimited) a b =
   if not (Alphabet.equal a.alphabet b.alphabet) then
     invalid_arg "Buchi.inter: alphabet mismatch";
   if a.states = 0 || b.states = 0 then
@@ -494,6 +497,7 @@ let inter a b =
       match Hashtbl.find_opt table pair with
       | Some id -> (id, false)
       | None ->
+          Rl_engine_kernel.Budget.tick budget;
           let id = !count in
           incr count;
           Hashtbl.add table pair id;
@@ -562,7 +566,8 @@ let union a b =
 
 let member t x = not (is_empty (inter t (of_lasso t.alphabet x)))
 
-let pre_language t =
+let pre_language ?(budget = Rl_engine_kernel.Budget.unlimited) t =
+  Rl_engine_kernel.Budget.charge budget t.states;
   let t = trim t in
   if t.states = 0 then
     Nfa.create ~alphabet:t.alphabet ~states:0 ~initial:[] ~finals:[]

@@ -35,9 +35,9 @@ val of_transition_system : Nfa.t -> t
     (correct because DFA runs are unique). *)
 val limit_of_dfa : Dfa.t -> t
 
-(** [limit n] accepts [lim(L(n))] for an arbitrary NFA [n]
-    (via determinization). *)
-val limit : Nfa.t -> t
+(** [limit ?budget n] accepts [lim(L(n))] for an arbitrary NFA [n]
+    (via determinization, which is where [budget] is spent). *)
+val limit : ?budget:Rl_engine_kernel.Budget.t -> Nfa.t -> t
 
 (** [of_lasso alphabet x] accepts exactly the singleton ω-language [{x}]. *)
 val of_lasso : Alphabet.t -> Lasso.t -> t
@@ -81,27 +81,29 @@ val is_empty : t -> bool
     used to cross-check [is_empty] in the test suite. *)
 val is_empty_ndfs : t -> bool
 
-(** [accepting_lasso b] is a witness [u·v^ω ∈ L(b)], if the language is
-    non-empty. The cycle passes through an accepting state. *)
-val accepting_lasso : t -> Lasso.t option
+(** [accepting_lasso ?budget b] is a witness [u·v^ω ∈ L(b)], if the
+    language is non-empty. The cycle passes through an accepting state.
+    [budget] is charged for the (linear) witness search. *)
+val accepting_lasso : ?budget:Rl_engine_kernel.Budget.t -> t -> Lasso.t option
 
 (** [member b x] decides [x ∈ L(b)] for an ultimately periodic [x]. *)
 val member : t -> Lasso.t -> bool
 
 (** {1 Boolean operations} *)
 
-(** [inter a b] accepts [L(a) ∩ L(b)] (generalized-Büchi product,
-    degeneralized). *)
-val inter : t -> t -> t
+(** [inter ?budget a b] accepts [L(a) ∩ L(b)] (generalized-Büchi product,
+    degeneralized). Only reachable product pairs are explored; [budget] is
+    ticked once per pair. *)
+val inter : ?budget:Rl_engine_kernel.Budget.t -> t -> t -> t
 
 (** [union a b] accepts [L(a) ∪ L(b)] (disjoint sum). *)
 val union : t -> t -> t
 
 (** {1 Prefixes and limits} *)
 
-(** [pre_language b] is an NFA recognizing [pre(L(b))], the set of finite
-    prefixes of accepted ω-words. *)
-val pre_language : t -> Nfa.t
+(** [pre_language ?budget b] is an NFA recognizing [pre(L(b))], the set of
+    finite prefixes of accepted ω-words. *)
+val pre_language : ?budget:Rl_engine_kernel.Budget.t -> t -> Nfa.t
 
 (** {1 Generalized acceptance} *)
 

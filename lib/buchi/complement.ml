@@ -18,7 +18,7 @@ type key = int array * int list
 
 exception Too_large of int
 
-let complement ?max_states b =
+let complement ?(budget = Rl_engine_kernel.Budget.unlimited) ?max_states b =
   let n = Buchi.states b in
   let alphabet = Buchi.alphabet b in
   let k = Alphabet.size alphabet in
@@ -40,6 +40,7 @@ let complement ?max_states b =
           (match max_states with
           | Some limit when !count >= limit -> raise (Too_large limit)
           | _ -> ());
+          Rl_engine_kernel.Budget.tick budget;
           let id = !count in
           incr count;
           Hashtbl.add table key id;

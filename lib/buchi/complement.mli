@@ -12,9 +12,12 @@
 exception Too_large of int
 (** Raised when [~max_states] is exceeded; carries the limit. *)
 
-(** [complement ?max_states b] accepts [Σ^ω \ L(b)].
+(** [complement ?budget ?max_states b] accepts [Σ^ω \ L(b)].
+    @param budget ticked once per constructed ranking state;
+    {!Rl_engine_kernel.Budget.Exhausted} is raised when it runs out.
     @param max_states abort with {!Too_large} when the construction
     exceeds this many states (default: unbounded). Useful for callers
     that can fall back or skip — the state space is exponential by
     nature. *)
-val complement : ?max_states:int -> Buchi.t -> Buchi.t
+val complement :
+  ?budget:Rl_engine_kernel.Budget.t -> ?max_states:int -> Buchi.t -> Buchi.t

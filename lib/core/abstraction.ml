@@ -19,7 +19,8 @@ type report = {
 
 let abstract_system ~hom ~ts = Hom.image_ts hom ts
 
-let verify ~ts ~hom ~formula =
+let verify ?(budget = Rl_engine_kernel.Budget.unlimited) ~ts ~hom ~formula ()
+    =
   let abstract_alpha = Hom.abstract hom in
   if not (Rl_ltl.Transform.is_sigma_normal ~alphabet:abstract_alpha (Formula.expand formula))
   then
@@ -27,16 +28,22 @@ let verify ~ts ~hom ~formula =
       (Printf.sprintf "Abstraction.verify: %s is not Σ'-normal"
          (Formula.to_string formula));
   let abstract_ts = abstract_system ~hom ~ts in
-  let maximal_words = Hom.has_maximal_words abstract_ts in
+  let maximal_words =
+    Rl_engine_kernel.Budget.with_phase budget "maximal-word check" (fun () ->
+        Hom.has_maximal_words ~budget abstract_ts)
+  in
   let checked_ts =
     if maximal_words then Hom.hash_extend abstract_ts else abstract_ts
   in
   let verdict_system = Buchi.of_transition_system checked_ts in
   let abstract_verdict =
-    Relative.is_relative_liveness ~system:verdict_system
+    Relative.is_relative_liveness ~budget ~system:verdict_system
       (Relative.ltl (Nfa.alphabet checked_ts) formula)
   in
-  let analysis = Hom.analyze hom ts in
+  let analysis =
+    Rl_engine_kernel.Budget.with_phase budget "simplicity analysis" (fun () ->
+        Hom.analyze ~budget hom ts)
+  in
   let rbar = Transform.rbar ~abstract:abstract_alpha ~eps_tail:`Strong formula in
   let conclusion =
     if maximal_words then `Unknown
@@ -60,12 +67,12 @@ let verify ~ts ~hom ~formula =
    both hold. The weak (vacuously-true-on-silent-divergence) reading that
    the proof sketch of Theorem 8.3 suggests actually refutes that theorem:
    see DESIGN.md §4 and the enumeration test in the suite. *)
-let check_concrete ~ts ~hom ~formula =
+let check_concrete ?budget ~ts ~hom ~formula () =
   let abstract_alpha = Hom.abstract hom in
   let rbar = Transform.rbar ~abstract:abstract_alpha ~eps_tail:`Strong formula in
   let labeling = Transform.epsilon_labeling ~abstract:abstract_alpha (Hom.apply_symbol hom) in
   let system = Buchi.of_transition_system (Nfa.trim ts) in
-  Relative.is_relative_liveness ~system
+  Relative.is_relative_liveness ?budget ~system
     (Relative.Ltl { formula = rbar; labeling })
 
 let pp_report ppf r =

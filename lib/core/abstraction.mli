@@ -48,9 +48,17 @@ type report = {
     visible in the limit), but the conclusion is reported as [`Unknown]:
     Theorems 8.2/8.3 assume the precondition, and the paper only points to
     [20] for the extended setting.
+    [budget] is spent in the abstract determinizations and the simplicity
+    analysis.
     @raise Invalid_argument if [formula] is not Σ'-normal or [ts] is not a
     transition system. *)
-val verify : ts:Nfa.t -> hom:Rl_hom.Hom.t -> formula:Formula.t -> report
+val verify :
+  ?budget:Rl_engine_kernel.Budget.t ->
+  ts:Nfa.t ->
+  hom:Rl_hom.Hom.t ->
+  formula:Formula.t ->
+  unit ->
+  report
 
 (** [check_concrete ~ts ~hom ~formula] decides directly — on the concrete
     system, against the [ε]-labeling of Definition 7.3 — whether [R̄(η)] is
@@ -58,6 +66,11 @@ val verify : ts:Nfa.t -> hom:Rl_hom.Hom.t -> formula:Formula.t -> report
     the abstraction avoids; exposed to cross-validate [verify] and to
     measure the speedup. *)
 val check_concrete :
-  ts:Nfa.t -> hom:Rl_hom.Hom.t -> formula:Formula.t -> (unit, Word.t) result
+  ?budget:Rl_engine_kernel.Budget.t ->
+  ts:Nfa.t ->
+  hom:Rl_hom.Hom.t ->
+  formula:Formula.t ->
+  unit ->
+  (unit, Word.t) result
 
 val pp_report : Format.formatter -> report -> unit

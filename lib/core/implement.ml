@@ -9,19 +9,19 @@ let strip_acceptance b =
     ~accepting:(List.init (Buchi.states b) Fun.id)
     ~transitions:(Buchi.transitions b) ()
 
-let construct ~system p =
-  let pb = Relative.property_buchi (Buchi.alphabet system) p in
-  let product = Buchi.trim (Buchi.inter system pb) in
+let construct ?budget ~system p =
+  let pb = Relative.property_buchi ?budget (Buchi.alphabet system) p in
+  let product = Buchi.trim (Buchi.inter ?budget system pb) in
   { product; implementation = strip_acceptance product }
 
 (* Both sides are limit closed (the system by Theorem 5.1's hypothesis,
    the implementation because its acceptance condition is trivial), so
    language equality is prefix-language equality — no complementation. *)
-let language_preserved ~system t =
+let language_preserved ?budget ~system t =
   let module Dfa = Rl_automata.Dfa in
   Dfa.equivalent
-    (Dfa.determinize (Buchi.pre_language system))
-    (Dfa.determinize (Buchi.pre_language t.implementation))
+    (Dfa.determinize ?budget (Buchi.pre_language ?budget system))
+    (Dfa.determinize ?budget (Buchi.pre_language ?budget t.implementation))
 
 let fair_run_satisfies t labels p =
   let pb = Relative.property_buchi (Buchi.alphabet t.product) p in

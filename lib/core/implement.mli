@@ -22,7 +22,8 @@ type t = {
 (** [construct ~system p] builds the Theorem 5.1 implementation.
     Meaningful when [p] is a relative liveness property of the system and
     the system is limit closed; [validate] checks the conclusion. *)
-val construct : system:Buchi.t -> Relative.property -> t
+val construct :
+  ?budget:Rl_engine_kernel.Budget.t -> system:Buchi.t -> Relative.property -> t
 
 (** [language_preserved ~system impl] decides [L(implementation) = Lω]
     (the "noninterfering" claim of Theorem 5.1), {e assuming the system is
@@ -32,7 +33,11 @@ val construct : system:Buchi.t -> Relative.property -> t
     equality of prefix languages; [Error w] is a finite behavior prefix in
     the symmetric difference. Use {!Rl_buchi.Omega_lang.is_limit_closed}
     first if the hypothesis is in doubt. *)
-val language_preserved : system:Buchi.t -> t -> (unit, Rl_sigma.Word.t) result
+val language_preserved :
+  ?budget:Rl_engine_kernel.Budget.t ->
+  system:Buchi.t ->
+  t ->
+  (unit, Rl_sigma.Word.t) result
 
 (** [fair_run_satisfies impl run_labels p] — whether the ω-word read by a
     run satisfies [P]; used with {!Rl_fair.Fair.generate_strongly_fair} to

@@ -2,6 +2,7 @@ open Rl_sigma
 open Rl_automata
 open Rl_buchi
 open Rl_ltl
+module Budget = Rl_engine_kernel.Budget
 
 type property =
   | Auto of Buchi.t
@@ -13,46 +14,83 @@ let ltl ?labeling alphabet f =
   in
   Ltl { formula = f; labeling }
 
-let property_buchi alphabet = function
-  | Auto b -> b
+let property_buchi ?budget alphabet = function
+  | Auto b ->
+      ignore budget;
+      b
   | Ltl { formula; labeling } -> Translate.to_buchi ~alphabet ~labeling formula
 
-let property_neg_buchi alphabet = function
+let property_neg_buchi ?budget alphabet = function
   | Auto b ->
       (* complementation is exponential: shrink the input first *)
-      Complement.complement (Reduce.quotient (Buchi.trim b))
+      Complement.complement ?budget (Reduce.quotient (Buchi.trim b))
   | Ltl { formula; labeling } ->
       Translate.to_buchi_neg ~alphabet ~labeling formula
 
-let satisfies ~system p =
-  let neg = property_neg_buchi (Buchi.alphabet system) p in
-  match Buchi.accepting_lasso (Buchi.inter system neg) with
-  | None -> Ok ()
-  | Some x -> Error x
+let satisfies ?(budget = Budget.unlimited) ~system p =
+  let neg =
+    Budget.with_phase budget "complement property" (fun () ->
+        property_neg_buchi ~budget (Buchi.alphabet system) p)
+  in
+  let prod =
+    Budget.with_phase budget "product Lω ∩ ¬P" (fun () ->
+        Buchi.inter ~budget system neg)
+  in
+  Budget.with_phase budget "emptiness witness" (fun () ->
+      match Buchi.accepting_lasso ~budget prod with
+      | None -> Ok ()
+      | Some x -> Error x)
 
-let is_relative_liveness ~system p =
-  let pb = property_buchi (Buchi.alphabet system) p in
-  let pre_l = Dfa.determinize (Buchi.pre_language system) in
-  let pre_lp = Dfa.determinize (Buchi.pre_language (Buchi.inter system pb)) in
+let is_relative_liveness ?(budget = Budget.unlimited) ~system p =
+  let pb =
+    Budget.with_phase budget "translate property" (fun () ->
+        property_buchi ~budget (Buchi.alphabet system) p)
+  in
+  let pre_l =
+    Budget.with_phase budget "determinize pre(Lω)" (fun () ->
+        Dfa.determinize ~budget (Buchi.pre_language ~budget system))
+  in
+  let pre_lp =
+    Budget.with_phase budget "determinize pre(Lω ∩ P)" (fun () ->
+        Dfa.determinize ~budget
+          (Buchi.pre_language ~budget (Buchi.inter ~budget system pb)))
+  in
   (* pre(Lω ∩ P) ⊆ pre(Lω) holds by construction; Lemma 4.3 reduces to the
      converse inclusion. *)
-  Dfa.included pre_l pre_lp
+  Budget.with_phase budget "prefix-language inclusion" (fun () ->
+      Dfa.included ~budget pre_l pre_lp)
 
-let is_relative_safety ~system p =
-  let pb = property_buchi (Buchi.alphabet system) p in
-  let neg = property_neg_buchi (Buchi.alphabet system) p in
-  let closure = Buchi.limit (Buchi.pre_language (Buchi.inter system pb)) in
-  let lhs = Buchi.inter system closure in
-  match Buchi.accepting_lasso (Buchi.inter lhs neg) with
-  | None -> Ok ()
-  | Some x -> Error x
+let is_relative_safety ?(budget = Budget.unlimited) ~system p =
+  let pb =
+    Budget.with_phase budget "translate property" (fun () ->
+        property_buchi ~budget (Buchi.alphabet system) p)
+  in
+  let neg =
+    Budget.with_phase budget "complement property" (fun () ->
+        property_neg_buchi ~budget (Buchi.alphabet system) p)
+  in
+  let closure =
+    Budget.with_phase budget "limit closure lim(pre(Lω ∩ P))" (fun () ->
+        Buchi.limit ~budget
+          (Buchi.pre_language ~budget (Buchi.inter ~budget system pb)))
+  in
+  Budget.with_phase budget "violating-behavior search" (fun () ->
+      let lhs = Buchi.inter ~budget system closure in
+      match Buchi.accepting_lasso ~budget (Buchi.inter ~budget lhs neg) with
+      | None -> Ok ()
+      | Some x -> Error x)
 
-let is_machine_closed ~system ~live_part =
-  let pre_l = Dfa.determinize (Buchi.pre_language system) in
-  let pre_lambda = Dfa.determinize (Buchi.pre_language live_part) in
-  match Dfa.included pre_l pre_lambda with Ok () -> true | Error _ -> false
+let is_machine_closed ?(budget = Budget.unlimited) ~system ~live_part () =
+  let pre_l = Dfa.determinize ~budget (Buchi.pre_language ~budget system) in
+  let pre_lambda =
+    Dfa.determinize ~budget (Buchi.pre_language ~budget live_part)
+  in
+  match Dfa.included ~budget pre_l pre_lambda with
+  | Ok () -> true
+  | Error _ -> false
 
-let witness_extension ~system p w =
+let witness_extension ?(budget = Budget.unlimited) ~system p w =
+  Budget.with_phase budget "witness extension" @@ fun () ->
   (* advance the system's initial states along w *)
   let reached =
     List.fold_left
@@ -70,7 +108,7 @@ let witness_extension ~system p w =
         ~accepting:(Rl_prelude.Bitset.elements (Buchi.accepting system))
         ~transitions:(Buchi.transitions system) ()
     in
-    let pb = property_buchi (Buchi.alphabet system) p in
+    let pb = property_buchi ~budget (Buchi.alphabet system) p in
     (* x must satisfy P after the prefix w: accepting behaviors of the
        residual system whose w-prefixed version lies in P. Shift P by w. *)
     let p_reached =
@@ -88,7 +126,9 @@ let witness_extension ~system p w =
           ~accepting:(Rl_prelude.Bitset.elements (Buchi.accepting pb))
           ~transitions:(Buchi.transitions pb) ()
       in
-      match Buchi.accepting_lasso (Buchi.inter residual p_residual) with
+      match
+        Buchi.accepting_lasso ~budget (Buchi.inter ~budget residual p_residual)
+      with
       | None -> None
       | Some x ->
           Some (Lasso.make (Word.append w (Lasso.stem x)) (Lasso.cycle x))

@@ -16,7 +16,13 @@
 
     Properties can be given as Büchi automata or PLTL formulas; formulas
     are preferable because their complement is another translation rather
-    than a Kupferman–Vardi complementation. *)
+    than a Kupferman–Vardi complementation.
+
+    Every decider takes an optional [?budget]
+    ({!Rl_engine_kernel.Budget.t}): the budget is ticked in the underlying
+    determinization / product / emptiness constructions and annotated with
+    a phase label, so that resource exhaustion surfaces as
+    [Budget.Exhausted] naming the phase that ran out. *)
 
 open Rl_sigma
 open Rl_buchi
@@ -32,38 +38,62 @@ type property =
 val ltl : ?labeling:Semantics.labeling -> Alphabet.t -> Formula.t -> property
 
 (** [property_buchi alphabet p] is an automaton for [P]. *)
-val property_buchi : Alphabet.t -> property -> Buchi.t
+val property_buchi :
+  ?budget:Rl_engine_kernel.Budget.t -> Alphabet.t -> property -> Buchi.t
 
 (** [property_neg_buchi alphabet p] is an automaton for [Σ^ω \ P]
     (formula negation, or rank-based complementation for [Auto]). *)
-val property_neg_buchi : Alphabet.t -> property -> Buchi.t
+val property_neg_buchi :
+  ?budget:Rl_engine_kernel.Budget.t -> Alphabet.t -> property -> Buchi.t
 
 (** {1 Satisfaction relations} *)
 
 (** [satisfies ~system p] — classical satisfaction [Lω ⊆ P]
     (Definition 3.2). [Error x] is a counterexample behavior. *)
-val satisfies : system:Buchi.t -> property -> (unit, Lasso.t) result
+val satisfies :
+  ?budget:Rl_engine_kernel.Budget.t ->
+  system:Buchi.t ->
+  property ->
+  (unit, Lasso.t) result
 
 (** [is_relative_liveness ~system p] — Definition 4.1 via Lemma 4.3.
     [Error w] is a prefix [w ∈ pre(Lω)] that no continuation within the
     system can extend to a [P]-satisfying behavior. *)
-val is_relative_liveness : system:Buchi.t -> property -> (unit, Word.t) result
+val is_relative_liveness :
+  ?budget:Rl_engine_kernel.Budget.t ->
+  system:Buchi.t ->
+  property ->
+  (unit, Word.t) result
 
 (** [is_relative_safety ~system p] — Definition 4.2 via Lemma 4.4.
     [Error x] is a violating behavior every prefix of which is extendable
     towards [P] — the failure of relative safety. *)
-val is_relative_safety : system:Buchi.t -> property -> (unit, Lasso.t) result
+val is_relative_safety :
+  ?budget:Rl_engine_kernel.Budget.t ->
+  system:Buchi.t ->
+  property ->
+  (unit, Lasso.t) result
 
 (** {1 Machine closure (Definition 4.6)} *)
 
-(** [is_machine_closed ~system ~live_part] — [(Lω, Λ)] is a machine-closed
+(** [is_machine_closed ~system ~live_part ()] — [(Lω, Λ)] is a machine-closed
     live structure: [pre(Lω) ⊆ pre(Λ)]. With [Λ = Lω ∩ P] this is exactly
     relative liveness of [P] (the remark after Theorem 4.5). *)
-val is_machine_closed : system:Buchi.t -> live_part:Buchi.t -> bool
+val is_machine_closed :
+  ?budget:Rl_engine_kernel.Budget.t ->
+  system:Buchi.t ->
+  live_part:Buchi.t ->
+  unit ->
+  bool
 
 (** {1 Witnesses (Lemma 4.9 made constructive)} *)
 
 (** [witness_extension ~system p w] extends the prefix [w ∈ pre(Lω)] to a
     full behavior [wx ∈ Lω ∩ P], if one exists — the "density" of
     [Lω ∩ P] in [Lω] at the point [w]. *)
-val witness_extension : system:Buchi.t -> property -> Word.t -> Lasso.t option
+val witness_extension :
+  ?budget:Rl_engine_kernel.Budget.t ->
+  system:Buchi.t ->
+  property ->
+  Word.t ->
+  Lasso.t option

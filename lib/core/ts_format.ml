@@ -13,12 +13,14 @@ let relevant_lines src =
 let words l =
   String.split_on_char ' ' l |> List.filter (fun w -> w <> "")
 
-let parse_ts src =
+let parse_ts ?(on_warning = fun _ -> ()) src =
   let lines = relevant_lines src in
   let initial = ref [] in
+  (* (line, state) pairs, so existence errors point at the declaration *)
   let transitions = ref [] in
   let labels = ref [] in
   let max_state = ref (-1) in
+  let max_trans_state = ref (-1) in
   let intern_label name =
     if not (List.mem name !labels) then labels := !labels @ [ name ]
   in
@@ -29,6 +31,11 @@ let parse_ts src =
         n
     | _ -> fail line "expected a non-negative state number, got %S" s
   in
+  let trans_state line s =
+    let n = state line s in
+    if n > !max_trans_state then max_trans_state := n;
+    n
+  in
   List.iter
     (fun (ln, l) ->
       match words l with
@@ -37,18 +44,53 @@ let parse_ts src =
           List.iter intern_label rest
       | "initial" :: rest ->
           if rest = [] then fail ln "initial needs at least one state";
-          initial := !initial @ List.map (state ln) rest
+          initial := !initial @ List.map (fun s -> (ln, state ln s)) rest
       | [ src; label; dst ] ->
           intern_label label;
-          transitions := (state ln src, label, state ln dst) :: !transitions
+          transitions :=
+            (trans_state ln src, label, trans_state ln dst) :: !transitions
       | _ ->
           fail ln "expected 'alphabet ...', 'initial q...' or 'src label dst': %S" l)
     lines;
-  if !max_state < 0 then fail 0 "no states";
-  if !labels = [] then fail 0 "no transitions";
+  if !max_state < 0 then
+    fail 0 "no states: the file declares neither transitions nor initial states";
+  if !labels = [] then
+    fail 0 "no transitions: every system needs at least one labeled transition";
+  (* initial states must exist: each must be a state some transition touches
+     (the state count is inferred from transitions, so an initial state
+     beyond every transition endpoint is a typo, not a bigger system) *)
+  List.iter
+    (fun (ln, q) ->
+      if q > !max_trans_state then
+        fail ln "initial state %d does not exist (largest state is %d)" q
+          !max_trans_state)
+    !initial;
   let alphabet = Alphabet.make !labels in
-  let initial = if !initial = [] then [ 0 ] else !initial in
+  let defaulted = !initial = [] in
+  let initial = if defaulted then [ 0 ] else List.map snd !initial in
+  if defaulted then
+    on_warning "no 'initial' line; defaulting to initial state 0";
   let n = !max_state + 1 in
+  (* diagnose useless initial states before building the automaton *)
+  let has_out = Array.make n false and has_in = Array.make n false in
+  List.iter
+    (fun (s, _, d) ->
+      has_out.(s) <- true;
+      has_in.(d) <- true)
+    !transitions;
+  List.iter
+    (fun q ->
+      if (not has_out.(q)) && not has_in.(q) then
+        on_warning
+          (Printf.sprintf
+             "initial state %d is isolated (no transition touches it)" q)
+      else if not has_out.(q) then
+        on_warning
+          (Printf.sprintf
+             "initial state %d has no outgoing transitions; it contributes \
+              only the empty behavior"
+             q))
+    (List.sort_uniq compare initial);
   Nfa.create ~alphabet ~states:n ~initial
     ~finals:(List.init n Fun.id)
     ~transitions:
@@ -94,14 +136,39 @@ let parse_petri src =
     lines;
   Rl_petri.Petri.create ~places:!places ~transitions:!transitions
 
-let load path =
+let load ?on_warning ?budget ?bound path =
   let ic = open_in path in
   let len = in_channel_length ic in
   let src = really_input_string ic len in
   close_in ic;
   if Filename.check_suffix path ".pn" then
-    Nfa.trim (fst (Rl_petri.Petri.reachability_graph (parse_petri src)))
-  else parse_ts src
+    Nfa.trim
+      (fst (Rl_petri.Petri.reachability_graph ?budget ?bound (parse_petri src)))
+  else parse_ts ?on_warning src
+
+let bound_or_default bound =
+  Option.value bound ~default:Rl_petri.Petri.default_bound
+
+let parse_ts_result ?on_warning ?file src =
+  Rl_engine_kernel.Error.protect
+    ~handler:(function
+      | Syntax_error (line, msg) ->
+          Some (Rl_engine_kernel.Error.Parse_error { file; line; msg })
+      | _ -> None)
+    (fun () -> parse_ts ?on_warning src)
+
+let load_result ?on_warning ?budget ?bound path =
+  Rl_engine_kernel.Error.protect
+    ~handler:(function
+      | Syntax_error (line, msg) ->
+          Some (Rl_engine_kernel.Error.Parse_error { file = Some path; line; msg })
+      | Rl_petri.Petri.Unbounded place ->
+          Some
+            (Rl_engine_kernel.Error.Unbounded_net
+               { place; bound = bound_or_default bound })
+      | Sys_error msg -> Some (Rl_engine_kernel.Error.Internal msg)
+      | _ -> None)
+    (fun () -> load ?on_warning ?budget ?bound path)
 
 let print_ts ts =
   let buf = Buffer.create 256 in

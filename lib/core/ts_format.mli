@@ -32,18 +32,52 @@
     producing [POST]; [p:2] means weight 2. *)
 
 exception Syntax_error of int * string
-(** line number (1-based) and message *)
+(** line number (1-based) and message; line 0 means the defect concerns the
+    file as a whole (e.g. it declares no transitions at all) *)
 
-(** [parse_ts src] parses a transition system. *)
-val parse_ts : string -> Rl_automata.Nfa.t
+(** [parse_ts ?on_warning src] parses a transition system.
+
+    Validation beyond syntax: every declared initial state must actually
+    exist (be an endpoint of some transition) — a violation is a
+    {!Syntax_error} at the declaring line. Suspicious-but-legal inputs are
+    reported through [on_warning] (default: ignore): a missing [initial]
+    line (defaults to state 0), and initial states that are isolated or
+    have no outgoing transitions. *)
+val parse_ts : ?on_warning:(string -> unit) -> string -> Rl_automata.Nfa.t
 
 (** [parse_petri src] parses a Petri net. *)
 val parse_petri : string -> Rl_petri.Petri.t
 
 (** [load path] loads a system from a file: [.pn] files are Petri nets
-    (their reachability graph is returned), anything else is parsed as a
-    transition system. *)
-val load : string -> Rl_automata.Nfa.t
+    (their reachability graph, computed with [bound] — default
+    {!Rl_petri.Petri.default_bound} — and ticking [budget], is returned),
+    anything else is parsed as a transition system.
+    @raise Rl_petri.Petri.Unbounded if a place exceeds [bound]. *)
+val load :
+  ?on_warning:(string -> unit) ->
+  ?budget:Rl_engine_kernel.Budget.t ->
+  ?bound:int ->
+  string ->
+  Rl_automata.Nfa.t
+
+(** {2 Typed-error entry points}
+
+    The [_result] variants never raise on malformed input: syntax errors,
+    unbounded nets and I/O failures come back as
+    {!Rl_engine_kernel.Error.t} values ready for uniform reporting. *)
+
+val parse_ts_result :
+  ?on_warning:(string -> unit) ->
+  ?file:string ->
+  string ->
+  (Rl_automata.Nfa.t, Rl_engine_kernel.Error.t) result
+
+val load_result :
+  ?on_warning:(string -> unit) ->
+  ?budget:Rl_engine_kernel.Budget.t ->
+  ?bound:int ->
+  string ->
+  (Rl_automata.Nfa.t, Rl_engine_kernel.Error.t) result
 
 (** [print_ts ts] renders a transition system in the [.ts] syntax. *)
 val print_ts : Rl_automata.Nfa.t -> string

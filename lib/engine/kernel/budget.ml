@@ -1,0 +1,92 @@
+type exhaustion = {
+  resource : [ `States | `Time ];
+  phase : string;
+  states_explored : int;
+  max_states : int option;
+}
+
+exception Exhausted of exhaustion
+
+type t = {
+  max_states : int option;
+  deadline : float option; (* absolute, Unix.gettimeofday *)
+  mutable states : int;
+  mutable phase : string;
+  mutable clock_check : int; (* ticks since the wall clock was last polled *)
+}
+
+let unlimited =
+  { max_states = None; deadline = None; states = 0; phase = ""; clock_check = 0 }
+
+let create ?max_states ?timeout () =
+  let deadline = Option.map (fun s -> Unix.gettimeofday () +. s) timeout in
+  { max_states; deadline; states = 0; phase = ""; clock_check = 0 }
+
+let is_limited b = b.max_states <> None || b.deadline <> None
+
+let exhaust b resource =
+  raise
+    (Exhausted
+       {
+         resource;
+         phase = b.phase;
+         states_explored = b.states;
+         max_states = b.max_states;
+       })
+
+(* Polling the wall clock is a syscall; do it once per 256 ticks. *)
+let clock_period = 256
+
+let check_clock b =
+  match b.deadline with
+  | None -> ()
+  | Some d ->
+      b.clock_check <- b.clock_check + 1;
+      if b.clock_check >= clock_period then begin
+        b.clock_check <- 0;
+        if Unix.gettimeofday () > d then exhaust b `Time
+      end
+
+let tick b =
+  b.states <- b.states + 1;
+  (match b.max_states with
+  | Some m when b.states > m -> exhaust b `States
+  | _ -> ());
+  check_clock b
+
+let charge b n =
+  if n > 0 then begin
+    b.states <- b.states + n;
+    (match b.max_states with
+    | Some m when b.states > m -> exhaust b `States
+    | _ -> ());
+    match b.deadline with
+    | Some d when Unix.gettimeofday () > d -> exhaust b `Time
+    | _ -> ()
+  end
+
+let set_phase b name = b.phase <- name
+
+let with_phase b name f =
+  let saved = b.phase in
+  b.phase <- name;
+  Fun.protect ~finally:(fun () -> b.phase <- saved) f
+
+let states_explored b = b.states
+let current_phase b = b.phase
+
+let remaining_states b =
+  Option.map (fun m -> max 0 (m - b.states)) b.max_states
+
+let pp_exhaustion ppf e =
+  let what =
+    match e.resource with
+    | `States -> (
+        match e.max_states with
+        | Some m -> Printf.sprintf "state limit %d" m
+        | None -> "state limit")
+    | `Time -> "time limit"
+  in
+  Format.fprintf ppf "%s reached%s after exploring %d states" what
+    (if e.phase = "" then "" else Printf.sprintf " during %s" e.phase)
+    e.states_explored

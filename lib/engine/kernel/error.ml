@@ -1,0 +1,28 @@
+type t =
+  | Parse_error of { file : string option; line : int; msg : string }
+  | Unbounded_net of { place : string; bound : int }
+  | Budget_exhausted of Budget.exhaustion
+  | Internal of string
+
+let pp ppf = function
+  | Parse_error { file; line; msg } -> (
+      match (file, line) with
+      | Some f, l when l > 0 -> Format.fprintf ppf "%s:%d: %s" f l msg
+      | Some f, _ -> Format.fprintf ppf "%s: %s" f msg
+      | None, l when l > 0 -> Format.fprintf ppf "line %d: %s" l msg
+      | None, _ -> Format.pp_print_string ppf msg)
+  | Unbounded_net { place; bound } ->
+      Format.fprintf ppf
+        "net is unbounded at place %s (try --bound; current bound %d)" place
+        bound
+  | Budget_exhausted e -> Budget.pp_exhaustion ppf e
+  | Internal msg -> Format.pp_print_string ppf msg
+
+let to_string e = Format.asprintf "%a" pp e
+let exit_code = function Budget_exhausted _ -> 4 | _ -> 2
+
+let protect ?(handler = fun _ -> None) f =
+  try Ok (f ()) with
+  | Budget.Exhausted e -> Error (Budget_exhausted e)
+  | Invalid_argument msg -> Error (Internal msg)
+  | e -> ( match handler e with Some err -> Error err | None -> raise e)

@@ -1,0 +1,39 @@
+(** The typed error layer of the checking engine.
+
+    One variant covers every way a check can fail to produce a verdict, so
+    that no stray [Invalid_argument], [Petri.Unbounded] or
+    [Ts_format.Syntax_error] leaks across a library boundary. Each
+    constructor maps to a documented [rlcheck] exit code (see
+    {!exit_code}):
+
+    - [0] — the property holds;
+    - [1] — the property fails (with a certified witness);
+    - [2] — usage or input error ([Parse_error], [Unbounded_net],
+      [Internal]);
+    - [3] — no conclusion transfers (abstraction verdict [`Unknown]);
+    - [4] — budget exhausted ([Budget_exhausted]). *)
+
+type t =
+  | Parse_error of { file : string option; line : int; msg : string }
+      (** a malformed system or formula; [line] is 1-based, [0] when the
+          error has no meaningful position *)
+  | Unbounded_net of { place : string; bound : int }
+      (** Petri-net reachability exceeded [bound] tokens in [place] *)
+  | Budget_exhausted of Budget.exhaustion
+      (** a resource budget ran out mid-check; partial statistics inside *)
+  | Internal of string
+      (** an invariant violation surfaced as a clean message (e.g. an
+          alphabet mismatch between a system and a property automaton) *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+(** The [rlcheck] exit code for this error: [4] for {!Budget_exhausted},
+    [2] otherwise. *)
+val exit_code : t -> int
+
+(** [protect ?handler f] runs [f ()], converting engine exceptions into
+    typed errors: {!Budget.Exhausted} becomes [Budget_exhausted] and
+    [Invalid_argument] becomes [Internal]. [handler] may translate
+    further domain exceptions (return [None] to re-raise). *)
+val protect : ?handler:(exn -> t option) -> (unit -> 'a) -> ('a, t) result

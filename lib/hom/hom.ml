@@ -125,7 +125,7 @@ let maximal_states d =
     (fun q -> Bitset.mem reach q && Dfa.is_final d q && not extendable.(q))
     (List.init n Fun.id)
 
-let has_maximal_words n = maximal_states (Dfa.determinize n) <> []
+let has_maximal_words ?budget n = maximal_states (Dfa.determinize ?budget n) <> []
 
 let hash_extend ?(hash = "#") n =
   let d = Dfa.determinize n in
@@ -193,12 +193,12 @@ let config_ok ~big ~classes_big ~y_dfa ~classes_y t0 =
   done;
   !found
 
-let analyze h l =
+let analyze ?(budget = Rl_engine_kernel.Budget.unlimited) h l =
   check_ts l;
   let l = Nfa.trim l in
   if Nfa.states l = 0 then { simple = true; configurations = 0; witness = None }
   else begin
-    let big = Dfa.determinize (image h l) in
+    let big = Dfa.determinize ~budget (image h l) in
     let nl = Nfa.states l in
     (* memoized per-S data: DFA of h(cont_S) and equivalence classes
        against [big] *)
@@ -215,7 +215,7 @@ let analyze h l =
               ~finals:(List.init nl Fun.id)
               ~transitions:(Nfa.transitions l) ()
           in
-          let y_dfa = Dfa.determinize (image h from_s) in
+          let y_dfa = Dfa.determinize ~budget (image h from_s) in
           let classes_big, classes_y = Dfa.equivalence_classes big y_dfa in
           let data = (y_dfa, classes_big, classes_y) in
           Hashtbl.add y_cache (Bitset.copy s) data;
@@ -234,6 +234,7 @@ let analyze h l =
     let failure = ref None in
     while !failure = None && not (Queue.is_empty queue) do
       let (s, t), rpath = Queue.pop queue in
+      Rl_engine_kernel.Budget.tick budget;
       incr count;
       let y_dfa, classes_big, classes_y = y_data s in
       if not (config_ok ~big ~classes_big ~y_dfa ~classes_y t) then

@@ -65,9 +65,10 @@ val preimage : t -> Dfa.t -> Dfa.t
 
 (** {1 Maximal words (Section 8)} *)
 
-(** [has_maximal_words n] — some word of [L(n)] is not a proper prefix of
-    another word of [L(n)]. Theorems 8.2/8.3 require [h(L)] to have none. *)
-val has_maximal_words : Nfa.t -> bool
+(** [has_maximal_words ?budget n] — some word of [L(n)] is not a proper
+    prefix of another word of [L(n)]. Theorems 8.2/8.3 require [h(L)] to
+    have none. *)
+val has_maximal_words : ?budget:Rl_engine_kernel.Budget.t -> Nfa.t -> bool
 
 (** [hash_extend ~hash n] recognizes [L(n) ∪ {w·#^k | w maximal in L(n)}]
     over the alphabet extended with the fresh symbol named [hash]
@@ -94,9 +95,10 @@ type verdict = {
     @raise Invalid_argument if [l] is not all-states-final. *)
 val is_simple : t -> Nfa.t -> bool
 
-(** [analyze h l] is the full verdict, with a failing word when not
-    simple. *)
-val analyze : t -> Nfa.t -> verdict
+(** [analyze ?budget h l] is the full verdict, with a failing word when not
+    simple. [budget] is ticked once per examined configuration and spent in
+    the inner determinizations. *)
+val analyze : ?budget:Rl_engine_kernel.Budget.t -> t -> Nfa.t -> verdict
 
 (** [simple_at h l w] decides Definition 6.3 at one word: whether some
     [u ∈ cont(h w, h L)] equalizes the abstract and image continuations.

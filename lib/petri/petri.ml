@@ -88,7 +88,10 @@ let enabled_transitions n m =
 
 exception Unbounded of string
 
-let reachability_graph ?(bound = 64) n =
+let default_bound = 64
+
+let reachability_graph ?(budget = Rl_engine_kernel.Budget.unlimited)
+    ?(bound = default_bound) n =
   let table : (marking, int) Hashtbl.t = Hashtbl.create 64 in
   let rev = ref [] in
   let count = ref 0 in
@@ -99,6 +102,7 @@ let reachability_graph ?(bound = 64) n =
         Array.iteri
           (fun p tokens -> if tokens > bound then raise (Unbounded n.place_names.(p)))
           m;
+        Rl_engine_kernel.Budget.tick budget;
         let id = !count in
         incr count;
         Hashtbl.add table m id;
@@ -127,7 +131,7 @@ let reachability_graph ?(bound = 64) n =
   in
   (nfa, Array.of_list (List.rev !rev))
 
-let is_bounded ?(bound = 64) n =
+let is_bounded ?(bound = default_bound) n =
   match reachability_graph ~bound n with
   | _ -> true
   | exception Unbounded _ -> false

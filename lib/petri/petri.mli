@@ -59,14 +59,19 @@ exception Unbounded of string
     construction exceeds its marking bound, witnessing unboundedness up to
     that bound. *)
 
-(** [reachability_graph ?bound n] explores the markings reachable from the
-    initial marking and returns the labeled transition system: states are
-    reachable markings, edges are firings labeled with transition labels,
-    every state final (the language is the prefix-closed set of firing
-    sequences — the paper's [L]). [bound] (default [64]) caps tokens per
-    place; exceeding it raises {!Unbounded}.
+(** The default marking bound of {!reachability_graph} ([64]). *)
+val default_bound : int
+
+(** [reachability_graph ?budget ?bound n] explores the markings reachable
+    from the initial marking and returns the labeled transition system:
+    states are reachable markings, edges are firings labeled with
+    transition labels, every state final (the language is the prefix-closed
+    set of firing sequences — the paper's [L]). [bound] (default
+    {!default_bound}) caps tokens per place; exceeding it raises
+    {!Unbounded}. [budget] is ticked once per explored marking.
     Also returns the marking of each state. *)
-val reachability_graph : ?bound:int -> t -> Nfa.t * marking array
+val reachability_graph :
+  ?budget:Rl_engine_kernel.Budget.t -> ?bound:int -> t -> Nfa.t * marking array
 
 (** [is_bounded ?bound n] — no reachable marking exceeds [bound] tokens in
     any place. *)

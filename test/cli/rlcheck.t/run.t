@@ -147,3 +147,48 @@ fairness alone does not deliver (the Theorem 5.1 implementation would):
   exit 1
   $ head -1 fair.out
   FAIR-VIOLATED: a strongly fair run violates it:
+
+Resource budgets: a system whose determinization blows up is abandoned
+promptly with exit code 4 and a report of how far the check got:
+
+  $ rlcheck rl big.ts -f '[]<>a' --max-states 1000
+  rlcheck: state limit 1000 reached during determinize pre(Lω) after exploring 1001 states
+  [4]
+
+  $ rlcheck sat big.ts -f '[]<>a' --max-states 1000
+  VIOLATED: counterexample ε·(b)^ω
+  [1]
+
+An unbounded Petri net is a clean input error with a hint, not a crash:
+
+  $ rlcheck info unbounded.pn
+  rlcheck: net is unbounded at place p (try --bound; current bound 64)
+  [2]
+
+Raising the bound moves the frontier but cannot help here:
+
+  $ rlcheck info unbounded.pn --bound 100
+  rlcheck: net is unbounded at place p (try --bound; current bound 100)
+  [2]
+
+Initial states must exist; the error points at the declaring line:
+
+  $ printf 'initial 9\n0 a 1\n' > bad_init.ts
+  $ rlcheck info bad_init.ts
+  rlcheck: bad_init.ts:1: initial state 9 does not exist (largest state is 1)
+  [2]
+
+Suspicious-but-legal inputs warn on stderr and proceed:
+
+  $ printf '0 a 1\n1 b 1\n' > noinit.ts
+  $ rlcheck info noinit.ts
+  rlcheck: warning: no 'initial' line; defaulting to initial state 0
+  states: 2
+  alphabet (2): {a, b}
+  transitions: 2
+  deadlock states: 0
+
+  $ printf 'initial 0 1\n0 a 0\n2 b 1\n' > deadend.ts
+  $ rlcheck rl deadend.ts -f '[]a'
+  rlcheck: warning: initial state 1 has no outgoing transitions; it contributes only the empty behavior
+  RELATIVE LIVENESS: every prefix extends to a behavior satisfying []a

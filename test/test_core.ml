@@ -133,7 +133,7 @@ let test_fig4_pipeline () =
   let report_good =
     Abstraction.verify ~ts:Paper.server_ts
       ~hom:(Paper.observable_hom Paper.server_ts)
-      ~formula:Paper.progress
+      ~formula:Paper.progress ()
   in
   Alcotest.(check bool) "abstract verdict holds" true
     (report_good.Abstraction.abstract_verdict = Ok ());
@@ -143,14 +143,14 @@ let test_fig4_pipeline () =
   (match
      Abstraction.check_concrete ~ts:Paper.server_ts
        ~hom:(Paper.observable_hom Paper.server_ts)
-       ~formula:Paper.progress
+       ~formula:Paper.progress ()
    with
   | Ok () -> ()
   | Error _ -> Alcotest.fail "R̄(□◇result) should be RL of lim(L)");
   let report_bad =
     Abstraction.verify ~ts:Paper.faulty_ts
       ~hom:(Paper.observable_hom Paper.faulty_ts)
-      ~formula:Paper.progress
+      ~formula:Paper.progress ()
   in
   (* same abstract verdict, but no transfer: exactly the paper's warning *)
   Alcotest.(check bool) "abstract verdict still holds" true
@@ -160,7 +160,7 @@ let test_fig4_pipeline () =
   match
     Abstraction.check_concrete ~ts:Paper.faulty_ts
       ~hom:(Paper.observable_hom Paper.faulty_ts)
-      ~formula:Paper.progress
+      ~formula:Paper.progress ()
   with
   | Ok () -> Alcotest.fail "R̄(□◇result) should fail on the faulty system"
   | Error _ -> ()
@@ -368,7 +368,7 @@ let prop_machine_closure =
       let live_part =
         Buchi.inter system (Relative.property_buchi abc3 p)
       in
-      rl = Relative.is_machine_closed ~system ~live_part)
+      rl = Relative.is_machine_closed ~system ~live_part ())
 
 let prop_rl_witness_sound =
   QCheck2.Test.make ~name:"RL failure witness admits no extension" ~count:150
@@ -447,11 +447,11 @@ let prop_transfer_8_2_8_3 =
     ~count:120
     QCheck2.Gen.(pair gen_hom_ts gen_formula_abs)
     (fun ((ts, hom), f) ->
-      let report = Abstraction.verify ~ts ~hom ~formula:f in
+      let report = Abstraction.verify ~ts ~hom ~formula:f () in
       match report.Abstraction.conclusion with
       | `Unknown -> true
-      | `Concrete_holds -> Abstraction.check_concrete ~ts ~hom ~formula:f = Ok ()
-      | `Concrete_fails -> Abstraction.check_concrete ~ts ~hom ~formula:f <> Ok ())
+      | `Concrete_holds -> Abstraction.check_concrete ~ts ~hom ~formula:f () = Ok ()
+      | `Concrete_fails -> Abstraction.check_concrete ~ts ~hom ~formula:f () <> Ok ())
 
 let prop_concrete_implies_abstract =
   (* Theorem 8.3 forward: concrete RL of R̄(η) implies abstract RL of η —
@@ -459,10 +459,10 @@ let prop_concrete_implies_abstract =
   QCheck2.Test.make ~name:"Thm 8.3: concrete RL implies abstract RL" ~count:120
     QCheck2.Gen.(pair gen_hom_ts gen_formula_abs)
     (fun ((ts, hom), f) ->
-      let report = Abstraction.verify ~ts ~hom ~formula:f in
+      let report = Abstraction.verify ~ts ~hom ~formula:f () in
       if report.Abstraction.maximal_words then true
       else
-        match Abstraction.check_concrete ~ts ~hom ~formula:f with
+        match Abstraction.check_concrete ~ts ~hom ~formula:f () with
         | Error _ -> true
         | Ok () -> report.Abstraction.abstract_verdict = Ok ())
 
