@@ -684,6 +684,162 @@ let blowup_ts n =
     ~finals:(List.init (n + 2) Fun.id)
     ~transitions ()
 
+(* --- the antichain-vs-eager inclusion families ---
+
+   Two shapes where determinizing pre(Lω) eagerly costs an exponential (or
+   lcm-sized) subset construction, while the on-the-fly antichain search
+   either finds a shallow doomed prefix or keeps only a small frontier of
+   ⊆-minimal subsets. Each family is profiled twice: through the shipping
+   Relative.is_relative_liveness (antichain) and through the eager
+   determinize-then-include pipeline it replaced. *)
+
+(* ladder-doomed(n): the (a|b)*a(a|b)^n ladder with a poisoned branch —
+   reading c forces a c-only sink, so []<>a is doomed after one letter,
+   but the ladder still makes the eager subset construction walk 2^n
+   subsets before it can compare the two prefix languages. *)
+let ladder_doomed_ts n =
+  let abc3 = Alphabet.make [ "a"; "b"; "c" ] in
+  let d = n + 2 in
+  let transitions =
+    (0, 0, 0) :: (0, 1, 0) :: (0, 0, 1)
+    :: (n + 1, 0, n + 1)
+    :: (n + 1, 1, n + 1)
+    :: (0, 2, d) :: (d, 2, d)
+    :: List.concat_map (fun i -> [ (i, 0, i + 1); (i, 1, i + 1) ])
+         (List.init n (fun i -> i + 1))
+  in
+  Nfa.create ~alphabet:abc3 ~states:(n + 3) ~initial:[ 0 ]
+    ~finals:(List.init (n + 3) Fun.id)
+    ~transitions ()
+
+(* counter(ps): parallel modular counters — one t-cycle per length in ps —
+   whose subset construction walks the full lcm(ps) cycle of position
+   vectors; a c-edge from the counter heads to a c-only sink dooms []<>t
+   immediately. *)
+let counter_ts ps =
+  let tc = Alphabet.make [ "t"; "c" ] in
+  let total = List.fold_left ( + ) 0 ps in
+  let d = total in
+  let transitions = ref [ (d, 1, d) ] in
+  let heads = ref [] in
+  let base = ref 0 in
+  List.iter
+    (fun p ->
+      let b = !base in
+      heads := b :: !heads;
+      for i = 0 to p - 1 do
+        transitions := (b + i, 0, b + ((i + 1) mod p)) :: !transitions
+      done;
+      transitions := (b, 1, d) :: !transitions;
+      base := b + p)
+    ps;
+  Nfa.create ~alphabet:tc ~states:(total + 1) ~initial:(List.rev !heads)
+    ~finals:(List.init (total + 1) Fun.id)
+    ~transitions:!transitions ()
+
+(* the eager pipeline the antichain engine replaced, kept here as the
+   baseline: determinize both prefix languages, then compare the DFAs *)
+let eager_rl budget system p =
+  let pb = Relative.property_buchi ~budget (Buchi.alphabet system) p in
+  let pre_l =
+    Budget.with_phase budget "determinize pre(Lω)" (fun () ->
+        Dfa.determinize ~budget (Buchi.pre_language ~budget system))
+  in
+  let pre_lp =
+    Budget.with_phase budget "determinize pre(Lω ∩ P)" (fun () ->
+        Dfa.determinize ~budget
+          (Buchi.pre_language ~budget (Buchi.inter ~budget system pb)))
+  in
+  Budget.with_phase budget "prefix-language inclusion" (fun () ->
+      Dfa.included ~budget pre_l pre_lp)
+
+(* verdicts double as certification evidence: every counterexample prefix
+   is replayed through Certify before it is reported *)
+let certified_verdict ~system p = function
+  | Ok () -> "holds"
+  | Error w -> (
+      match Rl_engine.Certify.doomed_prefix ~system p w with
+      | Ok () -> "fails+certified"
+      | Error _ -> "fails+UNCERTIFIED")
+
+let inclusion_families =
+  [
+    ("ladder-doomed-14", `Ladder_doomed 14, "[]<> a");
+    ("ladder-equal-12", `Ladder_equal 12, "true");
+    ("counter-30030", `Counter [ 2; 3; 5; 7; 11; 13 ], "[]<> t");
+  ]
+
+let family_ts = function
+  | `Ladder_doomed n -> ladder_doomed_ts n
+  | `Ladder_equal n -> blowup_ts n
+  | `Counter ps -> counter_ts ps
+
+let inclusion_family_cases () =
+  List.concat_map
+    (fun (name, shape, formula) ->
+      let ts = family_ts shape in
+      let p = Relative.ltl (Nfa.alphabet ts) (Parser.parse formula) in
+      let system = Buchi.of_transition_system ts in
+      [
+        profile_case ~max_states:500_000
+          ("rl-antichain/" ^ name)
+          (fun budget ->
+            certified_verdict ~system p
+              (Relative.is_relative_liveness ~budget ~system p));
+        profile_case ~max_states:500_000 ("rl-eager/" ^ name) (fun budget ->
+            certified_verdict ~system p (eager_rl budget system p));
+      ])
+    inclusion_families
+
+(* smaller members of the same families, cross-checked against
+   Theorem 4.7: sat ⟺ relative liveness ∧ relative safety *)
+let crosscheck_cases () =
+  List.map
+    (fun (name, shape, formula) ->
+      let ts = family_ts shape in
+      let p = Relative.ltl (Nfa.alphabet ts) (Parser.parse formula) in
+      let system = Buchi.of_transition_system ts in
+      profile_case ("crosscheck-4.7/" ^ name) (fun budget ->
+          let t = Rl_engine.Certify.verdict_triple ~budget ~system p in
+          match Rl_engine.Certify.check_triple t with
+          | Ok () ->
+              Printf.sprintf "consistent sat=%b rl=%b rs=%b"
+                t.Rl_engine.Certify.sat t.Rl_engine.Certify.rl
+                t.Rl_engine.Certify.rs
+          | Error _ -> "INCONSISTENT"))
+    [
+      ("ladder-doomed-8", `Ladder_doomed 8, "[]<> a");
+      ("ladder-equal-8", `Ladder_equal 8, "true");
+      ("counter-30", `Counter [ 2; 3; 5 ], "[]<> t");
+    ]
+
+(* the ≥10× acceptance bar is deterministic (states explored, not time),
+   so enforce it: a regression that drags the antichain path back toward
+   eager determinization fails the bench run *)
+let check_speedups profiles =
+  let find c = List.find (fun p -> p.case = c) profiles in
+  List.iter
+    (fun (fam, _, _) ->
+      let anti = find ("rl-antichain/" ^ fam) in
+      let eager = find ("rl-eager/" ^ fam) in
+      let ratio =
+        float_of_int eager.states_explored
+        /. float_of_int (max 1 anti.states_explored)
+      in
+      Printf.printf
+        "%-20s antichain %6d vs eager %6d states explored — %5.1fx fewer\n"
+        fam anti.states_explored eager.states_explored ratio;
+      if anti.verdict <> eager.verdict then begin
+        Printf.eprintf "bench: verdict mismatch on %s: %s vs %s\n" fam
+          anti.verdict eager.verdict;
+        exit 1
+      end;
+      if ratio < 10. then begin
+        Printf.eprintf "bench: antichain speedup below 10x on %s\n" fam;
+        exit 1
+      end)
+    inclusion_families
+
 let profile_cases () =
   let verdict_of = function Ok () -> "holds" | Error _ -> "fails" in
   let alpha = Nfa.alphabet Paper.server_ts in
@@ -723,6 +879,8 @@ let profile_cases () =
           (Relative.is_relative_liveness ~budget ~system
              (Relative.ltl (Alphabet.make [ "a"; "b" ]) (Parser.parse "[]<> a"))));
   ]
+  @ inclusion_family_cases ()
+  @ crosscheck_cases ()
 
 let json_escape s =
   let b = Buffer.create (String.length s) in
@@ -764,6 +922,8 @@ let resource_profile () =
         | Some ph -> Printf.sprintf "  (ran out in %s)" ph
         | None -> ""))
     profiles;
+  print_newline ();
+  check_speedups profiles;
   let json = profile_json profiles in
   print_newline ();
   print_string json;
@@ -782,17 +942,24 @@ let resource_profile () =
 let () =
   print_endline
     "Relative Liveness and Behavior Abstraction — reproduction harness";
-  fig1 ();
-  fig2 ();
-  fig3 ();
-  fig4 ();
-  fig5 ();
-  claim_thm_4_7 ();
-  claim_thm_5_1 ();
-  claim_complement_blowup ();
-  claim_necessity ();
-  claim_compositional ();
-  run_benchmarks ();
+  (* `--only-profile` skips the figures and the timed microbenchmarks and
+     runs just the deterministic resource profile — what CI smoke-checks *)
+  let only_profile =
+    Array.exists (String.equal "--only-profile") Sys.argv
+  in
+  if not only_profile then begin
+    fig1 ();
+    fig2 ();
+    fig3 ();
+    fig4 ();
+    fig5 ();
+    claim_thm_4_7 ();
+    claim_thm_5_1 ();
+    claim_complement_blowup ();
+    claim_necessity ();
+    claim_compositional ();
+    run_benchmarks ()
+  end;
   resource_profile ();
   line ();
   print_endline "done."

@@ -324,7 +324,7 @@ let simple_cmd =
 
 (* --- decompose: safety/liveness classification --- *)
 
-let run_decompose path formula_src bound =
+let run_decompose path formula_src max_states bound =
   guarded @@ fun () ->
   let* ts = load_system ?bound path in
   let* f = parse_formula formula_src in
@@ -337,7 +337,10 @@ let run_decompose path formula_src bound =
   Format.printf "property automaton: %d states@." (Buchi.states b);
   Format.printf "safety property: %b@." (Classify.is_safety b);
   Format.printf "liveness property: %b@." (Classify.is_liveness b);
-  let s, l = Classify.decompose b in
+  (* the liveness part embeds a Kupferman–Vardi complementation, the one
+     exponential step here; --max-states caps it, and Complement.Too_large
+     surfaces through Error.of_exn as the exit-code-4 verdict *)
+  let s, l = Classify.decompose ?max_states b in
   Format.printf
     "decomposition (Alpern–Schneider): safety closure %d states, liveness \
      part %d states@."
@@ -348,7 +351,9 @@ let decompose_cmd =
   let doc = "classify a property as safety/liveness and decompose it" in
   Cmd.v
     (Cmd.info "decompose" ~doc)
-    Term.(const run_decompose $ system_arg $ formula_arg $ bound_arg)
+    Term.(
+      const run_decompose $ system_arg $ formula_arg $ max_states_arg
+      $ bound_arg)
 
 (* --- compose: parallel composition of systems --- *)
 
@@ -458,6 +463,10 @@ let () =
   | code -> exit code
   | exception Budget.Exhausted e ->
       Format.eprintf "rlcheck: %a@." Budget.pp_exhaustion e;
+      exit 4
+  | exception Complement.Too_large limit ->
+      Format.eprintf
+        "rlcheck: state limit %d reached during Büchi complementation@." limit;
       exit 4
   | exception e ->
       Format.eprintf "rlcheck: internal error: %s@." (Printexc.to_string e);

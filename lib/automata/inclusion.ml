@@ -1,0 +1,83 @@
+open Rl_prelude
+open Rl_sigma
+module Budget = Rl_engine_kernel.Budget
+
+(* Antichain-based inclusion check, after De Wulf–Doyen–Henzinger–Raskin
+   ("Antichains: a new algorithm for checking universality of finite
+   automata", CAV 2006), specialized to the forward inclusion search.
+
+   A search node (q, S) means: some word w reaches A-state q and exactly
+   the B-subset S. The node is a counterexample witness iff q is final in
+   A and S contains no B-final state. Among nodes with equal q, a smaller
+   S rejects every word a larger one rejects, so (q, S) is subsumed by any
+   stored (q, S') with S' ⊆ S: discarding the larger pair loses no
+   counterexample and keeps, per A-state, only the ⊆-minimal subsets — an
+   antichain. The search is breadth-first, so the witness word returned is
+   of minimal length among the pairs actually visited. *)
+
+exception Found of Word.t
+
+let included ?(budget = Budget.unlimited) a b =
+  if not (Alphabet.equal (Nfa.alphabet a) (Nfa.alphabet b)) then
+    invalid_arg "Inclusion.included: alphabet mismatch";
+  let a = Nfa.remove_eps a and b = Nfa.remove_eps b in
+  let k = Alphabet.size (Nfa.alphabet a) in
+  let na = Nfa.states a and nb = Nfa.states b in
+  (* memoized per-letter successor tables: the pre-language NFAs coming
+     out of [Buchi.pre_language] are stepped as indexed arrays here, never
+     as transition lists again *)
+  let succ_a =
+    Array.init na (fun q ->
+        Array.init k (fun s -> Array.of_list (Nfa.successors a q s)))
+  in
+  let succ_b =
+    Array.init nb (fun q ->
+        Array.init k (fun s -> Bitset.of_list nb (Nfa.successors b q s)))
+  in
+  let finals_a = Nfa.finals a and finals_b = Nfa.finals b in
+  let post set s =
+    let out = Bitset.create nb in
+    Bitset.iter (fun q -> Bitset.union_into ~into:out succ_b.(q).(s)) set;
+    out
+  in
+  (* per-A-state antichain of ⊆-minimal B-subsets seen so far *)
+  let antichain = Array.make (max na 1) [] in
+  let queue = Queue.create () in
+  let enqueue q set rev_word =
+    if not (List.exists (fun s' -> Bitset.subset s' set) antichain.(q)) then begin
+      Budget.tick budget;
+      antichain.(q) <-
+        set :: List.filter (fun s' -> not (Bitset.subset set s')) antichain.(q);
+      Queue.add (q, set, rev_word) queue
+    end
+  in
+  let init_set = Bitset.of_list nb (Nfa.initial b) in
+  List.iter
+    (fun q -> enqueue q init_set [])
+    (List.sort_uniq compare (Nfa.initial a));
+  try
+    while not (Queue.is_empty queue) do
+      let q, set, rev_word = Queue.pop queue in
+      (* a later, smaller subset may have evicted this node's set from the
+         antichain; its replacement is (or was) in the queue, so the stale
+         node can be dropped wholesale *)
+      if List.memq set antichain.(q) then begin
+        if Bitset.mem finals_a q && Bitset.disjoint set finals_b then
+          raise (Found (Word.of_list (List.rev rev_word)));
+        for s = 0 to k - 1 do
+          let succs = succ_a.(q).(s) in
+          if Array.length succs > 0 then begin
+            let set' = post set s in
+            let rev_word' = s :: rev_word in
+            Array.iter (fun q' -> enqueue q' set' rev_word') succs
+          end
+        done
+      end
+    done;
+    Ok ()
+  with Found w -> Error w
+
+let equivalent ?budget a b =
+  match included ?budget a b with
+  | Error _ as e -> e
+  | Ok () -> included ?budget b a

@@ -1,0 +1,33 @@
+(** On-the-fly antichain language inclusion for NFAs.
+
+    Decides [L(A) ⊆ L(B)] without determinizing either side. The search
+    explores pairs [(q, S)] of an A-state and the B-subset reached on the
+    same word, lazily, with antichain subsumption pruning: a pair is
+    discarded when a stored pair with the same [q] and a [⊆]-smaller [S]
+    exists, because the smaller subset rejects every word the larger one
+    rejects. This is the workhorse behind the Lemma 4.3/4.4 prefix-language
+    inclusion tests — the eager subset construction of {!Dfa.determinize}
+    is kept only where a concrete DFA is genuinely needed (limits,
+    minimization, residual classes).
+
+    B-subsets are {!Rl_prelude.Bitset} values and both automata are
+    consumed through memoized per-letter successor tables, so
+    {!Buchi.pre_language} results are stepped as indexed arrays rather
+    than re-walked transition lists. *)
+
+open Rl_sigma
+
+(** [included ?budget a b] decides [L(a) ⊆ L(b)]. On failure it returns a
+    word of [L(a) \ L(b)] of minimal length among the pairs the pruned
+    search visits (breadth-first order). ε-moves are removed first;
+    alphabets must be equal. The budget is ticked once per explored
+    (non-subsumed) pair.
+    @raise Rl_engine_kernel.Budget.Exhausted when the budget runs out.
+    @raise Invalid_argument on an alphabet mismatch. *)
+val included :
+  ?budget:Rl_engine_kernel.Budget.t -> Nfa.t -> Nfa.t -> (unit, Word.t) result
+
+(** [equivalent ?budget a b] decides [L(a) = L(b)] by two inclusion runs;
+    the returned word lies in the symmetric difference. *)
+val equivalent :
+  ?budget:Rl_engine_kernel.Budget.t -> Nfa.t -> Nfa.t -> (unit, Word.t) result

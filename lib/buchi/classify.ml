@@ -4,16 +4,19 @@ open Rl_automata
 let is_safety = Omega_lang.is_limit_closed
 
 let is_liveness b =
-  (* pre(L) = Σ*: the prefix automaton, determinized, accepts everything *)
-  let pre = Dfa.determinize (Buchi.pre_language b) in
+  (* pre(L) = Σ*: every word extends to a behavior — an antichain
+     inclusion of the one-state Σ* automaton in the prefix NFA, with no
+     determinization *)
+  let pre = Buchi.pre_language b in
   let k = Alphabet.size (Buchi.alphabet b) in
   let sigma_star =
-    Dfa.create
+    Nfa.create
       ~alphabet:(Buchi.alphabet b)
-      ~states:1 ~initial:0 ~finals:[ 0 ]
-      ~delta:[| Array.make k 0 |]
+      ~states:1 ~initial:[ 0 ] ~finals:[ 0 ]
+      ~transitions:(List.init k (fun a -> (0, a, 0)))
+      ()
   in
-  match Dfa.included sigma_star pre with Ok () -> true | Error _ -> false
+  match Inclusion.included sigma_star pre with Ok () -> true | Error _ -> false
 
 let universal_buchi alphabet =
   let k = Alphabet.size alphabet in
@@ -21,7 +24,9 @@ let universal_buchi alphabet =
     ~transitions:(List.init k (fun a -> (0, a, 0)))
     ()
 
-let liveness_part b =
-  Buchi.union b (Complement.complement (Omega_lang.safety_closure b))
+let liveness_part ?budget ?max_states b =
+  Buchi.union b
+    (Complement.complement ?budget ?max_states (Omega_lang.safety_closure b))
 
-let decompose b = (Omega_lang.safety_closure b, liveness_part b)
+let decompose ?budget ?max_states b =
+  (Omega_lang.safety_closure b, liveness_part ?budget ?max_states b)

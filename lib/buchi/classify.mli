@@ -22,11 +22,19 @@ val is_liveness : Buchi.t -> bool
 (** [universal_buchi alphabet] accepts [Σ^ω]. *)
 val universal_buchi : Alphabet.t -> Buchi.t
 
-(** [liveness_part b] is [L(b) ∪ (Σ^ω \ closure(L(b)))] — a liveness
-    property (Alpern–Schneider). *)
-val liveness_part : Buchi.t -> Buchi.t
+(** [liveness_part ?budget ?max_states b] is
+    [L(b) ∪ (Σ^ω \ closure(L(b)))] — a liveness property
+    (Alpern–Schneider). The optional limits govern the embedded
+    Kupferman–Vardi complementation; [max_states] aborts it with
+    {!Complement.Too_large}. *)
+val liveness_part :
+  ?budget:Rl_engine_kernel.Budget.t -> ?max_states:int -> Buchi.t -> Buchi.t
 
-(** [decompose b] is [(safety, liveness)] with
+(** [decompose ?budget ?max_states b] is [(safety, liveness)] with
     [L(b) = L(safety) ∩ L(liveness)], [safety = lim(pre(L(b)))] the safety
     closure and [liveness = liveness_part b]. *)
-val decompose : Buchi.t -> Buchi.t * Buchi.t
+val decompose :
+  ?budget:Rl_engine_kernel.Budget.t ->
+  ?max_states:int ->
+  Buchi.t ->
+  Buchi.t * Buchi.t

@@ -23,7 +23,13 @@ let complement ?(budget = Rl_engine_kernel.Budget.unlimited) ?max_states b =
   let alphabet = Buchi.alphabet b in
   let k = Alphabet.size alphabet in
   if n = 0 then begin
-    (* L(b) = ∅: the complement accepts everything. *)
+    (* L(b) = ∅: the complement accepts everything. Even this one-state
+       result counts against the caps, so a zero budget fails here rather
+       than silently succeeding. *)
+    (match max_states with
+    | Some limit when limit < 1 -> raise (Too_large limit)
+    | _ -> ());
+    Rl_engine_kernel.Budget.tick budget;
     let transitions = List.init k (fun a -> (0, a, 0)) in
     Buchi.create ~alphabet ~states:1 ~initial:[ 0 ] ~accepting:[ 0 ]
       ~transitions ()
@@ -47,8 +53,10 @@ let complement ?(budget = Rl_engine_kernel.Budget.unlimited) ?max_states b =
           rev_states := key :: !rev_states;
           (id, true)
     in
+    let initial_set = Rl_prelude.Bitset.of_list n (Buchi.initial b) in
     let init_ranks =
-      Array.init n (fun q -> if List.mem q (Buchi.initial b) then max_rank else -1)
+      Array.init n (fun q ->
+          if Rl_prelude.Bitset.mem initial_set q then max_rank else -1)
     in
     (* Initial accepting states must hold an even rank: max_rank is even. *)
     let init_key = (init_ranks, []) in

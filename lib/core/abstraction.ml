@@ -37,8 +37,10 @@ let verify ?(budget = Rl_engine_kernel.Budget.unlimited) ~ts ~hom ~formula ()
   in
   let verdict_system = Buchi.of_transition_system checked_ts in
   let abstract_verdict =
-    Relative.is_relative_liveness ~budget ~system:verdict_system
-      (Relative.ltl (Nfa.alphabet checked_ts) formula)
+    Rl_engine_kernel.Budget.with_phase budget
+      "abstract transfer check (Thm 8.2/8.3)" (fun () ->
+        Relative.is_relative_liveness ~budget ~system:verdict_system
+          (Relative.ltl (Nfa.alphabet checked_ts) formula))
   in
   let analysis =
     Rl_engine_kernel.Budget.with_phase budget "simplicity analysis" (fun () ->
@@ -72,8 +74,13 @@ let check_concrete ?budget ~ts ~hom ~formula () =
   let rbar = Transform.rbar ~abstract:abstract_alpha ~eps_tail:`Strong formula in
   let labeling = Transform.epsilon_labeling ~abstract:abstract_alpha (Hom.apply_symbol hom) in
   let system = Buchi.of_transition_system (Nfa.trim ts) in
-  Relative.is_relative_liveness ?budget ~system
-    (Relative.Ltl { formula = rbar; labeling })
+  let budget =
+    match budget with Some b -> b | None -> Rl_engine_kernel.Budget.unlimited
+  in
+  Rl_engine_kernel.Budget.with_phase budget "concrete R̄(η) check (Thm 8.2)"
+    (fun () ->
+      Relative.is_relative_liveness ~budget ~system
+        (Relative.Ltl { formula = rbar; labeling }))
 
 let pp_report ppf r =
   let concl =

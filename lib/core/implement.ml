@@ -16,12 +16,13 @@ let construct ?budget ~system p =
 
 (* Both sides are limit closed (the system by Theorem 5.1's hypothesis,
    the implementation because its acceptance condition is trivial), so
-   language equality is prefix-language equality — no complementation. *)
+   language equality is prefix-language equality — no complementation, and
+   the two inclusions run on the prefix NFAs directly via the antichain
+   engine. *)
 let language_preserved ?budget ~system t =
-  let module Dfa = Rl_automata.Dfa in
-  Dfa.equivalent
-    (Dfa.determinize ?budget (Buchi.pre_language ?budget system))
-    (Dfa.determinize ?budget (Buchi.pre_language ?budget t.implementation))
+  Rl_automata.Inclusion.equivalent ?budget
+    (Buchi.pre_language ?budget system)
+    (Buchi.pre_language ?budget t.implementation)
 
 let fair_run_satisfies t labels p =
   let pb = Relative.property_buchi (Buchi.alphabet t.product) p in

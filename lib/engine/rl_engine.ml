@@ -18,6 +18,17 @@ module Error = struct
         Some (Parse_error { file = None; line; msg })
     | Rl_petri.Petri.Unbounded place ->
         Some (Unbounded_net { place; bound = Rl_petri.Petri.default_bound })
+    | Rl_buchi.Complement.Too_large limit ->
+        (* the rank-based construction hit its structural state cap: same
+           verdict as an exhausted state budget, with the phase named *)
+        Some
+          (Budget_exhausted
+             {
+               Rl_engine_kernel.Budget.resource = `States;
+               phase = "Büchi complementation";
+               states_explored = limit;
+               max_states = Some limit;
+             })
     | Sys_error msg -> Some (Internal msg)
     | _ -> None
 

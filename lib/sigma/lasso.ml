@@ -16,19 +16,29 @@ let primitive_cycle v =
   let d = find 1 in
   Word.prefix v d
 
-let rotate_right v =
-  let n = Word.length v in
-  Word.append (Word.prefix (Word.drop v (n - 1)) 1) (Word.prefix v (n - 1))
-
-let rec roll_back stem cycle =
-  let ls = Word.length stem in
-  if ls = 0 then (stem, cycle)
+(* Rolling the stem's last letter into the cycle one rotation at a time
+   splices two fresh words per step, which is quadratic in the stem
+   length. One backwards scan finds how far the stem can roll in total —
+   the longest stem suffix matching the cycle read cyclically from its
+   end — after which a single splice performs all the rotations at
+   once. *)
+let roll_back stem cycle =
+  let ls = Word.length stem and p = Word.length cycle in
+  let rec matching k =
+    if k >= ls then k
+    else if Word.get stem (ls - 1 - k) = Word.get cycle (p - 1 - (k mod p))
+    then matching (k + 1)
+    else k
+  in
+  let k = matching 0 in
+  if k = 0 then (stem, cycle)
   else
-    let last_stem = Word.get stem (ls - 1) in
-    let last_cycle = Word.get cycle (Word.length cycle - 1) in
-    if last_stem = last_cycle then
-      roll_back (Word.prefix stem (ls - 1)) (rotate_right cycle)
-    else (stem, cycle)
+    let r = k mod p in
+    let cycle' =
+      if r = 0 then cycle
+      else Word.append (Word.drop cycle (p - r)) (Word.prefix cycle (p - r))
+    in
+    (Word.prefix stem (ls - k), cycle')
 
 let make stem cycle =
   if Word.length cycle = 0 then invalid_arg "Lasso.make: empty cycle";

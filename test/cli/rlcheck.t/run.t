@@ -148,16 +148,34 @@ fairness alone does not deliver (the Theorem 5.1 implementation would):
   $ head -1 fair.out
   FAIR-VIOLATED: a strongly fair run violates it:
 
-Resource budgets: a system whose determinization blows up is abandoned
-promptly with exit code 4 and a report of how far the check got:
+Resource budgets. The relative-liveness decider works on the NFAs
+directly (antichain inclusion), so a system whose eager determinization
+has ~2^18 states is decided comfortably inside a 1000-state budget:
 
   $ rlcheck rl big.ts -f '[]<>a' --max-states 1000
-  rlcheck: state limit 1000 reached during determinize pre(Lω) after exploring 1001 states
+  RELATIVE LIVENESS: every prefix extends to a behavior satisfying []<>a
+
+Squeeze the budget hard enough and the check is still abandoned promptly,
+with exit code 4 and the phase that ran out of states:
+
+  $ rlcheck rl big.ts -f '[]<>a' --max-states 200
+  rlcheck: state limit 200 reached during inclusion pre(Lω) ⊆ pre(Lω ∩ P) after exploring 201 states
   [4]
 
   $ rlcheck sat big.ts -f '[]<>a' --max-states 1000
   VIOLATED: counterexample ε·(b)^ω
   [1]
+
+Decomposition complements the safety closure; when the rank construction
+would exceed the cap it reports the same budget-exhausted shape instead
+of escaping as a raw exception:
+
+  $ rlcheck decompose server.ts -f '[]<>result' --max-states 10
+  property automaton: 4 states
+  safety property: false
+  liveness property: true
+  rlcheck: state limit 10 reached during Büchi complementation after exploring 10 states
+  [4]
 
 An unbounded Petri net is a clean input error with a hint, not a crash:
 

@@ -362,11 +362,112 @@ let test_bisim_respects_finality () =
   in
   Alcotest.(check int) "no merge" 2 (Nfa.states (Bisim.quotient n))
 
+(* --- antichain inclusion engine --- *)
+
+let test_inclusion_basic () =
+  let inter = Nfa.inter ab_star contains_a in
+  (match Inclusion.included inter ab_star with
+  | Ok () -> ()
+  | Error w -> Alcotest.failf "expected inclusion, witness %a" (Word.pp ab) w);
+  match Inclusion.included ab_star inter with
+  | Ok () -> Alcotest.fail "expected non-inclusion"
+  | Error w ->
+      Alcotest.(check bool) "witness in L(a)" true (Nfa.accepts ab_star w);
+      Alcotest.(check bool) "witness not in L(b)" false (Nfa.accepts inter w)
+
+let test_inclusion_degenerate () =
+  (* no initial state on the left: L(A) = ∅ ⊆ anything *)
+  let empty_initial =
+    Nfa.create ~alphabet:ab ~states:2 ~initial:[] ~finals:[ 0; 1 ]
+      ~transitions:[ (0, a_sym, 1) ] ()
+  in
+  (match Inclusion.included empty_initial ab_star with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "∅ ⊆ L(B) must hold");
+  (* empty right side: the witness is a shortest word of L(A) *)
+  let empty_lang =
+    Nfa.create ~alphabet:ab ~states:1 ~initial:[ 0 ] ~finals:[]
+      ~transitions:[] ()
+  in
+  match Inclusion.included contains_a empty_lang with
+  | Ok () -> Alcotest.fail "nonempty ⊆ ∅ must fail"
+  | Error w -> Alcotest.(check int) "shortest witness" 1 (Word.length w)
+
+let test_inclusion_budget () =
+  let budget = Rl_engine_kernel.Budget.create ~max_states:1 () in
+  match Inclusion.included ~budget contains_a ab_star with
+  | exception Rl_engine_kernel.Budget.Exhausted e ->
+      Alcotest.(check int) "explored" 2 e.Rl_engine_kernel.Budget.states_explored
+  | _ -> Alcotest.fail "expected exhaustion under a 1-state budget"
+
+let check_against_dfa n1 n2 =
+  let eager =
+    Dfa.included (Dfa.determinize n1) (Dfa.determinize n2)
+  in
+  match (Inclusion.included n1 n2, eager) with
+  | Ok (), Ok () -> true
+  | Error w, Error _ -> Nfa.accepts n1 w && not (Nfa.accepts n2 w)
+  | _ -> false
+
+let prop_inclusion_agrees_with_determinize =
+  QCheck2.Test.make
+    ~name:"antichain inclusion agrees with determinize + Dfa.included"
+    ~count:500
+    QCheck2.Gen.(pair gen_nfa gen_nfa)
+    (fun (n1, n2) -> check_against_dfa n1 n2)
+
+let prop_inclusion_single_letter =
+  (* unary alphabets: subset structure degenerates to counting *)
+  QCheck2.Test.make ~name:"antichain inclusion on a 1-letter alphabet"
+    ~count:300
+    QCheck2.Gen.(
+      let* s1 = 0 -- 1_000_000 in
+      let* s2 = 0 -- 1_000_000 in
+      let* k1 = 1 -- 5 in
+      let* k2 = 1 -- 5 in
+      let one = Alphabet.make [ "a" ] in
+      let mk seed states =
+        Gen.nfa (mk_rng seed) ~alphabet:one ~states ~density:0.35
+          ~final_prob:0.4
+      in
+      return (mk s1 k1, mk s2 k2))
+    (fun (n1, n2) -> check_against_dfa n1 n2)
+
+let prop_inclusion_empty_initial =
+  QCheck2.Test.make ~name:"antichain inclusion with an empty initial set"
+    ~count:200
+    QCheck2.Gen.(pair gen_nfa gen_nfa)
+    (fun (n1, n2) ->
+      let gutted =
+        Nfa.create ~alphabet:ab ~states:(Nfa.states n1) ~initial:[]
+          ~finals:(Rl_prelude.Bitset.elements (Nfa.finals n1))
+          ~transitions:(Nfa.transitions n1) ()
+      in
+      Inclusion.included gutted n2 = Ok () && check_against_dfa n2 gutted)
+
+let prop_inclusion_equivalent =
+  QCheck2.Test.make
+    ~name:"Inclusion.equivalent matches Dfa.equivalent, witness in sym.diff."
+    ~count:300
+    QCheck2.Gen.(pair gen_nfa gen_nfa)
+    (fun (n1, n2) ->
+      let eager =
+        Dfa.equivalent (Dfa.determinize n1) (Dfa.determinize n2)
+      in
+      match (Inclusion.equivalent n1 n2, eager) with
+      | Ok (), Ok () -> true
+      | Error w, Error _ -> Nfa.accepts n1 w <> Nfa.accepts n2 w
+      | _ -> false)
+
 let qsuite =
   List.map QCheck_alcotest.to_alcotest
     [
       prop_bisim_preserves;
       prop_bisim_shrinks_and_idempotent;
+      prop_inclusion_agrees_with_determinize;
+      prop_inclusion_single_letter;
+      prop_inclusion_empty_initial;
+      prop_inclusion_equivalent;
       prop_determinize_preserves;
       prop_minimize_preserves;
       prop_minimize_agrees_with_moore;
@@ -412,6 +513,12 @@ let () =
           Alcotest.test_case "equivalent" `Quick test_equivalent;
           Alcotest.test_case "included" `Quick test_included;
           Alcotest.test_case "states equivalent" `Quick test_states_equivalent;
+        ] );
+      ( "inclusion",
+        [
+          Alcotest.test_case "basic" `Quick test_inclusion_basic;
+          Alcotest.test_case "degenerate automata" `Quick test_inclusion_degenerate;
+          Alcotest.test_case "budget ticks per pair" `Quick test_inclusion_budget;
         ] );
       ("properties", qsuite);
     ]

@@ -381,6 +381,28 @@ let prop_rl_witness_sound =
           Nfa.accepts (Buchi.pre_language system) w
           && Relative.witness_extension ~system p w = None)
 
+let prop_rl_antichain_vs_eager =
+  (* the antichain engine must agree with the eager
+     determinize-both-sides check it replaced, and every doomed prefix it
+     reports must replay through Certify unchanged *)
+  QCheck2.Test.make
+    ~name:"RL: antichain decision = eager determinization, witnesses certify"
+    ~count:150
+    QCheck2.Gen.(pair gen_system gen_formula3)
+    (fun (system, f) ->
+      let p = Relative.ltl abc3 f in
+      let eager =
+        let pb = Relative.property_buchi abc3 p in
+        Dfa.included
+          (Dfa.determinize (Buchi.pre_language system))
+          (Dfa.determinize (Buchi.pre_language (Buchi.inter system pb)))
+      in
+      match Relative.is_relative_liveness ~system p with
+      | Ok () -> eager = Ok ()
+      | Error w ->
+          Result.is_error eager
+          && Rl_engine.Certify.doomed_prefix ~system p w = Ok ())
+
 let prop_rl_definition_pointwise =
   (* Definition 4.1 on sampled prefixes: when RL holds, every prefix
      extends to a satisfying behavior. *)
@@ -501,6 +523,7 @@ let qsuite =
       prop_theorem_4_7;
       prop_machine_closure;
       prop_rl_witness_sound;
+      prop_rl_antichain_vs_eager;
       prop_rl_definition_pointwise;
       prop_transfer_8_2_8_3;
       prop_concrete_implies_abstract;

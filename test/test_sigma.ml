@@ -172,6 +172,50 @@ let prop_cantor_triangle =
       Lasso.cantor_distance x z
       <= max (Lasso.cantor_distance x y) (Lasso.cantor_distance y z) +. 1e-12)
 
+let prop_lasso_suffix_compose =
+  (* suffix-of-suffix must agree with the direct suffix, structurally:
+     both sides are canonical forms of the same ω-word *)
+  QCheck2.Test.make ~name:"lasso: suffix (suffix x a) b = suffix x (a+b)"
+    ~count:500
+    QCheck2.Gen.(triple (gen_lasso 3) (0 -- 8) (0 -- 8))
+    (fun (x, a, b) ->
+      Lasso.equal (Lasso.suffix (Lasso.suffix x a) b) (Lasso.suffix x (a + b)))
+
+let prop_lasso_canonical_representation_free =
+  (* equal ultimately periodic words get structurally equal canonical
+     forms: respell x with a longer stem (any prefix past the spoke) and a
+     rotated, repeated cycle, and make must recover the same structure *)
+  QCheck2.Test.make ~name:"lasso: canonical form is representation-free"
+    ~count:500
+    QCheck2.Gen.(triple (gen_lasso 3) (0 -- 10) (1 -- 3))
+    (fun (x, extra, reps) ->
+      let n = Lasso.spoke x + extra in
+      let p = Lasso.period x in
+      let stem' = Lasso.prefix x n in
+      let cycle' =
+        Word.of_list (List.init (p * reps) (fun i -> Lasso.at x (n + i)))
+      in
+      Lasso.equal x (Lasso.make stem' cycle'))
+
+let prop_lasso_rollback_complete =
+  (* a stem ending in whole copies of the cycle rolls all the way back:
+     the canonical spoke never exceeds the non-periodic prefix *)
+  QCheck2.Test.make ~name:"lasso: rollback swallows periodic stem tails"
+    ~count:300
+    QCheck2.Gen.(
+      triple
+        (list_size (0 -- 4) (0 -- 2))
+        (list_size (1 -- 4) (0 -- 2))
+        (0 -- 20))
+    (fun (pre, cyc, reps) ->
+      let cycle = Word.of_list cyc in
+      let stem = Word.append (Word.of_list pre) (Word.repeat cycle reps) in
+      let x = Lasso.make stem cycle in
+      Lasso.spoke x <= List.length pre
+      && List.for_all
+           (fun i -> Lasso.at x i = Word.get (Word.append stem (Word.repeat cycle 8)) i)
+           (List.init (Word.length stem + Word.length cycle) Fun.id))
+
 let prop_word_prefix_drop =
   QCheck2.Test.make ~name:"word: prefix ++ drop = id" ~count:300
     QCheck2.Gen.(pair (gen_word 3 8) (0 -- 8))
@@ -184,6 +228,9 @@ let qsuite = List.map QCheck_alcotest.to_alcotest
       prop_lasso_at_independent_of_form;
       prop_lasso_suffix_at;
       prop_lasso_equal_iff_same_letters;
+      prop_lasso_suffix_compose;
+      prop_lasso_canonical_representation_free;
+      prop_lasso_rollback_complete;
       prop_cantor_triangle;
       prop_word_prefix_drop;
     ]
