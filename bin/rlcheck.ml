@@ -31,6 +31,7 @@ open Rl_core
 module Budget = Rl_engine.Budget
 module Error = Rl_engine.Error
 module Certify = Rl_engine.Certify
+module Pool = Rl_engine.Pool
 
 let warn msg = Format.eprintf "rlcheck: warning: %s@." msg
 
@@ -65,6 +66,24 @@ let timeout_arg =
   let doc = "Give up with exit code 4 after $(docv) seconds of wall clock." in
   Arg.(value & opt (some float) None & info [ "timeout" ] ~docv:"SECONDS" ~doc)
 
+let jobs_arg =
+  let doc =
+    "Worker domains for the parallel checking engine. The default 1 runs \
+     serially; $(docv) > 1 fans the antichain frontiers, complementation \
+     levels and independent sub-checks out across $(docv) domains; 0 means \
+     one domain per available core. Verdicts, witnesses and exit codes are \
+     identical for every value (phases that are inherently serial simply \
+     ignore the pool)."
+  in
+  let env = Cmd.Env.info "RLCHECK_JOBS" ~doc:"Default value for $(b,--jobs)." in
+  Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N" ~doc ~env)
+
+(* A serial run gets no pool at all — [?pool:None] everywhere — so --jobs 1
+   takes literally the code path of the pre-parallel engine. Exits inside
+   the body bypass the shutdown; process termination reaps the domains. *)
+let with_jobs jobs f =
+  if jobs = 1 then f None else Pool.with_pool ~jobs (fun p -> f (Some p))
+
 let bound_arg =
   let doc =
     "Token bound per place when exploring a Petri net's reachability graph \
@@ -95,9 +114,10 @@ let certify check = match check with Ok () -> Ok () | Error f -> uncertified f
 
 (* --- sat / rl / rs --- *)
 
-let run_check mode path formula_src max_states timeout bound =
+let run_check mode path formula_src max_states timeout bound jobs =
   let budget = Budget.create ?max_states ?timeout () in
   guarded @@ fun () ->
+  with_jobs jobs @@ fun pool ->
   let* ts = load_system ~budget ?bound path in
   let* f = parse_formula formula_src in
   let alpha = Nfa.alphabet ts in
@@ -109,7 +129,7 @@ let run_check mode path formula_src max_states timeout bound =
   let fresh () = Budget.create ?max_states ?timeout () in
   match mode with
   | `Sat -> (
-      match Relative.satisfies ~budget ~system p with
+      match Relative.satisfies ~budget ?pool ~system p with
       | Ok () ->
           Format.printf "SATISFIED: every behavior satisfies %a@."
             Rl_ltl.Formula.pp f;
@@ -119,7 +139,7 @@ let run_check mode path formula_src max_states timeout bound =
           Format.printf "VIOLATED: counterexample %a@." (Lasso.pp alpha) cex;
           exit 1)
   | `Rl -> (
-      match Relative.is_relative_liveness ~budget ~system p with
+      match Relative.is_relative_liveness ~budget ?pool ~system p with
       | Ok () ->
           Format.printf
             "RELATIVE LIVENESS: every prefix extends to a behavior \
@@ -134,7 +154,7 @@ let run_check mode path formula_src max_states timeout bound =
             (Word.pp alpha) w;
           exit 1)
   | `Rs -> (
-      match Relative.is_relative_safety ~budget ~system p with
+      match Relative.is_relative_safety ~budget ?pool ~system p with
       | Ok () ->
           Format.printf "RELATIVE SAFETY: violations are irredeemable@.";
           Ok ()
@@ -150,7 +170,7 @@ let check_cmd name mode doc =
   let term =
     Term.(
       const (run_check mode) $ system_arg $ formula_arg $ max_states_arg
-      $ timeout_arg $ bound_arg)
+      $ timeout_arg $ bound_arg $ jobs_arg)
   in
   Cmd.v (Cmd.info name ~doc) term
 
@@ -164,9 +184,11 @@ let eps_check =
   let doc = "Also run the direct concrete check of R̄(η) and compare." in
   Arg.(value & flag & info [ "check-concrete" ] ~doc)
 
-let run_abstract path formula_src keep check_concrete max_states timeout bound =
+let run_abstract path formula_src keep check_concrete max_states timeout bound
+    jobs =
   let budget = Budget.create ?max_states ?timeout () in
   guarded @@ fun () ->
+  with_jobs jobs @@ fun pool ->
   let* ts = load_system ~budget ?bound path in
   let* f = parse_formula formula_src in
   let* hom =
@@ -174,12 +196,14 @@ let run_abstract path formula_src keep check_concrete max_states timeout bound =
     with Invalid_argument m -> Error (Error.Internal m)
   in
   let* report =
-    try Ok (Abstraction.verify ~budget ~ts ~hom ~formula:f ())
+    try Ok (Abstraction.verify ~budget ?pool ~ts ~hom ~formula:f ())
     with Invalid_argument m -> Error (Error.Internal m)
   in
   Format.printf "%a@." Abstraction.pp_report report;
   if check_concrete then begin
-    let direct = Abstraction.check_concrete ~budget ~ts ~hom ~formula:f () in
+    let direct =
+      Abstraction.check_concrete ~budget ?pool ~ts ~hom ~formula:f ()
+    in
     Format.printf "direct concrete check: %s@."
       (match direct with
       | Ok () -> "R̄(η) is a relative liveness property of lim(L)"
@@ -195,7 +219,7 @@ let abstract_cmd =
   let term =
     Term.(
       const run_abstract $ system_arg $ formula_arg $ keep_arg $ eps_check
-      $ max_states_arg $ timeout_arg $ bound_arg)
+      $ max_states_arg $ timeout_arg $ bound_arg $ jobs_arg)
   in
   Cmd.v (Cmd.info "abstract" ~doc) term
 
@@ -209,15 +233,16 @@ let seed_arg =
   let doc = "PRNG seed for run sampling." in
   Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc)
 
-let run_impl path formula_src samples seed max_states timeout bound =
+let run_impl path formula_src samples seed max_states timeout bound jobs =
   let budget = Budget.create ?max_states ?timeout () in
   guarded @@ fun () ->
+  with_jobs jobs @@ fun pool ->
   let* ts = load_system ~budget ?bound path in
   let* f = parse_formula formula_src in
   let alpha = Nfa.alphabet ts in
   let system = Buchi.of_transition_system ts in
   let p = Relative.ltl alpha f in
-  (match Relative.is_relative_liveness ~budget ~system p with
+  (match Relative.is_relative_liveness ~budget ?pool ~system p with
   | Ok () -> ()
   | Error w ->
       Format.printf
@@ -228,7 +253,7 @@ let run_impl path formula_src samples seed max_states timeout bound =
   Format.printf "implementation: %d states (system had %d)@."
     (Buchi.states impl.Implement.implementation)
     (Buchi.states system);
-  (match Implement.language_preserved ~budget ~system impl with
+  (match Implement.language_preserved ~budget ?pool ~system impl with
   | Ok () -> Format.printf "behaviors preserved: yes@."
   | Error x ->
       Format.printf "behaviors preserved: NO, witness %a@." (Word.pp alpha) x);
@@ -253,14 +278,17 @@ let impl_cmd =
   let term =
     Term.(
       const run_impl $ system_arg $ formula_arg $ samples_arg $ seed_arg
-      $ max_states_arg $ timeout_arg $ bound_arg)
+      $ max_states_arg $ timeout_arg $ bound_arg $ jobs_arg)
   in
   Cmd.v (Cmd.info "impl" ~doc) term
 
 (* --- fair: model checking under strong fairness --- *)
 
-let run_fair path formula_src bound =
+let run_fair path formula_src bound jobs =
   guarded @@ fun () ->
+  (* the Streett emptiness path is inherently sequential (nested SCC
+     decompositions); the flag is accepted for interface uniformity *)
+  with_jobs jobs @@ fun _pool ->
   let* ts = load_system ?bound path in
   let* f = parse_formula formula_src in
   let alpha = Nfa.alphabet ts in
@@ -288,13 +316,15 @@ let fair_cmd =
      Streett fair emptiness)"
   in
   Cmd.v (Cmd.info "fair" ~doc)
-    Term.(const run_fair $ system_arg $ formula_arg $ bound_arg)
+    Term.(const run_fair $ system_arg $ formula_arg $ bound_arg $ jobs_arg)
 
 (* --- simple: simplicity of a hiding abstraction --- *)
 
-let run_simple path keep max_states timeout bound =
+let run_simple path keep max_states timeout bound jobs =
   let budget = Budget.create ?max_states ?timeout () in
   guarded @@ fun () ->
+  (* the simplicity configuration search is a sequential fixpoint *)
+  with_jobs jobs @@ fun _pool ->
   let* ts = load_system ~budget ?bound path in
   let* hom =
     try Ok (Rl_hom.Hom.hiding ~concrete:(Nfa.alphabet ts) ~keep)
@@ -320,12 +350,13 @@ let simple_cmd =
   Cmd.v (Cmd.info "simple" ~doc)
     Term.(
       const run_simple $ system_arg $ keep_arg $ max_states_arg $ timeout_arg
-      $ bound_arg)
+      $ bound_arg $ jobs_arg)
 
 (* --- decompose: safety/liveness classification --- *)
 
-let run_decompose path formula_src max_states bound =
+let run_decompose path formula_src max_states bound jobs =
   guarded @@ fun () ->
+  with_jobs jobs @@ fun pool ->
   let* ts = load_system ?bound path in
   let* f = parse_formula formula_src in
   let alpha = Nfa.alphabet ts in
@@ -335,17 +366,38 @@ let run_decompose path formula_src max_states bound =
       f
   in
   Format.printf "property automaton: %d states@." (Buchi.states b);
-  Format.printf "safety property: %b@." (Classify.is_safety b);
-  Format.printf "liveness property: %b@." (Classify.is_liveness b);
-  (* the liveness part embeds a Kupferman–Vardi complementation, the one
+  (* the three per-property checks are independent: fan them out. The
+     decompose leg embeds a Kupferman–Vardi complementation, the one
      exponential step here; --max-states caps it, and Complement.Too_large
-     surfaces through Error.of_exn as the exit-code-4 verdict *)
-  let s, l = Classify.decompose ?max_states b in
-  Format.printf
-    "decomposition (Alpern–Schneider): safety closure %d states, liveness \
-     part %d states@."
-    (Buchi.states s) (Buchi.states l);
-  Ok ()
+     surfaces through Error.of_exn as the exit-code-4 verdict — but only
+     after the classification lines are printed, so its thunk hands back
+     the exception as a value instead of abandoning its siblings. *)
+  let checks =
+    [
+      (fun () -> `Bool (Classify.is_safety b));
+      (fun () -> `Bool (Classify.is_liveness ?pool b));
+      (fun () ->
+        match Classify.decompose ?max_states ?pool b with
+        | parts -> `Decomposition (Ok parts)
+        | exception e -> `Decomposition (Error e));
+    ]
+  in
+  let results =
+    match pool with
+    | Some p when Pool.size p > 1 -> Pool.parfan p checks
+    | _ -> List.map (fun check -> check ()) checks
+  in
+  match results with
+  | [ `Bool safety; `Bool liveness; `Decomposition parts ] ->
+      Format.printf "safety property: %b@." safety;
+      Format.printf "liveness property: %b@." liveness;
+      let s, l = match parts with Ok parts -> parts | Error e -> raise e in
+      Format.printf
+        "decomposition (Alpern–Schneider): safety closure %d states, liveness \
+         part %d states@."
+        (Buchi.states s) (Buchi.states l);
+      Ok ()
+  | _ -> assert false
 
 let decompose_cmd =
   let doc = "classify a property as safety/liveness and decompose it" in
@@ -353,7 +405,7 @@ let decompose_cmd =
     (Cmd.info "decompose" ~doc)
     Term.(
       const run_decompose $ system_arg $ formula_arg $ max_states_arg
-      $ bound_arg)
+      $ bound_arg $ jobs_arg)
 
 (* --- compose: parallel composition of systems --- *)
 

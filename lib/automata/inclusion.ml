@@ -1,6 +1,7 @@
 open Rl_prelude
 open Rl_sigma
 module Budget = Rl_engine_kernel.Budget
+module Pool = Rl_engine_kernel.Pool
 
 (* Antichain-based inclusion check, after De Wulf–Doyen–Henzinger–Raskin
    ("Antichains: a new algorithm for checking universality of finite
@@ -12,12 +13,30 @@ module Budget = Rl_engine_kernel.Budget
    S rejects every word a larger one rejects, so (q, S) is subsumed by any
    stored (q, S') with S' ⊆ S: discarding the larger pair loses no
    counterexample and keeps, per A-state, only the ⊆-minimal subsets — an
-   antichain. The search is breadth-first, so the witness word returned is
-   of minimal length among the pairs actually visited. *)
+   antichain.
 
-exception Found of Word.t
+   The search is level-synchronous breadth-first, which is what makes the
+   domain-parallel version deterministic: each round first scans the
+   current frontier for witnesses (picking the lexicographically least
+   among the shortest), then computes every frontier node's successor
+   subsets — the expensive bitset unions — as a pure [Pool.parmap], and
+   finally merges the results into the antichain sequentially, in frontier
+   order, on the calling domain. All antichain mutation, budget ticking
+   and witness selection happen on one domain in a schedule-independent
+   order, so verdict, witness and exhaustion point are identical for every
+   pool size. *)
 
-let included ?(budget = Budget.unlimited) a b =
+type node = {
+  q : int;
+  set : Bitset.t;
+  rev_word : int list;
+  mutable live : bool;
+      (* cleared when a later ⊆-smaller subset evicts this node from the
+         antichain; replaces the List.memq bucket scan of the serial
+         engine with an O(1) flag *)
+}
+
+let included ?(budget = Budget.unlimited) ?pool a b =
   if not (Alphabet.equal (Nfa.alphabet a) (Nfa.alphabet b)) then
     invalid_arg "Inclusion.included: alphabet mismatch";
   let a = Nfa.remove_eps a and b = Nfa.remove_eps b in
@@ -41,43 +60,83 @@ let included ?(budget = Budget.unlimited) a b =
     out
   in
   (* per-A-state antichain of ⊆-minimal B-subsets seen so far *)
-  let antichain = Array.make (max na 1) [] in
-  let queue = Queue.create () in
+  let antichain : node list array = Array.make (max na 1) [] in
+  let next = ref [] (* next frontier, most recent first *) in
   let enqueue q set rev_word =
-    if not (List.exists (fun s' -> Bitset.subset s' set) antichain.(q)) then begin
+    if not (List.exists (fun n -> Bitset.subset n.set set) antichain.(q))
+    then begin
       Budget.tick budget;
+      let node = { q; set; rev_word; live = true } in
       antichain.(q) <-
-        set :: List.filter (fun s' -> not (Bitset.subset set s')) antichain.(q);
-      Queue.add (q, set, rev_word) queue
+        node
+        :: List.filter
+             (fun n ->
+               if Bitset.subset set n.set then begin
+                 n.live <- false;
+                 false
+               end
+               else true)
+             antichain.(q);
+      next := node :: !next
     end
   in
   let init_set = Bitset.of_list nb (Nfa.initial b) in
   List.iter
     (fun q -> enqueue q init_set [])
     (List.sort_uniq compare (Nfa.initial a));
-  try
-    while not (Queue.is_empty queue) do
-      let q, set, rev_word = Queue.pop queue in
-      (* a later, smaller subset may have evicted this node's set from the
-         antichain; its replacement is (or was) in the queue, so the stale
-         node can be dropped wholesale *)
-      if List.memq set antichain.(q) then begin
-        if Bitset.mem finals_a q && Bitset.disjoint set finals_b then
-          raise (Found (Word.of_list (List.rev rev_word)));
-        for s = 0 to k - 1 do
-          let succs = succ_a.(q).(s) in
-          if Array.length succs > 0 then begin
-            let set' = post set s in
-            let rev_word' = s :: rev_word in
-            Array.iter (fun q' -> enqueue q' set' rev_word') succs
-          end
-        done
-      end
-    done;
-    Ok ()
-  with Found w -> Error w
+  (* successor subsets of one live frontier node, one per letter with an
+     A-move; pure up to [Budget.poll], hence safe on worker domains *)
+  let expand node =
+    Budget.poll budget;
+    Array.init k (fun s ->
+        if Array.length succ_a.(node.q).(s) = 0 then None
+        else Some (post node.set s))
+  in
+  let witness = ref None in
+  while !next <> [] && !witness = None do
+    let frontier = Array.of_list (List.rev !next) in
+    next := [];
+    (* 1. witness scan: canonical = lexicographically least of the level *)
+    Array.iter
+      (fun n ->
+        if n.live && Bitset.mem finals_a n.q && Bitset.disjoint n.set finals_b
+        then
+          let w = List.rev n.rev_word in
+          match !witness with
+          | Some w' when compare w' w <= 0 -> ()
+          | _ -> witness := Some w)
+      frontier;
+    if !witness = None then begin
+      let live =
+        Array.of_list (List.filter (fun n -> n.live) (Array.to_list frontier))
+      in
+      (* 2. expansion: the parallel region *)
+      let expanded =
+        match pool with
+        | Some p -> Pool.parmap p expand live
+        | None -> Array.map expand live
+      in
+      (* 3. merge, sequential and in frontier order *)
+      Array.iteri
+        (fun i n ->
+          let sets = expanded.(i) in
+          for s = 0 to k - 1 do
+            match sets.(s) with
+            | None -> ()
+            | Some set' ->
+                let rev_word' = s :: n.rev_word in
+                Array.iter
+                  (fun q' -> enqueue q' set' rev_word')
+                  succ_a.(n.q).(s)
+          done)
+        live
+    end
+  done;
+  match !witness with
+  | None -> Ok ()
+  | Some syms -> Error (Word.of_list syms)
 
-let equivalent ?budget a b =
-  match included ?budget a b with
+let equivalent ?budget ?pool a b =
+  match included ?budget ?pool a b with
   | Error _ as e -> e
-  | Ok () -> included ?budget b a
+  | Ok () -> included ?budget ?pool b a

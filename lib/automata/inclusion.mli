@@ -13,21 +13,37 @@
     B-subsets are {!Rl_prelude.Bitset} values and both automata are
     consumed through memoized per-letter successor tables, so
     {!Buchi.pre_language} results are stepped as indexed arrays rather
-    than re-walked transition lists. *)
+    than re-walked transition lists.
+
+    The search is level-synchronous breadth-first. With [?pool], each
+    level's successor-subset computations — the expensive bitset unions —
+    fan out across the pool's domains as pure tasks, while all antichain
+    mutation, budget ticking and witness selection stay on the calling
+    domain in frontier order. Verdict, witness and budget-exhaustion
+    point are therefore identical for every pool size. *)
 
 open Rl_sigma
 
-(** [included ?budget a b] decides [L(a) ⊆ L(b)]. On failure it returns a
-    word of [L(a) \ L(b)] of minimal length among the pairs the pruned
-    search visits (breadth-first order). ε-moves are removed first;
-    alphabets must be equal. The budget is ticked once per explored
-    (non-subsumed) pair.
+(** [included ?budget ?pool a b] decides [L(a) ⊆ L(b)]. On failure it
+    returns a {e canonical} witness of [L(a) \ L(b)]: among the shortest
+    words the pruned search uncovers, the lexicographically least (in
+    symbol-index order). ε-moves are removed first; alphabets must be
+    equal. The budget is ticked once per explored (non-subsumed) pair,
+    always on the calling domain.
     @raise Rl_engine_kernel.Budget.Exhausted when the budget runs out.
     @raise Invalid_argument on an alphabet mismatch. *)
 val included :
-  ?budget:Rl_engine_kernel.Budget.t -> Nfa.t -> Nfa.t -> (unit, Word.t) result
+  ?budget:Rl_engine_kernel.Budget.t ->
+  ?pool:Rl_engine_kernel.Pool.t ->
+  Nfa.t ->
+  Nfa.t ->
+  (unit, Word.t) result
 
-(** [equivalent ?budget a b] decides [L(a) = L(b)] by two inclusion runs;
-    the returned word lies in the symmetric difference. *)
+(** [equivalent ?budget ?pool a b] decides [L(a) = L(b)] by two inclusion
+    runs; the returned word lies in the symmetric difference. *)
 val equivalent :
-  ?budget:Rl_engine_kernel.Budget.t -> Nfa.t -> Nfa.t -> (unit, Word.t) result
+  ?budget:Rl_engine_kernel.Budget.t ->
+  ?pool:Rl_engine_kernel.Pool.t ->
+  Nfa.t ->
+  Nfa.t ->
+  (unit, Word.t) result

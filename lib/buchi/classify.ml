@@ -3,7 +3,7 @@ open Rl_automata
 
 let is_safety = Omega_lang.is_limit_closed
 
-let is_liveness b =
+let is_liveness ?pool b =
   (* pre(L) = Σ*: every word extends to a behavior — an antichain
      inclusion of the one-state Σ* automaton in the prefix NFA, with no
      determinization *)
@@ -16,7 +16,9 @@ let is_liveness b =
       ~transitions:(List.init k (fun a -> (0, a, 0)))
       ()
   in
-  match Inclusion.included sigma_star pre with Ok () -> true | Error _ -> false
+  match Inclusion.included ?pool sigma_star pre with
+  | Ok () -> true
+  | Error _ -> false
 
 let universal_buchi alphabet =
   let k = Alphabet.size alphabet in
@@ -24,9 +26,10 @@ let universal_buchi alphabet =
     ~transitions:(List.init k (fun a -> (0, a, 0)))
     ()
 
-let liveness_part ?budget ?max_states b =
+let liveness_part ?budget ?max_states ?pool b =
   Buchi.union b
-    (Complement.complement ?budget ?max_states (Omega_lang.safety_closure b))
+    (Complement.complement ?budget ?max_states ?pool
+       (Omega_lang.safety_closure b))
 
-let decompose ?budget ?max_states b =
-  (Omega_lang.safety_closure b, liveness_part ?budget ?max_states b)
+let decompose ?budget ?max_states ?pool b =
+  (Omega_lang.safety_closure b, liveness_part ?budget ?max_states ?pool b)

@@ -15,9 +15,10 @@ open Rl_sigma
     irrecoverable finite prefix). *)
 val is_safety : Buchi.t -> bool
 
-(** [is_liveness b] — [L(b)] is a liveness property: [pre(L(b)) = Σ*]
-    (every finite word can be extended into [L(b)]). *)
-val is_liveness : Buchi.t -> bool
+(** [is_liveness ?pool b] — [L(b)] is a liveness property:
+    [pre(L(b)) = Σ*] (every finite word can be extended into [L(b)]).
+    [?pool] parallelizes the antichain inclusion. *)
+val is_liveness : ?pool:Rl_engine_kernel.Pool.t -> Buchi.t -> bool
 
 (** [universal_buchi alphabet] accepts [Σ^ω]. *)
 val universal_buchi : Alphabet.t -> Buchi.t
@@ -28,7 +29,11 @@ val universal_buchi : Alphabet.t -> Buchi.t
     Kupferman–Vardi complementation; [max_states] aborts it with
     {!Complement.Too_large}. *)
 val liveness_part :
-  ?budget:Rl_engine_kernel.Budget.t -> ?max_states:int -> Buchi.t -> Buchi.t
+  ?budget:Rl_engine_kernel.Budget.t ->
+  ?max_states:int ->
+  ?pool:Rl_engine_kernel.Pool.t ->
+  Buchi.t ->
+  Buchi.t
 
 (** [decompose ?budget ?max_states b] is [(safety, liveness)] with
     [L(b) = L(safety) ∩ L(liveness)], [safety = lim(pre(L(b)))] the safety
@@ -36,5 +41,6 @@ val liveness_part :
 val decompose :
   ?budget:Rl_engine_kernel.Budget.t ->
   ?max_states:int ->
+  ?pool:Rl_engine_kernel.Pool.t ->
   Buchi.t ->
   Buchi.t * Buchi.t

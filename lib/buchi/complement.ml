@@ -1,4 +1,6 @@
 open Rl_sigma
+module Budget = Rl_engine_kernel.Budget
+module Pool = Rl_engine_kernel.Pool
 
 (* Kupferman–Vardi rank-based complementation.
 
@@ -12,13 +14,23 @@ open Rl_sigma
    A word is accepted by the complement iff some ranking run empties o
    infinitely often, which happens exactly when every run of the input gets
    trapped in odd ranks — i.e. visits accepting states only finitely
-   often. *)
+   often.
+
+   The construction is level-synchronous: each round takes the frontier of
+   freshly interned states, computes every state's compatible successor
+   rankings — the exponential enumeration, and the part worth
+   parallelizing — as a pure [Pool.parmap], then interns the results
+   sequentially on the calling domain, in frontier order, symbol by
+   symbol. That intern order equals the FIFO order of the serial worklist
+   it replaced, so state numbering, transition list, accepting set and the
+   point at which [Too_large] or the budget trips are all bit-identical to
+   the serial construction, for every pool size. *)
 
 type key = int array * int list
 
 exception Too_large of int
 
-let complement ?(budget = Rl_engine_kernel.Budget.unlimited) ?max_states b =
+let complement ?(budget = Budget.unlimited) ?max_states ?pool b =
   let n = Buchi.states b in
   let alphabet = Buchi.alphabet b in
   let k = Alphabet.size alphabet in
@@ -29,7 +41,7 @@ let complement ?(budget = Rl_engine_kernel.Budget.unlimited) ?max_states b =
     (match max_states with
     | Some limit when limit < 1 -> raise (Too_large limit)
     | _ -> ());
-    Rl_engine_kernel.Budget.tick budget;
+    Budget.tick budget;
     let transitions = List.init k (fun a -> (0, a, 0)) in
     Buchi.create ~alphabet ~states:1 ~initial:[ 0 ] ~accepting:[ 0 ]
       ~transitions ()
@@ -37,7 +49,6 @@ let complement ?(budget = Rl_engine_kernel.Budget.unlimited) ?max_states b =
   else begin
     let max_rank = 2 * n in
     let table : (key, int) Hashtbl.t = Hashtbl.create 256 in
-    let rev_states = ref [] in
     let count = ref 0 in
     let intern key =
       match Hashtbl.find_opt table key with
@@ -46,12 +57,69 @@ let complement ?(budget = Rl_engine_kernel.Budget.unlimited) ?max_states b =
           (match max_states with
           | Some limit when !count >= limit -> raise (Too_large limit)
           | _ -> ());
-          Rl_engine_kernel.Budget.tick budget;
+          Budget.tick budget;
           let id = !count in
           incr count;
           Hashtbl.add table key id;
-          rev_states := key :: !rev_states;
           (id, true)
+    in
+    (* All successor keys of (g, o) on symbol [a], in enumeration order.
+       Pure up to [Budget.poll]: runs on worker domains. *)
+    let successor_keys (g, o) a =
+      (* Rank bound for each successor state: min over its ranked
+         predecessors. -1 means "not a successor" (stays ⊥). *)
+      let bound = Array.make n (-1) in
+      for q = 0 to n - 1 do
+        if g.(q) >= 0 then
+          List.iter
+            (fun q' ->
+              bound.(q') <-
+                (if bound.(q') = -1 then g.(q) else min bound.(q') g.(q)))
+            (Buchi.successors b q a)
+      done;
+      (* Successors of the breakpoint set o. *)
+      let o_succ = Array.make n false in
+      List.iter
+        (fun q ->
+          List.iter (fun q' -> o_succ.(q') <- true) (Buchi.successors b q a))
+        o;
+      (* Enumerate all rankings g' compatible with the bounds. *)
+      let dom = ref [] in
+      for q = n - 1 downto 0 do
+        if bound.(q) >= 0 then dom := q :: !dom
+      done;
+      let acc = ref [] in
+      let rec enumerate assigned = function
+        | [] ->
+            let g' = Array.make n (-1) in
+            List.iter (fun (q, r) -> g'.(q) <- r) assigned;
+            let o' =
+              if o = [] then
+                List.filter_map
+                  (fun (q, r) -> if r mod 2 = 0 then Some q else None)
+                  assigned
+                |> List.sort compare
+              else
+                List.filter_map
+                  (fun (q, r) ->
+                    if o_succ.(q) && r mod 2 = 0 then Some q else None)
+                  assigned
+                |> List.sort compare
+            in
+            acc := (g', o') :: !acc
+        | q :: rest ->
+            let is_acc = Buchi.is_accepting b q in
+            for r = 0 to bound.(q) do
+              if not (is_acc && r mod 2 = 1) then
+                enumerate ((q, r) :: assigned) rest
+            done
+      in
+      enumerate [] !dom;
+      List.rev !acc
+    in
+    let expand key =
+      Budget.poll budget;
+      Array.init k (fun a -> successor_keys key a)
     in
     let initial_set = Rl_prelude.Bitset.of_list n (Buchi.initial b) in
     let init_ranks =
@@ -61,71 +129,38 @@ let complement ?(budget = Rl_engine_kernel.Budget.unlimited) ?max_states b =
     (* Initial accepting states must hold an even rank: max_rank is even. *)
     let init_key = (init_ranks, []) in
     let init_id, _ = intern init_key in
-    let worklist = Queue.create () in
-    Queue.add init_key worklist;
     let transitions = ref [] in
     let accepting = ref [] in
-    let note_accepting key id = if snd key = [] then accepting := id :: !accepting in
+    let note_accepting key id =
+      if snd key = [] then accepting := id :: !accepting
+    in
     note_accepting init_key init_id;
-    while not (Queue.is_empty worklist) do
-      let ((g, o) as key) = Queue.pop worklist in
-      let src = Hashtbl.find table key in
-      for a = 0 to k - 1 do
-        (* Rank bound for each successor state: min over its ranked
-           predecessors. -1 means "not a successor" (stays ⊥). *)
-        let bound = Array.make n (-1) in
-        for q = 0 to n - 1 do
-          if g.(q) >= 0 then
-            List.iter
-              (fun q' ->
-                bound.(q') <-
-                  (if bound.(q') = -1 then g.(q) else min bound.(q') g.(q)))
-              (Buchi.successors b q a)
-        done;
-        (* Successors of the breakpoint set o. *)
-        let o_succ = Array.make n false in
-        List.iter
-          (fun q ->
-            List.iter (fun q' -> o_succ.(q') <- true) (Buchi.successors b q a))
-          o;
-        (* Enumerate all rankings g' compatible with the bounds. *)
-        let dom = ref [] in
-        for q = n - 1 downto 0 do
-          if bound.(q) >= 0 then dom := q :: !dom
-        done;
-        let rec enumerate assigned = function
-          | [] ->
-              let g' = Array.make n (-1) in
-              List.iter (fun (q, r) -> g'.(q) <- r) assigned;
-              let o' =
-                if o = [] then
-                  List.filter_map
-                    (fun (q, r) -> if r mod 2 = 0 then Some q else None)
-                    assigned
-                  |> List.sort compare
-                else
-                  List.filter_map
-                    (fun (q, r) ->
-                      if o_succ.(q) && r mod 2 = 0 then Some q else None)
-                    assigned
-                  |> List.sort compare
-              in
-              let key' = (g', o') in
-              let dst, fresh = intern key' in
-              if fresh then begin
-                Queue.add key' worklist;
-                note_accepting key' dst
-              end;
-              transitions := (src, a, dst) :: !transitions
-          | q :: rest ->
-              let is_acc = Buchi.is_accepting b q in
-              for r = 0 to bound.(q) do
-                if not (is_acc && r mod 2 = 1) then
-                  enumerate ((q, r) :: assigned) rest
-              done
-        in
-        enumerate [] !dom
-      done
+    let frontier = ref [ init_key ] (* most recent first *) in
+    while !frontier <> [] do
+      let keys = Array.of_list (List.rev !frontier) in
+      frontier := [];
+      let expanded =
+        match pool with
+        | Some p -> Pool.parmap p expand keys
+        | None -> Array.map expand keys
+      in
+      (* Intern sequentially, in frontier order: FIFO worklist order. *)
+      Array.iteri
+        (fun i key ->
+          let src = Hashtbl.find table key in
+          Array.iteri
+            (fun a succs ->
+              List.iter
+                (fun key' ->
+                  let dst, fresh = intern key' in
+                  if fresh then begin
+                    frontier := key' :: !frontier;
+                    note_accepting key' dst
+                  end;
+                  transitions := (src, a, dst) :: !transitions)
+                succs)
+            expanded.(i))
+        keys
     done;
     Buchi.create ~alphabet ~states:!count ~initial:[ init_id ]
       ~accepting:!accepting ~transitions:!transitions ()

@@ -54,6 +54,7 @@ type report = {
     transition system. *)
 val verify :
   ?budget:Rl_engine_kernel.Budget.t ->
+  ?pool:Rl_engine_kernel.Pool.t ->
   ts:Nfa.t ->
   hom:Rl_hom.Hom.t ->
   formula:Formula.t ->
@@ -67,6 +68,7 @@ val verify :
     measure the speedup. *)
 val check_concrete :
   ?budget:Rl_engine_kernel.Budget.t ->
+  ?pool:Rl_engine_kernel.Pool.t ->
   ts:Nfa.t ->
   hom:Rl_hom.Hom.t ->
   formula:Formula.t ->

@@ -19,8 +19,8 @@ let construct ?budget ~system p =
    language equality is prefix-language equality — no complementation, and
    the two inclusions run on the prefix NFAs directly via the antichain
    engine. *)
-let language_preserved ?budget ~system t =
-  Rl_automata.Inclusion.equivalent ?budget
+let language_preserved ?budget ?pool ~system t =
+  Rl_automata.Inclusion.equivalent ?budget ?pool
     (Buchi.pre_language ?budget system)
     (Buchi.pre_language ?budget t.implementation)
 

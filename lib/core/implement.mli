@@ -35,6 +35,7 @@ val construct :
     first if the hypothesis is in doubt. *)
 val language_preserved :
   ?budget:Rl_engine_kernel.Budget.t ->
+  ?pool:Rl_engine_kernel.Pool.t ->
   system:Buchi.t ->
   t ->
   (unit, Rl_sigma.Word.t) result

@@ -20,17 +20,17 @@ let property_buchi ?budget alphabet = function
       b
   | Ltl { formula; labeling } -> Translate.to_buchi ~alphabet ~labeling formula
 
-let property_neg_buchi ?budget alphabet = function
+let property_neg_buchi ?budget ?pool alphabet = function
   | Auto b ->
       (* complementation is exponential: shrink the input first *)
-      Complement.complement ?budget (Reduce.quotient (Buchi.trim b))
+      Complement.complement ?budget ?pool (Reduce.quotient (Buchi.trim b))
   | Ltl { formula; labeling } ->
       Translate.to_buchi_neg ~alphabet ~labeling formula
 
-let satisfies ?(budget = Budget.unlimited) ~system p =
+let satisfies ?(budget = Budget.unlimited) ?pool ~system p =
   let neg =
     Budget.with_phase budget "complement property" (fun () ->
-        property_neg_buchi ~budget (Buchi.alphabet system) p)
+        property_neg_buchi ~budget ?pool (Buchi.alphabet system) p)
   in
   let prod =
     Budget.with_phase budget "product Lω ∩ ¬P" (fun () ->
@@ -41,7 +41,7 @@ let satisfies ?(budget = Budget.unlimited) ~system p =
       | None -> Ok ()
       | Some x -> Error x)
 
-let is_relative_liveness ?(budget = Budget.unlimited) ~system p =
+let is_relative_liveness ?(budget = Budget.unlimited) ?pool ~system p =
   let pb =
     Budget.with_phase budget "translate property" (fun () ->
         property_buchi ~budget (Buchi.alphabet system) p)
@@ -59,16 +59,16 @@ let is_relative_liveness ?(budget = Budget.unlimited) ~system p =
      search only pays the subset-construction blow-up when the inclusion
      genuinely requires it. *)
   Budget.with_phase budget "inclusion pre(Lω) ⊆ pre(Lω ∩ P)" (fun () ->
-      Inclusion.included ~budget pre_l pre_lp)
+      Inclusion.included ~budget ?pool pre_l pre_lp)
 
-let is_relative_safety ?(budget = Budget.unlimited) ~system p =
+let is_relative_safety ?(budget = Budget.unlimited) ?pool ~system p =
   let pb =
     Budget.with_phase budget "translate property" (fun () ->
         property_buchi ~budget (Buchi.alphabet system) p)
   in
   let neg =
     Budget.with_phase budget "complement property" (fun () ->
-        property_neg_buchi ~budget (Buchi.alphabet system) p)
+        property_neg_buchi ~budget ?pool (Buchi.alphabet system) p)
   in
   let closure =
     Budget.with_phase budget "limit closure lim(pre(Lω ∩ P))" (fun () ->
@@ -81,12 +81,12 @@ let is_relative_safety ?(budget = Budget.unlimited) ~system p =
       | None -> Ok ()
       | Some x -> Error x)
 
-let is_machine_closed ?(budget = Budget.unlimited) ~system ~live_part () =
+let is_machine_closed ?(budget = Budget.unlimited) ?pool ~system ~live_part () =
   let pre_l = Buchi.pre_language ~budget system in
   let pre_lambda = Buchi.pre_language ~budget live_part in
   match
     Budget.with_phase budget "inclusion pre(Lω) ⊆ pre(Λ)" (fun () ->
-        Inclusion.included ~budget pre_l pre_lambda)
+        Inclusion.included ~budget ?pool pre_l pre_lambda)
   with
   | Ok () -> true
   | Error _ -> false

@@ -44,7 +44,11 @@ val property_buchi :
 (** [property_neg_buchi alphabet p] is an automaton for [Σ^ω \ P]
     (formula negation, or rank-based complementation for [Auto]). *)
 val property_neg_buchi :
-  ?budget:Rl_engine_kernel.Budget.t -> Alphabet.t -> property -> Buchi.t
+  ?budget:Rl_engine_kernel.Budget.t ->
+  ?pool:Rl_engine_kernel.Pool.t ->
+  Alphabet.t ->
+  property ->
+  Buchi.t
 
 (** {1 Satisfaction relations} *)
 
@@ -52,6 +56,7 @@ val property_neg_buchi :
     (Definition 3.2). [Error x] is a counterexample behavior. *)
 val satisfies :
   ?budget:Rl_engine_kernel.Budget.t ->
+  ?pool:Rl_engine_kernel.Pool.t ->
   system:Buchi.t ->
   property ->
   (unit, Lasso.t) result
@@ -61,6 +66,7 @@ val satisfies :
     system can extend to a [P]-satisfying behavior. *)
 val is_relative_liveness :
   ?budget:Rl_engine_kernel.Budget.t ->
+  ?pool:Rl_engine_kernel.Pool.t ->
   system:Buchi.t ->
   property ->
   (unit, Word.t) result
@@ -70,6 +76,7 @@ val is_relative_liveness :
     towards [P] — the failure of relative safety. *)
 val is_relative_safety :
   ?budget:Rl_engine_kernel.Budget.t ->
+  ?pool:Rl_engine_kernel.Pool.t ->
   system:Buchi.t ->
   property ->
   (unit, Lasso.t) result
@@ -81,6 +88,7 @@ val is_relative_safety :
     relative liveness of [P] (the remark after Theorem 4.5). *)
 val is_machine_closed :
   ?budget:Rl_engine_kernel.Budget.t ->
+  ?pool:Rl_engine_kernel.Pool.t ->
   system:Buchi.t ->
   live_part:Buchi.t ->
   unit ->

@@ -15,14 +15,20 @@ let words l =
 
 let parse_ts ?(on_warning = fun _ -> ()) src =
   let lines = relevant_lines src in
-  let initial = ref [] in
+  (* accumulators build in reverse (constant-time prepend) and are flipped
+     once at the end; appending per line would be quadratic in file size *)
+  let rev_initial = ref [] in
   (* (line, state) pairs, so existence errors point at the declaration *)
   let transitions = ref [] in
-  let labels = ref [] in
+  let rev_labels = ref [] in
+  let known_labels = Hashtbl.create 16 in
   let max_state = ref (-1) in
   let max_trans_state = ref (-1) in
   let intern_label name =
-    if not (List.mem name !labels) then labels := !labels @ [ name ]
+    if not (Hashtbl.mem known_labels name) then begin
+      Hashtbl.add known_labels name ();
+      rev_labels := name :: rev_labels.contents
+    end
   in
   let state line s =
     match int_of_string_opt s with
@@ -44,7 +50,9 @@ let parse_ts ?(on_warning = fun _ -> ()) src =
           List.iter intern_label rest
       | "initial" :: rest ->
           if rest = [] then fail ln "initial needs at least one state";
-          initial := !initial @ List.map (fun s -> (ln, state ln s)) rest
+          rev_initial :=
+            List.rev_append (List.map (fun s -> (ln, state ln s)) rest)
+              !rev_initial
       | [ src; label; dst ] ->
           intern_label label;
           transitions :=
@@ -54,8 +62,9 @@ let parse_ts ?(on_warning = fun _ -> ()) src =
     lines;
   if !max_state < 0 then
     fail 0 "no states: the file declares neither transitions nor initial states";
-  if !labels = [] then
+  if !rev_labels = [] then
     fail 0 "no transitions: every system needs at least one labeled transition";
+  let declared_initial = List.rev !rev_initial in
   (* initial states must exist: each must be a state some transition touches
      (the state count is inferred from transitions, so an initial state
      beyond every transition endpoint is a typo, not a bigger system) *)
@@ -64,10 +73,12 @@ let parse_ts ?(on_warning = fun _ -> ()) src =
       if q > !max_trans_state then
         fail ln "initial state %d does not exist (largest state is %d)" q
           !max_trans_state)
-    !initial;
-  let alphabet = Alphabet.make !labels in
-  let defaulted = !initial = [] in
-  let initial = if defaulted then [ 0 ] else List.map snd !initial in
+    declared_initial;
+  let alphabet = Alphabet.make (List.rev !rev_labels) in
+  let defaulted = declared_initial = [] in
+  let initial =
+    if defaulted then [ 0 ] else List.map snd declared_initial
+  in
   if defaulted then
     on_warning "no 'initial' line; defaulting to initial state 0";
   let n = !max_state + 1 in
@@ -112,14 +123,16 @@ let parse_weighted line tokens =
 
 let parse_petri src =
   let lines = relevant_lines src in
-  let places = ref [] in
-  let transitions = ref [] in
+  (* reversed accumulators, flipped once below: declaration order is the
+     place/transition index order of the net *)
+  let rev_places = ref [] in
+  let rev_transitions = ref [] in
   List.iter
     (fun (ln, l) ->
       match words l with
       | [ "place"; name; tokens ] -> (
           match int_of_string_opt tokens with
-          | Some t when t >= 0 -> places := !places @ [ (name, t) ]
+          | Some t when t >= 0 -> rev_places := (name, t) :: !rev_places
           | _ -> fail ln "bad token count %S" tokens)
       | "trans" :: label :: ":" :: rest -> (
           let rec split pre = function
@@ -129,12 +142,13 @@ let parse_petri src =
           in
           match split [] rest with
           | pre, post ->
-              transitions :=
-                !transitions
-                @ [ (label, parse_weighted ln pre, parse_weighted ln post) ])
+              rev_transitions :=
+                (label, parse_weighted ln pre, parse_weighted ln post)
+                :: !rev_transitions)
       | _ -> fail ln "expected 'place NAME TOKENS' or 'trans L : PRE -> POST': %S" l)
     lines;
-  Rl_petri.Petri.create ~places:!places ~transitions:!transitions
+  Rl_petri.Petri.create ~places:(List.rev !rev_places)
+    ~transitions:(List.rev !rev_transitions)
 
 let load ?on_warning ?budget ?bound path =
   let ic = open_in path in

@@ -85,9 +85,11 @@ val extension :
 
 type triple = { sat : bool; rl : bool; rs : bool }
 
-(** [verdict_triple ?budget ~system p] runs all three deciders. *)
+(** [verdict_triple ?budget ?pool ~system p] runs all three deciders;
+    with a pool of size > 1 the three legs run on separate domains. *)
 val verdict_triple :
   ?budget:Rl_engine_kernel.Budget.t ->
+  ?pool:Rl_engine_kernel.Pool.t ->
   system:Buchi.t ->
   Relative.property ->
   triple

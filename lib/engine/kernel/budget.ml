@@ -10,29 +10,61 @@ exception Exhausted of exhaustion
 type t = {
   max_states : int option;
   deadline : float option; (* absolute, Unix.gettimeofday *)
-  mutable states : int;
-  mutable phase : string;
-  mutable clock_check : int; (* ticks since the wall clock was last polled *)
+  states : int Atomic.t;
+  tripped : exhaustion option Atomic.t;
+      (* the first exhaustion recorded on this budget; once set, every
+         subsequent tick on any domain re-raises it, which both cancels
+         parallel workers promptly and keeps the reported record unique *)
+  mutable phase : string; (* phase changes happen on the main domain only *)
+  clock_check : int Atomic.t; (* ticks since the wall clock was last polled *)
 }
 
 let unlimited =
-  { max_states = None; deadline = None; states = 0; phase = ""; clock_check = 0 }
+  {
+    max_states = None;
+    deadline = None;
+    states = Atomic.make 0;
+    tripped = Atomic.make None;
+    phase = "";
+    clock_check = Atomic.make 0;
+  }
 
 let create ?max_states ?timeout () =
   let deadline = Option.map (fun s -> Unix.gettimeofday () +. s) timeout in
-  { max_states; deadline; states = 0; phase = ""; clock_check = 0 }
+  {
+    max_states;
+    deadline;
+    states = Atomic.make 0;
+    tripped = Atomic.make None;
+    phase = "";
+    clock_check = Atomic.make 0;
+  }
 
 let is_limited b = b.max_states <> None || b.deadline <> None
 
-let exhaust b resource =
-  raise
-    (Exhausted
-       {
-         resource;
-         phase = b.phase;
-         states_explored = b.states;
-         max_states = b.max_states;
-       })
+let exhaust b states resource =
+  let e =
+    {
+      resource;
+      phase = b.phase;
+      states_explored = states;
+      max_states = b.max_states;
+    }
+  in
+  (* Only one exhaustion event per budget: the first domain to trip
+     publishes its record; anyone racing in re-raises that same record. *)
+  if Atomic.compare_and_set b.tripped None (Some e) then raise (Exhausted e)
+  else
+    match Atomic.get b.tripped with
+    | Some first -> raise (Exhausted first)
+    | None -> raise (Exhausted e)
+
+let cancelled b = Atomic.get b.tripped <> None
+
+let check_cancelled b =
+  match Atomic.get b.tripped with
+  | Some e -> raise (Exhausted e)
+  | None -> ()
 
 (* Polling the wall clock is a syscall; do it once per 256 ticks. *)
 let clock_period = 256
@@ -41,29 +73,67 @@ let check_clock b =
   match b.deadline with
   | None -> ()
   | Some d ->
-      b.clock_check <- b.clock_check + 1;
-      if b.clock_check >= clock_period then begin
-        b.clock_check <- 0;
-        if Unix.gettimeofday () > d then exhaust b `Time
+      if Atomic.fetch_and_add b.clock_check 1 >= clock_period then begin
+        Atomic.set b.clock_check 0;
+        if Unix.gettimeofday () > d then exhaust b (Atomic.get b.states) `Time
       end
-
-let tick b =
-  b.states <- b.states + 1;
-  (match b.max_states with
-  | Some m when b.states > m -> exhaust b `States
-  | _ -> ());
-  check_clock b
 
 let charge b n =
   if n > 0 then begin
-    b.states <- b.states + n;
+    check_cancelled b;
+    let total = Atomic.fetch_and_add b.states n + n in
     (match b.max_states with
-    | Some m when b.states > m -> exhaust b `States
+    | Some m when total > m -> exhaust b total `States
     | _ -> ());
     match b.deadline with
-    | Some d when Unix.gettimeofday () > d -> exhaust b `Time
+    | Some d when Unix.gettimeofday () > d -> exhaust b total `Time
     | _ -> ()
   end
+
+let tick b =
+  check_cancelled b;
+  let total = Atomic.fetch_and_add b.states 1 + 1 in
+  (match b.max_states with
+  | Some m when total > m -> exhaust b total `States
+  | _ -> ());
+  check_clock b
+
+(* A cheap probe for worker domains that do work without exploring fresh
+   states: notices a cancellation (or a blown deadline) without touching
+   the shared state counter. *)
+let poll b =
+  check_cancelled b;
+  check_clock b
+
+(* Per-domain batched ticking: accumulate up to [batch] ticks locally and
+   publish them with a single fetch_and_add, so contention on the shared
+   counter is one CAS per [batch] states instead of one per state. *)
+
+let batch = 64
+
+type local = { budget : t; mutable pending : int }
+
+let local b = { budget = b; pending = 0 }
+
+let flush l =
+  let b = l.budget in
+  if l.pending = 0 then check_cancelled b
+  else begin
+    let n = l.pending in
+    l.pending <- 0;
+    let total = Atomic.fetch_and_add b.states n + n in
+    check_cancelled b;
+    (match b.max_states with
+    | Some m when total > m -> exhaust b total `States
+    | _ -> ());
+    match b.deadline with
+    | Some d when Unix.gettimeofday () > d -> exhaust b total `Time
+    | _ -> ()
+  end
+
+let tick_local l =
+  l.pending <- l.pending + 1;
+  if l.pending >= batch then flush l
 
 let set_phase b name = b.phase <- name
 
@@ -72,11 +142,11 @@ let with_phase b name f =
   b.phase <- name;
   Fun.protect ~finally:(fun () -> b.phase <- saved) f
 
-let states_explored b = b.states
+let states_explored b = Atomic.get b.states
 let current_phase b = b.phase
 
 let remaining_states b =
-  Option.map (fun m -> max 0 (m - b.states)) b.max_states
+  Option.map (fun m -> max 0 (m - Atomic.get b.states)) b.max_states
 
 let pp_exhaustion ppf e =
   let what =

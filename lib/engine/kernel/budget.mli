@@ -12,7 +12,16 @@
 
     A budget is a mutable accumulator shared by every phase of one check:
     the state count is global across phases, which is what a caller who
-    asked for "at most [n] states of work" means. *)
+    asked for "at most [n] states of work" means.
+
+    Budgets are domain-safe: the state counter is an [Atomic], so several
+    domains of a {!Rl_engine_kernel.Pool} may tick one budget concurrently
+    and [--max-states] still bounds the {e total} cross-domain work. The
+    first domain to exceed a limit publishes a single {!exhaustion} record;
+    every later tick on any domain re-raises that same record, which
+    cancels parallel workers promptly and keeps the report deterministic.
+    Phase labels ({!set_phase}/{!with_phase}) are not synchronized — they
+    must be changed from the coordinating domain only. *)
 
 type t
 
@@ -47,6 +56,43 @@ val tick : t -> unit
 (** [charge b n] records [n] states of work at once (used for linear
     passes over pre-built automata). *)
 val charge : t -> int -> unit
+
+(** [poll b] does no accounting but notices a limit hit elsewhere: it
+    re-raises a published exhaustion and occasionally polls the deadline.
+    Worker domains call it at task boundaries so a budget tripped on one
+    domain stops the others promptly.
+    @raise Exhausted if the budget is already exhausted. *)
+val poll : t -> unit
+
+(** [cancelled b] — some domain has already exhausted [b] (no raise). *)
+val cancelled : t -> bool
+
+(** {2 Batched per-domain ticking}
+
+    Under parallel exploration, ticking the shared atomic counter once per
+    state would serialize the domains on one cache line. A {!local} is a
+    single-domain accumulator that publishes its count in batches of 64:
+    one CAS per 64 states. The price is precision — a limit overrun is
+    detected within [64 × domains] states of the limit — and that is the
+    documented accuracy contract of [--max-states] under [--jobs]. *)
+
+type local
+
+(** [local b] is a fresh per-domain view of [b]. Never share a [local]
+    between domains. *)
+val local : t -> local
+
+(** [tick_local l] records one state locally, publishing (and checking
+    limits) every 64 ticks.
+    @raise Exhausted when a publish detects an exceeded or cancelled
+    budget. *)
+val tick_local : local -> unit
+
+(** [flush l] publishes any pending local ticks immediately and checks the
+    limits (also checks for cancellation when nothing is pending). Call it
+    when a worker finishes its slice of work so no ticks are lost.
+    @raise Exhausted as {!tick_local}. *)
+val flush : local -> unit
 
 (** [set_phase b name] labels the work done from now on; the label is
     reported in {!exhaustion} and in partial-progress statistics. *)

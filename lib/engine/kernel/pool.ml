@@ -1,0 +1,169 @@
+(* A fixed-size pool of long-lived domains.
+
+   Spawning a domain costs far more than the work items we hand out, so the
+   pool spawns its [size - 1] workers once and parks them on a condition
+   variable. Each parallel region ([parmap]/[parfan]) publishes one job —
+   a closure every member runs to completion — bumps an epoch, wakes the
+   workers, and participates itself as member 0. Inside the job, members
+   claim chunks of the index space from a shared atomic cursor, which is
+   the work-stealing: fast members claim more chunks.
+
+   Determinism is the callers' contract, made easy by the API shape:
+   [parmap] returns results positionally, so as long as the job closures
+   are pure (all shared-state mutation stays on the calling domain), the
+   result is independent of the schedule. *)
+
+type t = {
+  size : int;
+  mutable workers : unit Domain.t array;
+  mutex : Mutex.t;
+  work : Condition.t; (* signals: a new epoch's job is available, or stop *)
+  finished : Condition.t; (* signals: pending reached 0 *)
+  mutable job : (int -> unit) option;
+  mutable epoch : int;
+  mutable pending : int; (* workers still inside the current job *)
+  mutable stop : bool;
+  busy : bool Atomic.t;
+      (* a parallel region is in flight; nested regions (a worker's task
+         calling back into the pool) run inline serially, which cannot
+         deadlock and keeps the schedule deterministic *)
+}
+
+let recommended () = Domain.recommended_domain_count ()
+
+let worker_loop pool me =
+  let my_epoch = ref 0 in
+  let running = ref true in
+  while !running do
+    Mutex.lock pool.mutex;
+    while (not pool.stop) && pool.epoch = !my_epoch do
+      Condition.wait pool.work pool.mutex
+    done;
+    if pool.stop then begin
+      Mutex.unlock pool.mutex;
+      running := false
+    end
+    else begin
+      let f = Option.get pool.job in
+      my_epoch := pool.epoch;
+      Mutex.unlock pool.mutex;
+      (* Jobs trap their own exceptions (see [parmap]); a raise here would
+         mean a bug in the pool itself, and must not kill the worker. *)
+      (try f me with _ -> ());
+      Mutex.lock pool.mutex;
+      pool.pending <- pool.pending - 1;
+      if pool.pending = 0 then Condition.signal pool.finished;
+      Mutex.unlock pool.mutex
+    end
+  done
+
+let create ?(jobs = 1) () =
+  let size = if jobs <= 0 then recommended () else jobs in
+  let size = max 1 size in
+  let pool =
+    {
+      size;
+      workers = [||];
+      mutex = Mutex.create ();
+      work = Condition.create ();
+      finished = Condition.create ();
+      job = None;
+      epoch = 0;
+      pending = 0;
+      stop = false;
+      busy = Atomic.make false;
+    }
+  in
+  if size > 1 then
+    pool.workers <-
+      Array.init (size - 1) (fun i ->
+          Domain.spawn (fun () -> worker_loop pool (i + 1)));
+  pool
+
+let size pool = pool.size
+
+let shutdown pool =
+  if Array.length pool.workers > 0 then begin
+    Mutex.lock pool.mutex;
+    pool.stop <- true;
+    Condition.broadcast pool.work;
+    Mutex.unlock pool.mutex;
+    Array.iter Domain.join pool.workers;
+    pool.workers <- [||]
+  end
+
+let with_pool ?jobs f =
+  let pool = create ?jobs () in
+  Fun.protect ~finally:(fun () -> shutdown pool) (fun () -> f pool)
+
+(* Run [f] once on every member of the pool (the caller included) and wait
+   for all of them. [f] must not raise. *)
+let run_job pool f =
+  Mutex.lock pool.mutex;
+  pool.job <- Some f;
+  pool.epoch <- pool.epoch + 1;
+  pool.pending <- pool.size - 1;
+  Condition.broadcast pool.work;
+  Mutex.unlock pool.mutex;
+  (try f 0 with _ -> ());
+  Mutex.lock pool.mutex;
+  while pool.pending > 0 do
+    Condition.wait pool.finished pool.mutex
+  done;
+  pool.job <- None;
+  Mutex.unlock pool.mutex
+
+let parmap_array (type a b) pool (f : a -> b) (xs : a array) : b array =
+  let n = Array.length xs in
+  if n = 0 then [||]
+  else if
+    pool.size = 1 || n = 1
+    || not (Atomic.compare_and_set pool.busy false true)
+  then Array.map f xs (* serial pool, singleton input, or nested region *)
+  else
+    Fun.protect ~finally:(fun () -> Atomic.set pool.busy false) @@ fun () ->
+    let results : b option array = Array.make n None in
+    let failures : exn option array = Array.make n None in
+    let failed = Atomic.make false in
+    let cursor = Atomic.make 0 in
+    (* Small chunks so fast members steal work from slow ones, but not so
+       small that the cursor becomes a contention point. *)
+    let chunk = max 1 (n / (pool.size * 8)) in
+    let body _member =
+      let continue = ref true in
+      while !continue do
+        if Atomic.get failed then continue := false
+        else begin
+          let start = Atomic.fetch_and_add cursor chunk in
+          if start >= n then continue := false
+          else
+            for j = start to min n (start + chunk) - 1 do
+              if not (Atomic.get failed) then (
+                match f xs.(j) with
+                | v -> results.(j) <- Some v
+                | exception e ->
+                    failures.(j) <- Some e;
+                    Atomic.set failed true)
+            done
+        end
+      done
+    in
+    run_job pool body;
+    (* run_job is a barrier: all writes above happen-before this point. *)
+    if Atomic.get failed then begin
+      let first = ref None in
+      for j = n - 1 downto 0 do
+        match failures.(j) with Some e -> first := Some e | None -> ()
+      done;
+      match !first with Some e -> raise e | None -> assert false
+    end
+    else
+      Array.map (function Some v -> v | None -> assert false) results
+
+let parmap pool f xs = parmap_array pool f xs
+
+let parfan pool thunks =
+  match thunks with
+  | [] -> []
+  | [ th ] -> [ th () ]
+  | _ -> Array.to_list (parmap_array pool (fun th -> th ()) (Array.of_list thunks))

@@ -6,6 +6,7 @@
    [Rl_engine.Budget.t = Rl_engine_kernel.Budget.t]. *)
 
 module Budget = Rl_engine_kernel.Budget
+module Pool = Rl_engine_kernel.Pool
 
 module Error = struct
   include Rl_engine_kernel.Error

@@ -51,16 +51,24 @@ let cycle_edges r =
       in
       List.sort_uniq compare (edges r.cycle)
 
+(* Hashed view of a run's cycle edges: the fairness checks probe one
+   (q, a, q') per transition of the automaton, so a List.mem scan over the
+   cycle is quadratic in the cycle length. *)
+let edge_table edges =
+  let t = Hashtbl.create (2 * List.length edges + 1) in
+  List.iter (fun e -> Hashtbl.replace t e ()) edges;
+  t
+
 let is_strongly_fair b r =
   let inf = infinitely_visited r in
-  let taken = cycle_edges r in
+  let taken = edge_table (cycle_edges r) in
   let k = Alphabet.size (Buchi.alphabet b) in
   List.for_all
     (fun q ->
       List.for_all
         (fun a ->
           List.for_all
-            (fun q' -> List.mem (q, a, q') taken)
+            (fun q' -> Hashtbl.mem taken (q, a, q'))
             (Buchi.successors b q a))
         (List.init k Fun.id))
     inf
@@ -70,12 +78,12 @@ let is_weakly_fair b r =
   | [ q ] ->
       (* the run eventually stays at q: all of q's transitions are
          continuously enabled *)
-      let taken = cycle_edges r in
+      let taken = edge_table (cycle_edges r) in
       let k = Alphabet.size (Buchi.alphabet b) in
       List.for_all
         (fun a ->
           List.for_all
-            (fun q' -> List.mem (q, a, q') taken)
+            (fun q' -> Hashtbl.mem taken (q, a, q'))
             (Buchi.successors b q a))
         (List.init k Fun.id)
   | _ -> true (* no transition is continuously enabled *)
@@ -157,7 +165,8 @@ let generate_strongly_fair rng b =
         let scc = Prng.choose rng sccs in
         let entry = Prng.choose rng scc in
         let init = Prng.choose rng (Buchi.initial b) in
-        let inside q = List.mem q scc in
+        let scc_set = Bitset.of_list (Buchi.states b) scc in
+        let inside q = Bitset.mem scc_set q in
         (match bfs_path b ~allowed:(fun _ -> true) ~src:init ~dst:entry with
         | None -> None (* unreachable: should not happen, scc is reachable *)
         | Some stem ->
@@ -198,7 +207,8 @@ let generate_unfair rng b ~avoid =
   else begin
     let n = Buchi.states b in
     let k = Alphabet.size (Buchi.alphabet b) in
-    let allowed q = not (List.mem q avoid) in
+    let avoid_set = Bitset.of_list n avoid in
+    let allowed q = not (Bitset.mem avoid_set q) in
     (* find a state on a cycle within the allowed subgraph, reachable from
        an initial state *)
     let reach = Buchi.reachable b in

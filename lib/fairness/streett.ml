@@ -181,7 +181,8 @@ let accepting_run s =
   | None -> None
   | Some c ->
       let g = s.graph in
-      let inside q = List.mem q c in
+      let c_set = Rl_prelude.Bitset.of_list (Buchi.states g) c in
+      let inside q = Rl_prelude.Bitset.mem c_set q in
       let entry = List.hd c in
       let init =
         match Buchi.initial g with [] -> None | q :: _ -> Some q
@@ -247,11 +248,14 @@ let edge_graph b =
       transition_of_vertex.(i + 1) <- Some t)
     transitions;
   let edges = ref [] in
+  let initial_set =
+    Rl_prelude.Bitset.of_list (Buchi.states b) (Buchi.initial b)
+  in
   (* ι → v_t when source(t) is initial; v_t1 → v_t2 when they chain *)
   List.iter
     (fun ((q, a, _) as t) ->
       let v = Hashtbl.find vertex_of_transition t in
-      if List.mem q (Buchi.initial b) then edges := (0, a, v) :: !edges)
+      if Rl_prelude.Bitset.mem initial_set q then edges := (0, a, v) :: !edges)
     transitions;
   List.iter
     (fun ((_, _, q1') as t1) ->

@@ -210,3 +210,31 @@ Suspicious-but-legal inputs warn on stderr and proceed:
   $ rlcheck rl deadend.ts -f '[]a'
   rlcheck: warning: initial state 1 has no outgoing transitions; it contributes only the empty behavior
   RELATIVE LIVENESS: every prefix extends to a behavior satisfying []a
+
+The parallel engine: --jobs fans the antichain frontiers, complementation
+levels and independent sub-checks out across domains, with byte-identical
+verdicts, witnesses and exit codes (RLCHECK_JOBS sets the default):
+
+  $ rlcheck rl big.ts -f '[]<>a' --max-states 1000 --jobs 4
+  RELATIVE LIVENESS: every prefix extends to a behavior satisfying []<>a
+
+  $ rlcheck rl big.ts -f '[]<>a' --max-states 200 --jobs 4
+  rlcheck: state limit 200 reached during inclusion pre(Lω) ⊆ pre(Lω ∩ P) after exploring 201 states
+  [4]
+
+  $ rlcheck rl faulty.ts -f '[]<>result' --jobs 4
+  NOT RELATIVE LIVENESS: doomed prefix request·reject
+  [1]
+
+  $ rlcheck decompose server.ts -f '[]<>result' --jobs 2
+  property automaton: 4 states
+  safety property: false
+  liveness property: true
+  decomposition (Alpern–Schneider): safety closure 4 states, liveness part 20 states
+
+  $ RLCHECK_JOBS=2 rlcheck decompose server.ts -f '[]<>result' --max-states 10
+  property automaton: 4 states
+  safety property: false
+  liveness property: true
+  rlcheck: state limit 10 reached during Büchi complementation after exploring 10 states
+  [4]

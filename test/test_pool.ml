@@ -1,0 +1,251 @@
+(* The domain pool and the determinism contract of the parallel engine:
+   identical verdicts, witnesses and exhaustion behavior for every --jobs
+   value, and domain-safe budget accounting. *)
+
+open Rl_sigma
+open Rl_automata
+open Rl_buchi
+open Rl_core
+module Budget = Rl_engine.Budget
+module Pool = Rl_engine.Pool
+
+(* The suite honors RLCHECK_JOBS so CI can re-run it at a different pool
+   size; the default of 4 oversubscribes small machines on purpose — the
+   determinism properties must hold regardless of core count. *)
+let jobs =
+  match Sys.getenv_opt "RLCHECK_JOBS" with
+  | Some s -> ( match int_of_string_opt s with Some n when n > 1 -> n | _ -> 4)
+  | None -> 4
+
+let with_pool f = Pool.with_pool ~jobs f
+
+(* --- parmap / parfan --- *)
+
+let test_parmap_matches_map () =
+  with_pool @@ fun pool ->
+  let xs = Array.init 1000 Fun.id in
+  let f x = (x * x) + 1 in
+  Alcotest.(check (array int)) "positional results" (Array.map f xs)
+    (Pool.parmap pool f xs);
+  Alcotest.(check (array int)) "empty input" [||] (Pool.parmap pool f [||]);
+  Alcotest.(check (array int)) "singleton input" [| 50 |]
+    (Pool.parmap pool f [| 7 |])
+
+let test_parmap_exception () =
+  with_pool @@ fun pool ->
+  let f x = if x = 57 then failwith "item 57" else x in
+  (match Pool.parmap pool f (Array.init 200 Fun.id) with
+  | _ -> Alcotest.fail "the failing item must surface"
+  | exception Failure m -> Alcotest.(check string) "which item" "item 57" m);
+  (* the pool survives a failed region *)
+  Alcotest.(check (array int)) "pool reusable after failure" [| 0; 1; 2 |]
+    (Pool.parmap pool Fun.id [| 0; 1; 2 |])
+
+let test_parmap_nested () =
+  with_pool @@ fun pool ->
+  (* a task that calls back into its own pool: the nested region must run
+     inline (serially) rather than deadlock on the busy workers *)
+  let f x =
+    Array.fold_left ( + ) 0 (Pool.parmap pool (fun y -> x + y) [| 1; 2; 3 |])
+  in
+  Alcotest.(check (array int)) "nested regions"
+    [| 6; 9; 12 |]
+    (Pool.parmap pool f [| 0; 1; 2 |])
+
+let test_parfan_order () =
+  with_pool @@ fun pool ->
+  let thunks = List.init 7 (fun i () -> 10 * i) in
+  Alcotest.(check (list int)) "results in thunk order"
+    [ 0; 10; 20; 30; 40; 50; 60 ]
+    (Pool.parfan pool thunks)
+
+(* --- atomic budget under racing domains --- *)
+
+let test_budget_race () =
+  with_pool @@ fun pool ->
+  let limit = 10_000 in
+  let budget = Budget.create ~max_states:limit () in
+  (* every member ticks far past the limit through its own batched local —
+     2×limit each, so even a member running alone must cross it; each must
+     be stopped by an Exhausted, and all must observe the same single
+     exhaustion event *)
+  let outcomes =
+    Pool.parmap pool
+      (fun _ ->
+        let local = Budget.local budget in
+        match
+          for _ = 1 to 2 * limit do
+            Budget.tick_local local
+          done;
+          Budget.flush local
+        with
+        | () -> None
+        | exception Budget.Exhausted e -> Some e)
+      (Array.init jobs Fun.id)
+  in
+  let records =
+    Array.to_list outcomes |> List.filter_map Fun.id
+  in
+  Alcotest.(check bool) "every member was stopped" true
+    (List.length records = jobs);
+  (match records with
+  | first :: rest ->
+      List.iter
+        (fun e ->
+          Alcotest.(check int) "one exhaustion event, seen by all"
+            first.Budget.states_explored e.Budget.states_explored)
+        rest;
+      (* the batched accounting stays within one batch per member of the
+         limit: the --max-states accuracy contract under --jobs *)
+      Alcotest.(check bool) "limit actually exceeded" true
+        (first.Budget.states_explored > limit);
+      Alcotest.(check bool)
+        (Printf.sprintf "within 64×%d of the limit (got %d)" jobs
+           first.Budget.states_explored)
+        true
+        (first.Budget.states_explored <= limit + (64 * jobs))
+  | [] -> Alcotest.fail "unreachable");
+  Alcotest.(check bool) "budget reports cancelled" true
+    (Budget.cancelled budget);
+  (* workers have drained: the pool still runs fresh regions *)
+  Alcotest.(check (array int)) "pool drained and reusable" [| 1; 2; 3 |]
+    (Pool.parmap pool (fun x -> x + 1) [| 0; 1; 2 |])
+
+let test_budget_poll_cancels () =
+  let budget = Budget.create ~max_states:1 () in
+  (match Budget.tick budget with
+  | () -> ()
+  | exception Budget.Exhausted _ -> ());
+  (match Budget.tick budget with
+  | () -> Alcotest.fail "second tick must exhaust"
+  | exception Budget.Exhausted _ -> ());
+  match Budget.poll budget with
+  | () -> Alcotest.fail "poll on an exhausted budget must re-raise"
+  | exception Budget.Exhausted e ->
+      Alcotest.(check int) "the original record is re-raised" 2
+        e.Budget.states_explored
+
+(* --- determinism across pool sizes (the qcheck leg) --- *)
+
+let abc = Alphabet.make [ "a"; "b"; "c" ]
+
+let gen_nfa_pair =
+  QCheck2.Gen.(
+    let* seed = 0 -- 1_000_000 in
+    let* na = 1 -- 6 in
+    let* nb = 1 -- 6 in
+    let rng = Helpers.mk_rng seed in
+    let mk states =
+      Rl_automata.Gen.nfa rng ~alphabet:abc ~states ~density:0.25
+        ~final_prob:0.5
+    in
+    return (mk na, mk nb))
+
+let gen_ts =
+  QCheck2.Gen.(
+    let* seed = 0 -- 1_000_000 in
+    let* states = 1 -- 4 in
+    return
+      (Rl_automata.Gen.transition_system (Helpers.mk_rng seed) ~alphabet:abc
+         ~states ~branching:1.6))
+
+let gen_formula =
+  Helpers.gen_formula_over ~max_size:4 [ "a"; "b"; "c" ] ~negations:true
+
+let prop_inclusion_jobs_invariant =
+  QCheck2.Test.make
+    ~name:"Inclusion.included: verdict and witness identical for jobs 1 vs N"
+    ~count:150 gen_nfa_pair (fun (a, b) ->
+      let serial = Inclusion.included a b in
+      let parallel = with_pool (fun pool -> Inclusion.included ~pool a b) in
+      match (serial, parallel) with
+      | Ok (), Ok () -> true
+      | Error w, Error w' -> Word.equal w w'
+      | _ -> false)
+
+let buchi_repr b =
+  ( Buchi.states b,
+    Buchi.initial b,
+    Rl_prelude.Bitset.elements (Buchi.accepting b),
+    Buchi.transitions b )
+
+let prop_complement_jobs_invariant =
+  QCheck2.Test.make
+    ~name:"Complement.complement: output automaton bit-identical for jobs 1 vs N"
+    ~count:40 gen_ts (fun ts ->
+      let b = Buchi.of_transition_system ts in
+      let run pool = buchi_repr (Complement.complement ?pool ~max_states:3000 b) in
+      match (run None, with_pool (fun pool -> run (Some pool))) with
+      | serial, parallel -> serial = parallel
+      | exception Complement.Too_large _ ->
+          (* the cap must trip identically: re-run both and require the
+             same exception point *)
+          (match
+             ( (try `V (run None) with Complement.Too_large n -> `TL n),
+               with_pool (fun pool ->
+                   try `V (run (Some pool)) with Complement.Too_large n -> `TL n)
+             )
+           with
+          | `TL n, `TL n' -> n = n'
+          | _ -> false))
+
+let prop_rl_verdict_jobs_invariant =
+  QCheck2.Test.make
+    ~name:"relative liveness: verdict and witness identical for jobs 1 vs N"
+    ~count:60
+    QCheck2.Gen.(pair gen_ts gen_formula)
+    (fun (ts, f) ->
+      let system = Buchi.of_transition_system ts in
+      let p = Relative.ltl abc f in
+      let serial = Relative.is_relative_liveness ~system p in
+      let parallel =
+        with_pool (fun pool -> Relative.is_relative_liveness ~pool ~system p)
+      in
+      match (serial, parallel) with
+      | Ok (), Ok () -> true
+      | Error w, Error w' -> Word.equal w w'
+      | _ -> false)
+
+let prop_exhaustion_jobs_invariant =
+  QCheck2.Test.make
+    ~name:"tiny budget: exhaustion point identical for jobs 1 vs N"
+    ~count:60
+    QCheck2.Gen.(pair gen_nfa_pair (5 -- 40))
+    (fun ((a, b), limit) ->
+      let run pool =
+        let budget = Budget.create ~max_states:limit () in
+        match Inclusion.included ~budget ?pool a b with
+        | Ok () -> `Ok
+        | Error w -> `Cex w
+        | exception Budget.Exhausted e -> `Exhausted e.Budget.states_explored
+      in
+      run None = with_pool (fun pool -> run (Some pool)))
+
+let qcheck = QCheck_alcotest.to_alcotest
+
+let () =
+  Alcotest.run "pool"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "parmap = map" `Quick test_parmap_matches_map;
+          Alcotest.test_case "parmap exceptions" `Quick test_parmap_exception;
+          Alcotest.test_case "nested regions run inline" `Quick
+            test_parmap_nested;
+          Alcotest.test_case "parfan order" `Quick test_parfan_order;
+        ] );
+      ( "budget",
+        [
+          Alcotest.test_case "exhaustion race across domains" `Quick
+            test_budget_race;
+          Alcotest.test_case "poll re-raises the published record" `Quick
+            test_budget_poll_cancels;
+        ] );
+      ( "properties",
+        [
+          qcheck prop_inclusion_jobs_invariant;
+          qcheck prop_complement_jobs_invariant;
+          qcheck prop_rl_verdict_jobs_invariant;
+          qcheck prop_exhaustion_jobs_invariant;
+        ] );
+    ]
