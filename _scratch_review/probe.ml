@@ -1,0 +1,20 @@
+open Rl_sigma
+let () =
+  let n = 9 in
+  let k = 2 in
+  let alphabet = Alphabet.make (List.init k (fun i -> Printf.sprintf "a%d" i)) in
+  (* dense automaton: every state -> every state on every symbol *)
+  let transitions =
+    List.concat_map (fun q ->
+      List.concat_map (fun a ->
+        List.init n (fun q' -> (q, a, q'))) (List.init k Fun.id))
+      (List.init n Fun.id)
+  in
+  let b = Rl_buchi.Buchi.create ~alphabet ~states:n ~initial:[0]
+            ~accepting:[0] ~transitions () in
+  let t0 = Unix.gettimeofday () in
+  (match Rl_buchi.Complement.complement ~max_states:50 b with
+   | _ -> print_endline "built"
+   | exception Rl_buchi.Complement.Too_large m ->
+       Printf.printf "Too_large %d after %.2fs\n" m (Unix.gettimeofday () -. t0));
+  exit 0
