@@ -1112,6 +1112,173 @@ let parallel_profile () =
       output_string oc json);
   Printf.printf "(written to BENCH_parallel.json)\n"
 
+(* ------------------------------------------------------------------ *)
+(* Part 5: reduction on/off profile                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* The preorder engine (Rl_automata.Preorder) quotients every decider
+   operand by mutual direct simulation and upgrades the antichain to
+   simulation-based subsumption. This profile measures what that buys on
+   families with deliberate simulation redundancy: each family runs the
+   same check with [~reduce:true] (the shipping default) and
+   [~reduce:false] (the PR-3 engine: no quotients, plain ⊆-subsumption)
+   under counting budgets. The headline metric is the deterministic
+   states-explored ratio — wall clock is recorded too, but the ratio is
+   what the ≥2x bar checks, so the bar arms on any machine. Verdicts must
+   be identical between the two runs; a mismatch is a soundness bug and
+   fails the bench. Written to BENCH_reduction.json at the repo root. *)
+
+(* [dup_ts k ts]: replace every state by [k] interchangeable copies (each
+   copy keeps edges to every copy of each successor). The result is
+   mutually simulation-equivalent to [ts] copy-wise — the quotient
+   collapses it right back — but the unreduced decider must drag the
+   k-fold state space and its k-fold antichain sets through every
+   product. *)
+let dup_ts k ts =
+  let n = Nfa.states ts in
+  let transitions =
+    List.concat_map
+      (fun (q, a, q') ->
+        List.concat_map
+          (fun i -> List.map (fun j -> ((q * k) + i, a, (q' * k) + j)) (List.init k Fun.id))
+          (List.init k Fun.id))
+      (Nfa.transitions ts)
+  in
+  Nfa.create ~alphabet:(Nfa.alphabet ts) ~states:(n * k)
+    ~initial:(List.concat_map (fun q -> List.init k (fun i -> (q * k) + i)) (Nfa.initial ts))
+    ~finals:(List.init (n * k) Fun.id)
+    ~transitions ()
+
+type red_row = {
+  red_family : string;
+  on_states : int; (* states explored, reduce:true *)
+  off_states : int; (* states explored, reduce:false *)
+  on_s : float;
+  off_s : float;
+  red_speedup : float; (* off_states / on_states *)
+  red_verdicts_equal : bool;
+}
+
+(* each family is (name, run): [run ~reduce ()] returns the verdict
+   string and the states the budget counted; the verdict must not depend
+   on [reduce] *)
+let reduction_families () =
+  (* witness words are canonical only per engine (lex-least among that
+     engine's surviving frontier nodes), so the cross-engine contract is
+     verdict + witness length; witness validity is property-tested in
+     test_preorder *)
+  let mk_family check name ts formula =
+    let p = Relative.ltl (Nfa.alphabet ts) (Parser.parse formula) in
+    let system = Buchi.of_transition_system ts in
+    let run ~reduce () =
+      let budget = Rl_engine.Budget.create () in
+      let v = check ~budget ~reduce ~system p in
+      (v, Rl_engine.Budget.states_explored budget)
+    in
+    (name, run)
+  in
+  let rl_family name ts formula =
+    mk_family
+      (fun ~budget ~reduce ~system p ->
+        match Relative.is_relative_liveness ~budget ~reduce ~system p with
+        | Ok () -> "holds"
+        | Error w ->
+            Printf.sprintf "fails, doomed prefix of length %d" (Word.length w))
+      name ts formula
+  in
+  let rs_family name ts formula =
+    mk_family
+      (fun ~budget ~reduce ~system p ->
+        match Relative.is_relative_safety ~budget ~reduce ~system p with
+        | Ok () -> "holds"
+        | Error l ->
+            Printf.sprintf "fails, redeemable violation (spoke %d, period %d)"
+              (Lasso.spoke l) (Lasso.period l))
+      name ts formula
+  in
+  [
+    (* modular counters with every state tripled: the quotient collapses
+       the copies before the lcm-cycle walk *)
+    rl_family "antichain/counter-dup3"
+      (dup_ts 3 (counter_ts [ 2; 3; 5 ]))
+      "[]<>t";
+    (* the subset-construction ladder with doubled states *)
+    rl_family "antichain/ladder-dup2"
+      (dup_ts 2 (blowup_ts 8))
+      "[]<> (a & X (b & X a))";
+    (* relative safety runs the property negation through Kupferman–Vardi
+       complementation: the quotient shrinks the complementation input *)
+    rs_family "complement/rs-dup2" (dup_ts 2 (counter_ts [ 2; 3 ])) "[]t";
+  ]
+
+let reduction_json ~best rows =
+  let record r =
+    Printf.sprintf
+      "    {\"family\": \"%s\", \"states_on\": %d, \"states_off\": %d, \
+       \"speedup\": %.3f, \"on_s\": %.6f, \"off_s\": %.6f, \
+       \"verdicts_equal\": %b}"
+      (json_escape r.red_family) r.on_states r.off_states r.red_speedup r.on_s
+      r.off_s r.red_verdicts_equal
+  in
+  Printf.sprintf
+    "{\n\
+    \  \"metric\": \"states explored, reduce:false / reduce:true\",\n\
+    \  \"best_speedup\": %.3f,\n\
+    \  \"families\": [\n\
+     %s\n\
+    \  ]\n\
+     }\n"
+    best
+    (String.concat ",\n" (List.map record rows))
+
+let reduction_profile () =
+  header "REDUCTION PROFILE (preorder quotients on vs off, states explored)";
+  let rows =
+    List.map
+      (fun (family, run) ->
+        Printf.printf "profiling %s ...\n%!" family;
+        let (on_verdict, on_states), on_s = best_wall (run ~reduce:true) in
+        let (off_verdict, off_states), off_s = best_wall (run ~reduce:false) in
+        if not (String.equal on_verdict off_verdict) then begin
+          Printf.eprintf
+            "bench: reduction verdict mismatch on %s:\n\
+            \  reduce on : %s\n\
+            \  reduce off: %s\n"
+            family on_verdict off_verdict;
+          exit 1
+        end;
+        {
+          red_family = family;
+          on_states;
+          off_states;
+          on_s;
+          off_s;
+          red_speedup = float_of_int off_states /. float_of_int (max 1 on_states);
+          red_verdicts_equal = true;
+        })
+      (reduction_families ())
+  in
+  Printf.printf "%-28s %12s %12s %9s\n" "family" "states(on)" "states(off)"
+    "speedup";
+  List.iter
+    (fun r ->
+      Printf.printf "%-28s %12d %12d %8.2fx   (%.4f s vs %.4f s)\n"
+        r.red_family r.on_states r.off_states r.red_speedup r.on_s r.off_s)
+    rows;
+  let best = List.fold_left (fun acc r -> max acc r.red_speedup) 0. rows in
+  Printf.printf "≥2x states-explored bar: best %.2fx\n" best;
+  if best < 2. then begin
+    Printf.eprintf
+      "bench: no reduction family reached the 2x states-explored bar (best \
+       %.2fx)\n"
+      best;
+    exit 1
+  end;
+  let json = reduction_json ~best rows in
+  Out_channel.with_open_text "BENCH_reduction.json" (fun oc ->
+      output_string oc json);
+  Printf.printf "(written to BENCH_reduction.json)\n"
+
 let () =
   print_endline
     "Relative Liveness and Behavior Abstraction — reproduction harness";
@@ -1126,6 +1293,16 @@ let () =
   in
   if only_parallel then begin
     parallel_profile ();
+    line ();
+    print_endline "done.";
+    exit 0
+  end;
+  (* `--only-reduction` runs just the preorder-quotient on/off profile *)
+  let only_reduction =
+    Array.exists (String.equal "--only-reduction") Sys.argv
+  in
+  if only_reduction then begin
+    reduction_profile ();
     line ();
     print_endline "done.";
     exit 0
@@ -1145,5 +1322,6 @@ let () =
   end;
   resource_profile ();
   parallel_profile ();
+  reduction_profile ();
   line ();
   print_endline "done."

@@ -73,7 +73,9 @@ let jobs_arg =
      levels and independent sub-checks out across $(docv) domains; 0 means \
      one domain per available core. Verdicts, witnesses and exit codes are \
      identical for every value (phases that are inherently serial simply \
-     ignore the pool)."
+     ignore the pool). Frontiers whose projected work is below the adaptive \
+     cutoff (env RLCHECK_PAR_CUTOFF, microseconds; 0 forces fan-out) run \
+     serially to avoid paying the fan-out overhead on trivial regions."
   in
   let env = Cmd.Env.info "RLCHECK_JOBS" ~doc:"Default value for $(b,--jobs)." in
   Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N" ~doc ~env)

@@ -5,98 +5,164 @@ module Pool = Rl_engine_kernel.Pool
 
 (* Antichain-based inclusion check, after De Wulf–Doyen–Henzinger–Raskin
    ("Antichains: a new algorithm for checking universality of finite
-   automata", CAV 2006), specialized to the forward inclusion search.
+   automata", CAV 2006), specialized to the forward inclusion search,
+   with simulation-based subsumption in the style of "When Simulation
+   Meets Antichains" (Abdulla, Chen, Holík, Mayr, Vojnar, TACAS 2010).
 
    A search node (q, S) means: some word w reaches A-state q and exactly
    the B-subset S. The node is a counterexample witness iff q is final in
-   A and S contains no B-final state. Among nodes with equal q, a smaller
-   S rejects every word a larger one rejects, so (q, S) is subsumed by any
-   stored (q, S') with S' ⊆ S: discarding the larger pair loses no
-   counterexample and keeps, per A-state, only the ⊆-minimal subsets — an
-   antichain.
+   A and S contains no B-final state.
+
+   Subsumption. With plain ⊆-subsumption ([`Subset]), (q, S) is subsumed
+   by a stored (q, S') with S' ⊆ S. With simulation subsumption
+   ([`Simulation], the default), (q, S) is subsumed by (q', S') whenever
+   q' simulates q in A and every state of S' is simulated by some state
+   of S in B. Soundness needs only the language containments direct
+   simulation guarantees: if some extension u drives (q, S) to a
+   counterexample then u ∈ L(q) ⊆ L(q'), and u ∉ L(p) for all p ∈ S
+   forces u ∉ L(p') for every p' ∈ S' (each p' has L(p') ⊆ L(p) for some
+   p ∈ S) — so the same u drives the kept node to a counterexample.
+   Taking the identity preorder collapses the rule to plain ⊆, so both
+   modes share one implementation: each node carries its "cover" set
+   cover(S) = { p' | some p ∈ S simulates p' } (which is S itself under
+   [`Subset]), and (q, S) is subsumed by (q', S') iff q' ∈ simulators(q)
+   and S' ⊆ cover(S).
 
    The search is level-synchronous breadth-first, which is what makes the
    domain-parallel version deterministic: each round first scans the
    current frontier for witnesses (picking the lexicographically least
    among the shortest), then computes every frontier node's successor
-   subsets — the expensive bitset unions — as a pure [Pool.parmap], and
-   finally merges the results into the antichain sequentially, in frontier
-   order, on the calling domain. All antichain mutation, budget ticking
-   and witness selection happen on one domain in a schedule-independent
-   order, so verdict, witness and exhaustion point are identical for every
-   pool size. *)
+   subsets and covers — the expensive bitset unions — as a pure
+   [Pool.parmap], and finally merges the results into the antichain
+   sequentially, in frontier order, on the calling domain. All antichain
+   mutation, budget ticking and witness selection happen on one domain in
+   a schedule-independent order, so verdict, witness and exhaustion point
+   are identical for every pool size.
+
+   Transitions are stepped through flat CSR tables ([Rl_prelude.Csr]),
+   built once per call: A-moves scan a contiguous slice, and the B-side
+   per-(state, letter) successor bitsets used by the frontier posts are
+   filled from CSR slices instead of list traversals. *)
+
+type subsumption = [ `Subset | `Simulation ]
 
 type node = {
   q : int;
   set : Bitset.t;
+  cover : Bitset.t;
+      (* states simulated by some member of [set]; equals [set]
+         physically under [`Subset] subsumption *)
   rev_word : int list;
   mutable live : bool;
-      (* cleared when a later ⊆-smaller subset evicts this node from the
-         antichain; replaces the List.memq bucket scan of the serial
-         engine with an O(1) flag *)
+      (* cleared when a later subsuming node evicts this node from the
+         antichain; replaces a bucket scan with an O(1) flag *)
 }
 
-let included ?(budget = Budget.unlimited) ?pool a b =
+let included ?(budget = Budget.unlimited) ?pool ?(subsumption = `Simulation) a
+    b =
   if not (Alphabet.equal (Nfa.alphabet a) (Nfa.alphabet b)) then
     invalid_arg "Inclusion.included: alphabet mismatch";
   let a = Nfa.remove_eps a and b = Nfa.remove_eps b in
   let k = Alphabet.size (Nfa.alphabet a) in
   let na = Nfa.states a and nb = Nfa.states b in
-  (* memoized per-letter successor tables: the pre-language NFAs coming
-     out of [Buchi.pre_language] are stepped as indexed arrays here, never
-     as transition lists again *)
-  let succ_a =
-    Array.init na (fun q ->
-        Array.init k (fun s -> Array.of_list (Nfa.successors a q s)))
-  in
+  (* flat transition tables, built once: the pre-language NFAs coming out
+     of [Buchi.pre_language] are stepped as CSR slices here, never as
+     transition lists again *)
+  let csr_a = Csr.of_fn ~states:na ~symbols:k (fun q s -> Nfa.successors a q s) in
+  let csr_b = Csr.of_fn ~states:nb ~symbols:k (fun q s -> Nfa.successors b q s) in
   let succ_b =
-    Array.init nb (fun q ->
-        Array.init k (fun s -> Bitset.of_list nb (Nfa.successors b q s)))
+    Array.init (nb * k) (fun cell ->
+        let bs = Bitset.create nb in
+        Csr.iter_succ csr_b (cell / k) (cell mod k) (fun q' -> Bitset.add bs q');
+        bs)
   in
   let finals_a = Nfa.finals a and finals_b = Nfa.finals b in
   let post set s =
     let out = Bitset.create nb in
-    Bitset.iter (fun q -> Bitset.union_into ~into:out succ_b.(q).(s)) set;
+    Bitset.iter (fun q -> Bitset.union_into ~into:out succ_b.((q * k) + s)) set;
     out
   in
-  (* per-A-state antichain of ⊆-minimal B-subsets seen so far *)
+  (* the preorders driving subsumption; [None] = identity ([`Subset]) *)
+  let sims =
+    match subsumption with
+    | `Subset -> None
+    | `Simulation ->
+        if na = 0 || nb = 0 then None
+        else Some (Preorder.forward a, Preorder.forward b)
+  in
+  let cover_of set =
+    match sims with
+    | None -> set
+    | Some (_, pb) ->
+        let c = Bitset.create nb in
+        Bitset.iter
+          (fun p -> Bitset.union_into ~into:c (Preorder.simulated_by pb p))
+          set;
+        c
+  in
+  (* per-A-state antichain of subsumption-minimal B-subsets seen so far *)
   let antichain : node list array = Array.make (max na 1) [] in
+  let bucket_subsumes q' cover =
+    List.exists (fun n -> Bitset.subset n.set cover) antichain.(q')
+  in
+  (* is the candidate (q, ·) with cover [cover] subsumed by a stored node? *)
+  let subsumed q cover =
+    match sims with
+    | None -> bucket_subsumes q cover
+    | Some (pa, _) ->
+        Bitset.fold
+          (fun q' acc -> acc || bucket_subsumes q' cover)
+          (Preorder.simulators pa q) false
+  in
+  (* evict stored nodes the accepted (q, set) subsumes *)
+  let evict_bucket q' set =
+    antichain.(q') <-
+      List.filter
+        (fun n ->
+          if Bitset.subset set n.cover then begin
+            n.live <- false;
+            false
+          end
+          else true)
+        antichain.(q')
+  in
+  let evict q set =
+    match sims with
+    | None -> evict_bucket q set
+    | Some (pa, _) -> Bitset.iter (fun q' -> evict_bucket q' set) (Preorder.simulated_by pa q)
+  in
   let next = ref [] (* next frontier, most recent first *) in
-  let enqueue q set rev_word =
-    if not (List.exists (fun n -> Bitset.subset n.set set) antichain.(q))
-    then begin
+  let enqueue q set cover rev_word =
+    if not (subsumed q cover) then begin
       Budget.tick budget;
-      let node = { q; set; rev_word; live = true } in
-      antichain.(q) <-
-        node
-        :: List.filter
-             (fun n ->
-               if Bitset.subset set n.set then begin
-                 n.live <- false;
-                 false
-               end
-               else true)
-             antichain.(q);
+      evict q set;
+      let node = { q; set; cover; rev_word; live = true } in
+      antichain.(q) <- node :: antichain.(q);
       next := node :: !next
     end
   in
   let init_set = Bitset.of_list nb (Nfa.initial b) in
+  let init_cover = cover_of init_set in
   List.iter
-    (fun q -> enqueue q init_set [])
+    (fun q -> enqueue q init_set init_cover [])
     (List.sort_uniq compare (Nfa.initial a));
-  (* successor subsets of one live frontier node, one per letter with an
-     A-move; pure up to [Budget.poll], hence safe on worker domains *)
+  (* successor subsets (and their covers) of one live frontier node, one
+     per letter with an A-move; pure up to [Budget.poll], hence safe on
+     worker domains *)
   let expand node =
     Budget.poll budget;
     Array.init k (fun s ->
-        if Array.length succ_a.(node.q).(s) = 0 then None
-        else Some (post node.set s))
+        if not (Csr.has_succ csr_a node.q s) then None
+        else
+          let set' = post node.set s in
+          Some (set', cover_of set'))
   in
   let witness = ref None in
   while !next <> [] && !witness = None do
     let frontier = Array.of_list (List.rev !next) in
     next := [];
-    (* 1. witness scan: canonical = lexicographically least of the level *)
+    (* 1. witness scan: shortest, lexicographically least among the
+       level's surviving nodes *)
     Array.iter
       (fun n ->
         if n.live && Bitset.mem finals_a n.q && Bitset.disjoint n.set finals_b
@@ -123,11 +189,10 @@ let included ?(budget = Budget.unlimited) ?pool a b =
           for s = 0 to k - 1 do
             match sets.(s) with
             | None -> ()
-            | Some set' ->
+            | Some (set', cover') ->
                 let rev_word' = s :: n.rev_word in
-                Array.iter
-                  (fun q' -> enqueue q' set' rev_word')
-                  succ_a.(n.q).(s)
+                Csr.iter_succ csr_a n.q s (fun q' ->
+                    enqueue q' set' cover' rev_word')
           done)
         live
     end
@@ -136,7 +201,7 @@ let included ?(budget = Budget.unlimited) ?pool a b =
   | None -> Ok ()
   | Some syms -> Error (Word.of_list syms)
 
-let equivalent ?budget ?pool a b =
-  match included ?budget ?pool a b with
+let equivalent ?budget ?pool ?subsumption a b =
+  match included ?budget ?pool ?subsumption a b with
   | Error _ as e -> e
-  | Ok () -> included ?budget ?pool b a
+  | Ok () -> included ?budget ?pool ?subsumption b a

@@ -2,48 +2,61 @@
 
     Decides [L(A) ⊆ L(B)] without determinizing either side. The search
     explores pairs [(q, S)] of an A-state and the B-subset reached on the
-    same word, lazily, with antichain subsumption pruning: a pair is
-    discarded when a stored pair with the same [q] and a [⊆]-smaller [S]
-    exists, because the smaller subset rejects every word the larger one
-    rejects. This is the workhorse behind the Lemma 4.3/4.4 prefix-language
-    inclusion tests — the eager subset construction of {!Dfa.determinize}
-    is kept only where a concrete DFA is genuinely needed (limits,
-    minimization, residual classes).
+    same word, lazily, with antichain subsumption pruning. Under the
+    default [`Simulation] subsumption, a pair [(q, S)] is discarded when a
+    stored [(q', S')] exists with [q'] simulating [q] in A and every state
+    of [S'] simulated by some state of [S] in B — the simulation-aware
+    strengthening of the classic antichain rule ("When Simulation Meets
+    Antichains", TACAS 2010); [`Subset] keeps the plain rule ([q' = q] and
+    [S' ⊆ S]). The simulation preorders come from {!Preorder} and are
+    memoized across calls, so repeated checks over the same automata pay
+    for them once. This is the workhorse behind the Lemma 4.3/4.4
+    prefix-language inclusion tests — the eager subset construction of
+    {!Dfa.determinize} is kept only where a concrete DFA is genuinely
+    needed (limits, minimization, residual classes).
 
     B-subsets are {!Rl_prelude.Bitset} values and both automata are
-    consumed through memoized per-letter successor tables, so
-    {!Buchi.pre_language} results are stepped as indexed arrays rather
-    than re-walked transition lists.
+    consumed through flat CSR transition tables ({!Rl_prelude.Csr}), so
+    {!Buchi.pre_language} results are stepped as contiguous array slices
+    rather than re-walked transition lists.
 
     The search is level-synchronous breadth-first. With [?pool], each
     level's successor-subset computations — the expensive bitset unions —
     fan out across the pool's domains as pure tasks, while all antichain
     mutation, budget ticking and witness selection stay on the calling
     domain in frontier order. Verdict, witness and budget-exhaustion
-    point are therefore identical for every pool size. *)
+    point are therefore identical for every pool size (at a fixed
+    subsumption mode; the two modes explore different node sets). *)
 
 open Rl_sigma
 
-(** [included ?budget ?pool a b] decides [L(a) ⊆ L(b)]. On failure it
-    returns a {e canonical} witness of [L(a) \ L(b)]: among the shortest
+type subsumption = [ `Subset | `Simulation ]
+
+(** [included ?budget ?pool ?subsumption a b] decides [L(a) ⊆ L(b)]. On
+    failure it returns a witness of [L(a) \ L(b)]: among the shortest
     words the pruned search uncovers, the lexicographically least (in
-    symbol-index order). ε-moves are removed first; alphabets must be
-    equal. The budget is ticked once per explored (non-subsumed) pair,
-    always on the calling domain.
+    symbol-index order) of the surviving frontier nodes — subsumption
+    never discards a counterexample without keeping an equally short one.
+    ε-moves are removed first; alphabets must be equal. The budget is
+    ticked once per explored (non-subsumed) pair, always on the calling
+    domain.
     @raise Rl_engine_kernel.Budget.Exhausted when the budget runs out.
     @raise Invalid_argument on an alphabet mismatch. *)
 val included :
   ?budget:Rl_engine_kernel.Budget.t ->
   ?pool:Rl_engine_kernel.Pool.t ->
+  ?subsumption:subsumption ->
   Nfa.t ->
   Nfa.t ->
   (unit, Word.t) result
 
-(** [equivalent ?budget ?pool a b] decides [L(a) = L(b)] by two inclusion
-    runs; the returned word lies in the symmetric difference. *)
+(** [equivalent ?budget ?pool ?subsumption a b] decides [L(a) = L(b)] by
+    two inclusion runs; the returned word lies in the symmetric
+    difference. *)
 val equivalent :
   ?budget:Rl_engine_kernel.Budget.t ->
   ?pool:Rl_engine_kernel.Pool.t ->
+  ?subsumption:subsumption ->
   Nfa.t ->
   Nfa.t ->
   (unit, Word.t) result

@@ -1,0 +1,79 @@
+(** Simulation preorders for nondeterministic automata.
+
+    Computes the greatest {e direct} simulation relation of an automaton
+    with a Henzinger–Henzinger–Kopke-style refinement loop over bitset
+    rows, plus the backward variant (simulation on the reversed
+    automaton, respecting initiality). Direct simulation is
+    acceptance-compatible at every step, so [p] simulating [q] implies
+    the state-wise language containment [L(q) ⊆ L(p)] — the fact the
+    antichain engine's simulation subsumption and the
+    quotient-before-explore reductions both rest on.
+
+    Results are memoized in {!Rl_engine_kernel.Simcache} under a digest
+    of the automaton structure: asking twice for the preorder of
+    structurally identical automata — even ones rebuilt from scratch —
+    computes once. Cached rows are shared; treat every returned bitset
+    as read-only. *)
+
+type t
+
+(** {1 Queries} *)
+
+val size : t -> int
+
+(** [simulators t q] is the set of states simulating [q] (including [q]).
+    Read-only. *)
+val simulators : t -> int -> Rl_prelude.Bitset.t
+
+(** [simulated_by t p] is the transposed row: the states [p] simulates.
+    Read-only. *)
+val simulated_by : t -> int -> Rl_prelude.Bitset.t
+
+(** [simulates t p q] is [true] iff [p] simulates [q]. *)
+val simulates : t -> int -> int -> bool
+
+(** {1 Constructors} *)
+
+(** [forward n] is the greatest direct forward simulation of the ε-free
+    NFA [n]. [cache] (default [true]) consults the fingerprint cache.
+    @raise Invalid_argument if [n] has ε-moves. *)
+val forward : ?cache:bool -> Nfa.t -> t
+
+(** [backward n] is the greatest backward simulation of the ε-free NFA
+    [n]: forward simulation on the reversed automaton, additionally
+    respecting initial states. [p] backward-simulating [q] implies that
+    every word reaching [q] from an initial state also reaches [p].
+    @raise Invalid_argument if [n] has ε-moves. *)
+val backward : ?cache:bool -> Nfa.t -> t
+
+(** [of_view ~tag ~states ~symbols ~memberships ~succ ()] computes the
+    greatest simulation of an arbitrary transition structure — this is
+    how the Büchi layer reuses the engine without the kernel or this
+    module depending on it. [memberships] lists the state sets the
+    relation must respect downward ([q ∈ M] forces simulators of [q]
+    into [M]); [succ q a] must be deterministic. [tag] namespaces the
+    cache key and must be distinct per relation kind. *)
+val of_view :
+  ?cache:bool ->
+  tag:string ->
+  states:int ->
+  symbols:int ->
+  memberships:Rl_prelude.Bitset.t list ->
+  succ:(int -> int -> int list) ->
+  unit ->
+  t
+
+(** {1 Quotients} *)
+
+(** [mutual_classes t] partitions states by mutual similarity (an
+    equivalence, since the greatest simulation is a preorder). Returns
+    the class map and the class count; classes are numbered by smallest
+    member, deterministically. *)
+val mutual_classes : t -> int array * int
+
+(** [reduce n] is the quotient of [n] by mutual direct similarity —
+    language-preserving, never larger. ε-moves are removed first; the
+    result is physically [remove_eps n] when nothing merges. A quotient
+    of an all-states-final NFA is again all-states-final, so
+    prefix-closed (transition-system) operands stay well-formed. *)
+val reduce : ?cache:bool -> Nfa.t -> Nfa.t

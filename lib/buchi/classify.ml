@@ -3,11 +3,15 @@ open Rl_automata
 
 let is_safety = Omega_lang.is_limit_closed
 
-let is_liveness ?pool b =
+let is_liveness ?pool ?(reduce = true) b =
   (* pre(L) = Σ*: every word extends to a behavior — an antichain
      inclusion of the one-state Σ* automaton in the prefix NFA, with no
-     determinization *)
+     determinization. [reduce] shrinks the property by its simulation
+     quotient first and prunes the antichain by simulation subsumption;
+     both are language-preserving, so the verdict is unchanged. *)
+  let b = if reduce then Reduce.quotient (Buchi.trim b) else b in
   let pre = Buchi.pre_language b in
+  let pre = if reduce then Preorder.reduce pre else pre in
   let k = Alphabet.size (Buchi.alphabet b) in
   let sigma_star =
     Nfa.create
@@ -16,7 +20,8 @@ let is_liveness ?pool b =
       ~transitions:(List.init k (fun a -> (0, a, 0)))
       ()
   in
-  match Inclusion.included ?pool sigma_star pre with
+  let subsumption = if reduce then `Simulation else `Subset in
+  match Inclusion.included ?pool ~subsumption sigma_star pre with
   | Ok () -> true
   | Error _ -> false
 

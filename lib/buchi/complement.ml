@@ -48,6 +48,13 @@ let complement ?(budget = Budget.unlimited) ?max_states ?pool b =
   end
   else begin
     let max_rank = 2 * n in
+    (* flat CSR transition table, built once: the rank-enumeration hot
+       loop below steps it as contiguous slices instead of re-walking
+       successor lists for every (frontier state, symbol) pair *)
+    let csr =
+      Rl_prelude.Csr.of_fn ~states:n ~symbols:k (fun q a ->
+          Buchi.successors b q a)
+    in
     let table : (key, int) Hashtbl.t = Hashtbl.create 256 in
     let count = ref 0 in
     let intern key =
@@ -71,17 +78,15 @@ let complement ?(budget = Budget.unlimited) ?max_states ?pool b =
       let bound = Array.make n (-1) in
       for q = 0 to n - 1 do
         if g.(q) >= 0 then
-          List.iter
-            (fun q' ->
+          Rl_prelude.Csr.iter_succ csr q a (fun q' ->
               bound.(q') <-
                 (if bound.(q') = -1 then g.(q) else min bound.(q') g.(q)))
-            (Buchi.successors b q a)
       done;
       (* Successors of the breakpoint set o. *)
       let o_succ = Array.make n false in
       List.iter
         (fun q ->
-          List.iter (fun q' -> o_succ.(q') <- true) (Buchi.successors b q a))
+          Rl_prelude.Csr.iter_succ csr q a (fun q' -> o_succ.(q') <- true))
         o;
       (* Enumerate all rankings g' compatible with the bounds. *)
       let dom = ref [] in

@@ -1,56 +1,40 @@
+open Rl_prelude
 open Rl_sigma
+module Preorder = Rl_automata.Preorder
 
-(* Greatest fixpoint of the direct-simulation conditions: start from the
-   acceptance-compatible relation and remove pairs whose step condition
-   fails, until stable. O(n² · m) per sweep — fine at the sizes where the
-   constructions downstream (complementation) are the actual bottleneck. *)
+(* Direct simulation for Büchi automata, via the shared refinement engine
+   in [Rl_automata.Preorder] (Henzinger-style worklist over bitset rows,
+   memoized per automaton fingerprint in the kernel's Simcache). Direct
+   simulation — acceptance-compatible at every step — is the variant
+   whose mutual-similarity quotient preserves the ω-language. *)
+
+let preorder b =
+  let n = Buchi.states b in
+  let accepting = Bitset.create (max n 1) in
+  for q = 0 to n - 1 do
+    if Buchi.is_accepting b q then Bitset.add accepting q
+  done;
+  Preorder.of_view ~tag:"buchi-fwd" ~states:n
+    ~symbols:(Alphabet.size (Buchi.alphabet b))
+    ~memberships:[ accepting ]
+    ~succ:(fun q a -> Buchi.successors b q a)
+    ()
+
 let direct_simulation b =
   let n = Buchi.states b in
-  let k = Alphabet.size (Buchi.alphabet b) in
-  let sim = Array.init n (fun q -> Array.init n (fun p ->
-      (not (Buchi.is_accepting b q)) || Buchi.is_accepting b p))
-  in
-  let step_ok q p =
-    (* every move of q is matched by some move of p to a simulating state *)
-    List.for_all
-      (fun a ->
-        List.for_all
-          (fun q' ->
-            List.exists (fun p' -> sim.(q').(p')) (Buchi.successors b p a))
-          (Buchi.successors b q a))
-      (List.init k Fun.id)
-  in
-  let changed = ref true in
-  while !changed do
-    changed := false;
-    for q = 0 to n - 1 do
-      for p = 0 to n - 1 do
-        if sim.(q).(p) && not (step_ok q p) then begin
-          sim.(q).(p) <- false;
-          changed := true
-        end
-      done
-    done
-  done;
-  sim
+  let po = preorder b in
+  (* matrix view kept for callers and tests: sim.(q).(p) iff p simulates q *)
+  Array.init n (fun q ->
+      let row = Preorder.simulators po q in
+      Array.init n (fun p -> Bitset.mem row p))
 
 let quotient b =
   let n = Buchi.states b in
   if n = 0 then b
   else begin
-    let sim = direct_simulation b in
-    let cls = Array.make n (-1) in
-    let count = ref 0 in
-    for q = 0 to n - 1 do
-      if cls.(q) = -1 then begin
-        cls.(q) <- !count;
-        for p = q + 1 to n - 1 do
-          if cls.(p) = -1 && sim.(q).(p) && sim.(p).(q) then cls.(p) <- !count
-        done;
-        incr count
-      end
-    done;
-    if !count = n then b
+    let po = preorder b in
+    let cls, count = Preorder.mutual_classes po in
+    if count = n then b
     else begin
       let transitions =
         Buchi.transitions b
@@ -66,7 +50,7 @@ let quotient b =
       let initial =
         List.sort_uniq compare (List.map (fun q -> cls.(q)) (Buchi.initial b))
       in
-      Buchi.create ~alphabet:(Buchi.alphabet b) ~states:!count ~initial
+      Buchi.create ~alphabet:(Buchi.alphabet b) ~states:count ~initial
         ~accepting ~transitions ()
     end
   end

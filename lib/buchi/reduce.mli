@@ -8,6 +8,11 @@
     Kupferman–Vardi complementation, whose cost is exponential in the
     state count. *)
 
+(** [preorder b] is the direct-simulation preorder of [b], computed by
+    the shared refinement engine ({!Rl_automata.Preorder}) and memoized
+    per automaton fingerprint in the kernel's Simcache. *)
+val preorder : Buchi.t -> Rl_automata.Preorder.t
+
 (** [direct_simulation b] is the direct-simulation preorder as a matrix:
     [(sim, n)] with [sim.(q).(p) = true] iff [p] simulates [q]. *)
 val direct_simulation : Buchi.t -> bool array array

@@ -21,9 +21,18 @@ let component_view n union_alpha =
   fun sym ->
     Alphabet.symbol_opt alpha (Alphabet.name union_alpha sym)
 
-let parallel a b =
+(* Quotient the operands by mutual simulation before exploring the
+   product: the language of a CSP-style synchronized product depends only
+   on the component languages, and [Preorder.reduce] preserves both the
+   language and the all-states-final (transition-system) shape, so the
+   composition's behaviors are unchanged while the pair space shrinks
+   multiplicatively. *)
+let reduce_operand reduce n = if reduce then Preorder.reduce n else n
+
+let parallel ?(reduce = true) a b =
   check_ts a;
   check_ts b;
+  let a = reduce_operand reduce a and b = reduce_operand reduce b in
   let alpha = union_alphabet a b in
   let k = Alphabet.size alpha in
   let view_a = component_view a alpha and view_b = component_view b alpha in
@@ -85,9 +94,9 @@ let parallel a b =
        ~finals:(List.init !count Fun.id)
        ~transitions:!edges ())
 
-let parallel_many = function
+let parallel_many ?reduce = function
   | [] -> invalid_arg "Compose.parallel_many: empty list"
-  | first :: rest -> List.fold_left parallel first rest
+  | first :: rest -> List.fold_left (parallel ?reduce) first rest
 
 type stats = {
   abstract_states : int;
@@ -95,9 +104,10 @@ type stats = {
   product_pairs_total : int;
 }
 
-let abstracted_parallel hom a b =
+let abstracted_parallel ?(reduce = true) hom a b =
   check_ts a;
   check_ts b;
+  let a = reduce_operand reduce a and b = reduce_operand reduce b in
   let alpha = union_alphabet a b in
   if not (Alphabet.equal alpha (Hom.concrete hom)) then
     invalid_arg

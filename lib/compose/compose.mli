@@ -21,12 +21,15 @@ open Rl_automata
 
 (** [parallel a b] is the parallel composition [a ∥ b] over the union of
     the two alphabets: actions named in both alphabets synchronize, others
-    interleave. Only reachable product states are built.
+    interleave. Only reachable product states are built. [reduce]
+    (default [true]) quotients both operands by mutual simulation first
+    — language-preserving and shape-preserving, so the composition's
+    behaviors are unchanged while the explored pair space shrinks.
     @raise Invalid_argument if an operand is not a transition system. *)
-val parallel : Nfa.t -> Nfa.t -> Nfa.t
+val parallel : ?reduce:bool -> Nfa.t -> Nfa.t -> Nfa.t
 
 (** [parallel_many systems] folds {!parallel} over a non-empty list. *)
-val parallel_many : Nfa.t list -> Nfa.t
+val parallel_many : ?reduce:bool -> Nfa.t list -> Nfa.t
 
 (** Exploration statistics of {!abstracted_parallel}: how much of the
     concrete product was avoided. *)
@@ -44,7 +47,8 @@ type stats = {
     [parallel a b] (same names, same order).
     Equivalent to [Hom.image_ts hom (parallel a b)] up to language
     equality. *)
-val abstracted_parallel : Rl_hom.Hom.t -> Nfa.t -> Nfa.t -> Nfa.t * stats
+val abstracted_parallel :
+  ?reduce:bool -> Rl_hom.Hom.t -> Nfa.t -> Nfa.t -> Nfa.t * stats
 
 (** [union_alphabet a b] is the alphabet [parallel a b] is built over:
     the names of [a] followed by the names of [b] not already present. *)

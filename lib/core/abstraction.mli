@@ -55,6 +55,7 @@ type report = {
 val verify :
   ?budget:Rl_engine_kernel.Budget.t ->
   ?pool:Rl_engine_kernel.Pool.t ->
+  ?reduce:bool ->
   ts:Nfa.t ->
   hom:Rl_hom.Hom.t ->
   formula:Formula.t ->
@@ -69,6 +70,7 @@ val verify :
 val check_concrete :
   ?budget:Rl_engine_kernel.Budget.t ->
   ?pool:Rl_engine_kernel.Pool.t ->
+  ?reduce:bool ->
   ts:Nfa.t ->
   hom:Rl_hom.Hom.t ->
   formula:Formula.t ->

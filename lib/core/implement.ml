@@ -18,11 +18,17 @@ let construct ?budget ~system p =
    the implementation because its acceptance condition is trivial), so
    language equality is prefix-language equality — no complementation, and
    the two inclusions run on the prefix NFAs directly via the antichain
-   engine. *)
-let language_preserved ?budget ?pool ~system t =
-  Rl_automata.Inclusion.equivalent ?budget ?pool
-    (Buchi.pre_language ?budget system)
-    (Buchi.pre_language ?budget t.implementation)
+   engine. [reduce] quotients both prefix NFAs by their cached simulation
+   preorders first (language-preserving, so the verdict and the validity
+   of a separating word on the original automata are unaffected). *)
+let language_preserved ?budget ?pool ?(reduce = true) ~system t =
+  let pre b =
+    let p = Buchi.pre_language ?budget b in
+    if reduce then Rl_automata.Preorder.reduce p else p
+  in
+  let subsumption = if reduce then `Simulation else `Subset in
+  Rl_automata.Inclusion.equivalent ?budget ?pool ~subsumption (pre system)
+    (pre t.implementation)
 
 let fair_run_satisfies t labels p =
   let pb = Relative.property_buchi (Buchi.alphabet t.product) p in

@@ -36,6 +36,7 @@ val construct :
 val language_preserved :
   ?budget:Rl_engine_kernel.Budget.t ->
   ?pool:Rl_engine_kernel.Pool.t ->
+  ?reduce:bool ->
   system:Buchi.t ->
   t ->
   (unit, Rl_sigma.Word.t) result

@@ -20,12 +20,29 @@ let property_buchi ?budget alphabet = function
       b
   | Ltl { formula; labeling } -> Translate.to_buchi ~alphabet ~labeling formula
 
-let property_neg_buchi ?budget ?pool alphabet = function
+let property_neg_buchi ?budget ?pool ?(reduce = true) alphabet = function
   | Auto b ->
       (* complementation is exponential: shrink the input first *)
-      Complement.complement ?budget ?pool (Reduce.quotient (Buchi.trim b))
+      let b = Buchi.trim b in
+      let b = if reduce then Reduce.quotient b else b in
+      Complement.complement ?budget ?pool b
   | Ltl { formula; labeling } ->
       Translate.to_buchi_neg ~alphabet ~labeling formula
+
+(* Quotient-before-explore: the deciders below shrink their operands by
+   the cached simulation preorders — Büchi automata through
+   [Reduce.quotient], pre-language NFAs through [Preorder.reduce] —
+   before building products or searching. Both quotients are
+   language-preserving, so verdicts are unchanged and witnesses (plain
+   words and lassos, always language-level objects) remain valid on the
+   original automata: [Certify] replays them against the caller's
+   system without any translation. [~reduce:false] restores the
+   unreduced search and drops the antichain engine back to plain ⊆
+   subsumption — the comparison mode the bench harness measures. *)
+
+let reduce_buchi reduce b = if reduce then Reduce.quotient (Buchi.trim b) else b
+let reduce_nfa reduce n = if reduce then Preorder.reduce n else n
+let subsumption_of reduce = if reduce then `Simulation else `Subset
 
 let satisfies ?(budget = Budget.unlimited) ?pool ~system p =
   let neg =
@@ -41,52 +58,67 @@ let satisfies ?(budget = Budget.unlimited) ?pool ~system p =
       | None -> Ok ()
       | Some x -> Error x)
 
-let is_relative_liveness ?(budget = Budget.unlimited) ?pool ~system p =
+let is_relative_liveness ?(budget = Budget.unlimited) ?pool ?(reduce = true)
+    ~system p =
   let pb =
     Budget.with_phase budget "translate property" (fun () ->
-        property_buchi ~budget (Buchi.alphabet system) p)
+        reduce_buchi reduce
+          (property_buchi ~budget (Buchi.alphabet system) p))
   in
+  let sys = reduce_buchi reduce system in
   let pre_l =
     Budget.with_phase budget "pre(Lω)" (fun () ->
-        Buchi.pre_language ~budget system)
+        reduce_nfa reduce (Buchi.pre_language ~budget sys))
   in
   let pre_lp =
     Budget.with_phase budget "product pre(Lω ∩ P)" (fun () ->
-        Buchi.pre_language ~budget (Buchi.inter ~budget system pb))
+        reduce_nfa reduce (Buchi.pre_language ~budget (Buchi.inter ~budget sys pb)))
   in
   (* pre(Lω ∩ P) ⊆ pre(Lω) holds by construction; Lemma 4.3 reduces to the
      converse inclusion, checked on the NFAs directly — the antichain
      search only pays the subset-construction blow-up when the inclusion
      genuinely requires it. *)
   Budget.with_phase budget "inclusion pre(Lω) ⊆ pre(Lω ∩ P)" (fun () ->
-      Inclusion.included ~budget ?pool pre_l pre_lp)
+      Inclusion.included ~budget ?pool ~subsumption:(subsumption_of reduce)
+        pre_l pre_lp)
 
-let is_relative_safety ?(budget = Budget.unlimited) ?pool ~system p =
+let is_relative_safety ?(budget = Budget.unlimited) ?pool ?(reduce = true)
+    ~system p =
   let pb =
     Budget.with_phase budget "translate property" (fun () ->
-        property_buchi ~budget (Buchi.alphabet system) p)
+        reduce_buchi reduce
+          (property_buchi ~budget (Buchi.alphabet system) p))
   in
+  let sys = reduce_buchi reduce system in
   let neg =
     Budget.with_phase budget "complement property" (fun () ->
-        property_neg_buchi ~budget ?pool (Buchi.alphabet system) p)
+        property_neg_buchi ~budget ?pool ~reduce (Buchi.alphabet system) p)
   in
   let closure =
     Budget.with_phase budget "limit closure lim(pre(Lω ∩ P))" (fun () ->
         Buchi.limit ~budget
-          (Buchi.pre_language ~budget (Buchi.inter ~budget system pb)))
+          (reduce_nfa reduce
+             (Buchi.pre_language ~budget (Buchi.inter ~budget sys pb))))
   in
   Budget.with_phase budget "violating-behavior search" (fun () ->
-      let lhs = Buchi.inter ~budget system closure in
+      let lhs = Buchi.inter ~budget sys closure in
       match Buchi.accepting_lasso ~budget (Buchi.inter ~budget lhs neg) with
       | None -> Ok ()
       | Some x -> Error x)
 
-let is_machine_closed ?(budget = Budget.unlimited) ?pool ~system ~live_part () =
-  let pre_l = Buchi.pre_language ~budget system in
-  let pre_lambda = Buchi.pre_language ~budget live_part in
+let is_machine_closed ?(budget = Budget.unlimited) ?pool ?(reduce = true)
+    ~system ~live_part () =
+  let pre_l =
+    reduce_nfa reduce (Buchi.pre_language ~budget (reduce_buchi reduce system))
+  in
+  let pre_lambda =
+    reduce_nfa reduce
+      (Buchi.pre_language ~budget (reduce_buchi reduce live_part))
+  in
   match
     Budget.with_phase budget "inclusion pre(Lω) ⊆ pre(Λ)" (fun () ->
-        Inclusion.included ~budget ?pool pre_l pre_lambda)
+        Inclusion.included ~budget ?pool ~subsumption:(subsumption_of reduce)
+          pre_l pre_lambda)
   with
   | Ok () -> true
   | Error _ -> false

@@ -42,10 +42,13 @@ val property_buchi :
   ?budget:Rl_engine_kernel.Budget.t -> Alphabet.t -> property -> Buchi.t
 
 (** [property_neg_buchi alphabet p] is an automaton for [Σ^ω \ P]
-    (formula negation, or rank-based complementation for [Auto]). *)
+    (formula negation, or rank-based complementation for [Auto]).
+    [reduce] (default [true]) shrinks an [Auto] input by its
+    simulation quotient before complementing. *)
 val property_neg_buchi :
   ?budget:Rl_engine_kernel.Budget.t ->
   ?pool:Rl_engine_kernel.Pool.t ->
+  ?reduce:bool ->
   Alphabet.t ->
   property ->
   Buchi.t
@@ -63,10 +66,15 @@ val satisfies :
 
 (** [is_relative_liveness ~system p] — Definition 4.1 via Lemma 4.3.
     [Error w] is a prefix [w ∈ pre(Lω)] that no continuation within the
-    system can extend to a [P]-satisfying behavior. *)
+    system can extend to a [P]-satisfying behavior. [reduce] (default
+    [true]) quotients the operands by their cached simulation preorders
+    before exploring and lets the antichain engine prune by simulation
+    subsumption; verdicts are reduction-invariant and witnesses remain
+    valid on the original automata. *)
 val is_relative_liveness :
   ?budget:Rl_engine_kernel.Budget.t ->
   ?pool:Rl_engine_kernel.Pool.t ->
+  ?reduce:bool ->
   system:Buchi.t ->
   property ->
   (unit, Word.t) result
@@ -77,6 +85,7 @@ val is_relative_liveness :
 val is_relative_safety :
   ?budget:Rl_engine_kernel.Budget.t ->
   ?pool:Rl_engine_kernel.Pool.t ->
+  ?reduce:bool ->
   system:Buchi.t ->
   property ->
   (unit, Lasso.t) result
@@ -89,6 +98,7 @@ val is_relative_safety :
 val is_machine_closed :
   ?budget:Rl_engine_kernel.Budget.t ->
   ?pool:Rl_engine_kernel.Pool.t ->
+  ?reduce:bool ->
   system:Buchi.t ->
   live_part:Buchi.t ->
   unit ->

@@ -11,10 +11,24 @@
    Determinism is the callers' contract, made easy by the API shape:
    [parmap] returns results positionally, so as long as the job closures
    are pure (all shared-state mutation stays on the calling domain), the
-   result is independent of the schedule. *)
+   result is independent of the schedule.
+
+   Waking the workers costs tens of microseconds per region; on frontiers
+   whose whole expansion is cheaper than that, parallelism is a pure
+   slowdown (and on a single-core host it always is). [parmap] therefore
+   carries an adaptive cutoff: it runs the first couple of items serially,
+   projects the region's total serial cost from their timing, and only
+   fans the remainder out when the projection clears the threshold.
+   Because results are positional and the probe items are the lowest
+   indices, the observable output — including which exception surfaces —
+   is the same either way. *)
 
 type t = {
   size : int;
+  cutoff : int;
+      (* adaptive-cutoff threshold in µs of projected serial work below
+         which [parmap] stays serial; [0] = always parallel, [max_int] =
+         never parallel (the default on single-core hosts) *)
   mutable workers : unit Domain.t array;
   mutex : Mutex.t;
   work : Condition.t; (* signals: a new epoch's job is available, or stop *)
@@ -30,6 +44,19 @@ type t = {
 }
 
 let recommended () = Domain.recommended_domain_count ()
+
+let default_cutoff () =
+  match Sys.getenv_opt "RLCHECK_PAR_CUTOFF" with
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some v when v >= 0 -> v
+      | _ ->
+          invalid_arg
+            "RLCHECK_PAR_CUTOFF must be a non-negative integer (microseconds \
+             of projected serial work)")
+  | None ->
+      (* with a single hardware thread, fanning out never pays *)
+      if recommended () < 2 then max_int else 1_000
 
 let worker_loop pool me =
   let my_epoch = ref 0 in
@@ -57,12 +84,21 @@ let worker_loop pool me =
     end
   done
 
-let create ?(jobs = 1) () =
+let create ?(jobs = 1) ?cutoff () =
   let size = if jobs <= 0 then recommended () else jobs in
   let size = max 1 size in
+  let cutoff =
+    match cutoff with Some c -> max 0 c | None -> default_cutoff ()
+  in
+  (* A cutoff of max_int means no region will ever fan out, so spawn no
+     workers at all: even parked domains tax every minor collection with
+     a stop-the-world rendezvous, which is measurable on allocation-heavy
+     checks (and ruinous on a single-core host). *)
+  let size = if cutoff = max_int then 1 else size in
   let pool =
     {
       size;
+      cutoff;
       workers = [||];
       mutex = Mutex.create ();
       work = Condition.create ();
@@ -81,6 +117,7 @@ let create ?(jobs = 1) () =
   pool
 
 let size pool = pool.size
+let cutoff pool = pool.cutoff
 
 let shutdown pool =
   if Array.length pool.workers > 0 then begin
@@ -92,8 +129,8 @@ let shutdown pool =
     pool.workers <- [||]
   end
 
-let with_pool ?jobs f =
-  let pool = create ?jobs () in
+let with_pool ?jobs ?cutoff f =
+  let pool = create ?jobs ?cutoff () in
   Fun.protect ~finally:(fun () -> shutdown pool) (fun () -> f pool)
 
 (* Run [f] once on every member of the pool (the caller included) and wait
@@ -113,52 +150,89 @@ let run_job pool f =
   pool.job <- None;
   Mutex.unlock pool.mutex
 
-let parmap_array (type a b) pool (f : a -> b) (xs : a array) : b array =
+(* Map items [start, n) across the pool, items [0, start) having already
+   been computed into [results] by the caller. The caller holds
+   [pool.busy]. *)
+let run_parallel (type a b) pool (f : a -> b) (xs : a array)
+    (results : b option array) start : b array =
   let n = Array.length xs in
-  if n = 0 then [||]
-  else if
-    pool.size = 1 || n = 1
+  let failures : exn option array = Array.make n None in
+  let failed = Atomic.make false in
+  let cursor = Atomic.make start in
+  (* Small chunks so fast members steal work from slow ones, but not so
+     small that the cursor becomes a contention point. *)
+  let chunk = max 1 ((n - start) / (pool.size * 8)) in
+  let body _member =
+    let continue = ref true in
+    while !continue do
+      if Atomic.get failed then continue := false
+      else begin
+        let start = Atomic.fetch_and_add cursor chunk in
+        if start >= n then continue := false
+        else
+          for j = start to min n (start + chunk) - 1 do
+            if not (Atomic.get failed) then (
+              match f xs.(j) with
+              | v -> results.(j) <- Some v
+              | exception e ->
+                  failures.(j) <- Some e;
+                  Atomic.set failed true)
+          done
+      end
+    done
+  in
+  run_job pool body;
+  (* run_job is a barrier: all writes above happen-before this point. *)
+  if Atomic.get failed then begin
+    let first = ref None in
+    for j = n - 1 downto 0 do
+      match failures.(j) with Some e -> first := Some e | None -> ()
+    done;
+    match !first with Some e -> raise e | None -> assert false
+  end
+  else Array.map (function Some v -> v | None -> assert false) results
+
+(* The raw fan-out, no cutoff: used by [parfan], whose few thunks are
+   whole independent sub-checks — probing the first one serially would
+   serialize an entire leg. *)
+let parmap_raw (type a b) pool (f : a -> b) (xs : a array) : b array =
+  let n = Array.length xs in
+  if
+    n <= 1 || pool.size = 1
     || not (Atomic.compare_and_set pool.busy false true)
-  then Array.map f xs (* serial pool, singleton input, or nested region *)
+  then Array.map f xs (* serial pool, tiny input, or nested region *)
   else
     Fun.protect ~finally:(fun () -> Atomic.set pool.busy false) @@ fun () ->
+    run_parallel pool f xs (Array.make n None) 0
+
+let parmap_array (type a b) pool (f : a -> b) (xs : a array) : b array =
+  let n = Array.length xs in
+  if n <= 1 || pool.size = 1 || pool.cutoff = max_int then Array.map f xs
+  else if pool.cutoff = 0 then parmap_raw pool f xs
+  else begin
+    (* probe: time a serial prefix and project the whole region's cost *)
     let results : b option array = Array.make n None in
-    let failures : exn option array = Array.make n None in
-    let failed = Atomic.make false in
-    let cursor = Atomic.make 0 in
-    (* Small chunks so fast members steal work from slow ones, but not so
-       small that the cursor becomes a contention point. *)
-    let chunk = max 1 (n / (pool.size * 8)) in
-    let body _member =
-      let continue = ref true in
-      while !continue do
-        if Atomic.get failed then continue := false
-        else begin
-          let start = Atomic.fetch_and_add cursor chunk in
-          if start >= n then continue := false
-          else
-            for j = start to min n (start + chunk) - 1 do
-              if not (Atomic.get failed) then (
-                match f xs.(j) with
-                | v -> results.(j) <- Some v
-                | exception e ->
-                    failures.(j) <- Some e;
-                    Atomic.set failed true)
-            done
-        end
-      done
-    in
-    run_job pool body;
-    (* run_job is a barrier: all writes above happen-before this point. *)
-    if Atomic.get failed then begin
-      let first = ref None in
-      for j = n - 1 downto 0 do
-        match failures.(j) with Some e -> first := Some e | None -> ()
+    let k = min n 2 in
+    let t0 = Unix.gettimeofday () in
+    for j = 0 to k - 1 do
+      results.(j) <- Some (f xs.(j))
+    done;
+    let elapsed_us = (Unix.gettimeofday () -. t0) *. 1e6 in
+    let projected = elapsed_us /. float_of_int k *. float_of_int n in
+    if
+      projected < float_of_int pool.cutoff
+      || not (Atomic.compare_and_set pool.busy false true)
+    then begin
+      (* below the cutoff (or nested region): finish serially *)
+      for j = k to n - 1 do
+        results.(j) <- Some (f xs.(j))
       done;
-      match !first with Some e -> raise e | None -> assert false
+      Array.map (function Some v -> v | None -> assert false) results
     end
     else
-      Array.map (function Some v -> v | None -> assert false) results
+      Fun.protect ~finally:(fun () -> Atomic.set pool.busy false) @@ fun () ->
+      run_parallel pool f xs results k
+  end
 
 let parmap pool f xs = parmap_array pool f xs
 
@@ -166,4 +240,4 @@ let parfan pool thunks =
   match thunks with
   | [] -> []
   | [ th ] -> [ th () ]
-  | _ -> Array.to_list (parmap_array pool (fun th -> th ()) (Array.of_list thunks))
+  | _ -> Array.to_list (parmap_raw pool (fun th -> th ()) (Array.of_list thunks))

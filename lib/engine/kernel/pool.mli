@@ -24,18 +24,45 @@
     domain in a fixed order, so verdicts, witnesses and exit codes are
     byte-identical for every [--jobs] value. Nested parallel regions —
     a task that calls back into its own pool — run inline serially, which
-    both preserves that contract and makes deadlock impossible. *)
+    both preserves that contract and makes deadlock impossible.
+
+    {2 Adaptive serial cutoff}
+
+    Waking the workers costs tens of microseconds per region, so a
+    frontier whose whole expansion is cheaper than that runs {e slower}
+    under [--jobs N] than serially. {!parmap} therefore probes: it runs
+    the first couple of items on the calling domain, projects the
+    region's total serial cost from their timing, and fans the remainder
+    out only when the projection reaches the pool's cutoff (µs). Since
+    results are positional and the probe covers the lowest indices, the
+    observable output — values and which exception surfaces — is
+    unchanged either way. A cutoff of [0] disables the probe (always
+    parallel); [max_int] makes the pool fully serial — it spawns no
+    workers at all, since even parked domains tax every minor collection
+    with a stop-the-world rendezvous. The default is read from the
+    [RLCHECK_PAR_CUTOFF] environment variable (microseconds), falling
+    back to [1_000] µs — or to [max_int] when the host reports a single
+    hardware thread, where fan-out never pays. {!parfan} is exempt from
+    the probe: its thunks are whole independent sub-checks, and probing
+    the first serially would serialize an entire leg. *)
 
 type t
 
-(** [create ?jobs ()] is a pool of [jobs] members ([jobs - 1] spawned
-    domains plus the caller). [jobs <= 0] means
+(** [create ?jobs ?cutoff ()] is a pool of [jobs] members ([jobs - 1]
+    spawned domains plus the caller). [jobs <= 0] means
     [Domain.recommended_domain_count ()]; the default is [1], a serial
-    pool with no spawned domains. *)
-val create : ?jobs:int -> unit -> t
+    pool with no spawned domains. [cutoff] overrides the adaptive serial
+    cutoff in µs of projected work ([0] = always parallel, [max_int] =
+    a fully serial pool regardless of [jobs]); it defaults to
+    [RLCHECK_PAR_CUTOFF] when set, else [1_000] µs on multicore hosts
+    and [max_int] on single-core ones. *)
+val create : ?jobs:int -> ?cutoff:int -> unit -> t
 
 (** The number of members, caller included; [1] means serial. *)
 val size : t -> int
+
+(** The pool's adaptive serial cutoff in µs of projected work. *)
+val cutoff : t -> int
 
 (** [Domain.recommended_domain_count ()] — the meaning of [--jobs 0]. *)
 val recommended : unit -> int
@@ -44,9 +71,9 @@ val recommended : unit -> int
     Idempotent. A pool must not be used after shutdown. *)
 val shutdown : t -> unit
 
-(** [with_pool ?jobs f] runs [f] on a fresh pool and shuts it down
-    afterwards, also on exceptions. *)
-val with_pool : ?jobs:int -> (t -> 'a) -> 'a
+(** [with_pool ?jobs ?cutoff f] runs [f] on a fresh pool and shuts it
+    down afterwards, also on exceptions. *)
+val with_pool : ?jobs:int -> ?cutoff:int -> (t -> 'a) -> 'a
 
 (** [parmap p f xs] maps [f] over [xs] on all members of [p] and returns
     the results in input order. If any application raises, the region

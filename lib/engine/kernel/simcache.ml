@@ -1,0 +1,64 @@
+(* Fingerprint-keyed memo table for simulation preorders.
+
+   Computing a simulation preorder is polynomial but not free, and the
+   deciders ask for the preorder of the *same* automaton repeatedly: the
+   pre-language NFA of a system appears once per Theorem 4.7 leg, the
+   property automaton once per transfer check, and the bench harness hits
+   every family several times. The cache keys on a structural fingerprint
+   (a digest of the automaton's full transition structure, computed by the
+   caller), so two structurally identical automata — even rebuilt from
+   scratch — share one computation.
+
+   The payload is the representation-neutral form of a preorder: one
+   bitset row per state, [row.(q)] holding the states related to [q].
+   This layer deliberately knows nothing about NFAs or Büchi automata —
+   the kernel sits below the automata libraries — so the translation to
+   and from concrete automata lives in [Rl_automata.Preorder].
+
+   A mutex guards the table: deciders running under [Pool] may race on
+   lookups. Entries are immutable once inserted, so readers outside the
+   critical section can use a returned row array freely. *)
+
+type key = string
+
+type entry = Rl_prelude.Bitset.t array
+
+let table : (key, entry) Hashtbl.t = Hashtbl.create 64
+
+let mutex = Mutex.create ()
+
+let hits = ref 0
+
+let misses = ref 0
+
+let find_or_compute key compute =
+  Mutex.lock mutex;
+  match Hashtbl.find_opt table key with
+  | Some rows ->
+      incr hits;
+      Mutex.unlock mutex;
+      rows
+  | None ->
+      incr misses;
+      Mutex.unlock mutex;
+      (* Compute outside the lock: preorder refinement can be expensive
+         and must not serialize unrelated deciders. A racing duplicate
+         computation is deterministic, so last-write-wins is harmless. *)
+      let rows = compute () in
+      Mutex.lock mutex;
+      Hashtbl.replace table key rows;
+      Mutex.unlock mutex;
+      rows
+
+let stats () =
+  Mutex.lock mutex;
+  let s = (!hits, !misses, Hashtbl.length table) in
+  Mutex.unlock mutex;
+  s
+
+let clear () =
+  Mutex.lock mutex;
+  Hashtbl.reset table;
+  hits := 0;
+  misses := 0;
+  Mutex.unlock mutex

@@ -1,0 +1,32 @@
+(** Fingerprint-keyed memo table for simulation preorders.
+
+    Stores one computed preorder per structural fingerprint of an
+    automaton. The payload is representation-neutral — one
+    {!Rl_prelude.Bitset.t} row per state, [rows.(q)] holding the states
+    related to [q] — so the kernel stays below the automata libraries;
+    fingerprinting and the translation to concrete automata live in
+    [Rl_automata.Preorder].
+
+    The table is global, mutex-guarded (deciders running under [Pool] may
+    race on lookups) and grows for the lifetime of the process; automata
+    fingerprints are small and the deciders touch few distinct automata,
+    so there is no eviction policy. Entries are immutable after
+    insertion: treat returned rows as read-only. *)
+
+type key = string
+(** A structural fingerprint, e.g. [Digest.string] of a canonical
+    serialization. Keys must determine the automaton structure up to the
+    relation being cached (include a tag for the relation's direction). *)
+
+type entry = Rl_prelude.Bitset.t array
+
+(** [find_or_compute key compute] returns the cached entry for [key], or
+    runs [compute] (outside the table lock), stores and returns its
+    result. [compute] must be deterministic for the key. *)
+val find_or_compute : key -> (unit -> entry) -> entry
+
+(** [stats ()] is [(hits, misses, entries)] since the last {!clear}. *)
+val stats : unit -> int * int * int
+
+(** [clear ()] empties the table and resets the counters. *)
+val clear : unit -> unit

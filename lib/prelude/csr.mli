@@ -1,0 +1,38 @@
+(** Compressed-sparse-row transition tables.
+
+    A CSR table stores a finite transition relation
+    [state × symbol → state list] as two flat int arrays: [offsets],
+    indexed by [q * symbols + a], and a shared [targets] pool holding the
+    concatenated successor slices. Stepping a (state, symbol) pair is a
+    contiguous array scan — no list chasing, no per-state allocation —
+    which is what the frontier-expansion hot loops of the antichain and
+    complementation engines need. Tables are immutable after construction
+    and safe to share across domains. *)
+
+type t
+
+(** [of_fn ~states ~symbols succ] builds the table from a successor
+    function; [succ q a] is consulted exactly twice per cell and must be
+    deterministic. Slice order follows the list order of [succ]. *)
+val of_fn : states:int -> symbols:int -> (int -> int -> int list) -> t
+
+val states : t -> int
+val symbols : t -> int
+
+(** [degree t q a] is the number of [a]-successors of [q]. *)
+val degree : t -> int -> int -> int
+
+(** [has_succ t q a] is [degree t q a > 0], without the subtraction being
+    visible at call sites. *)
+val has_succ : t -> int -> int -> bool
+
+(** [iter_succ t q a f] applies [f] to every [a]-successor of [q], in
+    slice order. *)
+val iter_succ : t -> int -> int -> (int -> unit) -> unit
+
+(** [fold_succ t q a f acc] folds [f] over the [a]-successors of [q]. *)
+val fold_succ : t -> int -> int -> (int -> 'a -> 'a) -> 'a -> 'a
+
+(** [transpose t] is the reversed relation: [q' ∈ succ t q a] iff
+    [q ∈ succ (transpose t) q' a]. Slices are sorted by source state. *)
+val transpose : t -> t

@@ -46,11 +46,18 @@ let test_parallel_independent () =
       ~transitions:[ (0, 0, 1); (1, 0, 0) ]
       ()
   in
-  let p = parallel (mk [ "x" ]) (mk [ "y" ]) in
+  let p = parallel ~reduce:false (mk [ "x" ]) (mk [ "y" ]) in
   Alcotest.(check int) "4 interleaved states" 4 (Nfa.states p);
   let al = Nfa.alphabet p in
   Alcotest.(check bool) "xyxy" true
-    (Nfa.accepts p (Word.of_names al [ "x"; "y"; "x"; "y" ]))
+    (Nfa.accepts p (Word.of_names al [ "x"; "y"; "x"; "y" ]));
+  (* with reduction (the default) each two-state x-cycle is simulation-
+     equivalent to a one-state loop, so the product collapses too — same
+     language, smaller pair space *)
+  let pr = parallel (mk [ "x" ]) (mk [ "y" ]) in
+  Alcotest.(check int) "reduced interleaving" 1 (Nfa.states pr);
+  Alcotest.(check bool) "xyxy (reduced)" true
+    (Nfa.accepts pr (Word.of_names (Nfa.alphabet pr) [ "x"; "y"; "x"; "y" ]))
 
 (* Defining property of CSP composition: w ∈ L(a ∥ b) iff its projections
    to each component's alphabet are in the component languages. *)

@@ -17,7 +17,11 @@ let jobs =
   | Some s -> ( match int_of_string_opt s with Some n when n > 1 -> n | _ -> 4)
   | None -> 4
 
-let with_pool f = Pool.with_pool ~jobs f
+(* cutoff 0: always fan out. The adaptive serial cutoff would otherwise
+   keep these tiny test workloads on the calling domain (on single-core
+   hosts it always would), and the whole point here is to genuinely
+   exercise the multi-domain code paths. *)
+let with_pool f = Pool.with_pool ~jobs ~cutoff:0 f
 
 (* --- parmap / parfan --- *)
 
@@ -51,6 +55,37 @@ let test_parmap_nested () =
   Alcotest.(check (array int)) "nested regions"
     [| 6; 9; 12 |]
     (Pool.parmap pool f [| 0; 1; 2 |])
+
+(* --- adaptive serial cutoff --- *)
+
+let test_cutoff_serial () =
+  (* cutoff max_int makes the pool fully serial — no workers are spawned
+     (parked domains would still tax every minor GC) and every item runs
+     on the calling domain *)
+  Pool.with_pool ~jobs:2 ~cutoff:max_int @@ fun pool ->
+  Alcotest.(check int) "cutoff accessor" max_int (Pool.cutoff pool);
+  Alcotest.(check int) "no workers spawned" 1 (Pool.size pool);
+  let me = (Domain.self () :> int) in
+  let doms = Pool.parmap pool (fun _ -> (Domain.self () :> int)) (Array.init 64 Fun.id) in
+  Alcotest.(check bool) "all items ran on the caller" true
+    (Array.for_all (fun d -> d = me) doms)
+
+let test_cutoff_probe_small_work () =
+  (* a huge finite cutoff exercises the probe path: tiny items project far
+     below it, so the region finishes serially on the caller *)
+  Pool.with_pool ~jobs:2 ~cutoff:1_000_000_000 @@ fun pool ->
+  let me = (Domain.self () :> int) in
+  let xs = Array.init 512 Fun.id in
+  let doms = Pool.parmap pool (fun _ -> (Domain.self () :> int)) xs in
+  Alcotest.(check bool) "projected-small region stayed serial" true
+    (Array.for_all (fun d -> d = me) doms);
+  Alcotest.(check (array int)) "values unchanged by the probe"
+    (Array.map (fun x -> x * 3) xs)
+    (Pool.parmap pool (fun x -> x * 3) xs);
+  (* an exception raised inside the probe prefix must surface as usual *)
+  match Pool.parmap pool (fun x -> if x = 0 then failwith "probe" else x) xs with
+  | _ -> Alcotest.fail "probe exception must surface"
+  | exception Failure m -> Alcotest.(check string) "probe exception" "probe" m
 
 let test_parfan_order () =
   with_pool @@ fun pool ->
@@ -233,6 +268,10 @@ let () =
           Alcotest.test_case "nested regions run inline" `Quick
             test_parmap_nested;
           Alcotest.test_case "parfan order" `Quick test_parfan_order;
+          Alcotest.test_case "cutoff max_int stays serial" `Quick
+            test_cutoff_serial;
+          Alcotest.test_case "probe keeps small regions serial" `Quick
+            test_cutoff_probe_small_work;
         ] );
       ( "budget",
         [
