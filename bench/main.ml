@@ -1279,6 +1279,110 @@ let reduction_profile () =
       output_string oc json);
   Printf.printf "(written to BENCH_reduction.json)\n"
 
+(* ------------------------------------------------------------------ *)
+(* Part 6: lint pre-flight overhead profile                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Every rlcheck decider now runs the shallow Rl_analysis.Lint passes as
+   a pre-flight phase. This profile measures what that costs relative to
+   the end-to-end `rlcheck rl` wall time on the antichain families: the
+   <5% bar arms per family only when the check itself takes ≥ 0.05 s
+   (below that the ratio is timer noise); faster families are still
+   measured and recorded honestly. Written to BENCH_lint.json at the
+   repo root. *)
+
+type lint_row = {
+  lint_family : string;
+  lint_s : float;
+  lint_check_s : float;
+  lint_overhead_pct : float;
+  lint_bar_armed : bool;
+  lint_diags : int;
+}
+
+let lint_check_floor = 0.05
+
+let lint_families () =
+  [
+    ("lint/ladder-12", blowup_ts 12, "[]<> (a & X (b & X a))");
+    ("lint/ladder-doomed-12", ladder_doomed_ts 12, "[]<> (a & X (b & X a))");
+    ("lint/counter-4290", counter_ts [ 2; 3; 5; 11; 13 ], "true");
+  ]
+
+let lint_json ~worst rows =
+  let record r =
+    Printf.sprintf
+      "    {\"family\": \"%s\", \"lint_s\": %.6f, \"check_s\": %.6f, \
+       \"overhead_pct\": %.3f, \"bar_armed\": %b, \"diagnostics\": %d}"
+      (json_escape r.lint_family) r.lint_s r.lint_check_s
+      r.lint_overhead_pct r.lint_bar_armed r.lint_diags
+  in
+  Printf.sprintf
+    "{\n\
+    \  \"overhead_bar_pct\": 5.0,\n\
+    \  \"check_floor_s\": %.3f,\n\
+    \  \"worst_armed_overhead_pct\": %.3f,\n\
+    \  \"families\": [\n\
+     %s\n\
+    \  ]\n\
+     }\n"
+    lint_check_floor worst
+    (String.concat ",\n" (List.map record rows))
+
+let lint_profile () =
+  header "LINT PROFILE (pre-flight overhead vs end-to-end rl check)";
+  let rows =
+    List.map
+      (fun (name, ts, formula) ->
+        Printf.printf "timing %s ...\n%!" name;
+        let f = Parser.parse formula in
+        let input =
+          {
+            Rl_analysis.Lint.empty with
+            system = Some ts;
+            formula = Some f;
+          }
+        in
+        let diags, lint_s =
+          best_wall (fun () -> Rl_analysis.Lint.run ~deep:false input)
+        in
+        let system = Buchi.of_transition_system ts in
+        let p = Relative.ltl (Nfa.alphabet ts) f in
+        let _, check_s =
+          best_wall (fun () ->
+              ignore (Relative.is_relative_liveness ~system p))
+        in
+        let overhead = 100. *. lint_s /. check_s in
+        let armed = check_s >= lint_check_floor in
+        Printf.printf "  lint %.6f s, check %.6f s → %.3f%% (%s)\n%!" lint_s
+          check_s overhead
+          (if armed then "bar armed" else "recorded only");
+        {
+          lint_family = name;
+          lint_s;
+          lint_check_s = check_s;
+          lint_overhead_pct = overhead;
+          lint_bar_armed = armed;
+          lint_diags = List.length diags;
+        })
+      (lint_families ())
+  in
+  let worst =
+    List.fold_left
+      (fun acc r -> if r.lint_bar_armed then max acc r.lint_overhead_pct else acc)
+      0. rows
+  in
+  Printf.printf "<5%% pre-flight overhead bar: worst armed %.3f%%\n" worst;
+  if worst >= 5. then begin
+    Printf.eprintf
+      "bench: lint pre-flight exceeded the 5%% overhead bar (worst %.3f%%)\n"
+      worst;
+    exit 1
+  end;
+  let json = lint_json ~worst rows in
+  Out_channel.with_open_text "BENCH_lint.json" (fun oc -> output_string oc json);
+  Printf.printf "(written to BENCH_lint.json)\n"
+
 let () =
   print_endline
     "Relative Liveness and Behavior Abstraction — reproduction harness";
@@ -1307,6 +1411,14 @@ let () =
     print_endline "done.";
     exit 0
   end;
+  (* `--only-lint` runs just the lint pre-flight overhead profile *)
+  let only_lint = Array.exists (String.equal "--only-lint") Sys.argv in
+  if only_lint then begin
+    lint_profile ();
+    line ();
+    print_endline "done.";
+    exit 0
+  end;
   if not only_profile then begin
     fig1 ();
     fig2 ();
@@ -1323,5 +1435,6 @@ let () =
   resource_profile ();
   parallel_profile ();
   reduction_profile ();
+  lint_profile ();
   line ();
   print_endline "done."

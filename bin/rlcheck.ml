@@ -6,11 +6,17 @@
      rs        relative safety (Definition 4.2 / Lemma 4.4)
      abstract  behavior-abstraction pipeline (Theorems 8.2/8.3)
      impl      Theorem 5.1 fair-implementation construction
+     lint      static diagnostics (model / formula / abstraction lints)
      info      system statistics
      dot       GraphViz output
 
    Systems are transition-system files (see lib/core/ts_format.mli), or
    Petri nets when the file ends in .pn.
+
+   Every decider runs the cheap lint passes as a pre-flight phase
+   (--no-lint skips it): Error diagnostics abort with exit 2, Warnings go
+   to stderr and the check proceeds, Hints are shown only by `rlcheck
+   lint`.
 
    Exit codes (also in the manual page):
      0  the property holds
@@ -32,11 +38,53 @@ module Budget = Rl_engine.Budget
 module Error = Rl_engine.Error
 module Certify = Rl_engine.Certify
 module Pool = Rl_engine.Pool
+module Diagnostic = Rl_analysis.Diagnostic
+module Lint = Rl_analysis.Lint
 
-let warn msg = Format.eprintf "rlcheck: warning: %s@." msg
+let report_diag d = Format.eprintf "rlcheck: %a@." Diagnostic.pp d
 
 let load_system ?budget ?bound path =
-  Result.map Nfa.trim (Ts_format.load_result ~on_warning:warn ?budget ?bound path)
+  Result.map Nfa.trim
+    (Ts_format.load_result ~on_diagnostic:report_diag ?budget ?bound path)
+
+(* Pre-flight for the deciders: parse (collecting the typed parse
+   diagnostics), run the cheap lint passes on the untrimmed system, print
+   everything but Hints to stderr, refuse Errors with exit 2 (unless
+   --no-lint), and only then trim. Parse diagnostics print even under
+   --no-lint: they were the tool's behavior before the lint phase
+   existed. *)
+let load_and_lint ?budget ?bound ?formula ?keep ~no_lint path =
+  let parse_diags = ref [] in
+  let collect d = parse_diags := d :: !parse_diags in
+  Result.map
+    (fun sys ->
+      let parse = List.rev !parse_diags in
+      let diags =
+        if no_lint then parse
+        else
+          Lint.run ~deep:false
+            {
+              Lint.empty with
+              file = Some path;
+              parse;
+              system = Some sys;
+              formula;
+              keep;
+            }
+      in
+      let visible =
+        List.filter (fun d -> d.Diagnostic.severity <> Diagnostic.Hint) diags
+      in
+      List.iter report_diag visible;
+      if (not no_lint) && List.exists Diagnostic.is_error visible then begin
+        Format.eprintf
+          "rlcheck: pre-flight lint failed (%s); rerun with --no-lint to \
+           proceed anyway@."
+          (Diagnostic.summary visible);
+        exit 2
+      end;
+      Nfa.trim sys)
+    (Ts_format.load_result ~on_diagnostic:collect ?budget ?bound path)
 
 let parse_formula s =
   try Ok (Rl_ltl.Parser.parse s)
@@ -93,6 +141,14 @@ let bound_arg =
   in
   Arg.(value & opt (some int) None & info [ "bound" ] ~docv:"K" ~doc)
 
+let no_lint_arg =
+  let doc =
+    "Skip the pre-flight lint phase. Parse diagnostics still print; lint \
+     $(b,Error)s no longer abort the run — beware that the verdict may \
+     then be vacuous (e.g. on a system with no infinite behavior)."
+  in
+  Arg.(value & flag & info [ "no-lint" ] ~doc)
+
 let handle = function
   | Ok () -> exit 0
   | Error err ->
@@ -116,12 +172,12 @@ let certify check = match check with Ok () -> Ok () | Error f -> uncertified f
 
 (* --- sat / rl / rs --- *)
 
-let run_check mode path formula_src max_states timeout bound jobs =
+let run_check mode path formula_src max_states timeout bound jobs no_lint =
   let budget = Budget.create ?max_states ?timeout () in
   guarded @@ fun () ->
   with_jobs jobs @@ fun pool ->
-  let* ts = load_system ~budget ?bound path in
   let* f = parse_formula formula_src in
+  let* ts = load_and_lint ~budget ?bound ~formula:f ~no_lint path in
   let alpha = Nfa.alphabet ts in
   let system = Buchi.of_transition_system ts in
   let p = Relative.ltl alpha f in
@@ -172,7 +228,7 @@ let check_cmd name mode doc =
   let term =
     Term.(
       const (run_check mode) $ system_arg $ formula_arg $ max_states_arg
-      $ timeout_arg $ bound_arg $ jobs_arg)
+      $ timeout_arg $ bound_arg $ jobs_arg $ no_lint_arg)
   in
   Cmd.v (Cmd.info name ~doc) term
 
@@ -187,12 +243,12 @@ let eps_check =
   Arg.(value & flag & info [ "check-concrete" ] ~doc)
 
 let run_abstract path formula_src keep check_concrete max_states timeout bound
-    jobs =
+    jobs no_lint =
   let budget = Budget.create ?max_states ?timeout () in
   guarded @@ fun () ->
   with_jobs jobs @@ fun pool ->
-  let* ts = load_system ~budget ?bound path in
   let* f = parse_formula formula_src in
+  let* ts = load_and_lint ~budget ?bound ~formula:f ~keep ~no_lint path in
   let* hom =
     try Ok (Rl_hom.Hom.hiding ~concrete:(Nfa.alphabet ts) ~keep)
     with Invalid_argument m -> Error (Error.Internal m)
@@ -202,6 +258,9 @@ let run_abstract path formula_src keep check_concrete max_states timeout bound
     with Invalid_argument m -> Error (Error.Internal m)
   in
   Format.printf "%a@." Abstraction.pp_report report;
+  (* the hypotheses this very run found violated, as lint diagnostics
+     (stderr, so the report on stdout stays machine-readable) *)
+  List.iter report_diag report.Abstraction.hints;
   if check_concrete then begin
     let direct =
       Abstraction.check_concrete ~budget ?pool ~ts ~hom ~formula:f ()
@@ -221,7 +280,7 @@ let abstract_cmd =
   let term =
     Term.(
       const run_abstract $ system_arg $ formula_arg $ keep_arg $ eps_check
-      $ max_states_arg $ timeout_arg $ bound_arg $ jobs_arg)
+      $ max_states_arg $ timeout_arg $ bound_arg $ jobs_arg $ no_lint_arg)
   in
   Cmd.v (Cmd.info "abstract" ~doc) term
 
@@ -235,12 +294,13 @@ let seed_arg =
   let doc = "PRNG seed for run sampling." in
   Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc)
 
-let run_impl path formula_src samples seed max_states timeout bound jobs =
+let run_impl path formula_src samples seed max_states timeout bound jobs
+    no_lint =
   let budget = Budget.create ?max_states ?timeout () in
   guarded @@ fun () ->
   with_jobs jobs @@ fun pool ->
-  let* ts = load_system ~budget ?bound path in
   let* f = parse_formula formula_src in
+  let* ts = load_and_lint ~budget ?bound ~formula:f ~no_lint path in
   let alpha = Nfa.alphabet ts in
   let system = Buchi.of_transition_system ts in
   let p = Relative.ltl alpha f in
@@ -280,19 +340,19 @@ let impl_cmd =
   let term =
     Term.(
       const run_impl $ system_arg $ formula_arg $ samples_arg $ seed_arg
-      $ max_states_arg $ timeout_arg $ bound_arg $ jobs_arg)
+      $ max_states_arg $ timeout_arg $ bound_arg $ jobs_arg $ no_lint_arg)
   in
   Cmd.v (Cmd.info "impl" ~doc) term
 
 (* --- fair: model checking under strong fairness --- *)
 
-let run_fair path formula_src bound jobs =
+let run_fair path formula_src bound jobs no_lint =
   guarded @@ fun () ->
   (* the Streett emptiness path is inherently sequential (nested SCC
      decompositions); the flag is accepted for interface uniformity *)
   with_jobs jobs @@ fun _pool ->
-  let* ts = load_system ?bound path in
   let* f = parse_formula formula_src in
+  let* ts = load_and_lint ?bound ~formula:f ~no_lint path in
   let alpha = Nfa.alphabet ts in
   let system = Buchi.of_transition_system ts in
   let neg =
@@ -318,16 +378,18 @@ let fair_cmd =
      Streett fair emptiness)"
   in
   Cmd.v (Cmd.info "fair" ~doc)
-    Term.(const run_fair $ system_arg $ formula_arg $ bound_arg $ jobs_arg)
+    Term.(
+      const run_fair $ system_arg $ formula_arg $ bound_arg $ jobs_arg
+      $ no_lint_arg)
 
 (* --- simple: simplicity of a hiding abstraction --- *)
 
-let run_simple path keep max_states timeout bound jobs =
+let run_simple path keep max_states timeout bound jobs no_lint =
   let budget = Budget.create ?max_states ?timeout () in
   guarded @@ fun () ->
   (* the simplicity configuration search is a sequential fixpoint *)
   with_jobs jobs @@ fun _pool ->
-  let* ts = load_system ~budget ?bound path in
+  let* ts = load_and_lint ~budget ?bound ~keep ~no_lint path in
   let* hom =
     try Ok (Rl_hom.Hom.hiding ~concrete:(Nfa.alphabet ts) ~keep)
     with Invalid_argument m -> Error (Error.Internal m)
@@ -352,15 +414,15 @@ let simple_cmd =
   Cmd.v (Cmd.info "simple" ~doc)
     Term.(
       const run_simple $ system_arg $ keep_arg $ max_states_arg $ timeout_arg
-      $ bound_arg $ jobs_arg)
+      $ bound_arg $ jobs_arg $ no_lint_arg)
 
 (* --- decompose: safety/liveness classification --- *)
 
-let run_decompose path formula_src max_states bound jobs =
+let run_decompose path formula_src max_states bound jobs no_lint =
   guarded @@ fun () ->
   with_jobs jobs @@ fun pool ->
-  let* ts = load_system ?bound path in
   let* f = parse_formula formula_src in
+  let* ts = load_and_lint ?bound ~formula:f ~no_lint path in
   let alpha = Nfa.alphabet ts in
   let b =
     Rl_ltl.Translate.to_buchi ~alphabet:alpha
@@ -407,7 +469,7 @@ let decompose_cmd =
     (Cmd.info "decompose" ~doc)
     Term.(
       const run_decompose $ system_arg $ formula_arg $ max_states_arg
-      $ bound_arg $ jobs_arg)
+      $ bound_arg $ jobs_arg $ no_lint_arg)
 
 (* --- compose: parallel composition of systems --- *)
 
@@ -439,6 +501,83 @@ let compose_cmd =
   in
   Cmd.v (Cmd.info "compose" ~doc)
     Term.(const run_compose $ systems_arg $ bound_arg)
+
+(* --- lint: the full static-diagnostics registry --- *)
+
+let lint_formula_arg =
+  let doc = "Also lint this PLTL formula against the system." in
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "f"; "formula" ] ~docv:"FORMULA" ~doc)
+
+let lint_keep_arg =
+  let doc =
+    "Also lint the hiding abstraction that keeps the comma-separated \
+     $(docv) observable (enables the deep simplicity / maximal-word \
+     passes)."
+  in
+  Arg.(
+    value & opt (some (list string)) None & info [ "keep" ] ~docv:"ACTIONS" ~doc)
+
+let format_arg =
+  let doc = "Output format: $(docv) is one of 'human', 'json', 'sarif'." in
+  Arg.(
+    value
+    & opt (Arg.enum [ ("human", `Human); ("json", `Json); ("sarif", `Sarif) ]) `Human
+    & info [ "format" ] ~docv:"FORMAT" ~doc)
+
+let run_lint path formula_src keep format max_states timeout bound =
+  (* only an explicit limit becomes the deep-pass budget; otherwise the
+     passes fall back to their own internal cap *)
+  let budget =
+    match (max_states, timeout) with
+    | None, None -> None
+    | _ -> Some (Budget.create ?max_states ?timeout ())
+  in
+  guarded @@ fun () ->
+  let parse_diags = ref [] in
+  let collect d = parse_diags := d :: !parse_diags in
+  let* sys = Ts_format.load_result ~on_diagnostic:collect ?budget ?bound path in
+  let* formula =
+    match formula_src with
+    | None -> Ok None
+    | Some s -> Result.map Option.some (parse_formula s)
+  in
+  let diags =
+    Lint.run
+      {
+        Lint.empty with
+        file = Some path;
+        parse = List.rev !parse_diags;
+        system = Some sys;
+        formula;
+        keep;
+        budget;
+      }
+  in
+  (match format with
+  | `Human ->
+      List.iter
+        (fun d ->
+          Format.printf "%a@." Diagnostic.pp d;
+          if d.Diagnostic.fix <> None then
+            Format.printf "%a@." Diagnostic.pp_fix d)
+        diags;
+      Format.printf "%s@." (Diagnostic.summary diags)
+  | `Json -> print_string (Diagnostic.report_json diags)
+  | `Sarif -> print_string (Diagnostic.report_sarif ~rules:Lint.rules diags));
+  if List.exists Diagnostic.is_error diags then exit 2 else Ok ()
+
+let lint_cmd =
+  let doc =
+    "run the static-diagnostics registry on a system (and optionally a \
+     formula and an abstraction) without checking anything"
+  in
+  Cmd.v (Cmd.info "lint" ~doc)
+    Term.(
+      const run_lint $ system_arg $ lint_formula_arg $ lint_keep_arg
+      $ format_arg $ max_states_arg $ timeout_arg $ bound_arg)
 
 (* --- info / dot --- *)
 
@@ -500,6 +639,7 @@ let main =
       impl_cmd;
       fair_cmd;
       simple_cmd;
+      lint_cmd;
       decompose_cmd;
       compose_cmd;
       info_cmd;

@@ -1,0 +1,194 @@
+type severity = Error | Warning | Hint
+
+type span = { start_line : int; end_line : int }
+
+type t = {
+  code : string;
+  severity : severity;
+  file : string option;
+  span : span option;
+  message : string;
+  fix : string option;
+}
+
+let make ?file ?line ?end_line ?fix ~code ~severity message =
+  let span =
+    match line with
+    | None -> None
+    | Some l -> Some { start_line = l; end_line = Option.value end_line ~default:l }
+  in
+  { code; severity; file; span; message; fix }
+
+let severity_label = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Hint -> "hint"
+
+let severity_rank = function Error -> 0 | Warning -> 1 | Hint -> 2
+let is_error d = d.severity = Error
+
+let compare a b =
+  let line d = match d.span with Some s -> s.start_line | None -> max_int in
+  let c = Option.compare String.compare a.file b.file in
+  if c <> 0 then c
+  else
+    let c = Int.compare (line a) (line b) in
+    if c <> 0 then c
+    else
+      let c = Int.compare (severity_rank a.severity) (severity_rank b.severity) in
+      if c <> 0 then c
+      else
+        let c = String.compare a.code b.code in
+        if c <> 0 then c else String.compare a.message b.message
+
+let count ds =
+  List.fold_left
+    (fun (e, w, h) d ->
+      match d.severity with
+      | Error -> (e + 1, w, h)
+      | Warning -> (e, w + 1, h)
+      | Hint -> (e, w, h + 1))
+    (0, 0, 0) ds
+
+let summary ds =
+  let e, w, h = count ds in
+  let plural n word = Printf.sprintf "%d %s%s" n word (if n = 1 then "" else "s") in
+  Printf.sprintf "%s, %s, %s" (plural e "error") (plural w "warning")
+    (plural h "hint")
+
+let pp ppf d =
+  (match (d.file, d.span) with
+  | Some f, Some s -> Format.fprintf ppf "%s:%d: " f s.start_line
+  | Some f, None -> Format.fprintf ppf "%s: " f
+  | None, Some s -> Format.fprintf ppf "line %d: " s.start_line
+  | None, None -> ());
+  Format.fprintf ppf "%s[%s]: %s" (severity_label d.severity) d.code d.message
+
+let to_string d = Format.asprintf "%a" pp d
+
+let pp_fix ppf d =
+  match d.fix with
+  | None -> ()
+  | Some f -> Format.fprintf ppf "  fix: %s" f
+
+(* --- JSON --- *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json_opt_string = function
+  | None -> "null"
+  | Some s -> Printf.sprintf "\"%s\"" (json_escape s)
+
+let to_json d =
+  Printf.sprintf
+    "{\"code\": \"%s\", \"severity\": \"%s\", \"file\": %s, \"line\": %s, \
+     \"end_line\": %s, \"message\": \"%s\", \"fix\": %s}"
+    (json_escape d.code)
+    (severity_label d.severity)
+    (json_opt_string d.file)
+    (match d.span with Some s -> string_of_int s.start_line | None -> "null")
+    (match d.span with Some s -> string_of_int s.end_line | None -> "null")
+    (json_escape d.message) (json_opt_string d.fix)
+
+let report_json ds =
+  let e, w, h = count ds in
+  Printf.sprintf
+    "{\n\
+    \  \"diagnostics\": [%s%s],\n\
+    \  \"errors\": %d,\n\
+    \  \"warnings\": %d,\n\
+    \  \"hints\": %d\n\
+     }\n"
+    (if ds = [] then ""
+     else "\n    " ^ String.concat ",\n    " (List.map to_json ds))
+    (if ds = [] then "" else "\n  ")
+    e w h
+
+(* --- SARIF 2.1.0 --- *)
+
+let sarif_level = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Hint -> "note"
+
+let report_sarif ~rules ds =
+  (* only rules that actually fired are listed, in code order *)
+  let fired =
+    List.sort_uniq String.compare (List.map (fun d -> d.code) ds)
+  in
+  let rule_json code =
+    let descr =
+      match List.assoc_opt code rules with
+      | Some d ->
+          Printf.sprintf ", \"shortDescription\": {\"text\": \"%s\"}"
+            (json_escape d)
+      | None -> ""
+    in
+    Printf.sprintf "{\"id\": \"%s\"%s}" (json_escape code) descr
+  in
+  let result_json d =
+    let message =
+      match d.fix with
+      | None -> d.message
+      | Some f -> d.message ^ " — fix: " ^ f
+    in
+    let location =
+      match d.file with
+      | None -> ""
+      | Some file ->
+          let region =
+            match d.span with
+            | Some s when s.start_line >= 1 ->
+                Printf.sprintf
+                  ", \"region\": {\"startLine\": %d, \"endLine\": %d}"
+                  s.start_line s.end_line
+            | _ -> ""
+          in
+          Printf.sprintf
+            ", \"locations\": [{\"physicalLocation\": {\"artifactLocation\": \
+             {\"uri\": \"%s\"}%s}}]"
+            (json_escape file) region
+    in
+    Printf.sprintf
+      "{\"ruleId\": \"%s\", \"level\": \"%s\", \"message\": {\"text\": \
+       \"%s\"}%s}"
+      (json_escape d.code) (sarif_level d.severity) (json_escape message)
+      location
+  in
+  Printf.sprintf
+    "{\n\
+    \  \"$schema\": \
+     \"https://json.schemastore.org/sarif-2.1.0.json\",\n\
+    \  \"version\": \"2.1.0\",\n\
+    \  \"runs\": [\n\
+    \    {\n\
+    \      \"tool\": {\n\
+    \        \"driver\": {\n\
+    \          \"name\": \"rlcheck\",\n\
+    \          \"informationUri\": \
+     \"https://example.org/relcheck\",\n\
+    \          \"rules\": [%s]\n\
+    \        }\n\
+    \      },\n\
+    \      \"results\": [%s%s]\n\
+    \    }\n\
+    \  ]\n\
+     }\n"
+    (String.concat ", " (List.map rule_json fired))
+    (if ds = [] then ""
+     else "\n        " ^ String.concat ",\n        " (List.map result_json ds))
+    (if ds = [] then "" else "\n      ")

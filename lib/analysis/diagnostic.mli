@@ -1,0 +1,84 @@
+(** Typed static diagnostics.
+
+    A diagnostic is one finding of the model-lint subsystem
+    ({!Rl_analysis.Lint}): a stable code such as [RL103], a severity, an
+    optional source span (1-based line numbers into the [.ts] file), a
+    human message, and an optional fix suggestion. The type is a concrete
+    record so producers (the [Ts_format] parser, the lint passes, the
+    deciders' vacuity hints) can build and rewrite values freely — e.g.
+    attaching the file name at the I/O boundary with [{ d with file }].
+
+    Renderers cover the three [rlcheck lint] output modes: {!pp} for the
+    terse human line, {!report_json} for tooling, and {!report_sarif} for
+    SARIF 2.1.0 consumers (editors, code-scanning services). *)
+
+type severity =
+  | Error  (** the check about to run is meaningless or would refuse the
+               input; pre-flight aborts with exit code 2 *)
+  | Warning  (** legal but suspicious; printed to stderr, check proceeds *)
+  | Hint  (** stylistic or informational; shown only by [rlcheck lint] *)
+
+(** A source span, in 1-based line numbers ([end_line >= start_line]).
+    Diagnostics about the model as a whole carry no span. *)
+type span = { start_line : int; end_line : int }
+
+type t = {
+  code : string;  (** stable diagnostic code, e.g. ["RL103"] *)
+  severity : severity;
+  file : string option;
+  span : span option;
+  message : string;
+  fix : string option;  (** an actionable suggestion, when one exists *)
+}
+
+(** [make ~code ~severity msg] builds a diagnostic; [line]/[end_line]
+    populate the span ([end_line] defaults to [line]). *)
+val make :
+  ?file:string ->
+  ?line:int ->
+  ?end_line:int ->
+  ?fix:string ->
+  code:string ->
+  severity:severity ->
+  string ->
+  t
+
+val severity_label : severity -> string
+val is_error : t -> bool
+
+(** [compare a b] orders diagnostics for deterministic reports: by file,
+    then start line (span-less diagnostics last), then severity
+    ([Error < Warning < Hint]), then code, then message. *)
+val compare : t -> t -> int
+
+(** [count ds] is [(errors, warnings, hints)]. *)
+val count : t list -> int * int * int
+
+(** [summary ds] is the one-line totals, e.g. ["1 error, 2 warnings, 0 hints"]. *)
+val summary : t list -> string
+
+(** [pp] prints ["file:line: severity[CODE]: message"] (parts without data
+    omitted). The fix suggestion is {e not} printed — use {!pp_fix} or the
+    structured renderers for it. *)
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string
+
+(** [pp_fix ppf d] prints ["  fix: ..."] when [d] carries a suggestion,
+    nothing otherwise. *)
+val pp_fix : Format.formatter -> t -> unit
+
+(** {2 Structured reports} *)
+
+(** [json_escape s] escapes [s] for embedding in a JSON string literal. *)
+val json_escape : string -> string
+
+(** [report_json ds] is a complete JSON document:
+    [{"diagnostics": [...], "errors": n, "warnings": n, "hints": n}]. *)
+val report_json : t list -> string
+
+(** [report_sarif ~rules ds] is a SARIF 2.1.0 document. [rules] maps each
+    diagnostic code to its short description (the rule metadata of the
+    [rlcheck] driver); codes absent from [rules] still render, without
+    metadata. Severities map to SARIF levels [error]/[warning]/[note]. *)
+val report_sarif : rules:(string * string) list -> t list -> string

@@ -1,0 +1,567 @@
+open Rl_sigma
+open Rl_automata
+open Rl_buchi
+open Rl_ltl
+module Bitset = Rl_prelude.Bitset
+module Budget = Rl_engine_kernel.Budget
+
+type input = {
+  file : string option;
+  parse : Diagnostic.t list;
+  system : Nfa.t option;
+  property : Buchi.t option;
+  formula : Formula.t option;
+  keep : string list option;
+  budget : Budget.t option;
+}
+
+let empty =
+  {
+    file = None;
+    parse = [];
+    system = None;
+    property = None;
+    formula = None;
+    keep = None;
+    budget = None;
+  }
+
+type pass = {
+  name : string;
+  codes : string list;
+  deep : bool;
+  run : input -> Diagnostic.t list;
+}
+
+(* --- small helpers --- *)
+
+(* "state 3 is ..." / "4 states (2, 5, 6, 7) are ..." with a capped listing *)
+let fmt_states qs =
+  match qs with
+  | [ q ] -> Printf.sprintf "state %d" q
+  | qs ->
+      let n = List.length qs in
+      let shown = List.filteri (fun i _ -> i < 8) qs in
+      let listing = String.concat ", " (List.map string_of_int shown) in
+      let ellipsis = if n > 8 then ", …" else "" in
+      Printf.sprintf "%d states (%s%s)" n listing ellipsis
+
+let edit_distance a b =
+  let la = String.length a and lb = String.length b in
+  let row = Array.init (lb + 1) Fun.id in
+  for i = 1 to la do
+    let prev_diag = ref row.(0) in
+    row.(0) <- i;
+    for j = 1 to lb do
+      let d = !prev_diag in
+      prev_diag := row.(j);
+      row.(j) <-
+        min
+          (min (row.(j) + 1) (row.(j - 1) + 1))
+          (d + if a.[i - 1] = b.[j - 1] then 0 else 1)
+    done
+  done;
+  row.(lb)
+
+(* a did-you-mean candidate: closest name within edit distance 2 (and
+   closer than replacing the whole word) *)
+let suggest name candidates =
+  let best =
+    List.fold_left
+      (fun acc c ->
+        let d = edit_distance name c in
+        match acc with Some (_, d') when d' <= d -> acc | _ -> Some (c, d))
+      None candidates
+  in
+  match best with
+  | Some (c, d) when d <= 2 && d < String.length name -> Some c
+  | _ -> None
+
+(* the Büchi view of a transition system; [None] when [sys] is not an
+   all-states-final ε-free NFA (library misuse — lint never raises) *)
+let ts_buchi sys =
+  if Nfa.states sys = 0 || Nfa.has_eps sys || not (Nfa.all_states_final sys)
+  then None
+  else Some (Buchi.of_transition_system sys)
+
+let lint_budget i =
+  match i.budget with
+  | Some b -> b
+  | None -> Budget.create ~max_states:20_000 ()
+
+(* valid observable actions of a hiding abstraction, in alphabet order *)
+let valid_keep keep names = List.filter (fun n -> List.mem n keep) names
+
+let hiding_hom i =
+  match (i.keep, i.system) with
+  | Some keep, Some sys -> (
+      let names = Alphabet.names (Nfa.alphabet sys) in
+      match valid_keep keep names with
+      | [] -> None
+      | valid -> (
+          try Some (Rl_hom.Hom.hiding ~concrete:(Nfa.alphabet sys) ~keep:valid, sys)
+          with Invalid_argument _ -> None))
+  | _ -> None
+
+(* --- shared constructors (also used by the deciders' vacuity hints) --- *)
+
+let empty_behavior ?file () =
+  Diagnostic.make ?file ~code:"RL103" ~severity:Error
+    ~fix:
+      "add a cycle: in a finite system every infinite behavior eventually \
+       loops"
+    "the system has no infinite behavior (pre(Lω) is empty): every property \
+     is vacuously a relative liveness property"
+
+let buchi_vacuity ?file b =
+  if Buchi.states b > 0 && Buchi.is_empty b then [ empty_behavior ?file () ]
+  else []
+
+let alphabet_check ?file ~expected actual =
+  if Alphabet.equal expected actual then []
+  else
+    [
+      Diagnostic.make ?file ~code:"RL104" ~severity:Diagnostic.Error
+        ~fix:"rebuild the property automaton over the system's alphabet"
+        (Format.asprintf
+           "system and property alphabets differ (%a vs %a): their product \
+            is meaningless"
+           Alphabet.pp expected Alphabet.pp actual);
+    ]
+
+let not_simple_hint ?file ?witness () =
+  let at =
+    match witness with
+    | Some w -> Printf.sprintf " (Definition 6.3 fails at '%s')" w
+    | None -> ""
+  in
+  Diagnostic.make ?file ~code:"RL403" ~severity:Diagnostic.Warning
+    ~fix:
+      "trust only abstract refutations (Theorem 8.3), or keep more actions \
+       observable"
+    (Printf.sprintf
+       "the abstraction is not simple on L%s: an abstract 'yes' does not \
+        transfer to the concrete system (Theorem 8.2 inapplicable — the \
+        Fig. 3 trap)"
+       at)
+
+let maximal_words_hint ?file () =
+  Diagnostic.make ?file ~code:"RL404" ~severity:Diagnostic.Warning
+    ~fix:
+      "extend dead abstract behaviors with a fresh '#' action \
+       (Hom.hash_extend), or abstract less aggressively"
+    "h(L) contains maximal words: Theorems 8.2/8.3 assume none, so no \
+     abstract verdict transfers"
+
+let erasing_hint ?file () =
+  Diagnostic.make ?file ~code:"RL402" ~severity:Diagnostic.Error
+    ~fix:"keep at least one action that occurs in the system"
+    "the abstraction hides every concrete action: h(L) collapses to {ε} and \
+     the abstract system is empty"
+
+(* --- model passes --- *)
+
+let run_unreachable i =
+  match i.system with
+  | None -> []
+  | Some sys ->
+      let reach = Nfa.reachable sys in
+      let dead =
+        List.filter
+          (fun q -> not (Bitset.mem reach q))
+          (List.init (Nfa.states sys) Fun.id)
+      in
+      if dead = [] then []
+      else
+        [
+          Diagnostic.make ?file:i.file ~code:"RL101" ~severity:Warning
+            ~fix:"remove the states or fix the 'initial' line"
+            (Printf.sprintf
+               "%s %s unreachable from the initial states and silently \
+                ignored by every check"
+               (fmt_states dead)
+               (if List.length dead = 1 then "is" else "are"));
+        ]
+
+let run_behavior i =
+  match i.system with
+  | None -> []
+  | Some sys -> (
+      match ts_buchi sys with
+      | None -> []
+      | Some b ->
+          if Buchi.is_empty b then [ empty_behavior ?file:i.file () ]
+          else
+            let reach = Buchi.reachable b and live = Buchi.live b in
+            let dead =
+              List.filter
+                (fun q -> Bitset.mem reach q && not (Bitset.mem live q))
+                (List.init (Buchi.states b) Fun.id)
+            in
+            if dead = [] then []
+            else
+              [
+                Diagnostic.make ?file:i.file ~code:"RL102" ~severity:Warning
+                  ~fix:
+                    "give the states a continuation (a cycle must be \
+                     reachable), or remove them"
+                  (Printf.sprintf
+                     "%s can reach no cycle: words through %s belong to L \
+                      but are prefixes of no behavior in Lω"
+                     (fmt_states dead)
+                     (if List.length dead = 1 then "it" else "them"));
+              ])
+
+let run_alphabet_mismatch i =
+  match (i.system, i.property) with
+  | Some sys, Some p ->
+      alphabet_check ?file:i.file ~expected:(Nfa.alphabet sys)
+        (Buchi.alphabet p)
+  | _ -> []
+
+(* --- fairness passes --- *)
+
+let run_fairness i =
+  match i.system with
+  | None -> []
+  | Some sys -> (
+      match ts_buchi sys with
+      | None -> []
+      | Some b ->
+          if Buchi.is_empty b then []
+          else if Rl_fair.Streett.fair_run_exists b then []
+          else
+            [
+              Diagnostic.make ?file:i.file ~code:"RL201" ~severity:Warning
+                ~fix:
+                  "look for states whose outgoing transitions cannot all be \
+                   honoured infinitely often (e.g. exits into dead ends)"
+                "no strongly fair run exists: every 'fair' verdict is \
+                 vacuously true and Theorem 5.1 has nothing to implement";
+            ])
+
+let run_vacuous_pairs i =
+  match i.system with
+  | None -> []
+  | Some sys -> (
+      match ts_buchi sys with
+      | None -> []
+      | Some b ->
+          if Buchi.is_empty b then []
+          else
+            let comp, ncomp = Buchi.sccs b in
+            let size = Array.make ncomp 0 in
+            Array.iter (fun c -> size.(c) <- size.(c) + 1) comp;
+            let self_loop = Array.make (Buchi.states b) false in
+            List.iter
+              (fun (q, _, q') -> if q = q' then self_loop.(q) <- true)
+              (Buchi.transitions b);
+            let on_cycle q = size.(comp.(q)) > 1 || self_loop.(q) in
+            let reach = Buchi.reachable b in
+            let vacuous =
+              List.filter
+                (fun (q, _, _) -> Bitset.mem reach q && not (on_cycle q))
+                (Buchi.transitions b)
+            in
+            let n = List.length vacuous in
+            if n = 0 then []
+            else
+              [
+                Diagnostic.make ?file:i.file ~code:"RL202" ~severity:Hint
+                  (Printf.sprintf
+                     "%d transition%s leave%s states that lie on no cycle: \
+                      the corresponding strong-fairness (Streett) \
+                      constraints can never be enabled infinitely often and \
+                      are vacuous"
+                     n
+                     (if n = 1 then "" else "s")
+                     (if n = 1 then "s" else ""));
+              ])
+
+(* --- formula passes --- *)
+
+(* the alphabet the formula's atoms must come from: the abstract one when
+   an abstraction is in play (then violations are errors — the pipeline
+   refuses them), the system's otherwise (then an unknown atom is merely
+   false at every position) *)
+let atom_universe i =
+  match (i.keep, i.system, i.property) with
+  | Some keep, _, _ -> Some (List.sort_uniq String.compare keep, true)
+  | None, Some sys, _ -> Some (Alphabet.names (Nfa.alphabet sys), false)
+  | None, None, Some p -> Some (Alphabet.names (Buchi.alphabet p), false)
+  | None, None, None -> None
+
+let run_atoms i =
+  match (i.formula, atom_universe i) with
+  | Some f, Some (names, strict) when names <> [] ->
+      List.filter_map
+        (fun a ->
+          if List.mem a names then None
+          else
+            let fix =
+              Option.map
+                (fun c -> Printf.sprintf "did you mean '%s'?" c)
+                (suggest a names)
+            in
+            let severity, what =
+              if strict then
+                (Diagnostic.Error, "names no observable (abstract) action")
+              else
+                ( Diagnostic.Warning,
+                  "names no action of the system: under the canonical \
+                   labeling it is false at every position" )
+            in
+            Some
+              (Diagnostic.make ?file:i.file ?fix ~code:"RL301" ~severity
+                 (Printf.sprintf "atomic proposition '%s' %s" a what)))
+        (Formula.atoms f)
+  | _ -> []
+
+(* [nnf] leaves constants in place; fold them out (same equivalences as
+   the smart constructors in [Formula]) so e.g. []<> true is recognized
+   as the constant it is. The input is in negation normal form, hence the
+   small set of cases. *)
+let rec fold_consts f =
+  let open Formula in
+  match f with
+  | True | False | Atom _ | Not _ -> f
+  | And (a, b) -> (
+      match (fold_consts a, fold_consts b) with
+      | False, _ | _, False -> False
+      | True, h | h, True -> h
+      | a, b -> And (a, b))
+  | Or (a, b) -> (
+      match (fold_consts a, fold_consts b) with
+      | True, _ | _, True -> True
+      | False, h | h, False -> h
+      | a, b -> Or (a, b))
+  | Next a -> (
+      match fold_consts a with (True | False) as c -> c | a -> Next a)
+  | Until (a, b) -> (
+      match fold_consts b with
+      | True -> True
+      | False -> False
+      | b -> Until (fold_consts a, b))
+  | Release (a, b) -> (
+      match fold_consts b with
+      | True -> True
+      | False -> False
+      | b -> Release (fold_consts a, b))
+  | f -> f
+
+let run_trivial i =
+  match i.formula with
+  | None -> []
+  | Some f -> (
+      match fold_consts (Formula.nnf f) with
+      | Formula.True ->
+          [
+            Diagnostic.make ?file:i.file ~code:"RL302" ~severity:Hint
+              "the formula simplifies to 'true': every verdict on it is \
+               predetermined";
+          ]
+      | Formula.False ->
+          [
+            Diagnostic.make ?file:i.file ~code:"RL302" ~severity:Hint
+              "the formula simplifies to 'false': it is satisfiable by no \
+               behavior";
+          ]
+      | _ -> [])
+
+let run_sigma_normal i =
+  match (i.keep, i.formula) with
+  | Some keep, Some f -> (
+      match List.sort_uniq String.compare keep with
+      | [] -> []
+      | keep -> (
+          match Alphabet.make keep with
+          | exception Invalid_argument _ -> []
+          | abstract ->
+              if
+                Transform.is_sigma_normal ~alphabet:abstract
+                  (Formula.expand f)
+              then []
+              else
+                [
+                  Diagnostic.make ?file:i.file ~code:"RL303" ~severity:Error
+                    ~fix:
+                      "rewrite the formula negation-free with atoms drawn \
+                       from the observable actions (cf. \
+                       Transform.sigma_normal_form)"
+                    "the formula is not in Σ'-normal form over the abstract \
+                     alphabet: the T/R̄ transform (Definition 7.4) and \
+                     Abstraction.verify refuse it";
+                ]))
+  | _ -> []
+
+(* --- abstraction passes --- *)
+
+let run_keep i =
+  match (i.keep, i.system) with
+  | Some keep, Some sys ->
+      let names = Alphabet.names (Nfa.alphabet sys) in
+      let unknown =
+        List.sort_uniq String.compare
+          (List.filter (fun k -> not (List.mem k names)) keep)
+      in
+      let unknown_diags =
+        List.map
+          (fun k ->
+            let fix =
+              Option.map
+                (fun c -> Printf.sprintf "did you mean '%s'?" c)
+                (suggest k names)
+            in
+            Diagnostic.make ?file:i.file ?fix ~code:"RL401"
+              ~severity:Diagnostic.Error
+              (Printf.sprintf
+                 "observable action '%s' is not a concrete action of the \
+                  system"
+                 k))
+          unknown
+      in
+      let valid = valid_keep keep names in
+      let structural =
+        if valid = [] then [ erasing_hint ?file:i.file () ]
+        else if List.length valid = List.length names then
+          [
+            Diagnostic.make ?file:i.file ~code:"RL405" ~severity:Hint
+              "the abstraction hides nothing: h is the identity and the \
+               abstract check is the concrete check";
+          ]
+        else []
+      in
+      unknown_diags @ structural
+  | _ -> []
+
+let run_simplicity i =
+  match hiding_hom i with
+  | None -> []
+  | Some (hom, sys) -> (
+      let sys = Nfa.trim sys in
+      if Nfa.states sys = 0 then []
+      else
+        match Rl_hom.Hom.analyze ~budget:(lint_budget i) hom sys with
+        | exception Budget.Exhausted _ -> []
+        | v ->
+            if v.Rl_hom.Hom.simple then []
+            else
+              let witness =
+                Option.map
+                  (Format.asprintf "%a" (Word.pp (Nfa.alphabet sys)))
+                  v.Rl_hom.Hom.witness
+              in
+              [ not_simple_hint ?file:i.file ?witness () ])
+
+let run_maximal_words i =
+  match hiding_hom i with
+  | None -> []
+  | Some (hom, sys) -> (
+      let img = Rl_hom.Hom.image_ts hom (Nfa.trim sys) in
+      match Rl_hom.Hom.has_maximal_words ~budget:(lint_budget i) img with
+      | exception Budget.Exhausted _ -> []
+      | true -> [ maximal_words_hint ?file:i.file () ]
+      | false -> [])
+
+(* --- the registry --- *)
+
+let passes =
+  [
+    {
+      name = "unreachable-states";
+      codes = [ "RL101" ];
+      deep = false;
+      run = run_unreachable;
+    };
+    {
+      name = "behavior-vacuity";
+      codes = [ "RL102"; "RL103" ];
+      deep = false;
+      run = run_behavior;
+    };
+    {
+      name = "alphabet-mismatch";
+      codes = [ "RL104" ];
+      deep = false;
+      run = run_alphabet_mismatch;
+    };
+    {
+      name = "fair-vacuity";
+      codes = [ "RL201" ];
+      deep = false;
+      run = run_fairness;
+    };
+    {
+      name = "vacuous-fairness-pairs";
+      codes = [ "RL202" ];
+      deep = false;
+      run = run_vacuous_pairs;
+    };
+    {
+      name = "formula-atoms";
+      codes = [ "RL301" ];
+      deep = false;
+      run = run_atoms;
+    };
+    {
+      name = "formula-trivial";
+      codes = [ "RL302" ];
+      deep = false;
+      run = run_trivial;
+    };
+    {
+      name = "sigma-normal-form";
+      codes = [ "RL303" ];
+      deep = false;
+      run = run_sigma_normal;
+    };
+    {
+      name = "abstraction-structure";
+      codes = [ "RL401"; "RL402"; "RL405" ];
+      deep = false;
+      run = run_keep;
+    };
+    {
+      name = "simplicity";
+      codes = [ "RL403" ];
+      deep = true;
+      run = run_simplicity;
+    };
+    {
+      name = "maximal-words";
+      codes = [ "RL404" ];
+      deep = true;
+      run = run_maximal_words;
+    };
+  ]
+
+let rules =
+  [
+    ("RL001", "no 'initial' line: the initial state defaults to state 0");
+    ("RL002", "an initial state is isolated (no transition touches it)");
+    ("RL003", "an initial state has no outgoing transitions");
+    ("RL101", "states unreachable from the initial states");
+    ("RL102", "states that can reach no cycle contribute no behavior");
+    ("RL103", "the system has no infinite behavior: pre(Lω) is empty");
+    ("RL104", "system and property alphabets differ");
+    ("RL201", "no strongly fair run exists: fair verdicts are vacuous");
+    ( "RL202",
+      "strong-fairness constraints that can never be enabled infinitely \
+       often" );
+    ("RL301", "an atomic proposition names no action");
+    ("RL302", "the formula simplifies to a constant");
+    ("RL303", "the formula is not in Σ'-normal form for the abstraction");
+    ("RL401", "an observable action is not a concrete action");
+    ("RL402", "the abstraction hides every action");
+    ("RL403", "the abstraction is not simple on L (Theorem 8.2 inapplicable)");
+    ("RL404", "h(L) contains maximal words (Theorems 8.2/8.3 inapplicable)");
+    ("RL405", "the abstraction hides nothing");
+  ]
+
+let run ?(deep = true) input =
+  let found =
+    List.concat_map
+      (fun p -> if p.deep && not deep then [] else p.run input)
+      passes
+  in
+  List.stable_sort Diagnostic.compare (input.parse @ found)

@@ -15,6 +15,7 @@ type report = {
   abstract_verdict : (unit, Word.t) result;
   rbar : Formula.t;
   conclusion : conclusion;
+  hints : Rl_analysis.Diagnostic.t list;
 }
 
 let abstract_system ~hom ~ts = Hom.image_ts hom ts
@@ -55,6 +56,20 @@ let verify ?(budget = Rl_engine_kernel.Budget.unlimited) ?pool ?reduce ~ts
       | Error _ -> `Concrete_fails (* Theorem 8.3, contrapositive *)
       | Ok () -> if analysis.Hom.simple then `Concrete_holds else `Unknown
   in
+  (* the theorem hypotheses this run found violated, as lint diagnostics
+     (same codes and wording as [rlcheck lint]'s deep passes) *)
+  let hints =
+    (if maximal_words then [ Rl_analysis.Lint.maximal_words_hint () ] else [])
+    @
+    if analysis.Hom.simple then []
+    else
+      let witness =
+        Option.map
+          (Format.asprintf "%a" (Word.pp (Nfa.alphabet ts)))
+          analysis.Hom.witness
+      in
+      [ Rl_analysis.Lint.not_simple_hint ?witness () ]
+  in
   {
     abstract_states = Nfa.states abstract_ts;
     concrete_states = Nfa.states ts;
@@ -64,6 +79,7 @@ let verify ?(budget = Rl_engine_kernel.Budget.unlimited) ?pool ?reduce ~ts
     abstract_verdict;
     rbar;
     conclusion;
+    hints;
   }
 
 (* The strong reading of R̄ is the one under which Theorems 8.2 and 8.3

@@ -38,6 +38,11 @@ type report = {
       (** relative liveness of [η] on [lim(h(L))] *)
   rbar : Formula.t;  (** the transported formula [R̄(η)] *)
   conclusion : conclusion;
+  hints : Rl_analysis.Diagnostic.t list;
+      (** theorem hypotheses found violated during this run, as lint
+          diagnostics ([RL403] not simple, [RL404] maximal words) — same
+          codes and wording as the deep passes of [rlcheck lint], but
+          computed from the facts the pipeline established anyway *)
 }
 
 (** [verify ~ts ~hom ~formula] runs the full pipeline on a transition

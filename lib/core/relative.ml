@@ -168,3 +168,19 @@ let witness_extension ?(budget = Budget.unlimited) ~system p w =
           Some (Lasso.make (Word.append w (Lasso.stem x)) (Lasso.cycle x))
     end
   end
+
+(* --- vacuity hints --- *)
+
+let vacuity_hints ~system p =
+  let module Lint = Rl_analysis.Lint in
+  let system_hints = Lint.buchi_vacuity system in
+  let property_hints =
+    match p with
+    | Auto b ->
+        Lint.alphabet_check ~expected:(Buchi.alphabet system)
+          (Buchi.alphabet b)
+    | Ltl { formula; _ } ->
+        Lint.run ~deep:false
+          { Lint.empty with property = Some system; formula = Some formula }
+  in
+  system_hints @ property_hints

@@ -115,3 +115,15 @@ val witness_extension :
   property ->
   Word.t ->
   Lasso.t option
+
+(** {1 Vacuity hints}
+
+    [vacuity_hints ~system p] runs the cheap lint passes relevant to a
+    relative-liveness / relative-safety query and returns the resulting
+    diagnostics: [RL103] when the system has no infinite behavior (every
+    property is then vacuously relatively live, by Lemma 4.3), [RL104] on a
+    system/property alphabet mismatch, and the formula lints
+    ([RL301]/[RL302]) for [Ltl] properties. Callers attach these to their
+    verdicts; the function never raises. *)
+val vacuity_hints :
+  system:Buchi.t -> property -> Rl_analysis.Diagnostic.t list

@@ -1,5 +1,6 @@
 open Rl_sigma
 open Rl_automata
+module Diagnostic = Rl_analysis.Diagnostic
 
 exception Syntax_error of int * string
 
@@ -13,7 +14,12 @@ let relevant_lines src =
 let words l =
   String.split_on_char ' ' l |> List.filter (fun w -> w <> "")
 
-let parse_ts ?(on_warning = fun _ -> ()) src =
+let parse_ts ?(on_warning = fun _ -> ()) ?(on_diagnostic = fun _ -> ()) src =
+  (* the deprecated string shim sees exactly the typed message *)
+  let emit d =
+    on_diagnostic d;
+    on_warning d.Diagnostic.message
+  in
   let lines = relevant_lines src in
   (* accumulators build in reverse (constant-time prepend) and are flipped
      once at the end; appending per line would be quadratic in file size *)
@@ -24,6 +30,8 @@ let parse_ts ?(on_warning = fun _ -> ()) src =
   let known_labels = Hashtbl.create 16 in
   let max_state = ref (-1) in
   let max_trans_state = ref (-1) in
+  (* line of the first state declaration — the span of RL001 *)
+  let first_decl_line = ref None in
   let intern_label name =
     if not (Hashtbl.mem known_labels name) then begin
       Hashtbl.add known_labels name ();
@@ -54,6 +62,7 @@ let parse_ts ?(on_warning = fun _ -> ()) src =
             List.rev_append (List.map (fun s -> (ln, state ln s)) rest)
               !rev_initial
       | [ src; label; dst ] ->
+          if !first_decl_line = None then first_decl_line := Some ln;
           intern_label label;
           transitions :=
             (trans_state ln src, label, trans_state ln dst) :: !transitions
@@ -80,7 +89,11 @@ let parse_ts ?(on_warning = fun _ -> ()) src =
     if defaulted then [ 0 ] else List.map snd declared_initial
   in
   if defaulted then
-    on_warning "no 'initial' line; defaulting to initial state 0";
+    emit
+      (Diagnostic.make ?line:!first_decl_line ~code:"RL001"
+         ~severity:Diagnostic.Warning
+         ~fix:"add an explicit 'initial q ...' line"
+         "no 'initial' line; defaulting to initial state 0");
   let n = !max_state + 1 in
   (* diagnose useless initial states before building the automaton *)
   let has_out = Array.make n false and has_in = Array.make n false in
@@ -89,18 +102,30 @@ let parse_ts ?(on_warning = fun _ -> ()) src =
       has_out.(s) <- true;
       has_in.(d) <- true)
     !transitions;
+  (* line that declared q initial, so the diagnostic points at it *)
+  let decl_line q =
+    List.find_map
+      (fun (ln, q') -> if q = q' then Some ln else None)
+      declared_initial
+  in
   List.iter
     (fun q ->
       if (not has_out.(q)) && not has_in.(q) then
-        on_warning
-          (Printf.sprintf
-             "initial state %d is isolated (no transition touches it)" q)
+        emit
+          (Diagnostic.make ?line:(decl_line q) ~code:"RL002"
+             ~severity:Diagnostic.Warning
+             ~fix:"connect the state with a transition, or drop it"
+             (Printf.sprintf
+                "initial state %d is isolated (no transition touches it)" q))
       else if not has_out.(q) then
-        on_warning
-          (Printf.sprintf
-             "initial state %d has no outgoing transitions; it contributes \
-              only the empty behavior"
-             q))
+        emit
+          (Diagnostic.make ?line:(decl_line q) ~code:"RL003"
+             ~severity:Diagnostic.Warning
+             ~fix:"give the state an outgoing transition"
+             (Printf.sprintf
+                "initial state %d has no outgoing transitions; it \
+                 contributes only the empty behavior"
+                q)))
     (List.sort_uniq compare initial);
   Nfa.create ~alphabet ~states:n ~initial
     ~finals:(List.init n Fun.id)
@@ -150,7 +175,13 @@ let parse_petri src =
   Rl_petri.Petri.create ~places:(List.rev !rev_places)
     ~transitions:(List.rev !rev_transitions)
 
-let load ?on_warning ?budget ?bound path =
+(* the file name is attached at the I/O boundary, where it is known *)
+let with_file path on_diagnostic =
+  Option.map
+    (fun f d -> f { d with Diagnostic.file = Some path })
+    on_diagnostic
+
+let load ?on_warning ?on_diagnostic ?budget ?bound path =
   let ic = open_in path in
   let len = in_channel_length ic in
   let src = really_input_string ic len in
@@ -158,20 +189,25 @@ let load ?on_warning ?budget ?bound path =
   if Filename.check_suffix path ".pn" then
     Nfa.trim
       (fst (Rl_petri.Petri.reachability_graph ?budget ?bound (parse_petri src)))
-  else parse_ts ?on_warning src
+  else parse_ts ?on_warning ?on_diagnostic:(with_file path on_diagnostic) src
 
 let bound_or_default bound =
   Option.value bound ~default:Rl_petri.Petri.default_bound
 
-let parse_ts_result ?on_warning ?file src =
+let parse_ts_result ?on_warning ?on_diagnostic ?file src =
+  let on_diagnostic =
+    match file with
+    | Some path -> with_file path on_diagnostic
+    | None -> on_diagnostic
+  in
   Rl_engine_kernel.Error.protect
     ~handler:(function
       | Syntax_error (line, msg) ->
           Some (Rl_engine_kernel.Error.Parse_error { file; line; msg })
       | _ -> None)
-    (fun () -> parse_ts ?on_warning src)
+    (fun () -> parse_ts ?on_warning ?on_diagnostic src)
 
-let load_result ?on_warning ?budget ?bound path =
+let load_result ?on_warning ?on_diagnostic ?budget ?bound path =
   Rl_engine_kernel.Error.protect
     ~handler:(function
       | Syntax_error (line, msg) ->
@@ -182,7 +218,7 @@ let load_result ?on_warning ?budget ?bound path =
                { place; bound = bound_or_default bound })
       | Sys_error msg -> Some (Rl_engine_kernel.Error.Internal msg)
       | _ -> None)
-    (fun () -> load ?on_warning ?budget ?bound path)
+    (fun () -> load ?on_warning ?on_diagnostic ?budget ?bound path)
 
 let print_ts ts =
   let buf = Buffer.create 256 in

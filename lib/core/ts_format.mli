@@ -35,15 +35,26 @@ exception Syntax_error of int * string
 (** line number (1-based) and message; line 0 means the defect concerns the
     file as a whole (e.g. it declares no transitions at all) *)
 
-(** [parse_ts ?on_warning src] parses a transition system.
+(** [parse_ts ?on_diagnostic src] parses a transition system.
 
     Validation beyond syntax: every declared initial state must actually
     exist (be an endpoint of some transition) — a violation is a
     {!Syntax_error} at the declaring line. Suspicious-but-legal inputs are
-    reported through [on_warning] (default: ignore): a missing [initial]
-    line (defaults to state 0), and initial states that are isolated or
-    have no outgoing transitions. *)
-val parse_ts : ?on_warning:(string -> unit) -> string -> Rl_automata.Nfa.t
+    reported through [on_diagnostic] (default: ignore) as typed,
+    line-numbered {!Rl_analysis.Diagnostic.t} records: a missing
+    [initial] line — defaults to state 0, code [RL001], with the span of
+    the first state declaration — and initial states that are isolated
+    ([RL002]) or have no outgoing transitions ([RL003]), each pointing at
+    the declaring [initial] line.
+
+    [on_warning] is the deprecated string shim: it receives exactly the
+    [message] field of each diagnostic. New code should use
+    [on_diagnostic]. *)
+val parse_ts :
+  ?on_warning:(string -> unit) ->
+  ?on_diagnostic:(Rl_analysis.Diagnostic.t -> unit) ->
+  string ->
+  Rl_automata.Nfa.t
 
 (** [parse_petri src] parses a Petri net. *)
 val parse_petri : string -> Rl_petri.Petri.t
@@ -51,10 +62,12 @@ val parse_petri : string -> Rl_petri.Petri.t
 (** [load path] loads a system from a file: [.pn] files are Petri nets
     (their reachability graph, computed with [bound] — default
     {!Rl_petri.Petri.default_bound} — and ticking [budget], is returned),
-    anything else is parsed as a transition system.
+    anything else is parsed as a transition system. Diagnostics are
+    delivered with [file] set to [path].
     @raise Rl_petri.Petri.Unbounded if a place exceeds [bound]. *)
 val load :
   ?on_warning:(string -> unit) ->
+  ?on_diagnostic:(Rl_analysis.Diagnostic.t -> unit) ->
   ?budget:Rl_engine_kernel.Budget.t ->
   ?bound:int ->
   string ->
@@ -68,12 +81,14 @@ val load :
 
 val parse_ts_result :
   ?on_warning:(string -> unit) ->
+  ?on_diagnostic:(Rl_analysis.Diagnostic.t -> unit) ->
   ?file:string ->
   string ->
   (Rl_automata.Nfa.t, Rl_engine_kernel.Error.t) result
 
 val load_result :
   ?on_warning:(string -> unit) ->
+  ?on_diagnostic:(Rl_analysis.Diagnostic.t -> unit) ->
   ?budget:Rl_engine_kernel.Budget.t ->
   ?bound:int ->
   string ->

@@ -1,0 +1,18 @@
+# Figure 3 of the paper: once the resource is lock-ed (a hidden action),
+# result never happens again -- but the hiding onto {request, result,
+# reject} cannot see that. The homomorphism is not simple on L.
+alphabet request ok no result reject lock
+initial 0
+0 request 1
+1 ok 2
+1 no 3
+2 result 0
+3 reject 0
+0 lock 4
+1 lock 5
+2 lock 7
+3 lock 6
+4 request 5
+5 no 6
+6 reject 4
+7 result 4

@@ -1,0 +1,19 @@
+# The two-process mutual-exclusion allocator of examples/mutex.ml, states
+# numbered (req1, req2, holder): 0=(f,f,0) 1=(t,f,0) 2=(f,t,0) 3=(t,t,0)
+# 4=(f,f,1) 5=(f,t,1) 6=(f,f,2) 7=(t,f,2).
+alphabet req1 req2 enter1 enter2 exit1 exit2
+initial 0
+0 req1 1
+2 req1 3
+0 req2 2
+1 req2 3
+4 req2 5
+6 req1 7
+1 enter1 4
+3 enter1 5
+2 enter2 6
+3 enter2 7
+4 exit1 0
+5 exit1 2
+6 exit2 0
+7 exit2 1

@@ -203,7 +203,7 @@ Suspicious-but-legal inputs warn on stderr and proceed:
 
   $ printf '0 a 1\n1 b 1\n' > noinit.ts
   $ rlcheck info noinit.ts
-  rlcheck: warning: no 'initial' line; defaulting to initial state 0
+  rlcheck: noinit.ts:1: warning[RL001]: no 'initial' line; defaulting to initial state 0
   states: 2
   alphabet (2): {a, b}
   transitions: 2
@@ -211,7 +211,9 @@ Suspicious-but-legal inputs warn on stderr and proceed:
 
   $ printf 'initial 0 1\n0 a 0\n2 b 1\n' > deadend.ts
   $ rlcheck rl deadend.ts -f '[]a'
-  rlcheck: warning: initial state 1 has no outgoing transitions; it contributes only the empty behavior
+  rlcheck: deadend.ts:1: warning[RL003]: initial state 1 has no outgoing transitions; it contributes only the empty behavior
+  rlcheck: deadend.ts: warning[RL101]: state 2 is unreachable from the initial states and silently ignored by every check
+  rlcheck: deadend.ts: warning[RL102]: state 1 can reach no cycle: words through it belong to L but are prefixes of no behavior in Lω
   RELATIVE LIVENESS: every prefix extends to a behavior satisfying []a
 
 The parallel engine: --jobs fans the antichain frontiers, complementation
@@ -241,3 +243,83 @@ verdicts, witnesses and exit codes (RLCHECK_JOBS sets the default):
   liveness property: true
   rlcheck: state limit 10 reached during Büchi complementation after exploring 10 states
   [4]
+
+Static diagnostics. The shipped example models lint clean (exit 0, no
+errors or warnings):
+
+  $ rlcheck lint telephone.ts
+  0 errors, 0 warnings, 0 hints
+  $ rlcheck lint mutex.ts
+  0 errors, 0 warnings, 0 hints
+  $ rlcheck lint server.ts
+  0 errors, 0 warnings, 0 hints
+
+A system with no infinite behavior makes every property vacuously a
+relative liveness property (Lemma 4.3): lint refuses it as an error...
+
+  $ printf 'initial 0\n0 a 1\n' > finite.ts
+  $ rlcheck lint finite.ts
+  finite.ts: error[RL103]: the system has no infinite behavior (pre(Lω) is empty): every property is vacuously a relative liveness property
+    fix: add a cycle: in a finite system every infinite behavior eventually loops
+  1 error, 0 warnings, 0 hints
+  [2]
+
+...and the pre-flight phase of the deciders catches it before a vacuous
+verdict is printed; --no-lint restores the old behavior:
+
+  $ rlcheck rl finite.ts -f '[]<> a'
+  rlcheck: finite.ts: error[RL103]: the system has no infinite behavior (pre(Lω) is empty): every property is vacuously a relative liveness property
+  rlcheck: pre-flight lint failed (1 error, 0 warnings, 0 hints); rerun with --no-lint to proceed anyway
+  [2]
+  $ rlcheck rl finite.ts -f '[]<> a' --no-lint
+  RELATIVE LIVENESS: every prefix extends to a behavior satisfying []<>a
+
+Formula and abstraction lints, with did-you-mean fixes:
+
+  $ rlcheck lint server.ts -f '[]<> resul'
+  server.ts: warning[RL301]: atomic proposition 'resul' names no action of the system: under the canonical labeling it is false at every position
+    fix: did you mean 'result'?
+  0 errors, 1 warning, 0 hints
+  $ rlcheck lint server.ts --keep result,rejekt
+  server.ts: error[RL401]: observable action 'rejekt' is not a concrete action of the system
+    fix: did you mean 'reject'?
+  1 error, 0 warnings, 0 hints
+  [2]
+
+The Figure 3 trap: the hiding onto {request, result, reject} is not
+simple on L, so an abstract "yes" proves nothing (Theorem 8.2 does not
+apply) -- the deep lint pass finds it:
+
+  $ rlcheck lint fig3.ts --keep request,result,reject
+  fig3.ts: warning[RL403]: the abstraction is not simple on L (Definition 6.3 fails at 'lock'): an abstract 'yes' does not transfer to the concrete system (Theorem 8.2 inapplicable — the Fig. 3 trap)
+    fix: trust only abstract refutations (Theorem 8.3), or keep more actions observable
+  fig3.ts: hint[RL202]: 1 transition leaves states that lie on no cycle: the corresponding strong-fairness (Streett) constraints can never be enabled infinitely often and are vacuous
+  0 errors, 1 warning, 1 hint
+
+  $ rlcheck abstract fig3.ts --keep request,result,reject -f '[]<> result'
+  abstraction: 8 states → 4 states
+  h(L) maximal words: false
+  h simple on L: false (fails at a word of length 1)
+  abstract verdict: relative liveness holds
+  R̄(η) = false R (ε | true U ((request | result | reject) & ε U result))
+  conclusion: no conclusion transfers
+  rlcheck: warning[RL403]: the abstraction is not simple on L (Definition 6.3 fails at 'lock'): an abstract 'yes' does not transfer to the concrete system (Theorem 8.2 inapplicable — the Fig. 3 trap)
+  [3]
+
+Machine-readable reports:
+
+  $ rlcheck lint finite.ts --format json
+  {
+    "diagnostics": [
+      {"code": "RL103", "severity": "error", "file": "finite.ts", "line": null, "end_line": null, "message": "the system has no infinite behavior (pre(Lω) is empty): every property is vacuously a relative liveness property", "fix": "add a cycle: in a finite system every infinite behavior eventually loops"}
+    ],
+    "errors": 1,
+    "warnings": 0,
+    "hints": 0
+  }
+  [2]
+
+  $ rlcheck lint finite.ts --format sarif | head -3
+  {
+    "$schema": "https://json.schemastore.org/sarif-2.1.0.json",
+    "version": "2.1.0",

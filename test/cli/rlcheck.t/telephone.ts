@@ -1,0 +1,12 @@
+# A well-configured telephone network (examples/telephone.ml): calls are
+# dialed, possibly forwarded once, and either connected, screened or busy.
+alphabet dial busy forward screen connect reject hangup
+initial 0
+0 dial 1
+1 connect 2
+1 busy 3
+3 forward 4
+4 connect 2
+4 screen 5
+5 reject 0
+2 hangup 0

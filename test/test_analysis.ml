@@ -1,0 +1,512 @@
+(* The static-diagnostics engine (Rl_analysis): every pass with a
+   triggering and a non-triggering model, agreement of the lint verdicts
+   with the underlying automata algorithms on random inputs, and the
+   JSON / SARIF renderers round-tripped through a parser. *)
+
+open Rl_sigma
+open Rl_automata
+open Rl_core
+open Rl_analysis
+module D = Diagnostic
+
+(* Parse a .ts source and lint it, collecting the parse-time diagnostics
+   exactly as the CLI pre-flight does. *)
+let lint ?(deep = true) ?formula ?keep src =
+  let parse = ref [] in
+  let sys =
+    Ts_format.parse_ts ~on_diagnostic:(fun d -> parse := d :: !parse) src
+  in
+  Lint.run ~deep
+    {
+      Lint.empty with
+      parse = List.rev !parse;
+      system = Some sys;
+      formula = Option.map Rl_ltl.Parser.parse formula;
+      keep;
+    }
+
+let codes ds = List.map (fun d -> d.D.code) ds
+let has code ds = List.mem code (codes ds)
+
+let check_fires name code yes no =
+  Alcotest.(check bool) (name ^ " fires") true (has code yes);
+  Alcotest.(check bool) (name ^ " quiet") false (has code no)
+
+(* Every shipped state of this model lies on a cycle and is reachable; the
+   canonical clean fixture. *)
+let clean = "initial 0\n0 a 1\n1 b 0\n"
+
+(* --- parse-time codes --- *)
+
+let test_parse_codes () =
+  check_fires "RL001 (defaulted initial)" "RL001" (lint "0 a 1\n1 b 0\n")
+    (lint clean);
+  (* state 1 exists (below the largest transition endpoint) but no
+     transition touches it: isolated *)
+  check_fires "RL002 (isolated initial)" "RL002"
+    (lint "initial 0 1\n0 a 0\n2 b 2\n")
+    (lint clean);
+  check_fires "RL003 (dead-end initial)" "RL003"
+    (lint "initial 0 1\n0 a 0\n2 b 1\n")
+    (lint clean);
+  (* the spans point at the declaring lines *)
+  let parse = ref [] in
+  ignore
+    (Ts_format.parse_ts
+       ~on_diagnostic:(fun d -> parse := d :: !parse)
+       "# comment\n0 a 0\n");
+  match List.find_opt (fun d -> d.D.code = "RL001") !parse with
+  | Some d ->
+      Alcotest.(check (option int)) "RL001 span = first declaration" (Some 2)
+        (Option.map (fun s -> s.D.start_line) d.D.span)
+  | None -> Alcotest.fail "RL001 expected"
+
+(* --- model codes --- *)
+
+let test_model_codes () =
+  check_fires "RL101 (unreachable)" "RL101"
+    (lint "initial 0\n0 a 0\n1 b 1\n")
+    (lint clean);
+  check_fires "RL102 (no cycle reachable)" "RL102"
+    (lint "initial 0\n0 a 0\n0 b 1\n")
+    (lint clean);
+  (* RL103 supersedes RL102 when the whole language is finite *)
+  let dead = lint "initial 0\n0 a 1\n" in
+  check_fires "RL103 (empty pre-language)" "RL103" dead (lint clean);
+  Alcotest.(check bool) "RL103 suppresses RL102" false (has "RL102" dead);
+  Alcotest.(check bool) "RL103 is an error" true
+    (List.exists D.is_error dead)
+
+let test_alphabet_mismatch () =
+  let other =
+    Rl_buchi.Buchi.create
+      ~alphabet:(Alphabet.make [ "c" ])
+      ~states:1 ~initial:[ 0 ] ~accepting:[ 0 ]
+      ~transitions:[ (0, 0, 0) ]
+      ()
+  in
+  let sys = Ts_format.parse_ts clean in
+  let fires =
+    Lint.run { Lint.empty with system = Some sys; property = Some other }
+  in
+  let quiet =
+    Lint.run
+      {
+        Lint.empty with
+        system = Some sys;
+        property = Some (Rl_buchi.Buchi.of_transition_system sys);
+      }
+  in
+  check_fires "RL104 (alphabet mismatch)" "RL104" fires quiet
+
+(* --- fairness codes --- *)
+
+let test_fairness_codes () =
+  (* the only infinite run loops at 0 while 'b' stays enabled: unfair *)
+  check_fires "RL201 (no fair run)" "RL201"
+    (lint "initial 0\n0 a 0\n0 b 1\n")
+    (lint clean);
+  (* state 0 lies on no cycle, so fairness of its transitions is vacuous *)
+  check_fires "RL202 (vacuous Streett pair)" "RL202"
+    (lint "initial 0\n0 a 1\n1 b 1\n")
+    (lint clean)
+
+(* --- formula codes --- *)
+
+let test_formula_codes () =
+  check_fires "RL301 (unknown atom)" "RL301"
+    (lint ~formula:"[]<> c" clean)
+    (lint ~formula:"[]<> a" clean);
+  (* with an abstraction in play the unknown atom is an error, with a
+     suggestion *)
+  (match
+     List.find_opt
+       (fun d -> d.D.code = "RL301")
+       (lint ~keep:[ "ack" ] ~formula:"[]<> ach"
+          "initial 0\n0 ack 1\n1 send 0\n")
+   with
+  | Some d ->
+      Alcotest.(check bool) "strict RL301 is an error" true (D.is_error d);
+      Alcotest.(check bool) "did-you-mean suggestion" true
+        (match d.D.fix with Some f -> f = "did you mean 'ack'?" | None -> false)
+  | None -> Alcotest.fail "RL301 expected under --keep");
+  check_fires "RL302 (constant formula)" "RL302"
+    (lint ~formula:"[]<> true" clean)
+    (lint ~formula:"[]<> a" clean);
+  check_fires "RL303 (not Σ'-normal)" "RL303"
+    (lint ~keep:[ "a" ] ~formula:"[]<> !a" clean)
+    (lint ~keep:[ "a" ] ~formula:"[]<> a" clean)
+
+(* --- abstraction codes --- *)
+
+(* Figure 3 of the paper as a .ts file: once [lock]ed (hidden), [result]
+   never happens again, but the hiding to {request, result, reject} cannot
+   see that — the homomorphism is not simple on L. *)
+let fig3 =
+  "initial 0\n\
+   0 request 1\n\
+   1 ok 2\n\
+   1 no 3\n\
+   2 result 0\n\
+   3 reject 0\n\
+   0 lock 4\n\
+   1 lock 5\n\
+   2 lock 7\n\
+   3 lock 6\n\
+   4 request 5\n\
+   5 no 6\n\
+   6 reject 4\n\
+   7 result 4\n"
+
+let test_abstraction_codes () =
+  check_fires "RL401 (unknown observable)" "RL401"
+    (lint ~keep:[ "a"; "zz" ] clean)
+    (lint ~keep:[ "a" ] clean);
+  (match
+     List.find_opt (fun d -> d.D.code = "RL401") (lint ~keep:[ "b1" ] clean)
+   with
+  | Some d ->
+      Alcotest.(check (option string)) "RL401 did-you-mean"
+        (Some "did you mean 'b'?") d.D.fix
+  | None -> Alcotest.fail "RL401 expected");
+  check_fires "RL402 (fully erasing)" "RL402"
+    (lint ~keep:[ "zz" ] clean)
+    (lint ~keep:[ "a" ] clean);
+  check_fires "RL405 (identity abstraction)" "RL405"
+    (lint ~keep:[ "a"; "b" ] clean)
+    (lint ~keep:[ "a" ] clean);
+  let keep = [ "request"; "result"; "reject" ] in
+  check_fires "RL403 (not simple)" "RL403" (lint ~keep fig3)
+    (lint ~keep "initial 0\n0 request 1\n1 result 0\n1 reject 0\n");
+  Alcotest.(check bool) "RL403 is a deep pass" false
+    (has "RL403" (lint ~deep:false ~keep fig3));
+  (* hiding 'b' in a*b^ω maps every behavior to the finite word 'a':
+     h(L) = {ε, a} has the maximal word 'a' *)
+  check_fires "RL404 (maximal words)" "RL404"
+    (lint ~keep:[ "a" ] "initial 0\n0 a 1\n1 b 1\n")
+    (lint ~keep:[ "a" ] clean);
+  Alcotest.(check bool) "RL404 is a deep pass" false
+    (has "RL404" (lint ~deep:false ~keep:[ "a" ] "initial 0\n0 a 1\n1 b 1\n"))
+
+(* the deciders attach the same diagnostics to their verdicts *)
+let test_library_hints () =
+  let sys =
+    Rl_buchi.Buchi.of_transition_system (Ts_format.parse_ts clean)
+  in
+  let alpha = Alphabet.make [ "a"; "b" ] in
+  let p = Relative.ltl alpha (Rl_ltl.Parser.parse "[]<> c") in
+  Alcotest.(check bool) "vacuity_hints reports the unknown atom" true
+    (has "RL301" (Relative.vacuity_hints ~system:sys p));
+  Alcotest.(check (list string)) "clean query, no hints" []
+    (codes
+       (Relative.vacuity_hints ~system:sys
+          (Relative.ltl alpha (Rl_ltl.Parser.parse "[]<> a"))));
+  let ts = Nfa.trim (Ts_format.parse_ts fig3) in
+  let hom =
+    Rl_hom.Hom.hiding ~concrete:(Nfa.alphabet ts)
+      ~keep:[ "request"; "result"; "reject" ]
+  in
+  let report =
+    Abstraction.verify ~ts ~hom ~formula:(Rl_ltl.Parser.parse "[]<> result")
+      ()
+  in
+  Alcotest.(check bool) "verify attaches the RL403 hint" true
+    (has "RL403" report.Abstraction.hints);
+  Alcotest.(check bool) "hints agree with the simple field" true
+    (not report.Abstraction.simple)
+
+(* --- randomized agreement with the automata layer --- *)
+
+let ab = Alphabet.make [ "a"; "b" ]
+
+let prop_unreachable_agrees =
+  QCheck2.Test.make ~name:"RL101 agrees with Nfa.reachable" ~count:300
+    QCheck2.Gen.(pair (0 -- 1_000_000) (1 -- 7))
+    (fun (seed, states) ->
+      let n =
+        Gen.nfa (Helpers.mk_rng seed) ~alphabet:ab ~states ~density:0.2
+          ~final_prob:0.5
+      in
+      let ds = Lint.run { Lint.empty with system = Some n } in
+      has "RL101" ds
+      = (Rl_prelude.Bitset.cardinal (Nfa.reachable n) < Nfa.states n))
+
+(* Gen.transition_system guarantees trim, prefix-closed, maximal-word-free
+   systems: the model passes must find nothing behavioral to complain
+   about, and the RL103 verdict must agree with Büchi emptiness. *)
+let prop_generated_ts_clean =
+  QCheck2.Test.make ~name:"generated systems lint clean of RL101-RL103"
+    ~count:300
+    QCheck2.Gen.(pair (0 -- 1_000_000) (1 -- 8))
+    (fun (seed, states) ->
+      let ts =
+        Gen.transition_system (Helpers.mk_rng seed) ~alphabet:ab ~states
+          ~branching:1.5
+      in
+      let ds = Lint.run { Lint.empty with system = Some ts } in
+      let b = Rl_buchi.Buchi.of_transition_system ts in
+      (not (has "RL101" ds || has "RL102" ds))
+      && has "RL103" ds = Rl_buchi.Buchi.is_empty b)
+
+(* --- a minimal JSON parser, enough to round-trip the reports --- *)
+
+module Json = struct
+  type t =
+    | Null
+    | Bool of bool
+    | Num of float
+    | Str of string
+    | List of t list
+    | Obj of (string * t) list
+
+  exception Bad of string
+
+  let parse (s : string) : t =
+    let pos = ref 0 in
+    let len = String.length s in
+    let peek () = if !pos < len then Some s.[!pos] else None in
+    let advance () = incr pos in
+    let rec skip_ws () =
+      match peek () with
+      | Some (' ' | '\n' | '\t' | '\r') ->
+          advance ();
+          skip_ws ()
+      | _ -> ()
+    in
+    let expect c =
+      if peek () = Some c then advance ()
+      else raise (Bad (Printf.sprintf "expected %c at %d" c !pos))
+    in
+    let literal word v =
+      String.iter expect word;
+      v
+    in
+    let string_lit () =
+      expect '"';
+      let buf = Buffer.create 16 in
+      let rec go () =
+        match peek () with
+        | None -> raise (Bad "unterminated string")
+        | Some '"' -> advance ()
+        | Some '\\' -> (
+            advance ();
+            match peek () with
+            | Some 'n' -> advance (); Buffer.add_char buf '\n'; go ()
+            | Some 't' -> advance (); Buffer.add_char buf '\t'; go ()
+            | Some 'r' -> advance (); Buffer.add_char buf '\r'; go ()
+            | Some 'u' ->
+                advance ();
+                (* keep the escape verbatim: the tests only compare text
+                   that needs no \u escapes *)
+                for _ = 1 to 4 do advance () done;
+                Buffer.add_char buf '?';
+                go ()
+            | Some c -> advance (); Buffer.add_char buf c; go ()
+            | None -> raise (Bad "dangling escape"))
+        | Some c ->
+            advance ();
+            Buffer.add_char buf c;
+            go ()
+      in
+      go ();
+      Buffer.contents buf
+    in
+    let rec value () =
+      skip_ws ();
+      match peek () with
+      | Some 'n' -> literal "null" Null
+      | Some 't' -> literal "true" (Bool true)
+      | Some 'f' -> literal "false" (Bool false)
+      | Some '"' -> Str (string_lit ())
+      | Some '[' ->
+          advance ();
+          skip_ws ();
+          if peek () = Some ']' then (advance (); List [])
+          else
+            let rec items acc =
+              let v = value () in
+              skip_ws ();
+              match peek () with
+              | Some ',' -> advance (); items (v :: acc)
+              | Some ']' -> advance (); List (List.rev (v :: acc))
+              | _ -> raise (Bad "expected , or ] in array")
+            in
+            items []
+      | Some '{' ->
+          advance ();
+          skip_ws ();
+          if peek () = Some '}' then (advance (); Obj [])
+          else
+            let field () =
+              skip_ws ();
+              let k = string_lit () in
+              skip_ws ();
+              expect ':';
+              (k, value ())
+            in
+            let rec fields acc =
+              let kv = field () in
+              skip_ws ();
+              match peek () with
+              | Some ',' -> advance (); fields (kv :: acc)
+              | Some '}' -> advance (); Obj (List.rev (kv :: acc))
+              | _ -> raise (Bad "expected , or } in object")
+            in
+            fields []
+      | Some (('-' | '0' .. '9') as c0) ->
+          let start = !pos in
+          advance ();
+          ignore c0;
+          let rec digits () =
+            match peek () with
+            | Some ('0' .. '9' | '.' | 'e' | 'E' | '+' | '-') ->
+                advance ();
+                digits ()
+            | _ -> ()
+          in
+          digits ();
+          Num (float_of_string (String.sub s start (!pos - start)))
+      | _ -> raise (Bad (Printf.sprintf "unexpected input at %d" !pos))
+    in
+    let v = value () in
+    skip_ws ();
+    if !pos <> len then raise (Bad "trailing garbage");
+    v
+
+  let member k = function
+    | Obj kvs -> List.assoc k kvs
+    | _ -> raise (Bad ("not an object looking up " ^ k))
+
+  let to_list = function List l -> l | _ -> raise (Bad "not a list")
+  let to_str = function Str s -> s | _ -> raise (Bad "not a string")
+  let to_num = function Num n -> n | _ -> raise (Bad "not a number")
+end
+
+let sample_diags () =
+  lint ~formula:"[]<> c" ~keep:[ "a" ] "0 a 1\n1 b 1\n"
+
+let test_json_roundtrip () =
+  let ds = sample_diags () in
+  let j = Json.parse (D.report_json ds) in
+  let listed = Json.(to_list (member "diagnostics" j)) in
+  Alcotest.(check int) "every diagnostic is listed" (List.length ds)
+    (List.length listed);
+  List.iter2
+    (fun d jd ->
+      Alcotest.(check string) "code round-trips" d.D.code
+        Json.(to_str (member "code" jd));
+      Alcotest.(check string) "severity round-trips"
+        (D.severity_label d.D.severity)
+        Json.(to_str (member "severity" jd));
+      Alcotest.(check string) "message round-trips" d.D.message
+        Json.(to_str (member "message" jd)))
+    ds listed;
+  let e, w, h = D.count ds in
+  Alcotest.(check int) "error total" e
+    (int_of_float Json.(to_num (member "errors" j)));
+  Alcotest.(check int) "warning total" w
+    (int_of_float Json.(to_num (member "warnings" j)));
+  Alcotest.(check int) "hint total" h
+    (int_of_float Json.(to_num (member "hints" j)));
+  (* the empty report is also valid JSON *)
+  match Json.parse (D.report_json []) with
+  | Json.Obj _ -> ()
+  | _ -> Alcotest.fail "empty report should be an object"
+
+let test_sarif_roundtrip () =
+  let ds = sample_diags () in
+  let j = Json.parse (D.report_sarif ~rules:Lint.rules ds) in
+  Alcotest.(check string) "sarif version" "2.1.0"
+    Json.(to_str (member "version" j));
+  let run = List.hd Json.(to_list (member "runs" j)) in
+  let driver = Json.(member "driver" (member "tool" run)) in
+  Alcotest.(check string) "driver name" "rlcheck"
+    Json.(to_str (member "name" driver));
+  let results = Json.(to_list (member "results" run)) in
+  Alcotest.(check int) "every diagnostic is a result" (List.length ds)
+    (List.length results);
+  let levels = [ "error"; "warning"; "note" ] in
+  List.iter
+    (fun r ->
+      Alcotest.(check bool) "level is a sarif level" true
+        (List.mem Json.(to_str (member "level" r)) levels))
+    results;
+  (* every ruleId of the results is declared in the driver's rules *)
+  let declared =
+    List.map
+      (fun r -> Json.(to_str (member "id" r)))
+      Json.(to_list (member "rules" driver))
+  in
+  List.iter
+    (fun r ->
+      let id = Json.(to_str (member "ruleId" r)) in
+      Alcotest.(check bool) ("rule declared: " ^ id) true
+        (List.mem id declared))
+    results
+
+let prop_reports_parse =
+  QCheck2.Test.make ~name:"reports of random systems always parse" ~count:200
+    QCheck2.Gen.(pair (0 -- 1_000_000) (1 -- 7))
+    (fun (seed, states) ->
+      let n =
+        Gen.nfa (Helpers.mk_rng seed) ~alphabet:ab ~states ~density:0.25
+          ~final_prob:0.5
+      in
+      let ds = Lint.run { Lint.empty with system = Some n } in
+      match
+        ( Json.parse (D.report_json ds),
+          Json.parse (D.report_sarif ~rules:Lint.rules ds) )
+      with
+      | _, _ -> true
+      | exception Json.Bad _ -> false)
+
+(* --- registry invariants --- *)
+
+let test_registry () =
+  (* every pass code has rule metadata, and codes are unique per pass *)
+  List.iter
+    (fun p ->
+      List.iter
+        (fun c ->
+          Alcotest.(check bool)
+            (Printf.sprintf "rule metadata for %s" c)
+            true
+            (List.mem_assoc c Lint.rules))
+        p.Lint.codes)
+    Lint.passes;
+  (* the output is sorted: errors precede warnings precede hints within a
+     file/line group *)
+  let ds = sample_diags () in
+  let rec sorted = function
+    | a :: (b :: _ as rest) -> D.compare a b <= 0 && sorted rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "run output is sorted" true (sorted ds);
+  Alcotest.(check bool) "run on empty input finds nothing" true
+    (Lint.run Lint.empty = [])
+
+let qsuite =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_unreachable_agrees; prop_generated_ts_clean; prop_reports_parse ]
+
+let () =
+  Alcotest.run "analysis"
+    [
+      ( "passes",
+        [
+          Alcotest.test_case "parse-time codes" `Quick test_parse_codes;
+          Alcotest.test_case "model codes" `Quick test_model_codes;
+          Alcotest.test_case "alphabet mismatch" `Quick test_alphabet_mismatch;
+          Alcotest.test_case "fairness codes" `Quick test_fairness_codes;
+          Alcotest.test_case "formula codes" `Quick test_formula_codes;
+          Alcotest.test_case "abstraction codes" `Quick test_abstraction_codes;
+          Alcotest.test_case "library hints" `Quick test_library_hints;
+          Alcotest.test_case "registry invariants" `Quick test_registry;
+        ] );
+      ( "reports",
+        [
+          Alcotest.test_case "json round-trip" `Quick test_json_roundtrip;
+          Alcotest.test_case "sarif round-trip" `Quick test_sarif_roundtrip;
+        ] );
+      ("properties", qsuite);
+    ]

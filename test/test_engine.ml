@@ -142,20 +142,34 @@ let test_ts_validation () =
       Alcotest.(check bool) "mentions the state" true
         (contains_sub msg "initial state 7")
   | _ -> Alcotest.fail "out-of-range initial state should be an error");
-  (* warnings: defaulted initial, no-outgoing initial *)
+  (* typed diagnostics: defaulted initial, no-outgoing initial *)
+  let module D = Rl_analysis.Diagnostic in
+  let diags = ref [] in
+  let on_diagnostic d = diags := d :: !diags in
+  ignore (Ts_format.parse_ts ~on_diagnostic "0 a 1\n");
+  (match List.find_opt (fun d -> d.D.code = "RL001") !diags with
+  | Some d ->
+      Alcotest.(check bool) "RL001 is a warning" true (d.D.severity = D.Warning);
+      Alcotest.(check (option int))
+        "RL001 spans the first state declaration" (Some 1)
+        (Option.map (fun s -> s.D.start_line) d.D.span)
+  | None -> Alcotest.fail "defaulted initial should emit RL001");
+  diags := [];
+  ignore (Ts_format.parse_ts ~on_diagnostic "initial 0 1\n0 a 1\n");
+  (match List.find_opt (fun d -> d.D.code = "RL003") !diags with
+  | Some d ->
+      Alcotest.(check bool) "RL003 mentions the state" true
+        (contains_sub d.D.message "initial state 1");
+      Alcotest.(check (option int))
+        "RL003 points at the declaring line" (Some 1)
+        (Option.map (fun s -> s.D.start_line) d.D.span)
+  | None -> Alcotest.fail "dead-end initial should emit RL003");
+  (* the deprecated string shim still sees the messages verbatim *)
   let warnings = ref [] in
   let on_warning w = warnings := w :: !warnings in
   ignore (Ts_format.parse_ts ~on_warning "0 a 1\n");
-  Alcotest.(check bool) "defaulting warned" true
-    (List.exists
-       (fun w -> contains_sub w "defaulting")
-       !warnings);
-  warnings := [];
-  ignore (Ts_format.parse_ts ~on_warning "initial 0 1\n0 a 1\n");
-  Alcotest.(check bool) "dead-end initial warned" true
-    (List.exists
-       (fun w -> contains_sub w "no outgoing")
-       !warnings)
+  Alcotest.(check bool) "shim still warned" true
+    (List.exists (fun w -> contains_sub w "defaulting") !warnings)
 
 (* --- Certify on a concrete system --- *)
 
