@@ -896,6 +896,23 @@ let json_escape s =
     s;
   Buffer.contents b
 
+(* Every report carries the same host block: wall-clock and speedup
+   figures are meaningless without knowing how many cores produced them. *)
+let host_cores = Domain.recommended_domain_count ()
+
+let host_json () =
+  Printf.sprintf
+    "{\"cores\": %d, \"os\": \"%s\", \"ocaml\": \"%s\", \"single_core\": %b}"
+    host_cores (json_escape Sys.os_type)
+    (json_escape Sys.ocaml_version)
+    (host_cores < 2)
+
+let host_caveat () =
+  if host_cores < 2 then
+    Printf.printf
+      "NOTE: single-core host — the adaptive cutoff collapses the domain \
+       pool to serial, so parallel timings measure overhead, not speedup.\n"
+
 let profile_json profiles =
   let record p =
     Printf.sprintf
@@ -907,7 +924,9 @@ let profile_json profiles =
       | Some ph -> Printf.sprintf "\"%s\"" (json_escape ph)
       | None -> "null")
   in
-  Printf.sprintf "[\n%s\n]\n" (String.concat ",\n" (List.map record profiles))
+  Printf.sprintf "{\n  \"host\": %s,\n  \"cases\": [\n%s\n  ]\n}\n"
+    (host_json ())
+    (String.concat ",\n" (List.map record profiles))
 
 let resource_profile () =
   header "RESOURCE PROFILE (states explored per check, Rl_engine.Budget)";
@@ -1044,6 +1063,7 @@ let parallel_json ~cores ~armed ~best rows =
   in
   Printf.sprintf
     "{\n\
+    \  \"host\": %s,\n\
     \  \"jobs\": %d,\n\
     \  \"cores\": %d,\n\
     \  \"speedup_bar_armed\": %b,\n\
@@ -1052,7 +1072,7 @@ let parallel_json ~cores ~armed ~best rows =
      %s\n\
     \  ]\n\
      }\n"
-    par_jobs cores armed best
+    (host_json ()) par_jobs cores armed best
     (String.concat ",\n" (List.map record rows))
 
 let parallel_profile () =
@@ -1222,12 +1242,14 @@ let reduction_json ~best rows =
   in
   Printf.sprintf
     "{\n\
+    \  \"host\": %s,\n\
     \  \"metric\": \"states explored, reduce:false / reduce:true\",\n\
     \  \"best_speedup\": %.3f,\n\
     \  \"families\": [\n\
      %s\n\
     \  ]\n\
      }\n"
+    (host_json ())
     best
     (String.concat ",\n" (List.map record rows))
 
@@ -1319,6 +1341,7 @@ let lint_json ~worst rows =
   in
   Printf.sprintf
     "{\n\
+    \  \"host\": %s,\n\
     \  \"overhead_bar_pct\": 5.0,\n\
     \  \"check_floor_s\": %.3f,\n\
     \  \"worst_armed_overhead_pct\": %.3f,\n\
@@ -1326,7 +1349,7 @@ let lint_json ~worst rows =
      %s\n\
     \  ]\n\
      }\n"
-    lint_check_floor worst
+    (host_json ()) lint_check_floor worst
     (String.concat ",\n" (List.map record rows))
 
 let lint_profile () =
@@ -1386,6 +1409,7 @@ let lint_profile () =
 let () =
   print_endline
     "Relative Liveness and Behavior Abstraction — reproduction harness";
+  host_caveat ();
   (* `--only-profile` skips the figures and the timed microbenchmarks and
      runs just the deterministic resource profile — what CI smoke-checks *)
   let only_profile =

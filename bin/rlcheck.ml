@@ -40,6 +40,7 @@ module Certify = Rl_engine.Certify
 module Pool = Rl_engine.Pool
 module Diagnostic = Rl_analysis.Diagnostic
 module Lint = Rl_analysis.Lint
+module Request = Rl_service.Request
 
 let report_diag d = Format.eprintf "rlcheck: %a@." Diagnostic.pp d
 
@@ -162,67 +163,36 @@ let guarded body = handle (Result.join (Error.protect body))
 
 let ( let* ) r f = Result.bind r f
 
-let uncertified failure =
-  Error
-    (Error.Internal
-       (Format.asprintf "refusing to report an uncertified witness: %a"
-          Certify.pp_failure failure))
-
-let certify check = match check with Ok () -> Ok () | Error f -> uncertified f
-
 (* --- sat / rl / rs --- *)
 
+(* The three deciding subcommands run through the service's request
+   layer (lib/service/request.ml) — the same pipeline the daemon
+   executes, so the CLI and rlcheckd cannot drift. The reply carries
+   what used to be printed inline: diagnostics and the lint-refusal
+   line go to stderr first (exactly the order the streaming code
+   produced), the verdict line to stdout, and the status maps onto the
+   documented exit codes. *)
+
+let print_reply (reply : Request.reply) =
+  List.iter report_diag reply.Request.diagnostics;
+  (match reply.Request.blocked_summary with
+  | Some summary -> Format.eprintf "rlcheck: %s@." summary
+  | None -> ());
+  (match reply.Request.status with
+  | Request.Holds | Request.Fails -> Format.printf "%s@." reply.Request.message
+  | Request.Blocked -> ()
+  | Request.Failed err -> Format.eprintf "rlcheck: %a@." Error.pp err);
+  exit (Request.exit_code reply)
+
 let run_check mode path formula_src max_states timeout bound jobs no_lint =
-  let budget = Budget.create ?max_states ?timeout () in
-  guarded @@ fun () ->
-  with_jobs jobs @@ fun pool ->
-  let* f = parse_formula formula_src in
-  let* ts = load_and_lint ~budget ?bound ~formula:f ~no_lint path in
-  let alpha = Nfa.alphabet ts in
-  let system = Buchi.of_transition_system ts in
-  let p = Relative.ltl alpha f in
-  (* certification replays get a fresh budget with the same limits: they
-     must not inherit a spent one, nor run unbounded on inputs the user
-     asked to bound *)
-  let fresh () = Budget.create ?max_states ?timeout () in
-  match mode with
-  | `Sat -> (
-      match Relative.satisfies ~budget ?pool ~system p with
-      | Ok () ->
-          Format.printf "SATISFIED: every behavior satisfies %a@."
-            Rl_ltl.Formula.pp f;
-          Ok ()
-      | Error cex ->
-          let* () = certify (Certify.counterexample ~system p cex) in
-          Format.printf "VIOLATED: counterexample %a@." (Lasso.pp alpha) cex;
-          exit 1)
-  | `Rl -> (
-      match Relative.is_relative_liveness ~budget ?pool ~system p with
-      | Ok () ->
-          Format.printf
-            "RELATIVE LIVENESS: every prefix extends to a behavior \
-             satisfying %a@."
-            Rl_ltl.Formula.pp f;
-          Ok ()
-      | Error w ->
-          let* () =
-            certify (Certify.doomed_prefix ~budget:(fresh ()) ~system p w)
-          in
-          Format.printf "NOT RELATIVE LIVENESS: doomed prefix %a@."
-            (Word.pp alpha) w;
-          exit 1)
-  | `Rs -> (
-      match Relative.is_relative_safety ~budget ?pool ~system p with
-      | Ok () ->
-          Format.printf "RELATIVE SAFETY: violations are irredeemable@.";
-          Ok ()
-      | Error x ->
-          let* () = certify (Certify.counterexample ~system p x) in
-          Format.printf
-            "NOT RELATIVE SAFETY: %a violates the property but is never \
-             doomed@."
-            (Lasso.pp alpha) x;
-          exit 1)
+  let kind =
+    match mode with `Sat -> Request.Sat | `Rl -> Request.Rl | `Rs -> Request.Rs
+  in
+  let job =
+    Request.job ?max_states ?timeout ?bound ~no_lint kind (Request.File path)
+      formula_src
+  in
+  with_jobs jobs @@ fun pool -> print_reply (Request.run ?pool job)
 
 let check_cmd name mode doc =
   let term =

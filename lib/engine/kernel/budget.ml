@@ -61,6 +61,23 @@ let exhaust b states resource =
 
 let cancelled b = Atomic.get b.tripped <> None
 
+(* External cancellation: the service watchdog publishes an exhaustion
+   record from *outside* the checking code, so every subsequent
+   tick/poll/flush on any domain raises and the abandoned check unwinds
+   at its next cooperative point. Unlike [exhaust] this never raises on
+   the cancelling domain — the watchdog is not the one doing the work —
+   and it never overwrites a record the check already tripped itself. *)
+let cancel ?(phase = "wall-clock deadline (watchdog)") b resource =
+  let e =
+    {
+      resource;
+      phase = (if b.phase = "" then phase else b.phase);
+      states_explored = Atomic.get b.states;
+      max_states = b.max_states;
+    }
+  in
+  ignore (Atomic.compare_and_set b.tripped None (Some e))
+
 let check_cancelled b =
   match Atomic.get b.tripped with
   | Some e -> raise (Exhausted e)
@@ -115,10 +132,20 @@ type local = { budget : t; mutable pending : int }
 
 let local b = { budget = b; pending = 0 }
 
+(* The budget-contention injection point: widen the race window between
+   domains publishing to the same budget by spinning briefly before the
+   CAS. Verdicts must be unaffected — the chaos suites assert that. *)
+let contention_stall () =
+  if Fault.armed () && Fault.should_fire Fault.Budget_contention then
+    for _ = 1 to 64 do
+      Domain.cpu_relax ()
+    done
+
 let flush l =
   let b = l.budget in
   if l.pending = 0 then check_cancelled b
   else begin
+    contention_stall ();
     let n = l.pending in
     l.pending <- 0;
     let total = Atomic.fetch_and_add b.states n + n in

@@ -67,6 +67,16 @@ val poll : t -> unit
 (** [cancelled b] — some domain has already exhausted [b] (no raise). *)
 val cancelled : t -> bool
 
+(** [cancel ?phase b resource] exhausts [b] from the outside: it
+    publishes an exhaustion record (unless one is already published)
+    without raising on the calling domain, so every later {!tick},
+    {!poll} or {!flush} on any domain raises {!Exhausted}. This is the
+    service watchdog's lever: when a request blows its wall-clock
+    deadline, the watchdog cancels its budget and the abandoned check
+    unwinds at its next cooperative point. [phase] labels the record
+    when the budget has no phase of its own. *)
+val cancel : ?phase:string -> t -> [ `States | `Time ] -> unit
+
 (** {2 Batched per-domain ticking}
 
     Under parallel exploration, ticking the shared atomic counter once per

@@ -21,7 +21,29 @@
    fans the remainder out when the projection clears the threshold.
    Because results are positional and the probe items are the lowest
    indices, the observable output — including which exception surfaces —
-   is the same either way. *)
+   is the same either way.
+
+   Worker death. A long-running service cannot assume the workers are
+   immortal: a job closure with a bug (or the injected
+   [Fault.Pool_domain_death]) can blow a worker up. The failure-safe
+   design has three legs, none of which can deadlock the joining caller:
+
+   - Every exit path of a worker's job participation — normal return or
+     any exception escaping the closure — decrements [pending] under the
+     mutex before anything else, so [run_job]'s barrier always completes.
+     An exception additionally retires the worker: it marks its slot
+     dead, decrements [alive], and lets its domain terminate. Future
+     regions simply fan out across the survivors ([run_job] sizes the
+     barrier by [alive], not by the original worker count).
+   - [run_parallel] repairs the barrier's results: slots a dead worker
+     claimed but never filled are recomputed serially by the caller, so
+     the region's output is byte-identical to the fault-free run.
+   - [heal] respawns dead workers between regions; a pool that cannot be
+     healed keeps degrading gracefully — with zero live workers every
+     region runs serially on the caller, which is the documented floor of
+     the degradation ladder. *)
+
+type worker = { mutable domain : unit Domain.t option; mutable dead : bool }
 
 type t = {
   size : int;
@@ -29,7 +51,10 @@ type t = {
       (* adaptive-cutoff threshold in µs of projected serial work below
          which [parmap] stays serial; [0] = always parallel, [max_int] =
          never parallel (the default on single-core hosts) *)
-  mutable workers : unit Domain.t array;
+  workers : worker array;
+  mutable alive : int; (* spawned workers still serving *)
+  mutable deaths : int; (* workers lost since creation (cumulative) *)
+  mutable heals : int; (* workers respawned by [heal] (cumulative) *)
   mutex : Mutex.t;
   work : Condition.t; (* signals: a new epoch's job is available, or stop *)
   finished : Condition.t; (* signals: pending reached 0 *)
@@ -58,8 +83,10 @@ let default_cutoff () =
       (* with a single hardware thread, fanning out never pays *)
       if recommended () < 2 then max_int else 1_000
 
-let worker_loop pool me =
-  let my_epoch = ref 0 in
+(* [start_epoch] is [pool.epoch] at spawn time: a worker respawned by
+   [heal] must not mistake the regions it missed for a pending job. *)
+let worker_loop pool me start_epoch =
+  let my_epoch = ref start_epoch in
   let running = ref true in
   while !running do
     Mutex.lock pool.mutex;
@@ -71,16 +98,40 @@ let worker_loop pool me =
       running := false
     end
     else begin
-      let f = Option.get pool.job in
-      my_epoch := pool.epoch;
-      Mutex.unlock pool.mutex;
-      (* Jobs trap their own exceptions (see [parmap]); a raise here would
-         mean a bug in the pool itself, and must not kill the worker. *)
-      (try f me with _ -> ());
-      Mutex.lock pool.mutex;
-      pool.pending <- pool.pending - 1;
-      if pool.pending = 0 then Condition.signal pool.finished;
-      Mutex.unlock pool.mutex
+      match pool.job with
+      | None ->
+          (* Stale epoch but no job in flight (a [heal]-respawned worker
+             waking between regions): adopt the current epoch and park.
+             Raising here would kill the domain with the mutex held and
+             deadlock every future pool operation. *)
+          my_epoch := pool.epoch;
+          Mutex.unlock pool.mutex
+      | Some f ->
+          my_epoch := pool.epoch;
+          Mutex.unlock pool.mutex;
+          (* Any exception escaping the job closure — the injected domain
+             death included — retires this worker. The pending decrement
+             comes first and unconditionally: the barrier must complete
+             even as the worker dies. *)
+          let death =
+            match
+              if Fault.armed () then Fault.fire Fault.Pool_domain_death;
+              f me
+            with
+            | () -> None
+            | exception e -> Some e
+          in
+          Mutex.lock pool.mutex;
+          pool.pending <- pool.pending - 1;
+          if pool.pending = 0 then Condition.signal pool.finished;
+          (match death with
+          | None -> ()
+          | Some _ ->
+              pool.workers.(me - 1).dead <- true;
+              pool.alive <- pool.alive - 1;
+              pool.deaths <- pool.deaths + 1;
+              running := false);
+          Mutex.unlock pool.mutex
     end
   done
 
@@ -99,7 +150,10 @@ let create ?(jobs = 1) ?cutoff () =
     {
       size;
       cutoff;
-      workers = [||];
+      workers = Array.init (size - 1) (fun _ -> { domain = None; dead = false });
+      alive = 0;
+      deaths = 0;
+      heals = 0;
       mutex = Mutex.create ();
       work = Condition.create ();
       finished = Condition.create ();
@@ -110,14 +164,55 @@ let create ?(jobs = 1) ?cutoff () =
       busy = Atomic.make false;
     }
   in
-  if size > 1 then
-    pool.workers <-
-      Array.init (size - 1) (fun i ->
-          Domain.spawn (fun () -> worker_loop pool (i + 1)));
+  Array.iteri
+    (fun i w ->
+      w.domain <- Some (Domain.spawn (fun () -> worker_loop pool (i + 1) 0)))
+    pool.workers;
+  pool.alive <- Array.length pool.workers;
   pool
 
 let size pool = pool.size
 let cutoff pool = pool.cutoff
+
+let alive pool =
+  Mutex.lock pool.mutex;
+  let a = pool.alive in
+  Mutex.unlock pool.mutex;
+  a
+
+let deaths pool =
+  Mutex.lock pool.mutex;
+  let d = pool.deaths in
+  Mutex.unlock pool.mutex;
+  d
+
+let heals pool =
+  Mutex.lock pool.mutex;
+  let h = pool.heals in
+  Mutex.unlock pool.mutex;
+  h
+
+let degraded pool = alive pool < Array.length pool.workers
+
+(* Respawn dead workers. Must only be called between regions (the daemon
+   heals between requests); a spawn failure leaves the remaining dead
+   slots dead — the pool keeps running on the survivors. *)
+let heal pool =
+  Mutex.lock pool.mutex;
+  Array.iteri
+    (fun i w ->
+      if w.dead then begin
+        (* the old domain has exited; join reaps it promptly *)
+        (match w.domain with Some d -> Domain.join d | None -> ());
+        let epoch = pool.epoch in
+        w.domain <-
+          Some (Domain.spawn (fun () -> worker_loop pool (i + 1) epoch));
+        w.dead <- false;
+        pool.alive <- pool.alive + 1;
+        pool.heals <- pool.heals + 1
+      end)
+    pool.workers;
+  Mutex.unlock pool.mutex
 
 let shutdown pool =
   if Array.length pool.workers > 0 then begin
@@ -125,21 +220,31 @@ let shutdown pool =
     pool.stop <- true;
     Condition.broadcast pool.work;
     Mutex.unlock pool.mutex;
-    Array.iter Domain.join pool.workers;
-    pool.workers <- [||]
+    Array.iter
+      (fun w ->
+        match w.domain with
+        | Some d ->
+            Domain.join d;
+            w.domain <- None
+        | None -> ())
+      pool.workers
   end
 
 let with_pool ?jobs ?cutoff f =
   let pool = create ?jobs ?cutoff () in
   Fun.protect ~finally:(fun () -> shutdown pool) (fun () -> f pool)
 
-(* Run [f] once on every member of the pool (the caller included) and wait
-   for all of them. [f] must not raise. *)
+(* Run [f] once on every live member of the pool (the caller included) and
+   wait for all of them. The barrier is sized by [alive] at publication
+   time: workers that died in earlier epochs have exited their loops and
+   will never see this job. A worker dying *inside* this job still
+   decrements [pending] on its way out, so the wait below always
+   terminates. *)
 let run_job pool f =
   Mutex.lock pool.mutex;
   pool.job <- Some f;
   pool.epoch <- pool.epoch + 1;
-  pool.pending <- pool.size - 1;
+  pool.pending <- pool.alive;
   Condition.broadcast pool.work;
   Mutex.unlock pool.mutex;
   (try f 0 with _ -> ());
@@ -169,7 +274,11 @@ let run_parallel (type a b) pool (f : a -> b) (xs : a array)
       else begin
         let start = Atomic.fetch_and_add cursor chunk in
         if start >= n then continue := false
-        else
+        else begin
+          (* the mid-map death probe: a worker that dies *here* has
+             claimed [start, start+chunk) and will fill none of it — the
+             repair pass below recomputes the orphaned slots *)
+          if Fault.armed () then Fault.fire Fault.Pool_domain_death;
           for j = start to min n (start + chunk) - 1 do
             if not (Atomic.get failed) then (
               match f xs.(j) with
@@ -178,6 +287,7 @@ let run_parallel (type a b) pool (f : a -> b) (xs : a array)
                   failures.(j) <- Some e;
                   Atomic.set failed true)
           done
+        end
       end
     done
   in
@@ -190,7 +300,16 @@ let run_parallel (type a b) pool (f : a -> b) (xs : a array)
     done;
     match !first with Some e -> raise e | None -> assert false
   end
-  else Array.map (function Some v -> v | None -> assert false) results
+  else begin
+    (* Repair the barrier: any slot a dead worker (or a caller whose
+       body the death fault aborted) claimed but never filled is
+       recomputed here, serially — the region's output is independent of
+       whether and when workers died. *)
+    for j = 0 to n - 1 do
+      if results.(j) = None then results.(j) <- Some (f xs.(j))
+    done;
+    Array.map (function Some v -> v | None -> assert false) results
+  end
 
 (* The raw fan-out, no cutoff: used by [parfan], whose few thunks are
    whole independent sub-checks — probing the first one serially would

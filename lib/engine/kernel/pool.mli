@@ -44,7 +44,20 @@
     back to [1_000] µs — or to [max_int] when the host reports a single
     hardware thread, where fan-out never pays. {!parfan} is exempt from
     the probe: its thunks are whole independent sub-checks, and probing
-    the first serially would serialize an entire leg. *)
+    the first serially would serialize an entire leg.
+
+    {2 Worker death and healing}
+
+    A worker whose job closure raises — a defect, or the injected
+    {!Fault.Pool_domain_death} — retires: it decrements the region's
+    barrier {e first} (the joining caller never deadlocks), marks its
+    slot dead, and lets its domain exit. The region's results stay
+    byte-identical to the fault-free run: slots the dead worker claimed
+    but never filled are recomputed serially by the caller. Later
+    regions fan out across the survivors; with zero survivors every
+    region runs serially on the caller — the floor of the service's
+    degradation ladder. {!heal} respawns dead workers between regions,
+    and {!degraded} reports whether any slots are currently dead. *)
 
 type t
 
@@ -66,6 +79,25 @@ val cutoff : t -> int
 
 (** [Domain.recommended_domain_count ()] — the meaning of [--jobs 0]. *)
 val recommended : unit -> int
+
+(** Spawned workers currently serving (excludes the caller); a fresh
+    pool of size [n] has [n - 1]. *)
+val alive : t -> int
+
+(** [degraded p] — some worker slots are dead; regions still complete
+    (and stay correct), just with less parallelism. *)
+val degraded : t -> bool
+
+(** Workers lost since creation (cumulative, survives healing). *)
+val deaths : t -> int
+
+(** Workers respawned by {!heal} since creation. *)
+val heals : t -> int
+
+(** [heal p] respawns every dead worker. Call between regions only (the
+    daemon heals between requests); concurrent regions on other domains
+    are not supported during a heal. *)
+val heal : t -> unit
 
 (** [shutdown p] wakes the workers, asks them to exit, and joins them.
     Idempotent. A pool must not be used after shutdown. *)

@@ -7,11 +7,14 @@
     fingerprinting and the translation to concrete automata live in
     [Rl_automata.Preorder].
 
-    The table is global, mutex-guarded (deciders running under [Pool] may
-    race on lookups) and grows for the lifetime of the process; automata
-    fingerprints are small and the deciders touch few distinct automata,
-    so there is no eviction policy. Entries are immutable after
-    insertion: treat returned rows as read-only. *)
+    The table is global and mutex-guarded (deciders running under [Pool]
+    may race on lookups), and it is {e bounded}: entries beyond the
+    capacity — default 512, overridable with the [RLCHECK_SIMCACHE_CAP]
+    environment variable or {!set_capacity} ([<= 0] = unbounded) — are
+    evicted least-recently-used, so a long-running daemon fed a hostile
+    stream of distinct models pays recomputation, never unbounded
+    memory. Entries are immutable after insertion: treat returned rows
+    as read-only. *)
 
 type key = string
 (** A structural fingerprint, e.g. [Digest.string] of a canonical
@@ -27,6 +30,17 @@ val find_or_compute : key -> (unit -> entry) -> entry
 
 (** [stats ()] is [(hits, misses, entries)] since the last {!clear}. *)
 val stats : unit -> int * int * int
+
+(** [evictions ()] — entries dropped by the LRU bound since the last
+    {!clear}. *)
+val evictions : unit -> int
+
+(** The current capacity in entries ([<= 0] = unbounded). *)
+val capacity : unit -> int
+
+(** [set_capacity n] rebounds the table immediately, evicting down to
+    [n] if needed. *)
+val set_capacity : int -> unit
 
 (** [clear ()] empties the table and resets the counters. *)
 val clear : unit -> unit

@@ -7,6 +7,9 @@
 
 module Budget = Rl_engine_kernel.Budget
 module Pool = Rl_engine_kernel.Pool
+module Fault = Rl_engine_kernel.Fault
+module Lru = Rl_engine_kernel.Lru
+module Simcache = Rl_engine_kernel.Simcache
 
 module Error = struct
   include Rl_engine_kernel.Error

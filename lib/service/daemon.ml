@@ -1,0 +1,480 @@
+(* The accept loop and the wire protocol; all checking goes through
+   Request, all isolation through Supervisor.
+
+   Failure domains, from the inside out: a job that crashes is a typed
+   error in its own result slot; a job that blows the batch deadline is
+   abandoned (budget cancelled, worker thread orphaned) and the batch
+   cut short with per-job partial results; a connection that sends
+   garbage gets an error reply and may try again; a worker domain that
+   dies is healed between batches, and a pool that cannot be healed is
+   abandoned for serial execution. Nothing in a request's path can take
+   the accept loop down short of the process being killed. *)
+
+module Budget = Rl_engine.Budget
+module Error = Rl_engine.Error
+module Pool = Rl_engine.Pool
+module Fault = Rl_engine.Fault
+module Simcache = Rl_engine.Simcache
+module Diagnostic = Rl_analysis.Diagnostic
+module J = Jsonx
+
+type config = {
+  socket_path : string;
+  jobs : int;
+  deadline_s : float option;
+  model_cache_capacity : int;
+  max_batch : int;
+  quiet : bool;
+}
+
+let default_config ~socket_path =
+  {
+    socket_path;
+    jobs = 1;
+    deadline_s = None;
+    model_cache_capacity = 256;
+    max_batch = 256;
+    quiet = false;
+  }
+
+type counters = {
+  mutable requests : int; (* protocol ops answered *)
+  mutable batches : int;
+  mutable jobs_run : int;
+  mutable holds : int;
+  mutable fails : int;
+  mutable blocked : int;
+  mutable errors : int;
+  mutable deadlines : int; (* jobs abandoned by the watchdog *)
+  mutable skipped : int; (* jobs never started: batch deadline gone *)
+  mutable bad_requests : int;
+}
+
+type t = {
+  config : config;
+  started : float;
+  cache : Request.cache;
+  mutable pool : Pool.t option;
+  mutable pool_broken : bool; (* healing failed: serial fallback for good *)
+  counters : counters;
+}
+
+let log d fmt =
+  if d.config.quiet then Format.ifprintf Format.err_formatter fmt
+  else Format.eprintf fmt
+
+(* --- rendering --- *)
+
+let severity_json s = J.Str (Diagnostic.severity_label s)
+
+let diagnostic_json (d : Diagnostic.t) =
+  J.Obj
+    [
+      ("code", J.Str d.Diagnostic.code);
+      ("severity", severity_json d.Diagnostic.severity);
+      ( "file",
+        match d.Diagnostic.file with Some f -> J.Str f | None -> J.Null );
+      ( "line",
+        match d.Diagnostic.span with
+        | Some s -> J.Num (float_of_int s.Diagnostic.start_line)
+        | None -> J.Null );
+      ("message", J.Str d.Diagnostic.message);
+      ("rendered", J.Str (Format.asprintf "%a" Diagnostic.pp d));
+    ]
+
+let reply_json index (r : Request.reply) =
+  let status, error =
+    match r.Request.status with
+    | Request.Holds -> ("holds", None)
+    | Request.Fails -> ("fails", None)
+    | Request.Blocked ->
+        ("blocked", Option.map (fun s -> s) r.Request.blocked_summary)
+    | Request.Failed err -> ("error", Some (Error.to_string err))
+  in
+  J.Obj
+    [
+      ("job", J.Num (float_of_int index));
+      ("status", J.Str status);
+      ("exit_code", J.Num (float_of_int (Request.exit_code r)));
+      ("message", J.Str r.Request.message);
+      ( "witness",
+        match r.Request.witness with Some w -> J.Str w | None -> J.Null );
+      ("error", match error with Some e -> J.Str e | None -> J.Null);
+      ( "diagnostics",
+        J.Arr (List.map diagnostic_json r.Request.diagnostics) );
+      ("states", J.Num (float_of_int r.Request.states));
+      ("elapsed_s", J.Num r.Request.elapsed_s);
+    ]
+
+let deadline_json index (e : Budget.exhaustion) ~started =
+  J.Obj
+    [
+      ("job", J.Num (float_of_int index));
+      ("status", J.Str (if started then "deadline" else "skipped"));
+      ("exit_code", J.Num 4.);
+      ("message", J.Str "");
+      ("witness", J.Null);
+      ("error", J.Str (Format.asprintf "%a" Budget.pp_exhaustion e));
+      ("diagnostics", J.Arr []);
+      ("states", J.Num (float_of_int e.Budget.states_explored));
+      ("elapsed_s", J.Null);
+    ]
+
+(* --- job parsing --- *)
+
+let parse_job j =
+  let open Request in
+  match J.str_member "kind" j with
+  | None -> Error "job: missing \"kind\""
+  | Some k -> (
+      match kind_of_name k with
+      | None -> Error (Printf.sprintf "job: unknown kind %S" k)
+      | Some kind -> (
+          let model =
+            match (J.str_member "path" j, J.str_member "model" j) with
+            | Some path, None -> Ok (File path)
+            | None, Some text ->
+                let name =
+                  Option.value ~default:"<inline>" (J.str_member "name" j)
+                in
+                Ok (Inline { name; text })
+            | Some _, Some _ -> Error "job: both \"path\" and \"model\" given"
+            | None, None -> Error "job: need \"path\" or \"model\""
+          in
+          match (model, J.str_member "formula" j) with
+          | Error e, _ -> Error e
+          | _, None -> Error "job: missing \"formula\""
+          | Ok model, Some formula ->
+              Ok
+                {
+                  kind;
+                  model;
+                  formula;
+                  max_states = J.int_member "max_states" j;
+                  timeout = J.num_member "timeout_s" j;
+                  bound = J.int_member "bound" j;
+                  no_lint =
+                    Option.value ~default:false (J.bool_member "no_lint" j);
+                }))
+
+(* --- the batch executor: sequential jobs, one shared wall clock --- *)
+
+let heal_pool d =
+  match d.pool with
+  | Some p when Pool.degraded p && not d.pool_broken -> (
+      match Pool.heal p with
+      | () ->
+          log d "rlcheckd: healed pool (%d worker(s) respawned so far)@."
+            (Pool.heals p)
+      | exception e ->
+          (* cannot respawn domains: abandon the pool and run serially
+             from here on — degraded but alive *)
+          d.pool_broken <- true;
+          d.pool <- None;
+          log d "rlcheckd: pool heal failed (%s); falling back to serial@."
+            (Printexc.to_string e))
+  | _ -> ()
+
+let run_batch d ~deadline_s jobs =
+  let c = d.counters in
+  c.batches <- c.batches + 1;
+  let t0 = Unix.gettimeofday () in
+  let deadline = Option.map (fun s -> t0 +. s) deadline_s in
+  let partial = ref false in
+  let results =
+    List.mapi
+      (fun i job ->
+        let remaining =
+          Option.map (fun dl -> dl -. Unix.gettimeofday ()) deadline
+        in
+        match remaining with
+        | Some r when r <= 0. ->
+            (* the batch's clock ran out on an earlier job *)
+            c.skipped <- c.skipped + 1;
+            partial := true;
+            deadline_json i
+              {
+                Budget.resource = `Time;
+                phase = "batch deadline";
+                states_explored = 0;
+                max_states = None;
+              }
+              ~started:false
+        | _ -> (
+            c.jobs_run <- c.jobs_run + 1;
+            (* the budget is created out here so the watchdog holds a
+               handle: on deadline it cancels it, and a cooperative body
+               unwinds at its next tick instead of running to completion
+               as a zombie *)
+            let budget = Request.budget_of_job job in
+            let body () =
+              Request.run ?pool:d.pool ~cache:d.cache ~budget job
+            in
+            match
+              Supervisor.supervise ?deadline_s:remaining ~budget body
+            with
+            | Supervisor.Completed reply ->
+                (match reply.Request.status with
+                | Request.Holds -> c.holds <- c.holds + 1
+                | Request.Fails -> c.fails <- c.fails + 1
+                | Request.Blocked -> c.blocked <- c.blocked + 1
+                | Request.Failed _ -> c.errors <- c.errors + 1);
+                reply_json i reply
+            | Supervisor.Crashed err ->
+                c.errors <- c.errors + 1;
+                reply_json i
+                  {
+                    Request.status = Request.Failed err;
+                    message = "";
+                    witness = None;
+                    diagnostics = [];
+                    blocked_summary = None;
+                    states = 0;
+                    elapsed_s = Unix.gettimeofday () -. t0;
+                  }
+            | Supervisor.Deadline e ->
+                c.deadlines <- c.deadlines + 1;
+                partial := true;
+                deadline_json i e ~started:true))
+      jobs
+  in
+  heal_pool d;
+  (results, !partial)
+
+(* --- stats --- *)
+
+let stats_json d =
+  let c = d.counters in
+  let sim_hits, sim_misses, sim_entries = Simcache.stats () in
+  let rate h m = if h + m = 0 then J.Null else J.Num (float_of_int h /. float_of_int (h + m)) in
+  let m_hits, m_misses, m_entries, m_evictions = Request.cache_stats d.cache in
+  let pool_json =
+    match d.pool with
+    | None ->
+        J.Obj
+          [
+            ("jobs", J.Num 1.);
+            ("degraded", J.Bool d.pool_broken);
+            ("serial_fallback", J.Bool d.pool_broken);
+          ]
+    | Some p ->
+        J.Obj
+          [
+            ("jobs", J.Num (float_of_int (Pool.size p)));
+            ("alive_workers", J.Num (float_of_int (Pool.alive p)));
+            ("degraded", J.Bool (Pool.degraded p));
+            ("deaths", J.Num (float_of_int (Pool.deaths p)));
+            ("heals", J.Num (float_of_int (Pool.heals p)));
+            ("serial_fallback", J.Bool false);
+          ]
+  in
+  J.Obj
+    [
+      ("uptime_s", J.Num (Unix.gettimeofday () -. d.started));
+      ("requests", J.Num (float_of_int c.requests));
+      ("bad_requests", J.Num (float_of_int c.bad_requests));
+      ( "jobs",
+        J.Obj
+          [
+            ("batches", J.Num (float_of_int c.batches));
+            ("run", J.Num (float_of_int c.jobs_run));
+            ("holds", J.Num (float_of_int c.holds));
+            ("fails", J.Num (float_of_int c.fails));
+            ("blocked", J.Num (float_of_int c.blocked));
+            ("errors", J.Num (float_of_int c.errors));
+            ("deadlines", J.Num (float_of_int c.deadlines));
+            ("skipped", J.Num (float_of_int c.skipped));
+          ] );
+      ("pool", pool_json);
+      ( "simcache",
+        J.Obj
+          [
+            ("hits", J.Num (float_of_int sim_hits));
+            ("misses", J.Num (float_of_int sim_misses));
+            ("entries", J.Num (float_of_int sim_entries));
+            ("evictions", J.Num (float_of_int (Simcache.evictions ())));
+            ("capacity", J.Num (float_of_int (Simcache.capacity ())));
+            ("hit_rate", rate sim_hits sim_misses);
+          ] );
+      ( "model_cache",
+        J.Obj
+          [
+            ("hits", J.Num (float_of_int m_hits));
+            ("misses", J.Num (float_of_int m_misses));
+            ("entries", J.Num (float_of_int m_entries));
+            ("evictions", J.Num (float_of_int m_evictions));
+            ("hit_rate", rate m_hits m_misses);
+          ] );
+      ("zombies", J.Num (float_of_int (Supervisor.zombies ())));
+      ( "faults",
+        J.Obj
+          (("armed", J.Bool (Fault.armed ()))
+          :: List.map
+               (fun p -> (Fault.name p, J.Num (float_of_int (Fault.fired p))))
+               Fault.all) );
+    ]
+
+(* --- the protocol loop --- *)
+
+exception Stop
+
+let handle_line d line =
+  let c = d.counters in
+  match J.parse line with
+  | Error msg ->
+      c.bad_requests <- c.bad_requests + 1;
+      (J.Obj [ ("ok", J.Bool false); ("error", J.Str ("bad JSON: " ^ msg)) ], false)
+  | Ok doc -> (
+      let id = match J.member "id" doc with Some v -> [ ("id", v) ] | None -> [] in
+      let reply ?(stop = false) fields =
+        (J.Obj (id @ fields), stop)
+      in
+      c.requests <- c.requests + 1;
+      match J.str_member "op" doc with
+      | Some "ping" -> reply [ ("ok", J.Bool true); ("pong", J.Bool true) ]
+      | Some "stats" ->
+          reply [ ("ok", J.Bool true); ("stats", stats_json d) ]
+      | Some "shutdown" ->
+          reply ~stop:true [ ("ok", J.Bool true); ("stopping", J.Bool true) ]
+      | Some "check" -> (
+          match J.arr_member "jobs" doc with
+          | None ->
+              c.bad_requests <- c.bad_requests + 1;
+              reply
+                [ ("ok", J.Bool false); ("error", J.Str "check: missing \"jobs\" array") ]
+          | Some raw_jobs when List.length raw_jobs > d.config.max_batch ->
+              c.bad_requests <- c.bad_requests + 1;
+              reply
+                [
+                  ("ok", J.Bool false);
+                  ( "error",
+                    J.Str
+                      (Printf.sprintf
+                         "check: batch of %d jobs exceeds the limit of %d"
+                         (List.length raw_jobs) d.config.max_batch) );
+                ]
+          | Some raw_jobs -> (
+              let parsed = List.map parse_job raw_jobs in
+              match
+                List.find_map
+                  (function Error e -> Some e | Ok _ -> None)
+                  parsed
+              with
+              | Some e ->
+                  c.bad_requests <- c.bad_requests + 1;
+                  reply [ ("ok", J.Bool false); ("error", J.Str e) ]
+              | None ->
+                  let jobs =
+                    List.filter_map
+                      (function Ok j -> Some j | Error _ -> None)
+                      parsed
+                  in
+                  let deadline_s =
+                    match J.num_member "deadline_s" doc with
+                    | Some s -> Some s
+                    | None -> d.config.deadline_s
+                  in
+                  let results, partial = run_batch d ~deadline_s jobs in
+                  reply
+                    [
+                      ("ok", J.Bool true);
+                      ("partial", J.Bool partial);
+                      ("results", J.Arr results);
+                    ]))
+      | Some op ->
+          c.bad_requests <- c.bad_requests + 1;
+          reply
+            [
+              ("ok", J.Bool false);
+              ("error", J.Str (Printf.sprintf "unknown op %S" op));
+            ]
+      | None ->
+          c.bad_requests <- c.bad_requests + 1;
+          reply [ ("ok", J.Bool false); ("error", J.Str "missing \"op\"") ])
+
+let handle_connection d fd =
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  let rec loop () =
+    match input_line ic with
+    | exception End_of_file -> ()
+    | exception Sys_error _ -> ()
+    | line ->
+        if String.trim line <> "" then begin
+          let reply, stop = handle_line d line in
+          output_string oc (J.to_string reply);
+          output_char oc '\n';
+          flush oc;
+          if stop then raise Stop
+        end;
+        loop ()
+  in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    loop
+
+let rec accept_retry sock =
+  match Unix.accept sock with
+  | conn -> conn
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> accept_retry sock
+
+let serve config =
+  let d =
+    {
+      config;
+      started = Unix.gettimeofday ();
+      cache = Request.cache ~capacity:config.model_cache_capacity ();
+      pool = None;
+      pool_broken = false;
+      counters =
+        {
+          requests = 0;
+          batches = 0;
+          jobs_run = 0;
+          holds = 0;
+          fails = 0;
+          blocked = 0;
+          errors = 0;
+          deadlines = 0;
+          skipped = 0;
+          bad_requests = 0;
+        };
+    }
+  in
+  (* a client that hangs up mid-reply must cost an EPIPE error on the
+     write, not a SIGPIPE death of the whole daemon *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ());
+  (* a stale socket file from a crashed daemon must not block restart;
+     anything that is not a socket is somebody else's file — refuse *)
+  (match Unix.stat config.socket_path with
+  | { Unix.st_kind = Unix.S_SOCK; _ } -> Unix.unlink config.socket_path
+  | _ ->
+      invalid_arg
+        (Printf.sprintf "rlcheckd: %s exists and is not a socket"
+           config.socket_path)
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ());
+  let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close sock with Unix.Unix_error _ -> ());
+      (try Unix.unlink config.socket_path with Unix.Unix_error _ -> ());
+      match d.pool with Some p -> Pool.shutdown p | None -> ())
+    (fun () ->
+      Unix.bind sock (Unix.ADDR_UNIX config.socket_path);
+      Unix.listen sock 16;
+      if config.jobs <> 1 then d.pool <- Some (Pool.create ~jobs:config.jobs ());
+      log d "rlcheckd: listening on %s (pool: %d)@." config.socket_path
+        (match d.pool with Some p -> Pool.size p | None -> 1);
+      let rec loop () =
+        let fd, _ = accept_retry sock in
+        (match handle_connection d fd with
+        | () -> ()
+        | exception Stop -> raise Stop
+        | exception e ->
+            (* a connection that blows up must not take the daemon down *)
+            d.counters.bad_requests <- d.counters.bad_requests + 1;
+            log d "rlcheckd: connection error: %s@." (Printexc.to_string e));
+        loop ()
+      in
+      match loop () with () -> () | exception Stop -> log d "rlcheckd: shutting down@.")

@@ -1,0 +1,68 @@
+(** [rlcheckd] — the long-running checking service.
+
+    A Unix-socket server speaking newline-delimited JSON: each line is
+    one request document, answered with one reply line. Batches of
+    (model, property, check-kind) jobs execute through the same
+    {!Request} layer as the CLI, on a shared domain pool, with the
+    fingerprint-keyed simulation cache and a bounded parsed-model cache
+    amortized across requests.
+
+    {2 Wire protocol}
+
+    Check request:
+    {v
+    {"op": "check", "id": "r1", "deadline_s": 5.0,
+     "jobs": [{"kind": "rl", "path": "server.ts", "formula": "[]<>result",
+               "max_states": 1000, "timeout_s": 1.0, "bound": 64,
+               "no_lint": false},
+              {"kind": "sat", "model": "initial 0\n0 a 0\n",
+               "name": "inline", "formula": "[]<>a"}]}
+    v}
+
+    Reply: [{"id": "r1", "ok": true, "partial": false, "results": [...]}]
+    with one result per job, in order:
+    [{"job": 0, "status": "holds", "exit_code": 0, "message": ...,
+    "witness": ..., "diagnostics": [...], "states": n, "elapsed_s": s}].
+    [status] is one of ["holds"], ["fails"], ["blocked"], ["error"],
+    ["deadline"] (this job hit the batch's wall-clock deadline and was
+    abandoned), ["skipped"] (an earlier job consumed the whole batch
+    deadline; this one never started). [exit_code] follows the PR-1
+    contract per job — 0/1/2/4, deadline and skipped mapping to 4 — so a
+    client can treat each job exactly like a CLI invocation. When any
+    job ends as [deadline]/[skipped], the reply carries
+    ["partial": true]: every completed job still reports its full
+    result.
+
+    Control requests: [{"op": "ping"}], [{"op": "stats"}] (the health
+    report: uptime, request/job counters, pool liveness and degradation,
+    cache hit rates and evictions, watchdog zombies, fault-injection
+    status), [{"op": "shutdown"}].
+
+    {2 Fault tolerance}
+
+    Every job runs under {!Supervisor}: exceptions become typed errors
+    in the job's result, never a daemon crash; deadline overruns are
+    abandoned with their budget cancelled. Between batches the daemon
+    heals dead pool workers ({!Rl_engine.Pool.heal}); if healing itself
+    fails, it drops to serial execution for good — degraded, alive, and
+    visibly flagged in [stats]. Malformed request lines get an
+    [{"ok": false, "error": ...}] reply and the connection stays open. *)
+
+type config = {
+  socket_path : string;
+  jobs : int;  (** pool size; 1 = serial, 0 = one domain per core *)
+  deadline_s : float option;
+      (** default per-batch wall-clock deadline; a request's
+          ["deadline_s"] overrides it *)
+  model_cache_capacity : int;
+  max_batch : int;  (** refuse batches with more jobs than this *)
+  quiet : bool;  (** suppress the stderr log lines *)
+}
+
+val default_config : socket_path:string -> config
+
+(** [serve config] binds the socket and serves until a [shutdown]
+    request (or [Exit]); removes the socket file on the way out.
+    Connections are handled sequentially — parallelism lives inside a
+    request, on the domain pool. *)
+val serve : config -> unit

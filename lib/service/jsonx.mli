@@ -1,0 +1,43 @@
+(** A minimal JSON codec for the service wire protocol.
+
+    The daemon speaks newline-delimited JSON over a Unix socket; this is
+    the whole of the JSON it needs — parse a request document, print a
+    response — with no external dependency. Numbers are represented as
+    OCaml [float]s (JSON has only one number type); strings must be
+    UTF-8 and escape sequences are decoded ([\uXXXX] below 0x80 decodes
+    to the byte, the rest are preserved literally as their escape, which
+    round-trips through the printer). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+(** [parse s] parses one JSON document, requiring nothing but
+    whitespace after it. Errors carry a character offset. *)
+val parse : string -> (t, string) result
+
+(** Compact one-line rendering (the wire format: one document per
+    line). *)
+val to_string : t -> string
+
+(** {2 Accessors} — each returns [None] on a type mismatch. *)
+
+val member : string -> t -> t option
+val str : t -> string option
+val num : t -> float option
+val int : t -> int option
+val bool : t -> bool option
+val arr : t -> t list option
+
+(** [str_member k o] is [member k o] narrowed to a string, and so on;
+    missing members and type mismatches are both [None]. *)
+val str_member : string -> t -> string option
+
+val num_member : string -> t -> float option
+val int_member : string -> t -> int option
+val bool_member : string -> t -> bool option
+val arr_member : string -> t -> t list option

@@ -1,0 +1,329 @@
+(* The one request-execution pipeline behind both entry points.
+
+   The CLI's sat/rl/rs path used to live in bin/rlcheck.ml; it moved here
+   verbatim so the daemon cannot diverge from it. Everything observable
+   is preserved bit-for-bit: the order diagnostics are reported, the
+   verdict wording, the certification step (no witness is reported that
+   its independent replay does not confirm), and the exit-code mapping.
+
+   Two service-only additions: a bounded cross-request model cache (a
+   cache hit skips re-parsing, never re-linting — diagnostics are
+   recomputed per request so a reply is self-contained), and the
+   malformed-input fault probe, which corrupts the model source just
+   before parsing to exercise the typed parse-error path end to end. *)
+
+module Budget = Rl_engine.Budget
+module Error = Rl_engine.Error
+module Certify = Rl_engine.Certify
+module Fault = Rl_engine.Fault
+module Lru = Rl_engine.Lru
+module Diagnostic = Rl_analysis.Diagnostic
+module Lint = Rl_analysis.Lint
+open Rl_sigma
+open Rl_automata
+open Rl_buchi
+open Rl_core
+
+type kind = Sat | Rl | Rs
+
+let kind_name = function Sat -> "sat" | Rl -> "rl" | Rs -> "rs"
+
+let kind_of_name = function
+  | "sat" -> Some Sat
+  | "rl" -> Some Rl
+  | "rs" -> Some Rs
+  | _ -> None
+
+type model = File of string | Inline of { name : string; text : string }
+
+type job = {
+  kind : kind;
+  model : model;
+  formula : string;
+  max_states : int option;
+  timeout : float option;
+  bound : int option;
+  no_lint : bool;
+}
+
+let job ?max_states ?timeout ?bound ?(no_lint = false) kind model formula =
+  { kind; model; formula; max_states; timeout; bound; no_lint }
+
+type status = Holds | Fails | Blocked | Failed of Error.t
+
+type reply = {
+  status : status;
+  message : string;
+  witness : string option;
+  diagnostics : Diagnostic.t list;
+  blocked_summary : string option;
+  states : int;
+  elapsed_s : float;
+}
+
+let exit_code r =
+  match r.status with
+  | Holds -> 0
+  | Fails -> 1
+  | Blocked -> 2
+  | Failed err -> Error.exit_code err
+
+(* --- model cache --- *)
+
+type cache = {
+  lru : (string, Nfa.t * Diagnostic.t list) Lru.t;
+  mutable hits : int;
+  mutable misses : int;
+  mutex : Mutex.t;
+}
+
+let cache ~capacity () =
+  { lru = Lru.create ~capacity (); hits = 0; misses = 0; mutex = Mutex.create () }
+
+let cache_stats c =
+  Mutex.lock c.mutex;
+  let s = (c.hits, c.misses, Lru.length c.lru, Lru.evictions c.lru) in
+  Mutex.unlock c.mutex;
+  s
+
+(* --- loading --- *)
+
+let read_file path =
+  Error.protect
+    ~handler:(function
+      | Sys_error msg -> Some (Error.Internal msg) | _ -> None)
+    (fun () ->
+      let ic = open_in path in
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () -> really_input_string ic (in_channel_length ic)))
+
+(* the malformed-input injection point: a client that corrupts its model
+   mid-stream must come back as a typed parse error, never a crash *)
+let maybe_corrupt text =
+  if Fault.armed () && Fault.should_fire Fault.Malformed_input then
+    text ^ "\n!!chaos: injected malformed input!!\n"
+  else text
+
+(* Parse the job's model to an untrimmed system plus its parse-time
+   diagnostics. Transition-system sources go through the cache (keyed on
+   a digest of the source text); Petri-net files bypass it — their
+   reachability exploration must tick this request's budget. *)
+let load_model ?cache ~budget job =
+  match job.model with
+  | File path when Filename.check_suffix path ".pn" ->
+      if Fault.armed () && Fault.should_fire Fault.Malformed_input then
+        Result.bind (read_file path) (fun text ->
+            Error.protect
+              ~handler:(function
+                | Ts_format.Syntax_error (line, msg) ->
+                    Some (Error.Parse_error { file = Some path; line; msg })
+                | _ -> None)
+              (fun () ->
+                ignore
+                  (Ts_format.parse_petri
+                     (text ^ "\n!!chaos: injected malformed input!!\n"));
+                assert false))
+      else
+        let diags = ref [] in
+        let collect d = diags := d :: !diags in
+        Result.map
+          (fun sys -> (sys, List.rev !diags))
+          (Ts_format.load_result ~on_diagnostic:collect ~budget
+             ?bound:job.bound path)
+  | File path ->
+      Result.bind (read_file path) (fun text ->
+          let text = maybe_corrupt text in
+          let key =
+            Digest.to_hex (Digest.string text)
+          in
+          let cached =
+            match cache with
+            | None -> None
+            | Some c ->
+                Mutex.lock c.mutex;
+                let e = Lru.find c.lru key in
+                (match e with
+                | Some _ -> c.hits <- c.hits + 1
+                | None -> c.misses <- c.misses + 1);
+                Mutex.unlock c.mutex;
+                e
+          in
+          match cached with
+          | Some (sys, diags) -> Ok (sys, diags)
+          | None ->
+              let diags = ref [] in
+              let collect d = diags := d :: !diags in
+              Result.map
+                (fun sys ->
+                  let parsed = (sys, List.rev !diags) in
+                  (match cache with
+                  | Some c ->
+                      Mutex.lock c.mutex;
+                      Lru.put c.lru key parsed;
+                      Mutex.unlock c.mutex
+                  | None -> ());
+                  parsed)
+                (Ts_format.parse_ts_result ~on_diagnostic:collect ~file:path
+                   text))
+  | Inline { name; text } ->
+      let text = maybe_corrupt text in
+      let diags = ref [] in
+      let collect d = diags := d :: !diags in
+      Result.map
+        (fun sys -> (sys, List.rev !diags))
+        (Ts_format.parse_ts_result ~on_diagnostic:collect ~file:name text)
+
+let model_name job =
+  match job.model with File path -> path | Inline { name; _ } -> name
+
+(* Pre-flight, exactly as the CLI's load_and_lint: run the cheap lint
+   passes on the untrimmed system, surface everything but Hints, refuse
+   Errors (unless no_lint) — parse diagnostics survive --no-lint, as they
+   predate the lint phase. Returns the trimmed system or the Blocked
+   summary. *)
+let lint_phase job ~formula (sys, parse_diags) =
+  let diags =
+    if job.no_lint then parse_diags
+    else
+      Lint.run ~deep:false
+        {
+          Lint.empty with
+          file = Some (model_name job);
+          parse = parse_diags;
+          system = Some sys;
+          formula = Some formula;
+        }
+  in
+  let visible =
+    List.filter (fun d -> d.Diagnostic.severity <> Diagnostic.Hint) diags
+  in
+  if (not job.no_lint) && List.exists Diagnostic.is_error visible then
+    `Blocked
+      ( visible,
+        Printf.sprintf
+          "pre-flight lint failed (%s); rerun with --no-lint to proceed \
+           anyway"
+          (Diagnostic.summary visible) )
+  else `Proceed (visible, Nfa.trim sys)
+
+let parse_formula s =
+  try Ok (Rl_ltl.Parser.parse s)
+  with Rl_ltl.Parser.Parse_error msg ->
+    Error
+      (Error.Parse_error
+         { file = None; line = 0; msg = Printf.sprintf "formula %S: %s" s msg })
+
+let uncertified failure =
+  Error.Internal
+    (Format.asprintf "refusing to report an uncertified witness: %a"
+       Certify.pp_failure failure)
+
+(* --- the decision step, one arm per kind, wording preserved --- *)
+
+let decide ?pool ~budget ~fresh job f ts =
+  let alpha = Nfa.alphabet ts in
+  let system = Buchi.of_transition_system ts in
+  let p = Relative.ltl alpha f in
+  match job.kind with
+  | Sat -> (
+      match Relative.satisfies ~budget ?pool ~system p with
+      | Ok () ->
+          `Holds
+            (Format.asprintf "SATISFIED: every behavior satisfies %a"
+               Rl_ltl.Formula.pp f)
+      | Error cex -> (
+          match Certify.counterexample ~system p cex with
+          | Error failure -> `Failed (uncertified failure)
+          | Ok () ->
+              let w = Format.asprintf "%a" (Lasso.pp alpha) cex in
+              `Fails (Printf.sprintf "VIOLATED: counterexample %s" w, w)))
+  | Rl -> (
+      match Relative.is_relative_liveness ~budget ?pool ~system p with
+      | Ok () ->
+          `Holds
+            (Format.asprintf
+               "RELATIVE LIVENESS: every prefix extends to a behavior \
+                satisfying %a"
+               Rl_ltl.Formula.pp f)
+      | Error w -> (
+          (* certification replays get a fresh budget with the same
+             limits: they must not inherit a spent one, nor run unbounded
+             on inputs the user asked to bound *)
+          match Certify.doomed_prefix ~budget:(fresh ()) ~system p w with
+          | Error failure -> `Failed (uncertified failure)
+          | Ok () ->
+              let ws = Format.asprintf "%a" (Word.pp alpha) w in
+              `Fails
+                (Printf.sprintf "NOT RELATIVE LIVENESS: doomed prefix %s" ws, ws)))
+  | Rs -> (
+      match Relative.is_relative_safety ~budget ?pool ~system p with
+      | Ok () -> `Holds "RELATIVE SAFETY: violations are irredeemable"
+      | Error x -> (
+          match Certify.counterexample ~system p x with
+          | Error failure -> `Failed (uncertified failure)
+          | Ok () ->
+              let w = Format.asprintf "%a" (Lasso.pp alpha) x in
+              `Fails
+                ( Printf.sprintf
+                    "NOT RELATIVE SAFETY: %s violates the property but is \
+                     never doomed"
+                    w,
+                  w )))
+
+let budget_of_job job =
+  Budget.create ?max_states:job.max_states ?timeout:job.timeout ()
+
+let run ?pool ?cache ?budget job =
+  let t0 = Unix.gettimeofday () in
+  (* the daemon passes the budget in so its watchdog can cancel it on a
+     wall-clock deadline; the CLI lets us create it here *)
+  let budget = match budget with Some b -> b | None -> budget_of_job job in
+  let fresh () =
+    Budget.create ?max_states:job.max_states ?timeout:job.timeout ()
+  in
+  let finish ?(diagnostics = []) ?witness ?blocked_summary status message =
+    {
+      status;
+      message;
+      witness;
+      diagnostics;
+      blocked_summary;
+      states = Budget.states_explored budget;
+      elapsed_s = Unix.gettimeofday () -. t0;
+    }
+  in
+  (* the outer net: any exception the pipeline leaks — including defects
+     Error.of_exn does not know — becomes a typed Internal error, never a
+     crash of the serving process *)
+  let protected =
+    Error.protect
+      ~handler:(fun e ->
+        Some
+          (match Error.of_exn e with
+          | Some err -> err
+          | None ->
+              Error.Internal
+                (Printf.sprintf "uncaught exception: %s"
+                   (Printexc.to_string e))))
+      (fun () ->
+        match parse_formula job.formula with
+        | Error err -> finish (Failed err) ""
+        | Ok f -> (
+            match load_model ?cache ~budget job with
+            | Error err -> finish (Failed err) ""
+            | Ok parsed -> (
+                match lint_phase job ~formula:f parsed with
+                | `Blocked (visible, summary) ->
+                    finish ~diagnostics:visible ~blocked_summary:summary
+                      Blocked ""
+                | `Proceed (visible, ts) -> (
+                    match decide ?pool ~budget ~fresh job f ts with
+                    | `Holds message ->
+                        finish ~diagnostics:visible Holds message
+                    | `Fails (message, witness) ->
+                        finish ~diagnostics:visible ~witness Fails message
+                    | `Failed err ->
+                        finish ~diagnostics:visible (Failed err) ""))))
+  in
+  match protected with Ok reply -> reply | Error err -> finish (Failed err) ""

@@ -1,0 +1,110 @@
+(* The watchdog. OCaml threads cannot be killed, so "enforcing" a
+   deadline decomposes into the two things that can actually be done:
+   reply on time regardless of the body (wait-with-timeout, then abandon
+   the worker thread), and make a cooperative body stop soon after
+   (cancel its budget, which every tick re-checks). The stdlib has no
+   timed condition wait, so the supervisor polls the completion flag on a
+   short sleep — 2 ms granularity against deadlines measured in hundreds
+   of milliseconds. *)
+
+module Budget = Rl_engine.Budget
+module Error = Rl_engine.Error
+module Fault = Rl_engine.Fault
+
+type 'a outcome =
+  | Completed of 'a
+  | Crashed of Error.t
+  | Deadline of Budget.exhaustion
+
+let zombie_count = Atomic.make 0
+
+let zombies () = Atomic.get zombie_count
+
+(* every exception → typed error; defects of_exn does not know become
+   Internal, so nothing can escape a supervised body *)
+let trap f =
+  match
+    Error.protect
+      ~handler:(fun e ->
+        Some
+          (match Error.of_exn e with
+          | Some err -> err
+          | None ->
+              Error.Internal
+                (Printf.sprintf "uncaught exception: %s" (Printexc.to_string e))))
+      f
+  with
+  | Ok v -> Completed v
+  | Error err -> Crashed err
+
+let deadline_record budget =
+  match budget with
+  | Some b ->
+      {
+        Budget.resource = `Time;
+        phase = Budget.current_phase b;
+        states_explored = Budget.states_explored b;
+        max_states = None;
+      }
+  | None ->
+      { Budget.resource = `Time; phase = ""; states_explored = 0; max_states = None }
+
+let expire budget =
+  (match budget with Some b -> Budget.cancel b `Time | None -> ());
+  Deadline (deadline_record budget)
+
+let supervise ?deadline_s ?budget f =
+  match deadline_s with
+  | None -> trap f
+  | Some _ when Fault.armed () && Fault.should_fire Fault.Deadline_expiry ->
+      (* injected expiry: exercise the watchdog reply path without
+         burning real wall clock — the body never starts *)
+      expire budget
+  | Some d ->
+      let result = ref None in
+      let finished = ref false in
+      let abandoned = ref false in
+      let mutex = Mutex.create () in
+      let worker =
+        Thread.create
+          (fun () ->
+            let r = trap f in
+            Mutex.lock mutex;
+            result := Some r;
+            finished := true;
+            let was_abandoned = !abandoned in
+            Mutex.unlock mutex;
+            (* a zombie that finally unwound is a zombie no more *)
+            if was_abandoned then ignore (Atomic.fetch_and_add zombie_count (-1)))
+          ()
+      in
+      let deadline = Unix.gettimeofday () +. d in
+      let rec wait () =
+        Mutex.lock mutex;
+        let f = !finished in
+        Mutex.unlock mutex;
+        if f then begin
+          Thread.join worker;
+          match !result with Some r -> r | None -> assert false
+        end
+        else if Unix.gettimeofday () >= deadline then begin
+          Mutex.lock mutex;
+          (* the body may have finished in the window since the check *)
+          if !finished then begin
+            Mutex.unlock mutex;
+            Thread.join worker;
+            match !result with Some r -> r | None -> assert false
+          end
+          else begin
+            abandoned := true;
+            Mutex.unlock mutex;
+            ignore (Atomic.fetch_and_add zombie_count 1);
+            expire budget
+          end
+        end
+        else begin
+          Thread.delay (Float.min 0.002 (Float.max 0. (deadline -. Unix.gettimeofday ())));
+          wait ()
+        end
+      in
+      wait ()

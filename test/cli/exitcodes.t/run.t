@@ -1,0 +1,62 @@
+The exit-code contract, failure paths. The documented mapping: 0 the
+property holds, 1 it fails (certified witness printed), 2 usage/input/
+internal error, 3 no conclusion transfers, 4 a resource budget was
+exhausted.
+
+A malformed model is a typed, line-numbered parse error with exit 2:
+
+  $ rlcheck rl junk.ts -f '[]<>a'
+  rlcheck: junk.ts:1: expected 'alphabet ...', 'initial q...' or 'src label dst': "this is not a model"
+  [2]
+
+So is a malformed formula:
+
+  $ rlcheck rl server.ts -f '[]<>('
+  rlcheck: formula "[]<>(": unexpected token
+  [2]
+
+A missing file is caught by argument validation, same exit code:
+
+  $ rlcheck rl no-such-file.ts -f '[]<>a'
+  rlcheck: SYSTEM argument: no 'no-such-file.ts' file or directory
+  Usage: rlcheck rl [OPTION]… SYSTEM
+  Try 'rlcheck rl --help' or 'rlcheck --help' for more information.
+  [2]
+
+--max-states exhaustion is exit 4, and the message names the phase that
+tripped it and the exhaustion point (deterministic for a serial run):
+
+  $ rlcheck sat big.ts -f '[]<>a' --max-states 50
+  rlcheck: state limit 50 reached during product Lω ∩ ¬P after exploring 51 states
+  [4]
+
+--timeout expiry is exit 4 too. How far the check got before the clock
+ran out depends on machine speed, so the progress report is masked:
+
+  $ rlcheck sat big.ts -f '[]<>a' --timeout 0.000001 2>err || echo "exit $?"
+  exit 4
+  $ sed -E 's/time limit reached.*/time limit reached [progress masked]/' err
+  rlcheck: time limit reached [progress masked]
+
+The exhaustion exit code is the same under a worker pool (the parallel
+engine's determinism contract extends to the failure paths):
+
+  $ rlcheck sat big.ts -f '[]<>a' --max-states 50 --jobs 2
+  rlcheck: state limit 50 reached during product Lω ∩ ¬P after exploring 51 states
+  [4]
+
+A pre-flight lint Error refuses the check with exit 2, and --no-lint
+proceeds past it to the vacuous verdict the diagnostic warned about:
+
+  $ cat > finite.ts <<'EOF'
+  > initial 0
+  > 0 a 1
+  > EOF
+
+  $ rlcheck rl finite.ts -f '[]<>a'
+  rlcheck: finite.ts: error[RL103]: the system has no infinite behavior (pre(Lω) is empty): every property is vacuously a relative liveness property
+  rlcheck: pre-flight lint failed (1 error, 0 warnings, 0 hints); rerun with --no-lint to proceed anyway
+  [2]
+
+  $ rlcheck rl finite.ts -f '[]<>a' --no-lint
+  RELATIVE LIVENESS: every prefix extends to a behavior satisfying []<>a

@@ -1,0 +1,7 @@
+# after the first reject, results are gone forever
+initial 0
+0 request 1
+1 result 0
+1 reject 2
+2 request 3
+3 reject 2

@@ -1,0 +1,107 @@
+The rlcheckd checking service: a Unix-socket daemon sharing the CLI's
+request pipeline, exercised through its own thin client.
+
+Start a daemon in the background and wait for it to come up (ping --wait
+is the startup barrier):
+
+  $ rlcheckd serve --socket rld.sock --quiet >daemon.log 2>&1 &
+  $ rlcheckd ping --socket rld.sock --wait 30
+  pong
+
+Verdicts, witnesses and exit codes mirror the corresponding rlcheck
+invocations exactly — both front ends run the same request pipeline:
+
+  $ rlcheckd check --socket rld.sock --kind rl server.ts -f '[]<>result'
+  RELATIVE LIVENESS: every prefix extends to a behavior satisfying []<>result
+
+  $ rlcheckd check --socket rld.sock --kind sat server.ts -f '[]<>result'
+  VIOLATED: counterexample ε·(request·reject)^ω
+  [1]
+
+  $ rlcheckd check --socket rld.sock --kind rl faulty.ts -f '[]<>result'
+  NOT RELATIVE LIVENESS: doomed prefix request·reject
+  [1]
+
+  $ rlcheckd check --socket rld.sock --kind rs server.ts -f '[]request'
+  RELATIVE SAFETY: violations are irredeemable
+
+Input errors are typed and exit 2, and the daemon survives them:
+
+  $ rlcheckd check --socket rld.sock --kind rl no-such.ts -f '[]<>a'
+  rlcheckd: no-such.ts: No such file or directory
+  [2]
+
+  $ rlcheckd check --socket rld.sock --kind rl server.ts -f '[]<>('
+  rlcheckd: formula "[]<>(": unexpected token
+  [2]
+
+  $ rlcheckd check --socket rld.sock --kind rl server.ts -f '[]<>result'
+  RELATIVE LIVENESS: every prefix extends to a behavior satisfying []<>result
+
+The health report carries the request counters, cache statistics, pool
+state and fault-injection status (load-dependent values are not
+asserted; the counters this session determined are):
+
+  $ rlcheckd stats --socket rld.sock > stats.json
+  $ grep -c '"uptime_s"' stats.json
+  1
+  $ grep -o '"holds": [0-9]*' stats.json
+  "holds": 3
+  $ grep -o '"fails": [0-9]*' stats.json
+  "fails": 2
+  $ grep -o '"errors": [0-9]*' stats.json
+  "errors": 2
+  $ grep -o '"deadlines": [0-9]*' stats.json
+  "deadlines": 0
+  $ grep -o '"degraded": [a-z]*' stats.json
+  "degraded": false
+  $ grep -o '"armed": [a-z]*' stats.json
+  "armed": false
+
+Shutdown removes the socket file:
+
+  $ rlcheckd shutdown --socket rld.sock
+  shutdown requested
+  $ wait
+  $ test -e rld.sock || echo "socket removed"
+  socket removed
+
+A client against a daemon that is not there fails cleanly:
+
+  $ rlcheckd ping --socket rld.sock
+  rlcheckd: cannot reach rld.sock: No such file or directory
+  [2]
+
+The deterministic fault harness, end to end: a daemon armed with the
+deadline_expiry injection point takes the watchdog's abandon path on
+every deadlined request — reproducibly, without racing a real clock.
+The job is abandoned before it starts, so the progress report is exact:
+
+  $ RLCHECK_FAULT='seed=1,deadline_expiry=1.0' rlcheckd serve --socket chaos.sock --quiet >chaos.log 2>&1 &
+  $ rlcheckd ping --socket chaos.sock --wait 30
+  pong
+
+  $ rlcheckd check --socket chaos.sock --kind rl server.ts -f '[]<>result' --deadline 5
+  rlcheckd: time limit reached after exploring 0 states
+  [4]
+
+A deadline is the batch's resource running out — the budget-exhaustion
+exit code 4, per job. Requests without a deadline are untouched by the
+injection, and the daemon keeps serving:
+
+  $ rlcheckd check --socket chaos.sock --kind rl server.ts -f '[]<>result'
+  RELATIVE LIVENESS: every prefix extends to a behavior satisfying []<>result
+
+The health report shows the armed harness and the abandoned job:
+
+  $ rlcheckd stats --socket chaos.sock > chaos-stats.json
+  $ grep -o '"deadlines": [0-9]*' chaos-stats.json
+  "deadlines": 1
+  $ grep -o '"armed": [a-z]*' chaos-stats.json
+  "armed": true
+  $ grep -o '"deadline_expiry": [0-9]*' chaos-stats.json
+  "deadline_expiry": 1
+
+  $ rlcheckd shutdown --socket chaos.sock
+  shutdown requested
+  $ wait

@@ -1,0 +1,5 @@
+# a tiny request/response server: the resource can be locked and freed
+initial 0
+0 request 1
+1 result 0
+1 reject 0

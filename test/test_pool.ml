@@ -160,6 +160,59 @@ let test_budget_poll_cancels () =
       Alcotest.(check int) "the original record is re-raised" 2
         e.Budget.states_explored
 
+(* --- worker death, degradation, and healing --- *)
+
+module Fault = Rl_engine.Fault
+
+let test_worker_death_mid_map () =
+  Pool.with_pool ~jobs ~cutoff:0 @@ fun pool ->
+  let xs = Array.init 500 Fun.id in
+  let expect = Array.map (fun x -> x * 7) xs in
+  (* rate 1.0: every worker dies the moment it picks the job up (and the
+     caller's own mid-map probe aborts its body after it claimed a
+     chunk), so the whole region is orphaned-slot repair *)
+  Fault.configure ~seed:7 [ (Fault.Pool_domain_death, 1.0) ];
+  let got =
+    Fun.protect ~finally:Fault.reset (fun () ->
+        Pool.parmap pool (fun x -> x * 7) xs)
+  in
+  Alcotest.(check (array int)) "results identical with every worker dead"
+    expect got;
+  Alcotest.(check int) "all workers retired" 0 (Pool.alive pool);
+  Alcotest.(check bool) "pool reports degraded" true (Pool.degraded pool);
+  Alcotest.(check int) "deaths recorded" (jobs - 1) (Pool.deaths pool);
+  (* the degradation floor: zero workers, regions still complete *)
+  Alcotest.(check (array int)) "serial floor still serves" expect
+    (Pool.parmap pool (fun x -> x * 7) xs);
+  Pool.heal pool;
+  Alcotest.(check int) "heal respawned every worker" (jobs - 1)
+    (Pool.alive pool);
+  Alcotest.(check bool) "no longer degraded" false (Pool.degraded pool);
+  Alcotest.(check int) "heals recorded" (jobs - 1) (Pool.heals pool);
+  Alcotest.(check (array int)) "healed pool serves" expect
+    (Pool.parmap pool (fun x -> x * 7) xs)
+
+let test_worker_death_partial_rate () =
+  (* a fractional rate kills a changing subset of workers mid-map across
+     several regions; every region's output must stay byte-identical to
+     the serial map, and healing between regions must keep converging *)
+  Pool.with_pool ~jobs ~cutoff:0 @@ fun pool ->
+  let xs = Array.init 2000 Fun.id in
+  let expect = Array.map (fun x -> x + 3) xs in
+  Fault.configure ~seed:42 [ (Fault.Pool_domain_death, 0.25) ];
+  Fun.protect ~finally:Fault.reset (fun () ->
+      for round = 1 to 5 do
+        Alcotest.(check (array int))
+          (Printf.sprintf "round %d verdict equality under chaos" round)
+          expect
+          (Pool.parmap pool (fun x -> x + 3) xs);
+        Pool.heal pool
+      done);
+  Alcotest.(check bool) "healed back to full strength" false
+    (Pool.degraded pool);
+  Alcotest.(check int) "every death was healed" (Pool.deaths pool)
+    (Pool.heals pool)
+
 (* --- determinism across pool sizes (the qcheck leg) --- *)
 
 let abc = Alphabet.make [ "a"; "b"; "c" ]
@@ -279,6 +332,13 @@ let () =
             test_budget_race;
           Alcotest.test_case "poll re-raises the published record" `Quick
             test_budget_poll_cancels;
+        ] );
+      ( "death",
+        [
+          Alcotest.test_case "all workers die mid-map; repair + heal" `Quick
+            test_worker_death_mid_map;
+          Alcotest.test_case "fractional death rate across regions" `Quick
+            test_worker_death_partial_rate;
         ] );
       ( "properties",
         [

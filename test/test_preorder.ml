@@ -105,8 +105,14 @@ let test_simcache_hits () =
   let s2 = Preorder.forward (mk ()) in
   let hits2, misses2, _ = Simcache.stats () in
   Alcotest.(check bool) "first call misses" true (misses1 > misses0);
-  Alcotest.(check int) "second call hits" (hits1 + 1) hits2;
-  Alcotest.(check int) "no second computation" misses1 misses2;
+  (* under an armed cache_miss_storm the second lookup is forced to
+     recompute by design — only the statistics change, never the relation,
+     so the hit-count assertions are meaningless in a chaos run *)
+  let storming = Rl_engine_kernel.Fault.fired Rl_engine_kernel.Fault.Cache_miss_storm > 0 in
+  if not storming then begin
+    Alcotest.(check int) "second call hits" (hits1 + 1) hits2;
+    Alcotest.(check int) "no second computation" misses1 misses2
+  end;
   Alcotest.(check bool) "at least one entry" true (entries1 >= 1);
   Alcotest.(check bool) "same relation" true
     (Preorder.simulates s1 1 1 = Preorder.simulates s2 1 1)

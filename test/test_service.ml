@@ -1,0 +1,630 @@
+(* The service layer: the JSON codec, the shared request pipeline, the
+   supervisor's crash isolation and deadlines, the bounded caches — and
+   the chaos leg: under injected faults the daemon-side machinery must
+   produce the same verdicts as the fault-free run (for the faults that
+   are transparent by design) or typed, contract-conforming errors (for
+   the faults that are not). *)
+
+module J = Rl_service.Jsonx
+module Request = Rl_service.Request
+module Supervisor = Rl_service.Supervisor
+module Budget = Rl_engine.Budget
+module Error = Rl_engine.Error
+module Fault = Rl_engine.Fault
+module Lru = Rl_engine.Lru
+module Pool = Rl_engine.Pool
+
+(* every test that arms faults must disarm them on every exit path — the
+   schedule is global state shared by the whole suite *)
+let with_faults ?seed rates f =
+  Fault.configure ?seed rates;
+  Fun.protect ~finally:Fault.reset f
+
+(* --- jsonx --- *)
+
+let rec json_eq a b =
+  match (a, b) with
+  | J.Null, J.Null -> true
+  | J.Bool x, J.Bool y -> x = y
+  | J.Num x, J.Num y -> Float.equal x y
+  | J.Str x, J.Str y -> String.equal x y
+  | J.Arr x, J.Arr y ->
+      List.length x = List.length y && List.for_all2 json_eq x y
+  | J.Obj x, J.Obj y ->
+      List.length x = List.length y
+      && List.for_all2
+           (fun (k, v) (k', v') -> String.equal k k' && json_eq v v')
+           x y
+  | _ -> false
+
+let test_jsonx_roundtrip () =
+  let samples =
+    [
+      J.Null;
+      J.Bool true;
+      J.Num 0.;
+      J.Num (-42.);
+      J.Num 3.5;
+      J.Str "";
+      J.Str "hello \"world\"\n\t\\";
+      J.Arr [];
+      J.Arr [ J.Num 1.; J.Str "two"; J.Null ];
+      J.Obj [];
+      J.Obj
+        [
+          ("op", J.Str "check");
+          ("jobs", J.Arr [ J.Obj [ ("kind", J.Str "rl") ] ]);
+          ("deadline_s", J.Num 1.5);
+          ("flag", J.Bool false);
+        ];
+    ]
+  in
+  List.iter
+    (fun v ->
+      match J.parse (J.to_string v) with
+      | Ok v' ->
+          Alcotest.(check bool)
+            (Printf.sprintf "round-trips %s" (J.to_string v))
+            true (json_eq v v')
+      | Error m -> Alcotest.failf "failed to re-parse %s: %s" (J.to_string v) m)
+    samples
+
+let test_jsonx_parse_errors () =
+  List.iter
+    (fun s ->
+      match J.parse s with
+      | Ok _ -> Alcotest.failf "accepted malformed JSON %S" s
+      | Error _ -> ())
+    [ ""; "{"; "[1,]"; "{\"a\":}"; "tru"; "\"unterminated"; "1 2"; "{} x" ]
+
+let test_jsonx_accessors () =
+  let doc =
+    Result.get_ok
+      (J.parse
+         {|{"s": "x", "n": 7, "f": 1.5, "b": true, "a": [1], "o": {"k": 0}, "z": null}|})
+  in
+  Alcotest.(check (option string)) "str" (Some "x") (J.str_member "s" doc);
+  Alcotest.(check (option int)) "int" (Some 7) (J.int_member "n" doc);
+  Alcotest.(check (option (float 1e-9))) "num" (Some 1.5) (J.num_member "f" doc);
+  Alcotest.(check (option bool)) "bool" (Some true) (J.bool_member "b" doc);
+  Alcotest.(check int) "arr" 1 (List.length (Option.get (J.arr_member "a" doc)));
+  Alcotest.(check bool) "member" true (J.member "o" doc <> None);
+  Alcotest.(check (option string)) "missing member" None
+    (J.str_member "nope" doc);
+  Alcotest.(check (option string)) "type mismatch" None (J.str_member "n" doc);
+  Alcotest.(check bool) "escapes decode" true
+    (J.parse {|"aA\n"|} = Ok (J.Str "aA\n"))
+
+(* --- lru --- *)
+
+let test_lru_eviction () =
+  let t = Lru.create ~capacity:2 () in
+  Lru.put t "a" 1;
+  Lru.put t "b" 2;
+  Alcotest.(check (option int)) "find bumps recency" (Some 1) (Lru.find t "a");
+  Lru.put t "c" 3;
+  (* "b" was least recently used: the bump on "a" protected it *)
+  Alcotest.(check (option int)) "lru entry evicted" None (Lru.find t "b");
+  Alcotest.(check (option int)) "bumped entry survives" (Some 1)
+    (Lru.find t "a");
+  Alcotest.(check int) "evictions counted" 1 (Lru.evictions t);
+  Alcotest.(check (list string)) "keys MRU-first" [ "a"; "c" ] (Lru.keys t);
+  Lru.put t "a" 10;
+  Alcotest.(check (option int)) "put replaces in place" (Some 10)
+    (Lru.find t "a");
+  Alcotest.(check int) "replace is not an eviction" 1 (Lru.evictions t);
+  Lru.set_capacity t 1;
+  Alcotest.(check int) "set_capacity trims to the new bound" 1 (Lru.length t);
+  Alcotest.(check (list string)) "most recent survives the trim" [ "a" ]
+    (Lru.keys t)
+
+let test_lru_unbounded () =
+  let t = Lru.create ~capacity:0 () in
+  for i = 1 to 1000 do
+    Lru.put t i (i * i)
+  done;
+  Alcotest.(check int) "capacity <= 0 never evicts" 1000 (Lru.length t);
+  Alcotest.(check int) "no evictions" 0 (Lru.evictions t);
+  Alcotest.(check (option int)) "old entries live" (Some 1) (Lru.find t 1)
+
+(* --- fault schedules --- *)
+
+let test_fault_determinism () =
+  let record () =
+    with_faults ~seed:5 [ (Fault.Cache_miss_storm, 0.5) ] (fun () ->
+        List.init 200 (fun _ -> Fault.should_fire Fault.Cache_miss_storm))
+  in
+  let a = record () and b = record () in
+  Alcotest.(check (list bool)) "same seed, same schedule" a b;
+  Alcotest.(check bool) "a 0.5 rate fires sometimes" true (List.mem true a);
+  Alcotest.(check bool) "a 0.5 rate spares sometimes" true (List.mem false a);
+  let c =
+    with_faults ~seed:6 [ (Fault.Cache_miss_storm, 0.5) ] (fun () ->
+        List.init 200 (fun _ -> Fault.should_fire Fault.Cache_miss_storm))
+  in
+  Alcotest.(check bool) "different seed, different schedule" true (a <> c)
+
+let test_fault_isolation_and_counters () =
+  with_faults ~seed:1
+    [ (Fault.Malformed_input, 1.0) ]
+    (fun () ->
+      Alcotest.(check bool) "armed" true (Fault.armed ());
+      Alcotest.(check bool) "unconfigured points never fire" false
+        (Fault.should_fire Fault.Pool_domain_death);
+      Alcotest.(check bool) "configured point fires at rate 1" true
+        (Fault.should_fire Fault.Malformed_input);
+      (match Fault.fire Fault.Malformed_input with
+      | () -> Alcotest.fail "fire at rate 1.0 must raise"
+      | exception Fault.Injected p ->
+          Alcotest.(check string) "the injected point" "malformed_input"
+            (Fault.name p));
+      Alcotest.(check int) "fired counter" 2 (Fault.fired Fault.Malformed_input);
+      Alcotest.(check int) "probe counter" 2
+        (Fault.probes Fault.Malformed_input));
+  Alcotest.(check bool) "reset disarms" false (Fault.armed ())
+
+let test_fault_env_rejects_garbage () =
+  List.iter
+    (fun v ->
+      match Fault.configure [ (Fault.Pool_domain_death, float_of_string v) ] with
+      | () -> Alcotest.failf "accepted rate %s" v
+      | exception Invalid_argument _ -> ()
+      | exception Failure _ -> ())
+    [ "1.5"; "-0.1"; "nan" ];
+  Fault.reset ()
+
+(* --- the request pipeline --- *)
+
+(* the server.ts fixture, inline: rl holds for []<>result *)
+let server = "initial 0\n0 request 1\n1 result 0\n1 reject 0\n"
+
+(* after the first reject, results are gone forever: rl fails *)
+let faulty =
+  "initial 0\n0 request 1\n1 result 0\n1 reject 2\n2 request 3\n3 reject 2\n"
+
+(* no cycle at all: no infinite behavior, the RL103 lint Error *)
+let doomed = "initial 0\n0 a 1\n"
+
+let inline name text = Request.Inline { name; text }
+
+let run ?pool ?cache job = Request.run ?pool ?cache job
+
+let test_request_holds () =
+  let r = run (Request.job Request.Rl (inline "server" server) "[]<>result") in
+  (match r.Request.status with
+  | Request.Holds -> ()
+  | _ -> Alcotest.fail "expected Holds");
+  Alcotest.(check int) "exit 0" 0 (Request.exit_code r);
+  Alcotest.(check string) "the CLI verdict line"
+    "RELATIVE LIVENESS: every prefix extends to a behavior satisfying \
+     []<>result"
+    r.Request.message;
+  Alcotest.(check bool) "states were counted" true (r.Request.states > 0)
+
+let test_request_fails_with_witness () =
+  let r = run (Request.job Request.Rl (inline "faulty" faulty) "[]<>result") in
+  (match r.Request.status with
+  | Request.Fails -> ()
+  | _ -> Alcotest.fail "expected Fails");
+  Alcotest.(check int) "exit 1" 1 (Request.exit_code r);
+  Alcotest.(check bool) "witness present" true (r.Request.witness <> None);
+  Alcotest.(check bool) "message names the doomed prefix" true
+    (String.length r.Request.message > 0)
+
+let test_request_blocked_by_lint () =
+  let r = run (Request.job Request.Rl (inline "doomed" doomed) "[]<>a") in
+  (match r.Request.status with
+  | Request.Blocked -> ()
+  | _ -> Alcotest.fail "expected Blocked");
+  Alcotest.(check int) "exit 2" 2 (Request.exit_code r);
+  Alcotest.(check bool) "carries the lint diagnostics" true
+    (List.exists
+       (fun d -> d.Rl_analysis.Diagnostic.code = "RL103")
+       r.Request.diagnostics);
+  let is_prefix p s =
+    String.length s >= String.length p && String.sub s 0 (String.length p) = p
+  in
+  Alcotest.(check bool) "carries the refusal line" true
+    (match r.Request.blocked_summary with
+    | Some s -> is_prefix "pre-flight lint failed" s
+    | None -> false);
+  (* --no-lint proceeds past the Error (and the verdict is the vacuous
+     Holds the diagnostic warned about) *)
+  let r' =
+    run (Request.job ~no_lint:true Request.Rl (inline "doomed" doomed) "[]<>a")
+  in
+  match r'.Request.status with
+  | Request.Holds -> ()
+  | _ -> Alcotest.fail "--no-lint must proceed to the vacuous verdict"
+
+let test_request_typed_errors () =
+  let bad_model =
+    run (Request.job Request.Sat (inline "junk" "not a model\n") "[]<>a")
+  in
+  (match bad_model.Request.status with
+  | Request.Failed (Error.Parse_error _) -> ()
+  | _ -> Alcotest.fail "malformed model must be a typed Parse_error");
+  Alcotest.(check int) "malformed model exits 2" 2
+    (Request.exit_code bad_model);
+  let bad_formula =
+    run (Request.job Request.Sat (inline "server" server) "[]<>(")
+  in
+  (match bad_formula.Request.status with
+  | Request.Failed (Error.Parse_error _) -> ()
+  | _ -> Alcotest.fail "malformed formula must be a typed Parse_error");
+  let missing =
+    run (Request.job Request.Sat (Request.File "no/such/file.ts") "[]<>a")
+  in
+  (match missing.Request.status with
+  | Request.Failed _ -> ()
+  | _ -> Alcotest.fail "missing file must be a typed error");
+  Alcotest.(check int) "missing file exits 2" 2 (Request.exit_code missing)
+
+let test_request_budget_exhaustion () =
+  let r =
+    run
+      (Request.job ~max_states:1 Request.Rl (inline "faulty" faulty)
+         "[]<>result")
+  in
+  (match r.Request.status with
+  | Request.Failed (Error.Budget_exhausted _) -> ()
+  | _ -> Alcotest.fail "expected Budget_exhausted");
+  Alcotest.(check int) "budget exhaustion exits 4" 4 (Request.exit_code r)
+
+let test_request_model_cache () =
+  let dir = Filename.temp_file "rl_service_cache" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  let path = Filename.concat dir "m.ts" in
+  let oc = open_out path in
+  output_string oc server;
+  close_out oc;
+  Fun.protect
+    ~finally:(fun () ->
+      Sys.remove path;
+      Unix.rmdir dir)
+    (fun () ->
+      let cache = Request.cache ~capacity:8 () in
+      let job = Request.job Request.Rl (Request.File path) "[]<>result" in
+      let a = run ~cache job in
+      let b = run ~cache job in
+      let hits, misses, entries, _ = Request.cache_stats cache in
+      Alcotest.(check int) "first load misses" 1 misses;
+      Alcotest.(check int) "second load hits" 1 hits;
+      Alcotest.(check int) "one entry" 1 entries;
+      Alcotest.(check bool) "verdicts identical across the cache" true
+        (a.Request.status = b.Request.status
+        && a.Request.message = b.Request.message);
+      Alcotest.(check bool) "diagnostics re-attached on the hit" true
+        (List.length a.Request.diagnostics
+        = List.length b.Request.diagnostics))
+
+(* --- supervisor --- *)
+
+let test_supervisor_completes () =
+  match Supervisor.supervise (fun () -> 42) with
+  | Supervisor.Completed n -> Alcotest.(check int) "value" 42 n
+  | _ -> Alcotest.fail "expected Completed"
+
+let test_supervisor_completes_under_deadline () =
+  match Supervisor.supervise ~deadline_s:5.0 (fun () -> 42) with
+  | Supervisor.Completed n -> Alcotest.(check int) "value" 42 n
+  | _ -> Alcotest.fail "expected Completed"
+
+let test_supervisor_traps_crashes () =
+  (match Supervisor.supervise (fun () -> failwith "boom") with
+  | Supervisor.Crashed (Error.Internal m) ->
+      Alcotest.(check bool) "the exception is in the message" true
+        (String.length m > 0)
+  | _ -> Alcotest.fail "expected Crashed Internal");
+  match
+    Supervisor.supervise ~deadline_s:5.0 (fun () ->
+        raise (Budget.Exhausted
+                 {
+                   Budget.resource = `States;
+                   phase = "test";
+                   states_explored = 9;
+                   max_states = Some 9;
+                 }))
+  with
+  | Supervisor.Crashed (Error.Budget_exhausted _) -> ()
+  | _ -> Alcotest.fail "known exceptions keep their typed mapping"
+
+let test_supervisor_deadline_abandons () =
+  let budget = Budget.create ~max_states:1_000_000 () in
+  let t0 = Unix.gettimeofday () in
+  let release = Atomic.make false in
+  (match
+     Supervisor.supervise ~deadline_s:0.05 ~budget (fun () ->
+         while not (Atomic.get release) do
+           Thread.yield ()
+         done;
+         0)
+   with
+  | Supervisor.Deadline _ -> ()
+  | _ -> Alcotest.fail "expected Deadline");
+  let elapsed = Unix.gettimeofday () -. t0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "replied promptly, not hung (%.3fs)" elapsed)
+    true (elapsed < 2.0);
+  Alcotest.(check bool) "the abandoned worker is counted" true
+    (Supervisor.zombies () >= 1);
+  Alcotest.(check bool) "the budget was cancelled for cooperative unwind"
+    true (Budget.cancelled budget);
+  (* let the zombie unwind and confirm the count drains *)
+  Atomic.set release true;
+  let rec drain n =
+    if Supervisor.zombies () > 0 && n > 0 then begin
+      Thread.delay 0.01;
+      drain (n - 1)
+    end
+  in
+  drain 200;
+  Alcotest.(check int) "zombie count drains once the body unwinds" 0
+    (Supervisor.zombies ())
+
+let test_supervisor_injected_expiry () =
+  with_faults ~seed:2
+    [ (Fault.Deadline_expiry, 1.0) ]
+    (fun () ->
+      let t0 = Unix.gettimeofday () in
+      match Supervisor.supervise ~deadline_s:60.0 (fun () -> 1) with
+      | Supervisor.Deadline _ ->
+          Alcotest.(check bool) "expired immediately, not after 60s" true
+            (Unix.gettimeofday () -. t0 < 5.0)
+      | _ -> Alcotest.fail "injected expiry must take the Deadline path")
+
+(* --- the daemon in process: wire protocol, batches, survival --- *)
+
+module Daemon = Rl_service.Daemon
+
+let test_daemon_wire_protocol () =
+  let dir = Filename.temp_file "rld_test" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  let sock = Filename.concat dir "d.sock" in
+  let config =
+    { (Daemon.default_config ~socket_path:sock) with Daemon.quiet = true }
+  in
+  let server = Thread.create Daemon.serve config in
+  let rec await n =
+    if n = 0 then Alcotest.fail "daemon did not come up"
+    else if not (Sys.file_exists sock) then begin
+      Thread.delay 0.01;
+      await (n - 1)
+    end
+  in
+  await 1000;
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX sock);
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  let ask line =
+    output_string oc line;
+    output_char oc '\n';
+    flush oc;
+    Result.get_ok (J.parse (input_line ic))
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      Thread.join server;
+      if Sys.file_exists sock then Sys.remove sock;
+      Unix.rmdir dir)
+    (fun () ->
+      (* garbage and unknown ops get error replies on a live connection *)
+      let r = ask "this is not json" in
+      Alcotest.(check bool) "garbage line -> ok:false" true
+        (J.bool_member "ok" r = Some false);
+      let r = ask {|{"op":"nonsense"}|} in
+      Alcotest.(check bool) "unknown op -> ok:false" true
+        (J.bool_member "ok" r = Some false);
+      let r = ask {|{"op":"check"}|} in
+      Alcotest.(check bool) "check without jobs -> ok:false" true
+        (J.bool_member "ok" r = Some false);
+      (* the same connection still serves a real batch: one inline model
+         that holds, one that cannot parse — per-job statuses and exit
+         codes, the batch itself fine *)
+      let r =
+        ask
+          ({|{"op":"check","id":"b1","jobs":[|}
+          ^ {|{"kind":"rl","name":"m","model":"initial 0\n0 request 1\n1 result 0\n1 reject 0\n","formula":"[]<>result"},|}
+          ^ {|{"kind":"sat","name":"bad","model":"junk","formula":"[]<>a"}]}|})
+      in
+      Alcotest.(check (option string)) "id echoed" (Some "b1")
+        (J.str_member "id" r);
+      Alcotest.(check bool) "batch ok" true (J.bool_member "ok" r = Some true);
+      Alcotest.(check bool) "not partial" true
+        (J.bool_member "partial" r = Some false);
+      (match J.arr_member "results" r with
+      | Some [ good; bad ] ->
+          Alcotest.(check (option string)) "job 0 holds" (Some "holds")
+            (J.str_member "status" good);
+          Alcotest.(check (option int)) "job 0 exit 0" (Some 0)
+            (J.int_member "exit_code" good);
+          Alcotest.(check (option string)) "job 1 error" (Some "error")
+            (J.str_member "status" bad);
+          Alcotest.(check (option int)) "job 1 exit 2" (Some 2)
+            (J.int_member "exit_code" bad)
+      | _ -> Alcotest.fail "expected two results");
+      (* ping and stats on the same connection *)
+      let r = ask {|{"op":"ping"}|} in
+      Alcotest.(check bool) "pong" true (J.bool_member "pong" r = Some true);
+      let r = ask {|{"op":"stats"}|} in
+      let stats = Option.get (J.member "stats" r) in
+      Alcotest.(check bool) "uptime reported" true
+        (J.num_member "uptime_s" stats <> None);
+      Alcotest.(check (option int)) "bad requests counted" (Some 3)
+        (J.int_member "bad_requests" stats);
+      (* shutdown replies, then the daemon exits and removes the socket *)
+      let r = ask {|{"op":"shutdown"}|} in
+      Alcotest.(check bool) "stopping" true
+        (J.bool_member "stopping" r = Some true));
+  Alcotest.(check bool) "socket file removed on exit" false
+    (Sys.file_exists sock)
+
+(* --- chaos: verdict equality and contract conformance under faults --- *)
+
+let reply_repr (r : Request.reply) =
+  ( (match r.Request.status with
+    | Request.Holds -> "holds"
+    | Request.Fails -> "fails"
+    | Request.Blocked -> "blocked"
+    | Request.Failed e -> "error: " ^ Error.to_string e),
+    r.Request.message,
+    r.Request.witness,
+    Request.exit_code r )
+
+let abc = Rl_sigma.Alphabet.make [ "a"; "b"; "c" ]
+
+let gen_inline_model =
+  QCheck2.Gen.(
+    let* seed = 0 -- 1_000_000 in
+    let* states = 1 -- 5 in
+    let ts =
+      Rl_automata.Gen.transition_system (Helpers.mk_rng seed)
+        ~alphabet:abc ~states ~branching:1.7
+    in
+    return (Rl_core.Ts_format.print_ts ts))
+
+let gen_formula_src =
+  QCheck2.Gen.oneofl
+    [
+      "[]<>a";
+      "<>[]b";
+      "[](a -> <>c)";
+      "a U b";
+      "<>(b & <>a)";
+      "[]<>(a | c)";
+    ]
+
+let gen_kind = QCheck2.Gen.oneofl [ Request.Sat; Request.Rl; Request.Rs ]
+
+let chaos_prop ~name ~count rates =
+  QCheck2.Test.make ~name ~count
+    QCheck2.Gen.(triple gen_inline_model gen_formula_src gen_kind)
+    (fun (text, formula, kind) ->
+      let job =
+        Request.job ~no_lint:true ~max_states:50_000 kind
+          (inline "<chaos>" text) formula
+      in
+      let clean = reply_repr (Request.run job) in
+      let chaotic =
+        with_faults ~seed:7 rates (fun () -> reply_repr (Request.run job))
+      in
+      clean = chaotic)
+
+(* cache-miss storms and budget contention are transparent by contract:
+   they cost time, never correctness *)
+let prop_chaos_transparent =
+  chaos_prop
+    ~name:"chaos: verdicts under cache storms + budget contention = fault-free"
+    ~count:60
+    [ (Fault.Cache_miss_storm, 1.0); (Fault.Budget_contention, 0.3) ]
+
+(* worker death is transparent too: the barrier repairs orphaned slots *)
+let prop_chaos_pool_death =
+  QCheck2.Test.make
+    ~name:"chaos: verdicts with dying pool workers = fault-free" ~count:15
+    QCheck2.Gen.(triple gen_inline_model gen_formula_src gen_kind)
+    (fun (text, formula, kind) ->
+      let job =
+        Request.job ~no_lint:true ~max_states:50_000 kind
+          (inline "<chaos>" text) formula
+      in
+      let clean = reply_repr (Request.run job) in
+      let chaotic =
+        Pool.with_pool ~jobs:3 ~cutoff:0 (fun pool ->
+            with_faults ~seed:11
+              [ (Fault.Pool_domain_death, 0.2) ]
+              (fun () -> reply_repr (Request.run ~pool job)))
+      in
+      clean = chaotic)
+
+(* malformed input is *not* transparent: it must surface as a typed parse
+   error with the documented exit code — never a crash, never a bogus
+   verdict *)
+let prop_chaos_malformed_input =
+  QCheck2.Test.make
+    ~name:"chaos: injected malformed input is a typed parse error (exit 2)"
+    ~count:40
+    QCheck2.Gen.(pair gen_inline_model gen_formula_src)
+    (fun (text, formula) ->
+      let job =
+        Request.job ~no_lint:true Request.Rl (inline "<chaos>" text) formula
+      in
+      let r =
+        with_faults ~seed:13
+          [ (Fault.Malformed_input, 1.0) ]
+          (fun () -> Request.run job)
+      in
+      match r.Request.status with
+      | Request.Failed (Error.Parse_error _) -> Request.exit_code r = 2
+      | _ -> false)
+
+let qcheck = QCheck_alcotest.to_alcotest
+
+let () =
+  Alcotest.run "service"
+    [
+      ( "jsonx",
+        [
+          Alcotest.test_case "round-trips" `Quick test_jsonx_roundtrip;
+          Alcotest.test_case "rejects malformed input" `Quick
+            test_jsonx_parse_errors;
+          Alcotest.test_case "accessors" `Quick test_jsonx_accessors;
+        ] );
+      ( "lru",
+        [
+          Alcotest.test_case "eviction order and recency" `Quick
+            test_lru_eviction;
+          Alcotest.test_case "capacity 0 is unbounded" `Quick
+            test_lru_unbounded;
+        ] );
+      ( "fault",
+        [
+          Alcotest.test_case "schedules are seed-deterministic" `Quick
+            test_fault_determinism;
+          Alcotest.test_case "points are independent; counters track" `Quick
+            test_fault_isolation_and_counters;
+          Alcotest.test_case "invalid rates are rejected" `Quick
+            test_fault_env_rejects_garbage;
+        ] );
+      ( "request",
+        [
+          Alcotest.test_case "holds" `Quick test_request_holds;
+          Alcotest.test_case "fails with a certified witness" `Quick
+            test_request_fails_with_witness;
+          Alcotest.test_case "blocked by pre-flight lint" `Quick
+            test_request_blocked_by_lint;
+          Alcotest.test_case "typed errors, exit 2" `Quick
+            test_request_typed_errors;
+          Alcotest.test_case "budget exhaustion, exit 4" `Quick
+            test_request_budget_exhaustion;
+          Alcotest.test_case "model cache hits preserve replies" `Quick
+            test_request_model_cache;
+        ] );
+      ( "supervisor",
+        [
+          Alcotest.test_case "completes" `Quick test_supervisor_completes;
+          Alcotest.test_case "completes under a deadline" `Quick
+            test_supervisor_completes_under_deadline;
+          Alcotest.test_case "traps crashes into typed errors" `Quick
+            test_supervisor_traps_crashes;
+          Alcotest.test_case "deadline abandons and cancels" `Quick
+            test_supervisor_deadline_abandons;
+          Alcotest.test_case "injected expiry" `Quick
+            test_supervisor_injected_expiry;
+        ] );
+      ( "daemon",
+        [
+          Alcotest.test_case "wire protocol and survival" `Quick
+            test_daemon_wire_protocol;
+        ] );
+      ( "chaos",
+        [
+          qcheck prop_chaos_transparent;
+          qcheck prop_chaos_pool_death;
+          qcheck prop_chaos_malformed_input;
+        ] );
+    ]
