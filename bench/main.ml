@@ -1406,6 +1406,144 @@ let lint_profile () =
   Out_channel.with_open_text "BENCH_lint.json" (fun oc -> output_string oc json);
   Printf.printf "(written to BENCH_lint.json)\n"
 
+(* ------------------------------------------------------------------ *)
+(* Part 7: incremental re-check profile                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* The daemon's incremental re-check, measured end to end through the
+   Request layer: the first check of a model pays the full decide; a
+   byte-identical resubmission and an edit confined to the unreachable
+   region replay the memoized outcome; a reachable edit re-decides from
+   scratch. Two bars are enforced, both deterministic: every reply a
+   warm cache produces must equal the from-scratch reply for the same
+   source (verdict soundness), and the memo must actually have engaged
+   on the two no-op resubmissions (counter check). The timings are
+   recorded honestly but carry no bar — the replay legs are too fast
+   for a stable ratio on small hosts. Written to BENCH_recheck.json at
+   the repo root. *)
+
+module Request = Rl_service.Request
+
+type recheck_row = {
+  rc_family : string;
+  rc_cold_s : float;
+  rc_resubmit_s : float;
+  rc_equivalent_s : float;
+  rc_edited_s : float;
+  rc_memo_hits : int;
+  rc_decides : int;
+  rc_verdicts_equal : bool;
+}
+
+let recheck_families () =
+  [
+    ("recheck/ladder-10", blowup_ts 10, "[]<> (a & X (b & X a))");
+    ("recheck/ladder-doomed-10", ladder_doomed_ts 10, "[]<> (a & X (b & X a))");
+    ("recheck/counter-30", counter_ts [ 2; 3; 5 ], "[]<> a");
+  ]
+
+let recheck_json rows =
+  let record r =
+    Printf.sprintf
+      "    {\"family\": \"%s\", \"cold_s\": %.6f, \"resubmit_s\": %.6f, \
+       \"equivalent_edit_s\": %.6f, \"reachable_edit_s\": %.6f, \
+       \"memo_hits\": %d, \"decides\": %d, \"verdicts_equal\": %b}"
+      (json_escape r.rc_family) r.rc_cold_s r.rc_resubmit_s r.rc_equivalent_s
+      r.rc_edited_s r.rc_memo_hits r.rc_decides r.rc_verdicts_equal
+  in
+  Printf.sprintf
+    "{\n\
+    \  \"host\": %s,\n\
+    \  \"families\": [\n\
+     %s\n\
+    \  ]\n\
+     }\n"
+    (host_json ())
+    (String.concat ",\n" (List.map record rows))
+
+let recheck_profile () =
+  header "INCREMENTAL RE-CHECK PROFILE (warm cache vs from-scratch)";
+  let reply_key (r : Request.reply) =
+    (r.Request.message, r.Request.witness, Request.exit_code r)
+  in
+  let timed f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let rows =
+    List.map
+      (fun (name, ts, formula) ->
+        Printf.printf "timing %s ...\n%!" name;
+        let text = Ts_format.print_ts ts in
+        let lbl = List.hd (Alphabet.names (Nfa.alphabet ts)) in
+        (* an edit the trim discards entirely, and one it cannot *)
+        let equivalent_text =
+          Printf.sprintf "%s900 %s 901\n901 %s 900\n" text lbl lbl
+        in
+        let edited_text =
+          Printf.sprintf "%s0 %s 900\n900 %s 0\n" text lbl lbl
+        in
+        let job t =
+          Request.job ~no_lint:true Request.Rl
+            (Request.Inline { name; text = t })
+            formula
+        in
+        let cache = Request.cache ~capacity:16 () in
+        let cold, cold_s = timed (fun () -> Request.run ~cache (job text)) in
+        let resub, resub_s =
+          timed (fun () -> Request.run ~cache (job text))
+        in
+        let equiv, equiv_s =
+          timed (fun () -> Request.run ~cache (job equivalent_text))
+        in
+        let edited, edited_s =
+          timed (fun () -> Request.run ~cache (job edited_text))
+        in
+        let scratch t = Request.run (job t) in
+        let verdicts_equal =
+          reply_key cold = reply_key (scratch text)
+          && reply_key resub = reply_key cold
+          && reply_key equiv = reply_key (scratch equivalent_text)
+          && reply_key edited = reply_key (scratch edited_text)
+        in
+        let s = Request.recheck_stats cache in
+        Printf.printf
+          "  cold %.6f s, resubmit %.6f s, equivalent edit %.6f s, \
+           reachable edit %.6f s (%d memo hits, %d decides)\n%!"
+          cold_s resub_s equiv_s edited_s s.Request.memo_hits
+          s.Request.decides;
+        {
+          rc_family = name;
+          rc_cold_s = cold_s;
+          rc_resubmit_s = resub_s;
+          rc_equivalent_s = equiv_s;
+          rc_edited_s = edited_s;
+          rc_memo_hits = s.Request.memo_hits;
+          rc_decides = s.Request.decides;
+          rc_verdicts_equal = verdicts_equal;
+        })
+      (recheck_families ())
+  in
+  let bad_verdict = List.exists (fun r -> not r.rc_verdicts_equal) rows in
+  let memo_idle = List.exists (fun r -> r.rc_memo_hits < 2) rows in
+  if bad_verdict then begin
+    Printf.eprintf
+      "bench: incremental re-check verdicts diverged from from-scratch runs\n";
+    exit 1
+  end;
+  if memo_idle then begin
+    Printf.eprintf
+      "bench: the outcome memo never engaged on a no-op resubmission\n";
+    exit 1
+  end;
+  print_endline
+    "verdict equality incremental = from-scratch: all families; memo engaged";
+  let json = recheck_json rows in
+  Out_channel.with_open_text "BENCH_recheck.json" (fun oc ->
+      output_string oc json);
+  Printf.printf "(written to BENCH_recheck.json)\n"
+
 let () =
   print_endline
     "Relative Liveness and Behavior Abstraction — reproduction harness";
@@ -1443,6 +1581,14 @@ let () =
     print_endline "done.";
     exit 0
   end;
+  (* `--only-recheck` runs just the incremental re-check profile *)
+  let only_recheck = Array.exists (String.equal "--only-recheck") Sys.argv in
+  if only_recheck then begin
+    recheck_profile ();
+    line ();
+    print_endline "done.";
+    exit 0
+  end;
   if not only_profile then begin
     fig1 ();
     fig2 ();
@@ -1460,5 +1606,6 @@ let () =
   parallel_profile ();
   reduction_profile ();
   lint_profile ();
+  recheck_profile ();
   line ();
   print_endline "done."

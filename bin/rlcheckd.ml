@@ -81,15 +81,23 @@ let max_batch_arg =
   let doc = "Refuse check batches with more than $(docv) jobs." in
   Arg.(value & opt int 256 & info [ "max-batch" ] ~docv:"N" ~doc)
 
+let max_connections_arg =
+  let doc =
+    "Serve at most $(docv) concurrent connections; one over the limit is \
+     answered with a 'server busy' error line and closed."
+  in
+  Arg.(value & opt int 32 & info [ "max-connections" ] ~docv:"N" ~doc)
+
 let quiet_arg =
   let doc = "Suppress the stderr log lines." in
   Arg.(value & flag & info [ "q"; "quiet" ] ~doc)
 
-let run_serve socket jobs deadline_s model_cache_capacity max_batch quiet =
+let run_serve socket jobs deadline_s model_cache_capacity max_batch
+    max_connections quiet =
   match
     Daemon.serve
       { Daemon.socket_path = socket; jobs; deadline_s; model_cache_capacity;
-        max_batch; quiet }
+        max_batch; max_connections; quiet }
   with
   | () -> exit 0
   | exception Invalid_argument m -> fail "%s" m
@@ -101,7 +109,7 @@ let serve_cmd =
   Cmd.v (Cmd.info "serve" ~doc)
     Term.(
       const run_serve $ socket_arg $ jobs_arg $ deadline_arg $ cache_cap_arg
-      $ max_batch_arg $ quiet_arg)
+      $ max_batch_arg $ max_connections_arg $ quiet_arg)
 
 (* --- ping --- *)
 

@@ -157,12 +157,10 @@ let forward ?cache n =
     ~succ:(fun q a -> Nfa.successors n q a)
     ()
 
-let backward ?cache n =
-  require_eps_free "Preorder.backward" n;
+(* the reversed successor function backward simulation refines over *)
+let pred_fn n =
   let states = Nfa.states n in
   let k = Alphabet.size (Nfa.alphabet n) in
-  (* backward simulation = forward simulation on the reversed automaton,
-     respecting both initiality and finality *)
   let preds = Array.make (states * k) [] in
   List.iter
     (fun (q, a, q') ->
@@ -170,10 +168,37 @@ let backward ?cache n =
       preds.(cell) <- q :: preds.(cell))
     (Nfa.transitions n);
   Array.iteri (fun i l -> preds.(i) <- List.sort_uniq compare l) preds;
+  fun q a -> preds.((q * k) + a)
+
+let backward ?cache n =
+  require_eps_free "Preorder.backward" n;
+  let states = Nfa.states n in
+  let k = Alphabet.size (Nfa.alphabet n) in
+  (* backward simulation = forward simulation on the reversed automaton,
+     respecting both initiality and finality *)
   of_view ?cache ~tag:"nfa-bwd" ~states ~symbols:k
     ~memberships:[ Bitset.of_list (max states 1) (Nfa.initial n); Nfa.finals n ]
-    ~succ:(fun q a -> preds.((q * k) + a))
+    ~succ:(pred_fn n)
     ()
+
+(* The Simcache keys {!forward} and {!backward} would memoize under for
+   this automaton — what the service's incremental re-check tracks per
+   model so it can invalidate exactly the entries fingerprinted from an
+   edited-away version. Computed on [remove_eps n], matching what the
+   deciders actually hand to the preorder engine. *)
+let cache_keys n =
+  let n = Nfa.remove_eps n in
+  let states = Nfa.states n in
+  let symbols = Alphabet.size (Nfa.alphabet n) in
+  [
+    fingerprint ~tag:"nfa-fwd" ~states ~symbols
+      ~memberships:[ Nfa.finals n ]
+      ~succ:(fun q a -> Nfa.successors n q a);
+    fingerprint ~tag:"nfa-bwd" ~states ~symbols
+      ~memberships:
+        [ Bitset.of_list (max states 1) (Nfa.initial n); Nfa.finals n ]
+      ~succ:(pred_fn n);
+  ]
 
 (* Quotient by mutual similarity. The greatest simulation is a preorder,
    so mutual similarity is an equivalence; classes are numbered in order

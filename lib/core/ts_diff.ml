@@ -1,0 +1,137 @@
+(* State/transition-level diffing of two versions of a transition
+   system, for the checking service's incremental re-check.
+
+   A client in a check–edit–recheck loop resubmits the same model with a
+   small edit; the service wants to know (a) whether the edit can change
+   any verdict at all, and (b) which cached artifacts of the old version
+   are now dead. Both questions are answered structurally, on the parsed
+   (untrimmed) systems: transitions are compared as
+   (source, label-name, target) triples — the model format names states
+   with explicit numbers, so state identities are stable across edits of
+   the same file — and the alphabet by its label-name set, so a mere
+   reordering of declarations is not an edit.
+
+   The classification is deliberately conservative: the only reuse-
+   enabling answer, [Equivalent], is backed by a structural identity
+   check of the *trimmed* systems — the exact automata the deciders
+   receive — so an incremental verdict can never diverge from a
+   from-scratch one. Everything else falls back to a full re-check; the
+   classification then only controls how precisely the old version's
+   caches are invalidated. *)
+
+open Rl_automata
+open Rl_sigma
+
+type t = {
+  added : (int * string * int) list;
+  removed : (int * string * int) list;
+  initial_added : int list;
+  initial_removed : int list;
+  alphabet_added : string list;
+  alphabet_removed : string list;
+}
+
+let named_transitions n =
+  let al = Nfa.alphabet n in
+  List.map (fun (q, a, q') -> (q, Alphabet.name al a, q')) (Nfa.transitions n)
+
+let diff_lists xs ys =
+  (* elements of xs not in ys, set-wise *)
+  let seen = Hashtbl.create 64 in
+  List.iter (fun y -> Hashtbl.replace seen y ()) ys;
+  List.sort_uniq compare (List.filter (fun x -> not (Hashtbl.mem seen x)) xs)
+
+let compute ~old_ ~next =
+  let to_ = named_transitions old_ and tn = named_transitions next in
+  let io = List.sort_uniq compare (Nfa.initial old_)
+  and inx = List.sort_uniq compare (Nfa.initial next) in
+  let ao = List.sort String.compare (Alphabet.names (Nfa.alphabet old_))
+  and an = List.sort String.compare (Alphabet.names (Nfa.alphabet next)) in
+  {
+    added = diff_lists tn to_;
+    removed = diff_lists to_ tn;
+    initial_added = diff_lists inx io;
+    initial_removed = diff_lists io inx;
+    alphabet_added = diff_lists an ao;
+    alphabet_removed = diff_lists ao an;
+  }
+
+let is_empty d =
+  d.added = [] && d.removed = []
+  && d.initial_added = [] && d.initial_removed = []
+  && d.alphabet_added = [] && d.alphabet_removed = []
+
+let size d =
+  List.length d.added + List.length d.removed + List.length d.initial_added
+  + List.length d.initial_removed
+
+let touched d =
+  let states = ref [] in
+  List.iter
+    (fun (q, _, q') -> states := q :: q' :: !states)
+    (d.added @ d.removed);
+  List.sort_uniq compare (d.initial_added @ d.initial_removed @ !states)
+
+(* Structural identity of two automata — not isomorphism: state numbers,
+   initial lists, final sets and (label-named) transition sets must
+   coincide. For the trimmed systems the deciders consume, identity here
+   means the decide step receives bit-for-bit the same input, which is
+   what makes [Equivalent] sound. *)
+let structural_equal a b =
+  Nfa.states a = Nfa.states b
+  && Alphabet.names (Nfa.alphabet a) = Alphabet.names (Nfa.alphabet b)
+  && List.sort_uniq compare (Nfa.initial a)
+     = List.sort_uniq compare (Nfa.initial b)
+  && Rl_prelude.Bitset.equal (Nfa.finals a) (Nfa.finals b)
+  && List.sort compare (named_transitions a)
+     = List.sort compare (named_transitions b)
+  && Nfa.has_eps a = Nfa.has_eps b
+
+type classification =
+  | Identical
+  | Equivalent
+  | Local of { touched : int list; ratio : float }
+  | Global of string
+
+let default_max_ratio = 0.25
+
+let classify ?(max_ratio = default_max_ratio) ~old_ ~next d =
+  if is_empty d then Identical
+  else if d.alphabet_added <> [] || d.alphabet_removed <> [] then
+    (* new or dropped labels re-index every symbol and change the
+       property alphabet: ambiguous, treat the model as brand new *)
+    Global "alphabet changed"
+  else if structural_equal (Nfa.trim old_) (Nfa.trim next) then
+    (* the edit only touched the unreachable region: the deciders see
+       the identical trimmed system, every cached verdict stays valid *)
+    Equivalent
+  else begin
+    let base = max 1 (List.length (Nfa.transitions old_)) in
+    let ratio = float_of_int (size d) /. float_of_int base in
+    if d.initial_added <> [] || d.initial_removed <> [] then
+      Global "initial states changed"
+    else if ratio > max_ratio then
+      Global
+        (Printf.sprintf "edit touches %.0f%% of the system"
+           (100. *. ratio))
+    else Local { touched = touched d; ratio }
+  end
+
+let pp ppf d =
+  let plural n = if n = 1 then "" else "s" in
+  let parts =
+    List.filter
+      (fun s -> s <> "")
+      [
+        (let n = List.length d.added in
+         if n = 0 then "" else Printf.sprintf "+%d transition%s" n (plural n));
+        (let n = List.length d.removed in
+         if n = 0 then "" else Printf.sprintf "-%d transition%s" n (plural n));
+        (if d.initial_added = [] && d.initial_removed = [] then ""
+         else "initial states changed");
+        (if d.alphabet_added = [] && d.alphabet_removed = [] then ""
+         else "alphabet changed");
+      ]
+  in
+  Format.pp_print_string ppf
+    (if parts = [] then "no changes" else String.concat ", " parts)

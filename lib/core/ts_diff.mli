@@ -1,0 +1,78 @@
+(** State/transition-level diffing of two versions of a transition
+    system — the analysis behind the checking service's incremental
+    re-check.
+
+    [compute ~old_ ~next] compares two parsed (untrimmed) systems
+    structurally: transitions as (source, label-name, target) triples,
+    initial states as sets, alphabets as label-name sets. The model
+    format names states with explicit numbers, so state identities are
+    stable across edits of the same source; comparing transition labels
+    by {e name} makes a reordering of declarations a non-edit even
+    though it permutes symbol indices.
+
+    {!classify} turns a diff into a re-check decision:
+
+    - [Identical] — no structural difference; every cached artifact of
+      the old version is still exact.
+    - [Equivalent] — the diff is nonempty but only touches the
+      unreachable region: the {e trimmed} systems (what the deciders
+      actually consume) are structurally identical, so every cached
+      verdict remains sound. Backed by {!structural_equal} on the trims,
+      never by heuristics.
+    - [Local] — a small reachable edit: verdicts must be recomputed, but
+      invalidation can be precise (only the old version's fingerprints).
+    - [Global] — the edit is large or ambiguous (alphabet change,
+      initial-state change, or more than [max_ratio] of the transitions
+      touched): treat the submission as a brand-new model and skip the
+      fine-grained analysis. *)
+
+type t = {
+  added : (int * string * int) list;
+      (** transitions present only in [next], label by name *)
+  removed : (int * string * int) list;
+      (** transitions present only in [old_] *)
+  initial_added : int list;
+  initial_removed : int list;
+  alphabet_added : string list;
+  alphabet_removed : string list;
+}
+
+val compute : old_:Rl_automata.Nfa.t -> next:Rl_automata.Nfa.t -> t
+
+(** No structural difference at all. *)
+val is_empty : t -> bool
+
+(** Edit size: changed transitions plus changed initial states. *)
+val size : t -> int
+
+(** States incident to any added/removed transition or initial-state
+    change, in the models' own numbering, sorted. *)
+val touched : t -> int list
+
+(** Structural identity (not isomorphism): equal state counts, alphabet
+    name sequences, initial lists, final sets, and label-named
+    transition sets. On trimmed systems this is exactly "the decide step
+    receives the same input". *)
+val structural_equal : Rl_automata.Nfa.t -> Rl_automata.Nfa.t -> bool
+
+type classification =
+  | Identical
+  | Equivalent  (** trimmed systems structurally identical *)
+  | Local of { touched : int list; ratio : float }
+  | Global of string  (** reason the diff was abandoned *)
+
+val default_max_ratio : float
+(** 0.25 — a quarter of the transitions. *)
+
+(** [classify ~old_ ~next d] as described above. [max_ratio] bounds the
+    fraction of [old_]'s transitions an edit may touch before the diff
+    is declared [Global] (default {!default_max_ratio}). *)
+val classify :
+  ?max_ratio:float ->
+  old_:Rl_automata.Nfa.t ->
+  next:Rl_automata.Nfa.t ->
+  t ->
+  classification
+
+(** One-line human rendering, e.g. ["+2 transitions, -1 transition"]. *)
+val pp : Format.formatter -> t -> unit

@@ -181,6 +181,12 @@ let with_file path on_diagnostic =
     (fun f d -> f { d with Diagnostic.file = Some path })
     on_diagnostic
 
+(* the deprecated string shim gets the same file context the typed
+   callback gets — a bare message with no path is useless to a caller
+   loading more than one file *)
+let with_file_warning path on_warning =
+  Option.map (fun f msg -> f (path ^ ": " ^ msg)) on_warning
+
 let load ?on_warning ?on_diagnostic ?budget ?bound path =
   let ic = open_in path in
   let len = in_channel_length ic in
@@ -189,16 +195,20 @@ let load ?on_warning ?on_diagnostic ?budget ?bound path =
   if Filename.check_suffix path ".pn" then
     Nfa.trim
       (fst (Rl_petri.Petri.reachability_graph ?budget ?bound (parse_petri src)))
-  else parse_ts ?on_warning ?on_diagnostic:(with_file path on_diagnostic) src
+  else
+    parse_ts
+      ?on_warning:(with_file_warning path on_warning)
+      ?on_diagnostic:(with_file path on_diagnostic) src
 
 let bound_or_default bound =
   Option.value bound ~default:Rl_petri.Petri.default_bound
 
 let parse_ts_result ?on_warning ?on_diagnostic ?file src =
-  let on_diagnostic =
+  let on_warning, on_diagnostic =
     match file with
-    | Some path -> with_file path on_diagnostic
-    | None -> on_diagnostic
+    | Some path ->
+        (with_file_warning path on_warning, with_file path on_diagnostic)
+    | None -> (on_warning, on_diagnostic)
   in
   Rl_engine_kernel.Error.protect
     ~handler:(function

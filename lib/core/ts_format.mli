@@ -47,9 +47,11 @@ exception Syntax_error of int * string
     ([RL002]) or have no outgoing transitions ([RL003]), each pointing at
     the declaring [initial] line.
 
-    [on_warning] is the deprecated string shim: it receives exactly the
-    [message] field of each diagnostic. New code should use
-    [on_diagnostic]. *)
+    [on_warning] is the deprecated string shim: it receives the
+    [message] field of each diagnostic — prefixed with the file path in
+    the entry points that know one ({!load}, and {!parse_ts_result} with
+    [file]), exactly like the typed callback's [file] field. New code
+    should use [on_diagnostic]. *)
 val parse_ts :
   ?on_warning:(string -> unit) ->
   ?on_diagnostic:(Rl_analysis.Diagnostic.t -> unit) ->

@@ -31,6 +31,10 @@ val put : ('k, 'v) t -> 'k -> 'v -> unit
 val length : ('k, 'v) t -> int
 val capacity : ('k, 'v) t -> int
 
+(** [remove t k] drops the binding for [k] if present; [true] iff a
+    binding was dropped. Not counted as an eviction. *)
+val remove : ('k, 'v) t -> 'k -> bool
+
 (** [set_capacity t n] rebounds the cache, evicting down to [n] at once
     if it currently holds more ([n <= 0] = unbounded). *)
 val set_capacity : ('k, 'v) t -> int -> unit

@@ -214,6 +214,21 @@ let heal pool =
     pool.workers;
   Mutex.unlock pool.mutex
 
+(* Region-safe healing for a pool shared across service handler threads:
+   [heal] alone must not run while another thread's parallel region is in
+   flight, so this claims the region slot first. While we hold [busy],
+   concurrent [parmap]s lose the CAS and run inline serially — correct
+   either way. Returns [false] when the slot is taken; the caller just
+   tries again after its next batch. *)
+let try_heal pool =
+  if Atomic.compare_and_set pool.busy false true then begin
+    Fun.protect
+      ~finally:(fun () -> Atomic.set pool.busy false)
+      (fun () -> heal pool);
+    true
+  end
+  else false
+
 let shutdown pool =
   if Array.length pool.workers > 0 then begin
     Mutex.lock pool.mutex;

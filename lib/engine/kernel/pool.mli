@@ -99,6 +99,14 @@ val heals : t -> int
     are not supported during a heal. *)
 val heal : t -> unit
 
+(** [try_heal p] is {!heal} made safe for a pool shared across handler
+    threads: it claims the pool's region slot first (so the respawn
+    cannot overlap a parallel region on another thread — concurrent
+    regions run inline serially meanwhile) and returns [false] without
+    healing when a region currently holds the slot. The daemon calls it
+    after each batch; a skipped heal is retried after the next one. *)
+val try_heal : t -> bool
+
 (** [shutdown p] wakes the workers, asks them to exit, and joins them.
     Idempotent. A pool must not be used after shutdown. *)
 val shutdown : t -> unit

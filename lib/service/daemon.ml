@@ -1,14 +1,35 @@
-(* The accept loop and the wire protocol; all checking goes through
-   Request, all isolation through Supervisor.
+(* The connection supervisor and the wire protocol; all checking goes
+   through Request, all isolation through Supervisor.
+
+   Concurrency model: the accept loop spawns one handler thread per
+   connection, bounded by [max_connections] (a connection over the limit
+   gets an error reply and is closed). Within a connection, control ops
+   (ping/stats/shutdown) are answered inline on the handler thread,
+   while check batches run on per-request worker threads — up to
+   [max_inflight] of them, beyond which a batch runs inline so an
+   abusive client throttles itself, not the daemon. Replies to one
+   connection are serialized by a per-connection write mutex and carry
+   the client's request id, so interleaved replies stay attributable.
+   All connections share the domain pool, the parsed-model cache and the
+   simulation cache, each behind its own lock; the daemon's own counters
+   sit behind [d.lock].
 
    Failure domains, from the inside out: a job that crashes is a typed
    error in its own result slot; a job that blows the batch deadline is
    abandoned (budget cancelled, worker thread orphaned) and the batch
    cut short with per-job partial results; a connection that sends
-   garbage gets an error reply and may try again; a worker domain that
-   dies is healed between batches, and a pool that cannot be healed is
-   abandoned for serial execution. Nothing in a request's path can take
-   the accept loop down short of the process being killed. *)
+   garbage gets an error reply and may try again; a connection whose
+   handler blows up is closed alone; a worker domain that dies is healed
+   between batches, and a pool that cannot be healed is abandoned for
+   serial execution. Nothing in a request's path can take the accept
+   loop down short of the process being killed.
+
+   Shutdown drains: the handler that reads [shutdown] replies, then
+   flips [d.stopping], wakes the acceptor with a self-connection, and
+   half-closes every connection's read side ([SHUTDOWN_RECEIVE]) — in-
+   flight batches run to completion and write their replies, each
+   handler then sees end-of-file and exits, and the acceptor joins them
+   all before removing the socket. *)
 
 module Budget = Rl_engine.Budget
 module Error = Rl_engine.Error
@@ -24,6 +45,7 @@ type config = {
   deadline_s : float option;
   model_cache_capacity : int;
   max_batch : int;
+  max_connections : int;
   quiet : bool;
 }
 
@@ -34,8 +56,13 @@ let default_config ~socket_path =
     deadline_s = None;
     model_cache_capacity = 256;
     max_batch = 256;
+    max_connections = 32;
     quiet = false;
   }
+
+(* concurrent check requests on ONE connection before the handler stops
+   reading and runs batches inline (per-client backpressure) *)
+let max_inflight = 4
 
 type counters = {
   mutable requests : int; (* protocol ops answered *)
@@ -48,6 +75,8 @@ type counters = {
   mutable deadlines : int; (* jobs abandoned by the watchdog *)
   mutable skipped : int; (* jobs never started: batch deadline gone *)
   mutable bad_requests : int;
+  mutable connections : int; (* accepted and handled *)
+  mutable rejected : int; (* refused at the connection limit *)
 }
 
 type t = {
@@ -57,11 +86,22 @@ type t = {
   mutable pool : Pool.t option;
   mutable pool_broken : bool; (* healing failed: serial fallback for good *)
   counters : counters;
+  lock : Mutex.t; (* counters, pool fields, connection registry *)
+  mutable stopping : bool;
+  conns : (int, Unix.file_descr) Hashtbl.t; (* live connections *)
+  handlers : (int, Thread.t) Hashtbl.t; (* their handler threads *)
+  mutable finished : int list; (* handler ids ready to be reaped *)
+  mutable next_conn : int;
 }
 
 let log d fmt =
   if d.config.quiet then Format.ifprintf Format.err_formatter fmt
   else Format.eprintf fmt
+
+let bump d f =
+  Mutex.lock d.lock;
+  f d.counters;
+  Mutex.unlock d.lock
 
 (* --- rendering --- *)
 
@@ -160,24 +200,43 @@ let parse_job j =
 (* --- the batch executor: sequential jobs, one shared wall clock --- *)
 
 let heal_pool d =
-  match d.pool with
-  | Some p when Pool.degraded p && not d.pool_broken -> (
-      match Pool.heal p with
-      | () ->
+  Mutex.lock d.lock;
+  let target =
+    match d.pool with
+    | Some p when Pool.degraded p && not d.pool_broken -> Some p
+    | _ -> None
+  in
+  Mutex.unlock d.lock;
+  match target with
+  | None -> ()
+  | Some p -> (
+      (* [try_heal], not [heal]: batches on other connections may be on
+         the pool right now, and healing must not overlap a parmap
+         region. A lost claim just means the next finishing batch
+         retries. *)
+      match Pool.try_heal p with
+      | true ->
           log d "rlcheckd: healed pool (%d worker(s) respawned so far)@."
             (Pool.heals p)
+      | false -> ()
       | exception e ->
           (* cannot respawn domains: abandon the pool and run serially
              from here on — degraded but alive *)
+          Mutex.lock d.lock;
           d.pool_broken <- true;
           d.pool <- None;
+          Mutex.unlock d.lock;
           log d "rlcheckd: pool heal failed (%s); falling back to serial@."
             (Printexc.to_string e))
-  | _ -> ()
 
 let run_batch d ~deadline_s jobs =
-  let c = d.counters in
-  c.batches <- c.batches + 1;
+  bump d (fun c -> c.batches <- c.batches + 1);
+  let pool =
+    Mutex.lock d.lock;
+    let p = d.pool in
+    Mutex.unlock d.lock;
+    p
+  in
   let t0 = Unix.gettimeofday () in
   let deadline = Option.map (fun s -> t0 +. s) deadline_s in
   let partial = ref false in
@@ -190,7 +249,7 @@ let run_batch d ~deadline_s jobs =
         match remaining with
         | Some r when r <= 0. ->
             (* the batch's clock ran out on an earlier job *)
-            c.skipped <- c.skipped + 1;
+            bump d (fun c -> c.skipped <- c.skipped + 1);
             partial := true;
             deadline_json i
               {
@@ -201,27 +260,26 @@ let run_batch d ~deadline_s jobs =
               }
               ~started:false
         | _ -> (
-            c.jobs_run <- c.jobs_run + 1;
+            bump d (fun c -> c.jobs_run <- c.jobs_run + 1);
             (* the budget is created out here so the watchdog holds a
                handle: on deadline it cancels it, and a cooperative body
                unwinds at its next tick instead of running to completion
                as a zombie *)
             let budget = Request.budget_of_job job in
-            let body () =
-              Request.run ?pool:d.pool ~cache:d.cache ~budget job
-            in
+            let body () = Request.run ?pool ~cache:d.cache ~budget job in
             match
               Supervisor.supervise ?deadline_s:remaining ~budget body
             with
             | Supervisor.Completed reply ->
-                (match reply.Request.status with
-                | Request.Holds -> c.holds <- c.holds + 1
-                | Request.Fails -> c.fails <- c.fails + 1
-                | Request.Blocked -> c.blocked <- c.blocked + 1
-                | Request.Failed _ -> c.errors <- c.errors + 1);
+                bump d (fun c ->
+                    match reply.Request.status with
+                    | Request.Holds -> c.holds <- c.holds + 1
+                    | Request.Fails -> c.fails <- c.fails + 1
+                    | Request.Blocked -> c.blocked <- c.blocked + 1
+                    | Request.Failed _ -> c.errors <- c.errors + 1);
                 reply_json i reply
             | Supervisor.Crashed err ->
-                c.errors <- c.errors + 1;
+                bump d (fun c -> c.errors <- c.errors + 1);
                 reply_json i
                   {
                     Request.status = Request.Failed err;
@@ -233,7 +291,7 @@ let run_batch d ~deadline_s jobs =
                     elapsed_s = Unix.gettimeofday () -. t0;
                   }
             | Supervisor.Deadline e ->
-                c.deadlines <- c.deadlines + 1;
+                bump d (fun c -> c.deadlines <- c.deadlines + 1);
                 partial := true;
                 deadline_json i e ~started:true))
       jobs
@@ -244,18 +302,25 @@ let run_batch d ~deadline_s jobs =
 (* --- stats --- *)
 
 let stats_json d =
-  let c = d.counters in
+  (* counters are mutated under [d.lock] by every handler; snapshot them
+     the same way so a stats reply is internally consistent *)
+  Mutex.lock d.lock;
+  let c = { d.counters with requests = d.counters.requests } in
+  let pool = d.pool and pool_broken = d.pool_broken in
+  let active_conns = Hashtbl.length d.conns in
+  Mutex.unlock d.lock;
   let sim_hits, sim_misses, sim_entries = Simcache.stats () in
   let rate h m = if h + m = 0 then J.Null else J.Num (float_of_int h /. float_of_int (h + m)) in
   let m_hits, m_misses, m_entries, m_evictions = Request.cache_stats d.cache in
+  let r = Request.recheck_stats d.cache in
   let pool_json =
-    match d.pool with
+    match pool with
     | None ->
         J.Obj
           [
             ("jobs", J.Num 1.);
-            ("degraded", J.Bool d.pool_broken);
-            ("serial_fallback", J.Bool d.pool_broken);
+            ("degraded", J.Bool pool_broken);
+            ("serial_fallback", J.Bool pool_broken);
           ]
     | Some p ->
         J.Obj
@@ -273,6 +338,14 @@ let stats_json d =
       ("uptime_s", J.Num (Unix.gettimeofday () -. d.started));
       ("requests", J.Num (float_of_int c.requests));
       ("bad_requests", J.Num (float_of_int c.bad_requests));
+      ( "connections",
+        J.Obj
+          [
+            ("active", J.Num (float_of_int active_conns));
+            ("total", J.Num (float_of_int c.connections));
+            ("rejected", J.Num (float_of_int c.rejected));
+            ("limit", J.Num (float_of_int d.config.max_connections));
+          ] );
       ( "jobs",
         J.Obj
           [
@@ -293,8 +366,20 @@ let stats_json d =
             ("misses", J.Num (float_of_int sim_misses));
             ("entries", J.Num (float_of_int sim_entries));
             ("evictions", J.Num (float_of_int (Simcache.evictions ())));
+            ("invalidations", J.Num (float_of_int (Simcache.invalidated ())));
             ("capacity", J.Num (float_of_int (Simcache.capacity ())));
             ("hit_rate", rate sim_hits sim_misses);
+          ] );
+      ( "recheck",
+        J.Obj
+          [
+            ("new_models", J.Num (float_of_int r.Request.new_models));
+            ("identical", J.Num (float_of_int r.Request.identical));
+            ("equivalent", J.Num (float_of_int r.Request.equivalent));
+            ("local", J.Num (float_of_int r.Request.local));
+            ("global", J.Num (float_of_int r.Request.global));
+            ("memo_hits", J.Num (float_of_int r.Request.memo_hits));
+            ("decides", J.Num (float_of_int r.Request.decides));
           ] );
       ( "model_cache",
         J.Obj
@@ -318,18 +403,33 @@ let stats_json d =
 
 exception Stop
 
-let handle_line d line =
-  let c = d.counters in
+(* One parsed request line, sorted by where it runs: control ops are
+   answered inline on the connection's handler thread, check batches may
+   be handed to a worker so later requests on the same connection (and
+   their ids) interleave with a long batch. *)
+type action =
+  | Immediate of J.t * bool (* reply, initiate shutdown *)
+  | Batch of {
+      id : (string * J.t) list; (* the echoed request id, if any *)
+      jobs : Request.job list;
+      deadline_s : float option;
+    }
+
+let classify_line d line : action =
   match J.parse line with
   | Error msg ->
-      c.bad_requests <- c.bad_requests + 1;
-      (J.Obj [ ("ok", J.Bool false); ("error", J.Str ("bad JSON: " ^ msg)) ], false)
+      bump d (fun c -> c.bad_requests <- c.bad_requests + 1);
+      ( Immediate
+          ( J.Obj [ ("ok", J.Bool false); ("error", J.Str ("bad JSON: " ^ msg)) ],
+            false ) )
   | Ok doc -> (
       let id = match J.member "id" doc with Some v -> [ ("id", v) ] | None -> [] in
-      let reply ?(stop = false) fields =
-        (J.Obj (id @ fields), stop)
+      let reply ?(stop = false) fields = Immediate (J.Obj (id @ fields), stop) in
+      let bad fields =
+        bump d (fun c -> c.bad_requests <- c.bad_requests + 1);
+        reply fields
       in
-      c.requests <- c.requests + 1;
+      bump d (fun c -> c.requests <- c.requests + 1);
       match J.str_member "op" doc with
       | Some "ping" -> reply [ ("ok", J.Bool true); ("pong", J.Bool true) ]
       | Some "stats" ->
@@ -339,12 +439,10 @@ let handle_line d line =
       | Some "check" -> (
           match J.arr_member "jobs" doc with
           | None ->
-              c.bad_requests <- c.bad_requests + 1;
-              reply
+              bad
                 [ ("ok", J.Bool false); ("error", J.Str "check: missing \"jobs\" array") ]
           | Some raw_jobs when List.length raw_jobs > d.config.max_batch ->
-              c.bad_requests <- c.bad_requests + 1;
-              reply
+              bad
                 [
                   ("ok", J.Bool false);
                   ( "error",
@@ -360,9 +458,7 @@ let handle_line d line =
                   (function Error e -> Some e | Ok _ -> None)
                   parsed
               with
-              | Some e ->
-                  c.bad_requests <- c.bad_requests + 1;
-                  reply [ ("ok", J.Bool false); ("error", J.Str e) ]
+              | Some e -> bad [ ("ok", J.Bool false); ("error", J.Str e) ]
               | None ->
                   let jobs =
                     List.filter_map
@@ -374,49 +470,165 @@ let handle_line d line =
                     | Some s -> Some s
                     | None -> d.config.deadline_s
                   in
-                  let results, partial = run_batch d ~deadline_s jobs in
-                  reply
-                    [
-                      ("ok", J.Bool true);
-                      ("partial", J.Bool partial);
-                      ("results", J.Arr results);
-                    ]))
+                  Batch { id; jobs; deadline_s }))
       | Some op ->
-          c.bad_requests <- c.bad_requests + 1;
-          reply
+          bad
             [
               ("ok", J.Bool false);
               ("error", J.Str (Printf.sprintf "unknown op %S" op));
             ]
-      | None ->
-          c.bad_requests <- c.bad_requests + 1;
-          reply [ ("ok", J.Bool false); ("error", J.Str "missing \"op\"") ])
+      | None -> bad [ ("ok", J.Bool false); ("error", J.Str "missing \"op\"") ])
+
+(* Begin the drain: flip [stopping], half-close every connection's read
+   side so in-flight batches finish and their handlers see end-of-file,
+   and wake the acceptor with a throwaway self-connection. Idempotent —
+   only the first caller acts. *)
+let initiate_shutdown d =
+  Mutex.lock d.lock;
+  let first = not d.stopping in
+  d.stopping <- true;
+  let fds = Hashtbl.fold (fun _ fd acc -> fd :: acc) d.conns [] in
+  Mutex.unlock d.lock;
+  if first then begin
+    List.iter
+      (fun fd ->
+        try Unix.shutdown fd Unix.SHUTDOWN_RECEIVE with Unix.Unix_error _ -> ())
+      fds;
+    let s = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    (try Unix.connect s (Unix.ADDR_UNIX d.config.socket_path)
+     with Unix.Unix_error _ -> ());
+    try Unix.close s with Unix.Unix_error _ -> ()
+  end
 
 let handle_connection d fd =
   let ic = Unix.in_channel_of_descr fd in
   let oc = Unix.out_channel_of_descr fd in
+  (* one reply line at a time, whichever thread produced it *)
+  let wlock = Mutex.create () in
+  let send json =
+    Mutex.lock wlock;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock wlock)
+      (fun () ->
+        output_string oc (J.to_string json);
+        output_char oc '\n';
+        flush oc)
+  in
+  let inflight = ref 0 (* guarded by wlock *) in
+  let workers = ref [] (* this connection's batch threads, joined at EOF *) in
+  let run_and_send ~id ~deadline_s jobs =
+    let results, partial = run_batch d ~deadline_s jobs in
+    send
+      (J.Obj
+         (id
+         @ [
+             ("ok", J.Bool true);
+             ("partial", J.Bool partial);
+             ("results", J.Arr results);
+           ]))
+  in
   let rec loop () =
     match input_line ic with
     | exception End_of_file -> ()
     | exception Sys_error _ -> ()
     | line ->
         if String.trim line <> "" then begin
-          let reply, stop = handle_line d line in
-          output_string oc (J.to_string reply);
-          output_char oc '\n';
-          flush oc;
-          if stop then raise Stop
+          match classify_line d line with
+          | Immediate (reply, stop) ->
+              send reply;
+              if stop then raise Stop
+          | Batch { id; jobs; deadline_s } ->
+              let spawn =
+                Mutex.lock wlock;
+                let below = !inflight < max_inflight in
+                if below then incr inflight;
+                Mutex.unlock wlock;
+                below
+              in
+              if spawn then
+                let t =
+                  Thread.create
+                    (fun () ->
+                      Fun.protect
+                        ~finally:(fun () ->
+                          Mutex.lock wlock;
+                          decr inflight;
+                          Mutex.unlock wlock)
+                        (fun () ->
+                          try run_and_send ~id ~deadline_s jobs
+                          with e ->
+                            (* a dead client's EPIPE lands here; anything
+                               else is logged, never fatal *)
+                            log d "rlcheckd: batch reply failed: %s@."
+                              (Printexc.to_string e)))
+                    ()
+                in
+                workers := t :: !workers
+              else
+                (* at the in-flight bound: run on the connection thread,
+                   so an abusive client throttles itself *)
+                run_and_send ~id ~deadline_s jobs
         end;
         loop ()
   in
   Fun.protect
-    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
-    loop
+    ~finally:(fun () ->
+      (* replies of in-flight batches must drain before the fd closes *)
+      List.iter Thread.join !workers;
+      try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      match loop () with () -> () | exception Stop -> initiate_shutdown d)
 
 let rec accept_retry sock =
   match Unix.accept sock with
   | conn -> conn
   | exception Unix.Unix_error (Unix.EINTR, _, _) -> accept_retry sock
+
+(* Join handler threads that announced completion — instant, and it
+   keeps the registry from growing with every connection ever served. *)
+let reap d =
+  Mutex.lock d.lock;
+  let done_ = d.finished in
+  d.finished <- [];
+  let ts =
+    List.filter_map
+      (fun id ->
+        let t = Hashtbl.find_opt d.handlers id in
+        Hashtbl.remove d.handlers id;
+        t)
+      done_
+  in
+  Mutex.unlock d.lock;
+  List.iter Thread.join ts
+
+(* A socket file already at our path is either debris from a killed
+   daemon or the live socket of a running one; only a connect can tell
+   them apart. Unlinking a live daemon's socket would silently split the
+   service in two, so that case refuses loudly. *)
+let claim_socket_path path =
+  match Unix.stat path with
+  | { Unix.st_kind = Unix.S_SOCK; _ } -> (
+      let probe = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      let live =
+        Fun.protect
+          ~finally:(fun () ->
+            try Unix.close probe with Unix.Unix_error _ -> ())
+          (fun () ->
+            match Unix.connect probe (Unix.ADDR_UNIX path) with
+            | () -> true
+            | exception Unix.Unix_error (Unix.ECONNREFUSED, _, _) -> false
+            | exception Unix.Unix_error (Unix.ENOENT, _, _) -> false)
+      in
+      if live then
+        invalid_arg
+          (Printf.sprintf
+             "%s is in use by a running daemon (shut it down first, or \
+              pick another socket path)"
+             path)
+      else (
+        try Unix.unlink path with Unix.Unix_error (Unix.ENOENT, _, _) -> ()))
+  | _ -> invalid_arg (Printf.sprintf "%s exists and is not a socket" path)
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
 
 let serve config =
   let d =
@@ -438,22 +650,22 @@ let serve config =
           deadlines = 0;
           skipped = 0;
           bad_requests = 0;
+          connections = 0;
+          rejected = 0;
         };
+      lock = Mutex.create ();
+      stopping = false;
+      conns = Hashtbl.create 16;
+      handlers = Hashtbl.create 16;
+      finished = [];
+      next_conn = 0;
     }
   in
   (* a client that hangs up mid-reply must cost an EPIPE error on the
      write, not a SIGPIPE death of the whole daemon *)
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
    with Invalid_argument _ -> ());
-  (* a stale socket file from a crashed daemon must not block restart;
-     anything that is not a socket is somebody else's file — refuse *)
-  (match Unix.stat config.socket_path with
-  | { Unix.st_kind = Unix.S_SOCK; _ } -> Unix.unlink config.socket_path
-  | _ ->
-      invalid_arg
-        (Printf.sprintf "rlcheckd: %s exists and is not a socket"
-           config.socket_path)
-  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ());
+  claim_socket_path config.socket_path;
   let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   Fun.protect
     ~finally:(fun () ->
@@ -464,17 +676,84 @@ let serve config =
       Unix.bind sock (Unix.ADDR_UNIX config.socket_path);
       Unix.listen sock 16;
       if config.jobs <> 1 then d.pool <- Some (Pool.create ~jobs:config.jobs ());
-      log d "rlcheckd: listening on %s (pool: %d)@." config.socket_path
-        (match d.pool with Some p -> Pool.size p | None -> 1);
+      log d "rlcheckd: listening on %s (pool: %d, connections: %d)@."
+        config.socket_path
+        (match d.pool with Some p -> Pool.size p | None -> 1)
+        config.max_connections;
+      let refuse fd active =
+        bump d (fun c -> c.rejected <- c.rejected + 1);
+        let oc = Unix.out_channel_of_descr fd in
+        (try
+           output_string oc
+             (J.to_string
+                (J.Obj
+                   [
+                     ("ok", J.Bool false);
+                     ( "error",
+                       J.Str
+                         (Printf.sprintf
+                            "server busy: %d connections (limit %d)" active
+                            config.max_connections) );
+                   ]));
+           output_char oc '\n';
+           flush oc
+         with Sys_error _ -> ());
+        try Unix.close fd with Unix.Unix_error _ -> ()
+      in
+      let spawn_handler fd =
+        bump d (fun c -> c.connections <- c.connections + 1);
+        Mutex.lock d.lock;
+        let cid = d.next_conn in
+        d.next_conn <- cid + 1;
+        Hashtbl.replace d.conns cid fd;
+        Mutex.unlock d.lock;
+        let t =
+          Thread.create
+            (fun () ->
+              Fun.protect
+                ~finally:(fun () ->
+                  Mutex.lock d.lock;
+                  Hashtbl.remove d.conns cid;
+                  d.finished <- cid :: d.finished;
+                  Mutex.unlock d.lock)
+                (fun () ->
+                  try handle_connection d fd
+                  with e ->
+                    (* a connection that blows up must not take the
+                       daemon down *)
+                    bump d (fun c -> c.bad_requests <- c.bad_requests + 1);
+                    log d "rlcheckd: connection error: %s@."
+                      (Printexc.to_string e)))
+            ()
+        in
+        Mutex.lock d.lock;
+        Hashtbl.replace d.handlers cid t;
+        Mutex.unlock d.lock
+      in
       let rec loop () =
         let fd, _ = accept_retry sock in
-        (match handle_connection d fd with
-        | () -> ()
-        | exception Stop -> raise Stop
-        | exception e ->
-            (* a connection that blows up must not take the daemon down *)
-            d.counters.bad_requests <- d.counters.bad_requests + 1;
-            log d "rlcheckd: connection error: %s@." (Printexc.to_string e));
-        loop ()
+        reap d;
+        Mutex.lock d.lock;
+        let stopping = d.stopping in
+        let active = Hashtbl.length d.conns in
+        Mutex.unlock d.lock;
+        if stopping then
+          (* the wake-up self-connection, or a client racing shutdown *)
+          try Unix.close fd with Unix.Unix_error _ -> ()
+        else begin
+          if active >= config.max_connections then refuse fd active
+          else spawn_handler fd;
+          loop ()
+        end
       in
-      match loop () with () -> () | exception Stop -> log d "rlcheckd: shutting down@.")
+      loop ();
+      (* drain: every handler joins its own batch workers, so joining
+         the handlers is the whole barrier *)
+      let hs =
+        Mutex.lock d.lock;
+        let hs = Hashtbl.fold (fun _ t acc -> t :: acc) d.handlers [] in
+        Mutex.unlock d.lock;
+        hs
+      in
+      List.iter Thread.join hs;
+      log d "rlcheckd: shutting down@.")

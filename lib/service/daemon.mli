@@ -56,13 +56,38 @@ type config = {
           ["deadline_s"] overrides it *)
   model_cache_capacity : int;
   max_batch : int;  (** refuse batches with more jobs than this *)
+  max_connections : int;
+      (** concurrent connections; one over the limit is answered with an
+          [{"ok": false, "error": "server busy…"}] line and closed *)
   quiet : bool;  (** suppress the stderr log lines *)
 }
 
 val default_config : socket_path:string -> config
 
 (** [serve config] binds the socket and serves until a [shutdown]
-    request (or [Exit]); removes the socket file on the way out.
-    Connections are handled sequentially — parallelism lives inside a
-    request, on the domain pool. *)
+    request (or [Exit]); removes the socket file on the way out. A
+    leftover socket file is probed with a connect first: debris from a
+    killed daemon is unlinked and the path reclaimed, a live daemon's
+    socket makes [serve] refuse ([Invalid_argument]) rather than
+    hijack the path.
+
+    Connections are served concurrently, one handler thread each, up to
+    [max_connections]; all of them share the domain pool and the caches.
+    Within a connection, control ops answer inline while check batches
+    may run on worker threads, so replies to pipelined requests can
+    arrive out of order — each reply echoes its request's ["id"]
+    verbatim, which is the client's correlation key. At most
+    {!max_inflight} batches per connection run concurrently; beyond
+    that, the handler stops reading the connection until a slot frees
+    (backpressure). Verdicts are independent of this scheduling: jobs
+    inside one batch still run in order, and every batch reply carries
+    its results in job order.
+
+    A [shutdown] request drains: in-flight batches complete and write
+    their replies, new connections are turned away, then the socket
+    file is removed. *)
 val serve : config -> unit
+
+(** Batches one connection may have in flight before its handler stops
+    reading further requests. *)
+val max_inflight : int

@@ -45,6 +45,26 @@ let literal st word value =
   end
   else fail st.pos (Printf.sprintf "invalid literal (expected %s)" word)
 
+(* one \uXXXX payload: exactly four hex digits (int_of_string would also
+   accept underscores and signs — reject those) *)
+let hex4 st =
+  if st.pos + 4 > String.length st.src then fail st.pos "truncated \\u escape";
+  let digit c =
+    match c with
+    | '0' .. '9' -> Char.code c - Char.code '0'
+    | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+    | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+    | _ -> fail st.pos "bad \\u escape"
+  in
+  let v =
+    (digit st.src.[st.pos] lsl 12)
+    lor (digit st.src.[st.pos + 1] lsl 8)
+    lor (digit st.src.[st.pos + 2] lsl 4)
+    lor digit st.src.[st.pos + 3]
+  in
+  st.pos <- st.pos + 4;
+  v
+
 let parse_string st =
   expect st '"';
   let b = Buffer.create 16 in
@@ -68,20 +88,31 @@ let parse_string st =
             | 'r' -> Buffer.add_char b '\r'
             | 't' -> Buffer.add_char b '\t'
             | 'u' ->
-                if st.pos + 4 > String.length st.src then
-                  fail st.pos "truncated \\u escape";
-                let hex = String.sub st.src st.pos 4 in
-                let code =
-                  match int_of_string_opt ("0x" ^ hex) with
-                  | Some v -> v
-                  | None -> fail st.pos "bad \\u escape"
-                in
-                st.pos <- st.pos + 4;
-                if code < 0x80 then Buffer.add_char b (Char.chr code)
-                else
-                  (* preserve the escape literally: the printer re-escapes
-                     non-ASCII-safe bytes, so this round-trips *)
-                  Buffer.add_string b (Printf.sprintf "\\u%04x" code)
+                (* decode to UTF-8 bytes — all of the BMP, and astral
+                   code points via surrogate pairs. The printer emits
+                   non-ASCII bytes raw, so parse/print round-trips agree
+                   with raw UTF-8 input. *)
+                let code = hex4 st in
+                if code >= 0xD800 && code <= 0xDBFF then begin
+                  (* high surrogate: the low half must follow immediately
+                     as another \u escape *)
+                  if
+                    st.pos + 2 > String.length st.src
+                    || st.src.[st.pos] <> '\\'
+                    || st.src.[st.pos + 1] <> 'u'
+                  then fail st.pos "unpaired high surrogate";
+                  st.pos <- st.pos + 2;
+                  let low = hex4 st in
+                  if low < 0xDC00 || low > 0xDFFF then
+                    fail st.pos "unpaired high surrogate";
+                  let cp =
+                    0x10000 + ((code - 0xD800) lsl 10) + (low - 0xDC00)
+                  in
+                  Buffer.add_utf_8_uchar b (Uchar.of_int cp)
+                end
+                else if code >= 0xDC00 && code <= 0xDFFF then
+                  fail st.pos "unpaired low surrogate"
+                else Buffer.add_utf_8_uchar b (Uchar.of_int code)
             | c -> fail st.pos (Printf.sprintf "bad escape \\%c" c));
             go ())
     | Some c when Char.code c < 0x20 -> fail st.pos "raw control byte in string"

@@ -4,9 +4,13 @@
     the whole of the JSON it needs — parse a request document, print a
     response — with no external dependency. Numbers are represented as
     OCaml [float]s (JSON has only one number type); strings must be
-    UTF-8 and escape sequences are decoded ([\uXXXX] below 0x80 decodes
-    to the byte, the rest are preserved literally as their escape, which
-    round-trips through the printer). *)
+    UTF-8 and escape sequences are decoded: [\uXXXX] decodes to the
+    UTF-8 bytes of the code point for the whole BMP, astral code points
+    are decoded from surrogate pairs, and unpaired surrogates are a
+    parse error. The printer emits non-ASCII bytes raw (escaping only
+    control characters and the JSON metacharacters), so a parse/print
+    round-trip is byte-identical whether a string arrived escaped or as
+    raw UTF-8. *)
 
 type t =
   | Null

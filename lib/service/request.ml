@@ -6,17 +6,22 @@
    verdict wording, the certification step (no witness is reported that
    its independent replay does not confirm), and the exit-code mapping.
 
-   Two service-only additions: a bounded cross-request model cache (a
-   cache hit skips re-parsing, never re-linting — diagnostics are
-   recomputed per request so a reply is self-contained), and the
-   malformed-input fault probe, which corrupts the model source just
-   before parsing to exercise the typed parse-error path end to end. *)
+   Service-only additions: a bounded cross-request model cache (a cache
+   hit skips re-parsing, never re-linting — diagnostics are recomputed
+   per request so a reply is self-contained); the incremental re-check
+   (see the section below), which diffs a resubmitted model against its
+   previous version, replays memoized verdicts when the edit provably
+   cannot change them, and eagerly evicts the Simcache entries an edit
+   killed; and the malformed-input fault probe, which corrupts the model
+   source just before parsing to exercise the typed parse-error path end
+   to end. *)
 
 module Budget = Rl_engine.Budget
 module Error = Rl_engine.Error
 module Certify = Rl_engine.Certify
 module Fault = Rl_engine.Fault
 module Lru = Rl_engine.Lru
+module Simcache = Rl_engine.Simcache
 module Diagnostic = Rl_analysis.Diagnostic
 module Lint = Rl_analysis.Lint
 open Rl_sigma
@@ -68,23 +73,80 @@ let exit_code r =
   | Blocked -> 2
   | Failed err -> Error.exit_code err
 
-(* --- model cache --- *)
+(* --- model cache and incremental re-check state --- *)
+
+(* the last version of a model that reached the decide step: the parsed
+   (untrimmed) system, and the Simcache keys its decide touched *)
+type version = { v_sys : Nfa.t; v_keys : string list }
+
+(* a memoized decide outcome; [o_states] is what the original run
+   explored, reported verbatim so a replayed reply is indistinguishable
+   from the one it memoizes *)
+type outcome = {
+  o_verdict :
+    [ `Holds of string | `Fails of string * string | `Failed of Error.t ];
+  o_states : int;
+  o_keys : string list;
+}
+
+type recheck_stats = {
+  new_models : int;
+  identical : int;
+  equivalent : int;
+  local : int;
+  global : int;
+  memo_hits : int;
+  decides : int;
+}
+
+let no_rechecks =
+  {
+    new_models = 0;
+    identical = 0;
+    equivalent = 0;
+    local = 0;
+    global = 0;
+    memo_hits = 0;
+    decides = 0;
+  }
 
 type cache = {
   lru : (string, Nfa.t * Diagnostic.t list) Lru.t;
   mutable hits : int;
   mutable misses : int;
+  history : (string, version) Lru.t; (* model name -> last version *)
+  memo : (string, outcome) Lru.t; (* decide_key -> outcome *)
+  mutable recheck : recheck_stats;
   mutex : Mutex.t;
 }
 
 let cache ~capacity () =
-  { lru = Lru.create ~capacity (); hits = 0; misses = 0; mutex = Mutex.create () }
+  {
+    lru = Lru.create ~capacity ();
+    hits = 0;
+    misses = 0;
+    history = Lru.create ~capacity ();
+    memo = Lru.create ~capacity ();
+    recheck = no_rechecks;
+    mutex = Mutex.create ();
+  }
 
 let cache_stats c =
   Mutex.lock c.mutex;
   let s = (c.hits, c.misses, Lru.length c.lru, Lru.evictions c.lru) in
   Mutex.unlock c.mutex;
   s
+
+let recheck_stats c =
+  Mutex.lock c.mutex;
+  let s = c.recheck in
+  Mutex.unlock c.mutex;
+  s
+
+let tally c f =
+  Mutex.lock c.mutex;
+  c.recheck <- f c.recheck;
+  Mutex.unlock c.mutex
 
 (* --- loading --- *)
 
@@ -274,6 +336,161 @@ let decide ?pool ~budget ~fresh job f ts =
 let budget_of_job job =
   Budget.create ?max_states:job.max_states ?timeout:job.timeout ()
 
+(* --- incremental re-check ---
+
+   The daemon sees the same models resubmitted in a check–edit–recheck
+   loop. Per model name, [cache.history] keeps the last version that
+   reached the decide step: its parsed system, and the Simcache keys its
+   decide touched (recorded with [Simcache.with_observer]). A
+   resubmission is diffed against that version ([Ts_diff]) to classify
+   the edit: [Identical]/[Equivalent] leave every cached preorder live;
+   [Local]/[Global] mean the recorded keys are dead weight — content-
+   addressed keys of an edited-away structure can never be hit again —
+   so they are evicted eagerly instead of waiting for LRU pressure.
+
+   Independently, [cache.memo] memoizes decide *outcomes*, keyed on a
+   digest of the exact decide input ([decide_key]): when an edit leaves
+   the trimmed system intact — a byte-identical resubmission, a comment
+   or formatting change, or an edit confined to the unreachable region —
+   the memoized verdict is replayed without re-deciding. Soundness does
+   not lean on the diff analysis: equal keys mean the decide step would
+   receive bit-for-bit the same input. Lint is never memoized — an
+   unreachable-region edit leaves the trimmed system alone but can
+   change diagnostics (and an Error diagnostic blocks the check), so the
+   lint phase always runs on the submitted source.
+
+   Memoization is bypassed whenever the outcome could be run-dependent:
+   a wall-clock [timeout] (the one budget limit that is not a function
+   of the input), or armed fault injection (chaos runs must exercise the
+   real paths, not a memo). *)
+
+let decide_memoizable job = job.timeout = None && not (Fault.armed ())
+
+(* digest of everything the decide step consumes: check kind, the parsed
+   formula (printed back, so source formatting collapses), the state
+   limit, and the full structure of the trimmed system *)
+let decide_key job f ts =
+  let b = Buffer.create 1024 in
+  let sep () = Buffer.add_char b '\x00' in
+  Buffer.add_string b (kind_name job.kind);
+  sep ();
+  Buffer.add_string b (Format.asprintf "%a" Rl_ltl.Formula.pp f);
+  sep ();
+  (match job.max_states with
+  | Some n -> Buffer.add_string b (string_of_int n)
+  | None -> ());
+  sep ();
+  Buffer.add_string b (string_of_int (Nfa.states ts));
+  List.iter
+    (fun name ->
+      Buffer.add_char b ',';
+      Buffer.add_string b name)
+    (Alphabet.names (Nfa.alphabet ts));
+  sep ();
+  List.iter
+    (fun q ->
+      Buffer.add_string b (string_of_int q);
+      Buffer.add_char b ',')
+    (List.sort_uniq compare (Nfa.initial ts));
+  sep ();
+  Rl_prelude.Bitset.iter
+    (fun q ->
+      Buffer.add_string b (string_of_int q);
+      Buffer.add_char b ',')
+    (Nfa.finals ts);
+  sep ();
+  List.iter
+    (fun (q, a, q') ->
+      Buffer.add_string b (string_of_int q);
+      Buffer.add_char b '.';
+      Buffer.add_string b (string_of_int a);
+      Buffer.add_char b '.';
+      Buffer.add_string b (string_of_int q');
+      Buffer.add_char b ';')
+    (List.sort compare (Nfa.transitions ts));
+  if Nfa.has_eps ts then Buffer.add_string b "|eps";
+  Digest.to_hex (Digest.string (Buffer.contents b))
+
+(* classify the edit against the model's previous version, evict the
+   keys a reachable edit killed; feeds only stats and the Simcache *)
+let note_edit c name sys =
+  Mutex.lock c.mutex;
+  let prev = Lru.find c.history name in
+  Mutex.unlock c.mutex;
+  match prev with
+  | None -> tally c (fun r -> { r with new_models = r.new_models + 1 })
+  | Some v -> (
+      let d = Ts_diff.compute ~old_:v.v_sys ~next:sys in
+      match Ts_diff.classify ~old_:v.v_sys ~next:sys d with
+      | Ts_diff.Identical ->
+          tally c (fun r -> { r with identical = r.identical + 1 })
+      | Ts_diff.Equivalent ->
+          tally c (fun r -> { r with equivalent = r.equivalent + 1 })
+      | Ts_diff.Local _ ->
+          List.iter Simcache.remove v.v_keys;
+          tally c (fun r -> { r with local = r.local + 1 })
+      | Ts_diff.Global _ ->
+          List.iter Simcache.remove v.v_keys;
+          tally c (fun r -> { r with global = r.global + 1 }))
+
+let record_version c name sys keys =
+  Mutex.lock c.mutex;
+  Lru.put c.history name { v_sys = sys; v_keys = keys };
+  Mutex.unlock c.mutex
+
+(* the decide step behind the memo and the per-model history; returns
+   the verdict plus the states count to report when the decide itself
+   was skipped. Without a cache (the CLI) this is just [decide]. *)
+let decide_incremental ?pool ?cache ~budget ~fresh job f ~parsed_sys ts =
+  match cache with
+  | None -> (decide ?pool ~budget ~fresh job f ts, None)
+  | Some c -> (
+      let name = model_name job in
+      note_edit c name parsed_sys;
+      let key =
+        if decide_memoizable job then Some (decide_key job f ts) else None
+      in
+      let hit =
+        match key with
+        | None -> None
+        | Some k ->
+            Mutex.lock c.mutex;
+            let o = Lru.find c.memo k in
+            Mutex.unlock c.mutex;
+            o
+      in
+      match hit with
+      | Some o ->
+          tally c (fun r -> { r with memo_hits = r.memo_hits + 1 });
+          record_version c name parsed_sys o.o_keys;
+          (o.o_verdict, Some o.o_states)
+      | None ->
+          tally c (fun r -> { r with decides = r.decides + 1 });
+          let observed = ref [] in
+          let verdict =
+            Simcache.with_observer
+              (fun k -> observed := k :: !observed)
+              (fun () -> decide ?pool ~budget ~fresh job f ts)
+          in
+          let keys =
+            List.sort_uniq String.compare (Preorder.cache_keys ts @ !observed)
+          in
+          record_version c name parsed_sys keys;
+          (match key with
+          | Some k ->
+              let o =
+                {
+                  o_verdict = verdict;
+                  o_states = Budget.states_explored budget;
+                  o_keys = keys;
+                }
+              in
+              Mutex.lock c.mutex;
+              Lru.put c.memo k o;
+              Mutex.unlock c.mutex
+          | None -> ());
+          (verdict, None))
+
 let run ?pool ?cache ?budget job =
   let t0 = Unix.gettimeofday () in
   (* the daemon passes the budget in so its watchdog can cancel it on a
@@ -282,14 +499,18 @@ let run ?pool ?cache ?budget job =
   let fresh () =
     Budget.create ?max_states:job.max_states ?timeout:job.timeout ()
   in
-  let finish ?(diagnostics = []) ?witness ?blocked_summary status message =
+  let finish ?states ?(diagnostics = []) ?witness ?blocked_summary status
+      message =
     {
       status;
       message;
       witness;
       diagnostics;
       blocked_summary;
-      states = Budget.states_explored budget;
+      states =
+        (match states with
+        | Some s -> s
+        | None -> Budget.states_explored budget);
       elapsed_s = Unix.gettimeofday () -. t0;
     }
   in
@@ -318,12 +539,17 @@ let run ?pool ?cache ?budget job =
                     finish ~diagnostics:visible ~blocked_summary:summary
                       Blocked ""
                 | `Proceed (visible, ts) -> (
-                    match decide ?pool ~budget ~fresh job f ts with
+                    let verdict, states =
+                      decide_incremental ?pool ?cache ~budget ~fresh job f
+                        ~parsed_sys:(fst parsed) ts
+                    in
+                    match verdict with
                     | `Holds message ->
-                        finish ~diagnostics:visible Holds message
+                        finish ?states ~diagnostics:visible Holds message
                     | `Fails (message, witness) ->
-                        finish ~diagnostics:visible ~witness Fails message
+                        finish ?states ~diagnostics:visible ~witness Fails
+                          message
                     | `Failed err ->
-                        finish ~diagnostics:visible (Failed err) ""))))
+                        finish ?states ~diagnostics:visible (Failed err) ""))))
   in
   match protected with Ok reply -> reply | Error err -> finish (Failed err) ""

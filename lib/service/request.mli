@@ -89,6 +89,35 @@ val cache : capacity:int -> unit -> cache
 (** [(hits, misses, entries, evictions)] *)
 val cache_stats : cache -> int * int * int * int
 
+(** {2 Incremental re-check}
+
+    Per model name, the cache also remembers the last version that
+    reached the decide step, and memoizes decide outcomes keyed on a
+    digest of the exact decide input (trimmed system, kind, formula,
+    state limit). A resubmission whose edit leaves the trimmed system
+    intact — byte-identical source, comment/formatting changes, or
+    edits confined to the unreachable region ([Ts_diff.Equivalent]) —
+    replays the memoized verdict without re-deciding; the lint phase
+    always re-runs on the submitted source, so diagnostics (and lint
+    refusals) are never stale. Reachable edits re-decide from scratch,
+    and the Simcache entries the old version's decide had fingerprinted
+    are evicted eagerly (they are content-addressed and can never be
+    hit again). Memoization is disabled for jobs with a wall-clock
+    [timeout] and while fault injection is armed, so an incremental
+    verdict is always the verdict a from-scratch run would produce. *)
+
+type recheck_stats = {
+  new_models : int;  (** first sighting of a model name *)
+  identical : int;  (** resubmission with no structural change *)
+  equivalent : int;  (** edit confined to the unreachable region *)
+  local : int;  (** small reachable edit; precise invalidation *)
+  global : int;  (** large or ambiguous edit; treated as a new model *)
+  memo_hits : int;  (** decide runs skipped by the outcome memo *)
+  decides : int;  (** decide runs actually executed under this cache *)
+}
+
+val recheck_stats : cache -> recheck_stats
+
 (** [budget_of_job job] is a fresh budget carrying the job's
     [max_states]/[timeout] limits — what {!run} creates when no budget
     is passed in. *)

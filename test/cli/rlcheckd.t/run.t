@@ -105,3 +105,38 @@ The health report shows the armed harness and the abandoned job:
   $ rlcheckd shutdown --socket chaos.sock
   shutdown requested
   $ wait
+
+A daemon killed outright (no chance to clean up) leaves its socket file
+behind. The next serve must not be blocked by the debris: it probes the
+path with a connect, finds nobody home, and reclaims it.
+
+  $ rlcheckd serve --socket stale.sock --quiet >stale1.log 2>&1 &
+  $ pid=$!
+  $ rlcheckd ping --socket stale.sock --wait 30
+  pong
+  $ kill -9 $pid
+  $ wait $pid 2>/dev/null || true
+  $ test -e stale.sock && echo "socket left behind"
+  socket left behind
+  $ rlcheckd serve --socket stale.sock --quiet >stale2.log 2>&1 &
+  $ rlcheckd ping --socket stale.sock --wait 30
+  pong
+  $ rlcheckd shutdown --socket stale.sock
+  shutdown requested
+  $ wait
+
+A live daemon's socket is a different matter: a second serve on the
+same path refuses loudly instead of hijacking it, and the first daemon
+keeps serving.
+
+  $ rlcheckd serve --socket live.sock --quiet >live.log 2>&1 &
+  $ rlcheckd ping --socket live.sock --wait 30
+  pong
+  $ rlcheckd serve --socket live.sock --quiet
+  rlcheckd: live.sock is in use by a running daemon (shut it down first, or pick another socket path)
+  [2]
+  $ rlcheckd ping --socket live.sock
+  pong
+  $ rlcheckd shutdown --socket live.sock
+  shutdown requested
+  $ wait

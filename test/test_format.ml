@@ -78,6 +78,116 @@ let test_parse_petri_errors () =
   | exception Ts_format.Syntax_error (1, _) -> ()
   | _ -> Alcotest.fail "missing arrow accepted"
 
+(* the deprecated on_warning shim must get the same file context the
+   typed on_diagnostic channel gets — the entry points that know a path
+   prefix it onto every message *)
+let test_load_warning_file_context () =
+  let path = Filename.temp_file "rl_fmt_warn" ".ts" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      (* no initial declaration: the RL001 warning *)
+      output_string oc "0 a 0\n";
+      close_out oc;
+      let shim = ref [] and typed = ref [] in
+      let _ts =
+        Ts_format.load
+          ~on_warning:(fun m -> shim := m :: !shim)
+          ~on_diagnostic:(fun d -> typed := d :: !typed)
+          path
+      in
+      Alcotest.(check bool) "the warning fired" true (!typed <> []);
+      Alcotest.(check int) "shim and typed channel agree on the count"
+        (List.length !typed) (List.length !shim);
+      let prefix = path ^ ": " in
+      let plen = String.length prefix in
+      List.iter
+        (fun m ->
+          Alcotest.(check bool)
+            (Printf.sprintf "shim message %S carries the file context" m)
+            true
+            (String.length m > plen && String.sub m 0 plen = prefix))
+        !shim;
+      List.iter
+        (fun d ->
+          Alcotest.(check (option string)) "typed diagnostic carries the file"
+            (Some path) d.Rl_analysis.Diagnostic.file)
+        !typed;
+      (* parse_ts_result ~file prefixes the same way *)
+      let shim2 = ref [] in
+      (match
+         Ts_format.parse_ts_result ~file:"m.ts"
+           ~on_warning:(fun m -> shim2 := m :: !shim2)
+           "0 a 0\n"
+       with
+      | Ok _ -> ()
+      | Error _ -> Alcotest.fail "parse_ts_result rejected a valid model");
+      List.iter
+        (fun m ->
+          Alcotest.(check bool)
+            (Printf.sprintf "result-shim message %S carries the file" m)
+            true
+            (String.length m > 6 && String.sub m 0 6 = "m.ts: "))
+        !shim2;
+      Alcotest.(check bool) "result-shim fired" true (!shim2 <> []))
+
+(* --- ts_diff: the analysis behind the service's incremental re-check --- *)
+
+let parse = Ts_format.parse_ts
+
+let test_ts_diff_identical () =
+  let a = parse "initial 0\n0 a 1\n1 b 0\n" in
+  (* formatting and comments collapse; so does alphabet-line reordering,
+     because transitions compare by label name *)
+  let b = parse "# v2\n\ninitial 0\n0 a 1\n1 b 0\n" in
+  let d = Ts_diff.compute ~old_:a ~next:b in
+  Alcotest.(check bool) "empty diff" true (Ts_diff.is_empty d);
+  Alcotest.(check int) "size 0" 0 (Ts_diff.size d);
+  match Ts_diff.classify ~old_:a ~next:b d with
+  | Ts_diff.Identical -> ()
+  | _ -> Alcotest.fail "expected Identical"
+
+let test_ts_diff_equivalent_unreachable () =
+  let a = parse "initial 0\n0 a 1\n1 b 0\n" in
+  let b = parse "initial 0\n0 a 1\n1 b 0\n7 a 8\n8 b 7\n" in
+  let d = Ts_diff.compute ~old_:a ~next:b in
+  Alcotest.(check bool) "diff is nonempty" false (Ts_diff.is_empty d);
+  (match Ts_diff.classify ~old_:a ~next:b d with
+  | Ts_diff.Equivalent -> ()
+  | _ -> Alcotest.fail "unreachable-only edit must classify Equivalent");
+  Alcotest.(check bool) "the trims are structurally equal" true
+    (Ts_diff.structural_equal (Nfa.trim a) (Nfa.trim b))
+
+let test_ts_diff_local_and_global () =
+  let a =
+    parse "initial 0\n0 a 1\n1 b 2\n2 c 0\n2 a 1\n1 a 1\n0 b 0\n2 b 2\n0 c 2\n"
+  in
+  (* retarget one of eight transitions: 2 changes / 8 = 0.25, the Local
+     boundary *)
+  let b =
+    parse "initial 0\n0 a 1\n1 b 2\n2 c 0\n2 a 1\n1 a 1\n0 b 0\n2 b 2\n0 c 1\n"
+  in
+  let d = Ts_diff.compute ~old_:a ~next:b in
+  Alcotest.(check int) "one added, one removed" 2 (Ts_diff.size d);
+  Alcotest.(check (list int)) "touched states" [ 0; 1; 2 ] (Ts_diff.touched d);
+  (match Ts_diff.classify ~old_:a ~next:b d with
+  | Ts_diff.Local { ratio; _ } ->
+      Alcotest.(check (float 1e-9)) "ratio" 0.25 ratio
+  | _ -> Alcotest.fail "expected Local");
+  (* an initial-state change is always Global *)
+  let c = parse "initial 1\n0 a 1\n1 b 2\n2 c 0\n2 a 1\n1 a 1\n0 b 0\n2 b 2\n0 c 2\n" in
+  let d2 = Ts_diff.compute ~old_:a ~next:c in
+  (match Ts_diff.classify ~old_:a ~next:c d2 with
+  | Ts_diff.Global _ -> ()
+  | _ -> Alcotest.fail "initial-state change must classify Global");
+  (* so is touching more than max_ratio of the transitions *)
+  let e = parse "initial 0\n0 a 2\n1 b 0\n2 c 1\n2 a 0\n1 a 2\n0 b 1\n2 b 0\n0 c 0\n" in
+  let d3 = Ts_diff.compute ~old_:a ~next:e in
+  match Ts_diff.classify ~old_:a ~next:e d3 with
+  | Ts_diff.Global _ -> ()
+  | _ -> Alcotest.fail "a rewrite of most transitions must classify Global"
+
 (* randomized roundtrip: print then parse preserves the language *)
 let prop_roundtrip =
   QCheck2.Test.make ~name:"print_ts / parse_ts roundtrip preserves language"
@@ -105,6 +215,17 @@ let () =
           Alcotest.test_case "multiple initial" `Quick test_parse_ts_multiple_initial;
           Alcotest.test_case "errors with line numbers" `Quick test_parse_ts_errors;
           Alcotest.test_case "print/parse roundtrip" `Quick test_print_parse_roundtrip;
+          Alcotest.test_case "warning shim carries file context" `Quick
+            test_load_warning_file_context;
+        ] );
+      ( "ts-diff",
+        [
+          Alcotest.test_case "identical sources, empty diff" `Quick
+            test_ts_diff_identical;
+          Alcotest.test_case "unreachable edits are equivalent" `Quick
+            test_ts_diff_equivalent_unreachable;
+          Alcotest.test_case "local vs global classification" `Quick
+            test_ts_diff_local_and_global;
         ] );
       ( "petri-nets",
         [

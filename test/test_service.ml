@@ -95,6 +95,81 @@ let test_jsonx_accessors () =
   Alcotest.(check bool) "escapes decode" true
     (J.parse {|"aA\n"|} = Ok (J.Str "aA\n"))
 
+let test_jsonx_unicode_escapes () =
+  let decodes src expect =
+    match J.parse src with
+    | Ok (J.Str got) ->
+        Alcotest.(check string)
+          (Printf.sprintf "decodes %s" (String.escaped src))
+          expect got
+    | Ok _ -> Alcotest.failf "%s parsed to a non-string" (String.escaped src)
+    | Error m -> Alcotest.failf "%s rejected: %s" (String.escaped src) m
+  in
+  decodes {|"\u0041"|} "A";
+  (* é, the first two-byte code point the old decoder mangled *)
+  decodes {|"\u00e9"|} "\xc3\xa9";
+  (* € — three UTF-8 bytes, uppercase hex digits *)
+  decodes {|"\u20AC"|} "\xe2\x82\xac";
+  (* 😀 — astral plane, a surrogate pair *)
+  decodes {|"\ud83d\ude00"|} "\xf0\x9f\x98\x80";
+  (* U+FFFD, near the top of the BMP *)
+  decodes {|"\ufffd"|} "\xef\xbf\xbd";
+  List.iter
+    (fun src ->
+      match J.parse src with
+      | Ok _ -> Alcotest.failf "accepted %s" (String.escaped src)
+      | Error _ -> ())
+    [
+      {|"\ud800"|} (* lone high surrogate *);
+      {|"\udc00"|} (* lone low surrogate *);
+      {|"\ud83dx"|} (* high surrogate not followed by an escape *);
+      {|"\ud83dA"|} (* high surrogate paired with a non-surrogate *);
+      {|"\u12"|} (* truncated *);
+      {|"\u12g4"|} (* non-hex digit *);
+      {|"\u0_41"|} (* int_of_string would take this; the parser must not *);
+    ]
+
+(* valid Unicode scalar values, biased toward the BMP, excluding the
+   C0 controls the printer escapes numerically *)
+let gen_unicode_string =
+  QCheck2.Gen.(
+    let scalar =
+      let* astral = bool in
+      if astral then 0x10000 -- 0x10FFFF
+      else oneof [ 0x20 -- 0xD7FF; 0xE000 -- 0xFFFF ]
+    in
+    let* cps = list_size (0 -- 12) scalar in
+    let b = Buffer.create 48 in
+    List.iter (fun cp -> Buffer.add_utf_8_uchar b (Uchar.of_int cp)) cps;
+    return (cps, Buffer.contents b))
+
+let prop_jsonx_unicode_roundtrip =
+  QCheck2.Test.make ~name:"jsonx: unicode strings round-trip byte-identically"
+    ~count:200 gen_unicode_string (fun (_, s) ->
+      J.parse (J.to_string (J.Str s)) = Ok (J.Str s))
+
+(* the fully-escaped spelling of the same string (every code point as
+   \uXXXX, astral ones as surrogate pairs) must decode to the same
+   UTF-8 bytes the raw spelling round-trips to *)
+let prop_jsonx_escape_decode =
+  QCheck2.Test.make ~name:"jsonx: \\uXXXX spellings decode to UTF-8"
+    ~count:200 gen_unicode_string (fun (cps, s) ->
+      let b = Buffer.create 64 in
+      Buffer.add_char b '"';
+      List.iter
+        (fun cp ->
+          if cp < 0x10000 then Buffer.add_string b (Printf.sprintf "\\u%04x" cp)
+          else begin
+            let u = cp - 0x10000 in
+            Buffer.add_string b
+              (Printf.sprintf "\\u%04x\\u%04x"
+                 (0xD800 lor (u lsr 10))
+                 (0xDC00 lor (u land 0x3FF)))
+          end)
+        cps;
+      Buffer.add_char b '"';
+      J.parse (Buffer.contents b) = Ok (J.Str s))
+
 (* --- lru --- *)
 
 let test_lru_eviction () =
@@ -116,7 +191,14 @@ let test_lru_eviction () =
   Lru.set_capacity t 1;
   Alcotest.(check int) "set_capacity trims to the new bound" 1 (Lru.length t);
   Alcotest.(check (list string)) "most recent survives the trim" [ "a" ]
-    (Lru.keys t)
+    (Lru.keys t);
+  Alcotest.(check bool) "remove drops a present entry" true (Lru.remove t "a");
+  Alcotest.(check (option int)) "removed entry is gone" None (Lru.find t "a");
+  Alcotest.(check bool) "remove of a missing key reports false" false
+    (Lru.remove t "a");
+  (* one eviction from the capacity-2 overflow, one from the trim —
+     remove itself adds none *)
+  Alcotest.(check int) "removal is not an LRU eviction" 2 (Lru.evictions t)
 
 let test_lru_unbounded () =
   let t = Lru.create ~capacity:0 () in
@@ -188,6 +270,16 @@ let doomed = "initial 0\n0 a 1\n"
 let inline name text = Request.Inline { name; text }
 
 let run ?pool ?cache job = Request.run ?pool ?cache job
+
+let reply_repr (r : Request.reply) =
+  ( (match r.Request.status with
+    | Request.Holds -> "holds"
+    | Request.Fails -> "fails"
+    | Request.Blocked -> "blocked"
+    | Request.Failed e -> "error: " ^ Error.to_string e),
+    r.Request.message,
+    r.Request.witness,
+    Request.exit_code r )
 
 let test_request_holds () =
   let r = run (Request.job Request.Rl (inline "server" server) "[]<>result") in
@@ -298,6 +390,74 @@ let test_request_model_cache () =
       Alcotest.(check bool) "diagnostics re-attached on the hit" true
         (List.length a.Request.diagnostics
         = List.length b.Request.diagnostics))
+
+(* --- incremental re-check --- *)
+
+module Simcache = Rl_engine.Simcache
+
+let test_incremental_memo_hit () =
+  let cache = Request.cache ~capacity:8 () in
+  let job = Request.job Request.Rl (inline "srv" server) "[]<>result" in
+  let a = run ~cache job in
+  let b = run ~cache job in
+  let s = Request.recheck_stats cache in
+  Alcotest.(check int) "first sighting counted" 1 s.Request.new_models;
+  Alcotest.(check int) "resubmission classified identical" 1
+    s.Request.identical;
+  Alcotest.(check int) "one real decide" 1 s.Request.decides;
+  Alcotest.(check int) "one memo hit" 1 s.Request.memo_hits;
+  Alcotest.(check bool) "replayed reply is byte-identical" true
+    (reply_repr a = reply_repr b && a.Request.states = b.Request.states)
+
+let test_incremental_unreachable_edit () =
+  let cache = Request.cache ~capacity:8 () in
+  let j text =
+    Request.job ~no_lint:true Request.Rl (inline "pad" text) "[]<>result"
+  in
+  let a = run ~cache (j server) in
+  (* the edit adds a component unreachable from the initial state; the
+     trimmed system the decide consumes is untouched *)
+  let b = run ~cache (j (server ^ "7 request 8\n8 result 7\n8 reject 7\n")) in
+  let s = Request.recheck_stats cache in
+  Alcotest.(check int) "edit classified equivalent" 1 s.Request.equivalent;
+  Alcotest.(check int) "the decide was skipped" 1 s.Request.memo_hits;
+  Alcotest.(check int) "one real decide" 1 s.Request.decides;
+  Alcotest.(check bool) "verdict replayed exactly" true
+    (reply_repr a = reply_repr b)
+
+let test_incremental_invalidation () =
+  let cache = Request.cache ~capacity:8 () in
+  (* eight transitions, so retargeting one is a 2/8 = 0.25 edit — within
+     the Local ratio *)
+  let base =
+    "initial 0\n0 a 1\n1 b 2\n2 c 0\n2 a 1\n1 a 1\n0 b 0\n2 b 2\n0 c 2\n"
+  in
+  let edit =
+    "initial 0\n0 a 1\n1 b 2\n2 c 0\n2 a 1\n1 a 1\n0 b 0\n2 b 2\n0 c 1\n"
+  in
+  let j text = Request.job ~no_lint:true Request.Rl (inline "ed" text) "[]<>a" in
+  let before = Simcache.invalidated () in
+  ignore (run ~cache (j base));
+  ignore (run ~cache (j edit));
+  let s = Request.recheck_stats cache in
+  Alcotest.(check int) "edit classified local" 1 s.Request.local;
+  Alcotest.(check int) "no memo hit across a reachable edit" 0
+    s.Request.memo_hits;
+  Alcotest.(check int) "both versions decided for real" 2 s.Request.decides;
+  Alcotest.(check bool) "the old version's fingerprints were evicted" true
+    (Simcache.invalidated () > before)
+
+let test_incremental_timeout_bypasses_memo () =
+  let cache = Request.cache ~capacity:8 () in
+  let job =
+    Request.job ~timeout:60.0 Request.Rl (inline "wall" server) "[]<>result"
+  in
+  let a = run ~cache job in
+  let b = run ~cache job in
+  let s = Request.recheck_stats cache in
+  Alcotest.(check int) "wall-clock jobs never memo-hit" 0 s.Request.memo_hits;
+  Alcotest.(check int) "both runs decide" 2 s.Request.decides;
+  Alcotest.(check bool) "verdicts still agree" true (reply_repr a = reply_repr b)
 
 (* --- supervisor --- *)
 
@@ -463,17 +623,248 @@ let test_daemon_wire_protocol () =
   Alcotest.(check bool) "socket file removed on exit" false
     (Sys.file_exists sock)
 
-(* --- chaos: verdict equality and contract conformance under faults --- *)
+(* --- the connection supervisor: concurrent clients, request ids --- *)
 
-let reply_repr (r : Request.reply) =
-  ( (match r.Request.status with
-    | Request.Holds -> "holds"
-    | Request.Fails -> "fails"
-    | Request.Blocked -> "blocked"
-    | Request.Failed e -> "error: " ^ Error.to_string e),
-    r.Request.message,
-    r.Request.witness,
-    Request.exit_code r )
+(* an in-process daemon on a fresh socket; [f] must leave a shut-down
+   daemon behind (send the shutdown itself) or the join would hang *)
+let with_daemon ?(config = fun c -> c) f =
+  let dir = Filename.temp_file "rld_test" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  let sock = Filename.concat dir "d.sock" in
+  let cfg =
+    config { (Daemon.default_config ~socket_path:sock) with Daemon.quiet = true }
+  in
+  let server = Thread.create Daemon.serve cfg in
+  let rec await n =
+    if n = 0 then Alcotest.fail "daemon did not come up"
+    else if not (Sys.file_exists sock) then begin
+      Thread.delay 0.01;
+      await (n - 1)
+    end
+  in
+  await 1000;
+  Fun.protect
+    ~finally:(fun () ->
+      Thread.join server;
+      if Sys.file_exists sock then Sys.remove sock;
+      Unix.rmdir dir)
+    (fun () -> f sock)
+
+let connect sock =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX sock);
+  (* a regression to the serial accept loop must fail the test, not
+     hang it: give every read a generous timeout *)
+  Unix.setsockopt_float fd Unix.SO_RCVTIMEO 60.0;
+  (fd, Unix.in_channel_of_descr fd, Unix.out_channel_of_descr fd)
+
+let send_line oc line =
+  output_string oc line;
+  output_char oc '\n';
+  flush oc
+
+let recv_doc ic = Result.get_ok (J.parse (input_line ic))
+
+let ask_conn ic oc line =
+  send_line oc line;
+  recv_doc ic
+
+let close_conn fd = try Unix.close fd with Unix.Unix_error _ -> ()
+
+let shutdown_daemon sock =
+  let fd, ic, oc = connect sock in
+  let r = ask_conn ic oc {|{"op":"shutdown"}|} in
+  close_conn fd;
+  Alcotest.(check bool) "shutdown acknowledged" true
+    (J.bool_member "stopping" r = Some true)
+
+let job_json ?(kind = "rl") ~name text formula =
+  J.Obj
+    [
+      ("kind", J.Str kind);
+      ("name", J.Str name);
+      ("model", J.Str text);
+      ("formula", J.Str formula);
+    ]
+
+let check_json ~id jobs =
+  J.to_string
+    (J.Obj [ ("op", J.Str "check"); ("id", J.Str id); ("jobs", J.Arr jobs) ])
+
+(* a batch of distinct models, so no decide can short-circuit through
+   the outcome memo and the batch stays long enough to race against *)
+let big_batch ~tag n =
+  List.init n (fun i ->
+      job_json ~name:(Printf.sprintf "%s-%d" tag i) faulty "[]<>result")
+
+let test_daemon_concurrent_ping () =
+  with_daemon (fun sock ->
+      let a_fd, a_ic, a_oc = connect sock in
+      let b_fd, b_ic, b_oc = connect sock in
+      Fun.protect
+        ~finally:(fun () ->
+          close_conn a_fd;
+          close_conn b_fd;
+          shutdown_daemon sock)
+        (fun () ->
+          (* A submits a batch and does not read the reply yet; B must
+             be served while A's connection is open — the old serial
+             accept loop never even accepted B here *)
+          send_line a_oc (check_json ~id:"big" (big_batch ~tag:"m" 24));
+          let pong = ask_conn b_ic b_oc {|{"op":"ping"}|} in
+          Alcotest.(check bool) "pong while a batch is in flight" true
+            (J.bool_member "pong" pong = Some true);
+          let r = ask_conn b_ic b_oc {|{"op":"stats"}|} in
+          let stats = Option.get (J.member "stats" r) in
+          let conns = Option.get (J.member "connections" stats) in
+          Alcotest.(check bool) "both connections visible in stats" true
+            (match J.int_member "active" conns with
+            | Some n -> n >= 2
+            | None -> false);
+          let batch = recv_doc a_ic in
+          Alcotest.(check (option string)) "batch id echoed" (Some "big")
+            (J.str_member "id" batch);
+          Alcotest.(check bool) "batch ok" true
+            (J.bool_member "ok" batch = Some true);
+          match J.arr_member "results" batch with
+          | Some rs -> Alcotest.(check int) "all jobs answered" 24
+              (List.length rs)
+          | None -> Alcotest.fail "batch reply carries no results"))
+
+let test_daemon_pipelined_ids () =
+  with_daemon (fun sock ->
+      let fd, ic, oc = connect sock in
+      Fun.protect
+        ~finally:(fun () ->
+          close_conn fd;
+          shutdown_daemon sock)
+        (fun () ->
+          (* two requests pipelined on one connection: the check runs on
+             a worker thread, so the ping's reply overtakes it; the ids
+             keep the replies attributable either way *)
+          send_line oc (check_json ~id:"slow" (big_batch ~tag:"p" 24));
+          send_line oc {|{"op":"ping","id":"quick"}|};
+          let first = recv_doc ic in
+          let second = recv_doc ic in
+          let by_id id =
+            if J.str_member "id" first = Some id then first
+            else if J.str_member "id" second = Some id then second
+            else Alcotest.failf "no reply carries id %S" id
+          in
+          let pong = by_id "quick" and batch = by_id "slow" in
+          Alcotest.(check bool) "ping reply correlated by id" true
+            (J.bool_member "pong" pong = Some true);
+          Alcotest.(check bool) "batch reply correlated by id" true
+            (J.bool_member "ok" batch = Some true);
+          Alcotest.(check (option string)) "the control reply overtook the batch"
+            (Some "quick")
+            (J.str_member "id" first)))
+
+(* strip the one load-dependent field, recursively *)
+let rec scrub_elapsed = function
+  | J.Obj kvs ->
+      J.Obj
+        (List.map
+           (fun (k, v) ->
+             if k = "elapsed_s" then (k, J.Null) else (k, scrub_elapsed v))
+           kvs)
+  | J.Arr xs -> J.Arr (List.map scrub_elapsed xs)
+  | v -> v
+
+let test_daemon_concurrent_equals_serial () =
+  with_daemon (fun sock ->
+      Fun.protect
+        ~finally:(fun () -> shutdown_daemon sock)
+        (fun () ->
+          let batch =
+            check_json ~id:"x"
+              [
+                job_json ~name:"srv" server "[]<>result";
+                job_json ~name:"flt" faulty "[]<>result";
+                job_json ~kind:"sat" ~name:"sat" server "[]<>result";
+                job_json ~kind:"rs" ~name:"rs" server "[]request";
+              ]
+          in
+          let run_once () =
+            let fd, ic, oc = connect sock in
+            Fun.protect
+              ~finally:(fun () -> close_conn fd)
+              (fun () -> scrub_elapsed (ask_conn ic oc batch))
+          in
+          (* ground truth first, serially, then the same batch from four
+             concurrent clients: every reply must be byte-identical *)
+          let serial = run_once () in
+          let results = Array.make 4 J.Null in
+          let clients =
+            List.init 4 (fun i ->
+                Thread.create (fun () -> results.(i) <- run_once ()) ())
+          in
+          List.iter Thread.join clients;
+          Array.iteri
+            (fun i r ->
+              Alcotest.(check bool)
+                (Printf.sprintf "client %d matches the serial reply" i)
+                true (json_eq serial r))
+            results))
+
+let test_daemon_connection_limit () =
+  with_daemon
+    ~config:(fun c -> { c with Daemon.max_connections = 2 })
+    (fun sock ->
+      let a_fd, a_ic, a_oc = connect sock in
+      let b_fd, b_ic, b_oc = connect sock in
+      Fun.protect
+        ~finally:(fun () ->
+          close_conn a_fd;
+          close_conn b_fd;
+          shutdown_daemon sock)
+        (fun () ->
+          (* the pings prove both connections are registered *)
+          ignore (ask_conn a_ic a_oc {|{"op":"ping"}|});
+          ignore (ask_conn b_ic b_oc {|{"op":"ping"}|});
+          let c_fd, c_ic, _ = connect sock in
+          Fun.protect
+            ~finally:(fun () -> close_conn c_fd)
+            (fun () ->
+              (* the over-limit connection is refused proactively: one
+                 error line, no request needed, then EOF *)
+              let r = recv_doc c_ic in
+              Alcotest.(check bool) "refusal is ok:false" true
+                (J.bool_member "ok" r = Some false);
+              (match J.str_member "error" r with
+              | Some e ->
+                  Alcotest.(check bool) "refusal names the busy server" true
+                    (String.length e >= 11 && String.sub e 0 11 = "server busy")
+              | None -> Alcotest.fail "refusal carries no error");
+              match input_line c_ic with
+              | line -> Alcotest.failf "expected EOF after refusal, got %S" line
+              | exception End_of_file -> ());
+          let r = ask_conn b_ic b_oc {|{"op":"stats"}|} in
+          let conns =
+            Option.get (J.member "connections" (Option.get (J.member "stats" r)))
+          in
+          Alcotest.(check bool) "the refusal is counted" true
+            (match J.int_member "rejected" conns with
+            | Some n -> n >= 1
+            | None -> false);
+          (* closing a connection frees its slot (the handler's exit is
+             asynchronous, so poll) *)
+          close_conn a_fd;
+          let rec retry n =
+            if n = 0 then Alcotest.fail "slot did not free after a close"
+            else
+              let fd, ic, oc = connect sock in
+              let r = ask_conn ic oc {|{"op":"ping"}|} in
+              close_conn fd;
+              if J.bool_member "pong" r <> Some true then begin
+                Thread.delay 0.02;
+                retry (n - 1)
+              end
+          in
+          retry 200))
+
+(* --- chaos: verdict equality and contract conformance under faults --- *)
 
 let abc = Rl_sigma.Alphabet.make [ "a"; "b"; "c" ]
 
@@ -562,6 +953,89 @@ let prop_chaos_malformed_input =
       | Request.Failed (Error.Parse_error _) -> Request.exit_code r = 2
       | _ -> false)
 
+(* concurrent clients over one shared pool and one shared request cache,
+   with worker-domain death armed: exactly the daemon's hot path. Every
+   thread's verdicts must equal the fault-free serial ground truth. *)
+let test_chaos_concurrent_pool_death () =
+  let jobs =
+    List.init 8 (fun i ->
+        let text =
+          Rl_core.Ts_format.print_ts
+            (Rl_automata.Gen.transition_system (Helpers.mk_rng (100 + i))
+               ~alphabet:abc ~states:4 ~branching:1.7)
+        in
+        Request.job ~no_lint:true ~max_states:50_000 Request.Rl
+          (inline (Printf.sprintf "cc-%d" i) text)
+          "[]<>a")
+  in
+  let clean = List.map (fun j -> reply_repr (run j)) jobs in
+  Pool.with_pool ~jobs:3 ~cutoff:0 (fun pool ->
+      with_faults ~seed:11
+        [ (Fault.Pool_domain_death, 0.2) ]
+        (fun () ->
+          let cache = Request.cache ~capacity:64 () in
+          let results = Array.make 4 [] in
+          let threads =
+            List.init 4 (fun t ->
+                Thread.create
+                  (fun () ->
+                    results.(t) <-
+                      List.map
+                        (fun j -> reply_repr (Request.run ~pool ~cache j))
+                        jobs)
+                  ())
+          in
+          List.iter Thread.join threads;
+          Array.iteri
+            (fun t rs ->
+              Alcotest.(check bool)
+                (Printf.sprintf "thread %d verdicts = fault-free serial" t)
+                true (rs = clean))
+            results))
+
+(* random model, random edit: a run through a shared incremental cache
+   must produce the verdict a from-scratch run produces — the soundness
+   bar of the whole incremental machinery *)
+let gen_edit =
+  QCheck2.Gen.oneofl [ `Resubmit; `Pad_unreachable; `Add_loop; `Drop_last ]
+
+let apply_edit text = function
+  | `Resubmit -> text
+  | `Pad_unreachable -> text ^ "97 a 98\n98 b 97\n"
+  | `Add_loop -> text ^ "0 c 0\n"
+  | `Drop_last -> (
+      let lines =
+        List.filter (fun l -> l <> "") (String.split_on_char '\n' text)
+      in
+      match List.rev lines with
+      | last :: (_ :: _ as rest)
+        when String.length last > 0 && last.[0] <> 'i' ->
+          String.concat "\n" (List.rev rest) ^ "\n"
+      | _ -> text)
+
+let prop_incremental_equals_scratch =
+  QCheck2.Test.make
+    ~name:"incremental re-check verdicts = from-scratch verdicts" ~count:60
+    QCheck2.Gen.(
+      pair (triple gen_inline_model gen_formula_src gen_kind) gen_edit)
+    (fun ((text, formula, kind), edit) ->
+      let edited = apply_edit text edit in
+      let j t =
+        Request.job ~no_lint:true ~max_states:50_000 kind (inline "inc" t)
+          formula
+      in
+      let cache = Request.cache ~capacity:16 () in
+      let a_inc = Request.run ~cache (j text) in
+      let b_inc = Request.run ~cache (j edited) in
+      (* resubmit the edited version once more: this leg exercises the
+         memo-hit replay path for the edited model too *)
+      let b_memo = Request.run ~cache (j edited) in
+      let a_fresh = Request.run (j text) in
+      let b_fresh = Request.run (j edited) in
+      reply_repr a_inc = reply_repr a_fresh
+      && reply_repr b_inc = reply_repr b_fresh
+      && reply_repr b_memo = reply_repr b_fresh)
+
 let qcheck = QCheck_alcotest.to_alcotest
 
 let () =
@@ -573,6 +1047,10 @@ let () =
           Alcotest.test_case "rejects malformed input" `Quick
             test_jsonx_parse_errors;
           Alcotest.test_case "accessors" `Quick test_jsonx_accessors;
+          Alcotest.test_case "unicode escapes" `Quick
+            test_jsonx_unicode_escapes;
+          qcheck prop_jsonx_unicode_roundtrip;
+          qcheck prop_jsonx_escape_decode;
         ] );
       ( "lru",
         [
@@ -604,6 +1082,18 @@ let () =
           Alcotest.test_case "model cache hits preserve replies" `Quick
             test_request_model_cache;
         ] );
+      ( "incremental",
+        [
+          Alcotest.test_case "identical resubmission memo-hits" `Quick
+            test_incremental_memo_hit;
+          Alcotest.test_case "unreachable edit replays the verdict" `Quick
+            test_incremental_unreachable_edit;
+          Alcotest.test_case "reachable edit invalidates and re-decides"
+            `Quick test_incremental_invalidation;
+          Alcotest.test_case "wall-clock timeouts bypass the memo" `Quick
+            test_incremental_timeout_bypasses_memo;
+          qcheck prop_incremental_equals_scratch;
+        ] );
       ( "supervisor",
         [
           Alcotest.test_case "completes" `Quick test_supervisor_completes;
@@ -620,11 +1110,21 @@ let () =
         [
           Alcotest.test_case "wire protocol and survival" `Quick
             test_daemon_wire_protocol;
+          Alcotest.test_case "ping answered during another client's batch"
+            `Quick test_daemon_concurrent_ping;
+          Alcotest.test_case "pipelined ids correlate out-of-order replies"
+            `Quick test_daemon_pipelined_ids;
+          Alcotest.test_case "concurrent clients match the serial replies"
+            `Quick test_daemon_concurrent_equals_serial;
+          Alcotest.test_case "connection limit refuses and recovers" `Quick
+            test_daemon_connection_limit;
         ] );
       ( "chaos",
         [
           qcheck prop_chaos_transparent;
           qcheck prop_chaos_pool_death;
           qcheck prop_chaos_malformed_input;
+          Alcotest.test_case "concurrent clients under pool-domain death"
+            `Quick test_chaos_concurrent_pool_death;
         ] );
     ]
