@@ -1,0 +1,438 @@
+(* Reproducible hot-path benchmark campaign.
+
+   Times the allocation-free antichain inclusion engine against the
+   engine it replaced, on a seeded corpus of inclusion instances, and
+   writes the profile to BENCH_hotpath.json (override the path with
+   argv.(1)). The campaign is self-judging: it exits non-zero unless
+
+     - both engines return the same verdict (and witness) on every
+       family,
+     - the new engine is >= 1.3x faster (best-of-3 serial wall) on at
+       least two families, and
+     - the Subset families explore at < 1.0 minor-heap words per node —
+       the steady-state-zero-allocation evidence, read from the
+       [Rl_engine_kernel.Stats] GC deltas.
+
+   The corpus is generated from fixed PRNG seeds ([Rl_prelude.Prng]), so
+   two runs on one machine time identical searches node for node.
+
+   [Legacy] below is the pre-flat-arena engine, embedded verbatim (its
+   deterministic schedule contract included) so the comparison baseline
+   cannot drift as the live engine evolves. It shares the automata,
+   preorder and simcache layers with the live engine; a warmup run per
+   family pre-populates the simulation cache for both sides, so the
+   timings compare the searches, not the cached preorder computation. *)
+
+open Rl_prelude
+open Rl_sigma
+open Rl_automata
+module Budget = Rl_engine_kernel.Budget
+module Pool = Rl_engine_kernel.Pool
+module Stats = Rl_engine_kernel.Stats
+
+(* ------------------------------------------------------------------ *)
+(* The baseline: the antichain engine as of the previous release.      *)
+(* ------------------------------------------------------------------ *)
+
+module Legacy = struct
+  type node = {
+    q : int;
+    set : Bitset.t;
+    cover : Bitset.t;
+    rev_word : int list;
+    mutable live : bool;
+  }
+
+  let included ?(budget = Budget.unlimited) ?pool ?(subsumption = `Simulation)
+      a b =
+    if not (Alphabet.equal (Nfa.alphabet a) (Nfa.alphabet b)) then
+      invalid_arg "Inclusion.included: alphabet mismatch";
+    let a = Nfa.remove_eps a and b = Nfa.remove_eps b in
+    let k = Alphabet.size (Nfa.alphabet a) in
+    let na = Nfa.states a and nb = Nfa.states b in
+    let csr_a =
+      Csr.of_fn ~states:na ~symbols:k (fun q s -> Nfa.successors a q s)
+    in
+    let csr_b =
+      Csr.of_fn ~states:nb ~symbols:k (fun q s -> Nfa.successors b q s)
+    in
+    let succ_b =
+      Array.init (nb * k) (fun cell ->
+          let bs = Bitset.create nb in
+          Csr.iter_succ csr_b (cell / k) (cell mod k) (fun q' ->
+              Bitset.add bs q');
+          bs)
+    in
+    let finals_a = Nfa.finals a and finals_b = Nfa.finals b in
+    let post set s =
+      let out = Bitset.create nb in
+      Bitset.iter
+        (fun q -> Bitset.union_into ~into:out succ_b.((q * k) + s))
+        set;
+      out
+    in
+    let sims =
+      match subsumption with
+      | `Subset -> None
+      | `Simulation ->
+          if na = 0 || nb = 0 then None
+          else Some (Preorder.forward a, Preorder.forward b)
+    in
+    let cover_of set =
+      match sims with
+      | None -> set
+      | Some (_, pb) ->
+          let c = Bitset.create nb in
+          Bitset.iter
+            (fun p -> Bitset.union_into ~into:c (Preorder.simulated_by pb p))
+            set;
+          c
+    in
+    let antichain : node list array = Array.make (max na 1) [] in
+    let bucket_subsumes q' cover =
+      List.exists (fun n -> Bitset.subset n.set cover) antichain.(q')
+    in
+    let subsumed q cover =
+      match sims with
+      | None -> bucket_subsumes q cover
+      | Some (pa, _) ->
+          Bitset.fold
+            (fun q' acc -> acc || bucket_subsumes q' cover)
+            (Preorder.simulators pa q) false
+    in
+    let evict_bucket q' set =
+      antichain.(q') <-
+        List.filter
+          (fun n ->
+            if Bitset.subset set n.cover then begin
+              n.live <- false;
+              false
+            end
+            else true)
+          antichain.(q')
+    in
+    let evict q set =
+      match sims with
+      | None -> evict_bucket q set
+      | Some (pa, _) ->
+          Bitset.iter (fun q' -> evict_bucket q' set) (Preorder.simulated_by pa q)
+    in
+    let next = ref [] in
+    let enqueue q set cover rev_word =
+      if not (subsumed q cover) then begin
+        Budget.tick budget;
+        evict q set;
+        let node = { q; set; cover; rev_word; live = true } in
+        antichain.(q) <- node :: antichain.(q);
+        next := node :: !next
+      end
+    in
+    let init_set = Bitset.of_list nb (Nfa.initial b) in
+    let init_cover = cover_of init_set in
+    List.iter
+      (fun q -> enqueue q init_set init_cover [])
+      (List.sort_uniq compare (Nfa.initial a));
+    let expand node =
+      Budget.poll budget;
+      Array.init k (fun s ->
+          if not (Csr.has_succ csr_a node.q s) then None
+          else
+            let set' = post node.set s in
+            Some (set', cover_of set'))
+    in
+    let witness = ref None in
+    while !next <> [] && !witness = None do
+      let frontier = Array.of_list (List.rev !next) in
+      next := [];
+      Array.iter
+        (fun n ->
+          if
+            n.live && Bitset.mem finals_a n.q
+            && Bitset.disjoint n.set finals_b
+          then
+            let w = List.rev n.rev_word in
+            match !witness with
+            | Some w' when compare w' w <= 0 -> ()
+            | _ -> witness := Some w)
+        frontier;
+      if !witness = None then begin
+        let live =
+          Array.of_list
+            (List.filter (fun n -> n.live) (Array.to_list frontier))
+        in
+        let expanded =
+          match pool with
+          | Some p -> Pool.parmap p expand live
+          | None -> Array.map expand live
+        in
+        Array.iteri
+          (fun i n ->
+            let sets = expanded.(i) in
+            for s = 0 to k - 1 do
+              match sets.(s) with
+              | None -> ()
+              | Some (set', cover') ->
+                  let rev_word' = s :: n.rev_word in
+                  Csr.iter_succ csr_a n.q s (fun q' ->
+                      enqueue q' set' cover' rev_word')
+            done)
+          live
+      end
+    done;
+    match !witness with
+    | None -> Ok ()
+    | Some syms -> Error (Word.of_list syms)
+end
+
+(* ------------------------------------------------------------------ *)
+(* Seeded corpus                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let alphabet2 = Alphabet.make [ "a"; "b" ]
+
+(* A random NFA over 2 symbols: every (state, symbol) cell gets 1 +
+   geometric-ish extra successors, a [finals] fraction of states is
+   final, state 0 is initial. Fully determined by the PRNG state. *)
+let random_nfa rng ~states ~extra ~finals_every =
+  let transitions = ref [] in
+  for q = 0 to states - 1 do
+    for a = 0 to 1 do
+      transitions := (q, a, Prng.int rng states) :: !transitions;
+      for _ = 1 to extra do
+        if Prng.int rng 100 < 35 then
+          transitions := (q, a, Prng.int rng states) :: !transitions
+      done
+    done
+  done;
+  let finals =
+    List.filter (fun q -> q mod finals_every = 0) (List.init states Fun.id)
+  in
+  Nfa.create ~alphabet:alphabet2 ~states ~initial:[ 0 ] ~finals
+    ~transitions:!transitions ()
+
+(* B extends A with [extra_edges] additional random transitions and the
+   same finals plus every state ≡ 1 (mod 5): L(A) ⊆ L(B) by
+   construction, so the search must exhaust the whole antichain — the
+   worst case, and the one the engine lives in when a property holds. *)
+let superset_of rng a ~extra_edges =
+  let states = Nfa.states a in
+  let extra = ref [] in
+  for _ = 1 to extra_edges do
+    extra :=
+      (Prng.int rng states, Prng.int rng 2, Prng.int rng states) :: !extra
+  done;
+  let finals =
+    List.sort_uniq compare
+      (Bitset.elements (Nfa.finals a)
+      @ List.filter (fun q -> q mod 5 = 1) (List.init states Fun.id))
+  in
+  Nfa.create ~alphabet:alphabet2 ~states ~initial:(Nfa.initial a) ~finals
+    ~transitions:(Nfa.transitions a @ !extra)
+    ()
+
+type family = {
+  name : string;
+  subsumption : [ `Subset | `Simulation ];
+  a : Nfa.t;
+  b : Nfa.t;
+}
+
+let corpus () =
+  let f1 =
+    (* inclusion holds; plain ⊆-subsumption — the pure flat/arena path *)
+    let rng = Prng.create 1101 in
+    let a = random_nfa rng ~states:110 ~extra:2 ~finals_every:3 in
+    let b = superset_of rng a ~extra_edges:55 in
+    { name = "subset-holds"; subsumption = `Subset; a; b }
+  in
+  let f2 =
+    (* inclusion holds; simulation subsumption over a structured B *)
+    let rng = Prng.create 2202 in
+    let a = random_nfa rng ~states:90 ~extra:2 ~finals_every:4 in
+    let b = superset_of rng a ~extra_edges:45 in
+    { name = "simulation-holds"; subsumption = `Simulation; a; b }
+  in
+  let f3 =
+    (* inclusion fails: B misses a final; both engines must report the
+       same (shortest, lexicographically least) witness *)
+    let rng = Prng.create 3303 in
+    let a = random_nfa rng ~states:36 ~extra:2 ~finals_every:3 in
+    let b = random_nfa rng ~states:24 ~extra:1 ~finals_every:7 in
+    { name = "subset-witness"; subsumption = `Subset; a; b }
+  in
+  let f4 =
+    (* a second ⊆ family at a different density, for the two-family
+       speedup bar *)
+    let rng = Prng.create 4404 in
+    let a = random_nfa rng ~states:150 ~extra:3 ~finals_every:3 in
+    let b = superset_of rng a ~extra_edges:80 in
+    { name = "subset-dense"; subsumption = `Subset; a; b }
+  in
+  [ f1; f2; f3; f4 ]
+
+(* ------------------------------------------------------------------ *)
+(* Measurement                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let verdict_string = function
+  | Ok () -> "included"
+  | Error w ->
+      "witness:"
+      ^ String.concat "," (List.map string_of_int (Word.to_list w))
+
+let time_best_of n f =
+  let best = ref infinity in
+  let result = ref None in
+  for _ = 1 to n do
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    let dt = Unix.gettimeofday () -. t0 in
+    if dt < !best then best := dt;
+    result := Some r
+  done;
+  (!best, Option.get !result)
+
+type row = {
+  family : string;
+  mode : string;
+  nodes : int;
+  legacy_s : float;
+  new_s : float;
+  speedup : float;
+  verdicts_equal : bool;
+  verdict : string;
+  minor_words_per_node : float;  (* whole run, setup included *)
+  steady_minor_words_per_node : float;  (* marginal: setup subtracted *)
+}
+
+(* An instrumented run with an exact minor-word delta. The minor heap is
+   flushed on both sides because [Gc.quick_stat]'s minor_words advances
+   only at minor collections: without the flush a run fitting inside the
+   (tuned, large) minor heap would report zero no matter what it
+   allocated. *)
+let alloc_profile f =
+  Gc.minor ();
+  let before = Stats.snapshot () in
+  f ();
+  Gc.minor ();
+  Stats.diff ~before ~after:(Stats.snapshot ())
+
+let run_family f =
+  let run_legacy () =
+    Legacy.included ~subsumption:f.subsumption f.a f.b
+  in
+  let run_new () = Inclusion.included ~subsumption:f.subsumption f.a f.b in
+  (* warmup: correctness gate + simulation-cache fill for both engines *)
+  let vl = run_legacy () and vn = run_new () in
+  let verdicts_equal =
+    match (vl, vn) with
+    | Ok (), Ok () -> true
+    | Error w1, Error w2 -> Word.to_list w1 = Word.to_list w2
+    | _ -> false
+  in
+  let full = alloc_profile (fun () -> ignore (run_new ())) in
+  (* the steady-state figure is the marginal allocation: a second run
+     capped at a handful of nodes pays the same per-call setup
+     (ε-removal, CSR and scratch construction), so the difference over
+     the extra nodes is what each node costs once the engine is warm —
+     the number the arena is supposed to hold at zero *)
+  let capped =
+    alloc_profile (fun () ->
+        let budget = Budget.create ~max_states:64 () in
+        try ignore (Inclusion.included ~budget ~subsumption:f.subsumption f.a f.b)
+        with Budget.Exhausted _ -> ())
+  in
+  (* nan, not 0, when the full run never outgrew the cap: a family too
+     small to measure a slope must not satisfy the allocation bar *)
+  let steady =
+    if full.Stats.nodes > capped.Stats.nodes then
+      (full.Stats.minor_words -. capped.Stats.minor_words)
+      /. float_of_int (full.Stats.nodes - capped.Stats.nodes)
+    else Float.nan
+  in
+  let legacy_s, _ = time_best_of 3 run_legacy in
+  let new_s, _ = time_best_of 3 run_new in
+  {
+    family = f.name;
+    mode = (match f.subsumption with `Subset -> "subset" | `Simulation -> "simulation");
+    nodes = full.Stats.nodes;
+    legacy_s;
+    new_s;
+    speedup = (if new_s > 0. then legacy_s /. new_s else infinity);
+    verdicts_equal;
+    verdict = verdict_string vn;
+    minor_words_per_node = Stats.minor_words_per_node full;
+    steady_minor_words_per_node = steady;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Report                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let host_json () =
+  Printf.sprintf
+    {|{"hostname":"%s","os_type":"%s","ocaml_version":"%s","word_size":%d,"cores":%d}|}
+    (Unix.gethostname ()) Sys.os_type Sys.ocaml_version Sys.word_size
+    (Domain.recommended_domain_count ())
+
+let row_json r =
+  let steady =
+    if Float.is_nan r.steady_minor_words_per_node then "null"
+    else Printf.sprintf "%.4f" r.steady_minor_words_per_node
+  in
+  Printf.sprintf
+    {|{"family":"%s","mode":"%s","nodes":%d,"legacy_s":%.6f,"new_s":%.6f,"speedup":%.3f,"verdicts_equal":%b,"verdict":"%s","minor_words_per_node":%.4f,"steady_minor_words_per_node":%s}|}
+    r.family r.mode r.nodes r.legacy_s r.new_s r.speedup r.verdicts_equal
+    r.verdict r.minor_words_per_node steady
+
+let () =
+  Stats.gc_tune ();
+  let out_path =
+    if Array.length Sys.argv > 1 then Sys.argv.(1) else "BENCH_hotpath.json"
+  in
+  let rows = List.map run_family (corpus ()) in
+  Printf.printf "%-18s %-10s %9s %11s %11s %8s %8s %9s %s\n" "family" "mode"
+    "nodes" "legacy(s)" "new(s)" "speedup" "mw/node" "steady" "verdict";
+  List.iter
+    (fun r ->
+      Printf.printf "%-18s %-10s %9d %11.4f %11.4f %7.2fx %8.3f %9.3f %s%s\n"
+        r.family r.mode r.nodes r.legacy_s r.new_s r.speedup
+        r.minor_words_per_node r.steady_minor_words_per_node r.verdict
+        (if r.verdicts_equal then "" else "  VERDICT MISMATCH"))
+    rows;
+  let fast = List.filter (fun r -> r.speedup >= 1.3) rows in
+  let equal = List.for_all (fun r -> r.verdicts_equal) rows in
+  (* the allocation bar is on the marginal (steady-state) figure: the
+     whole-run average also counts the per-call setup, which is constant
+     in the node count and not what the arena is meant to eliminate *)
+  let subset_alloc_ok =
+    List.exists
+      (fun r -> r.mode = "subset" && r.steady_minor_words_per_node < 1.0)
+      rows
+  in
+  let passed = List.length fast >= 2 && equal && subset_alloc_ok in
+  let oc = open_out out_path in
+  Printf.fprintf oc
+    "{\"bench_hotpath\":1,\"host\":%s,\"bar\":{\"min_speedup\":1.3,\"min_fast_families\":2,\"max_steady_minor_words_per_node\":1.0,\"passed\":%b},\"families\":[%s]}\n"
+    (host_json ()) passed
+    (String.concat "," (List.map row_json rows));
+  close_out oc;
+  Printf.printf "\nwrote %s\n" out_path;
+  if not equal then begin
+    print_endline "FAIL: verdict mismatch between engines";
+    exit 1
+  end;
+  if List.length fast < 2 then begin
+    Printf.printf "FAIL: only %d/%d families reached the 1.3x bar\n"
+      (List.length fast) (List.length rows);
+    exit 1
+  end;
+  if not subset_alloc_ok then begin
+    print_endline
+      "FAIL: no subset-mode family ran under 1.0 steady-state minor words \
+       per node";
+    exit 1
+  end;
+  Printf.printf "PASS: %d/%d families >= 1.3x, verdicts equal, steady-state \
+                 allocation bar met\n"
+    (List.length fast) (List.length rows)

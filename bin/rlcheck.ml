@@ -38,6 +38,7 @@ module Budget = Rl_engine.Budget
 module Error = Rl_engine.Error
 module Certify = Rl_engine.Certify
 module Pool = Rl_engine.Pool
+module Stats = Rl_engine.Stats
 module Diagnostic = Rl_analysis.Diagnostic
 module Lint = Rl_analysis.Lint
 module Request = Rl_service.Request
@@ -150,6 +151,26 @@ let no_lint_arg =
   in
   Arg.(value & flag & info [ "no-lint" ] ~doc)
 
+let stats_arg =
+  let doc =
+    "After the verdict, report the engine's hot-path profile for this \
+     run: a human-readable table on stderr, and one machine-parsable \
+     JSON line (an object tagged $(b,\"rlcheck_stats\":1)) on stdout. \
+     The counters are on unconditionally — this flag only prints them."
+  in
+  Arg.(value & flag & info [ "stats" ] ~doc)
+
+(* The --stats epilogue. Counters are process-monotonic, so the run's
+   figure is the delta between a snapshot taken before the check and one
+   taken here; the table goes to stderr so stdout gains exactly one
+   extra line, the JSON one, for scripts to grep out. *)
+let emit_stats = function
+  | None -> ()
+  | Some before ->
+      let d = Stats.diff ~before ~after:(Stats.snapshot ()) in
+      Format.eprintf "%a@." Stats.pp_human d;
+      print_endline (Stats.to_json d)
+
 let handle = function
   | Ok () -> exit 0
   | Error err ->
@@ -173,7 +194,7 @@ let ( let* ) r f = Result.bind r f
    produced), the verdict line to stdout, and the status maps onto the
    documented exit codes. *)
 
-let print_reply (reply : Request.reply) =
+let print_reply ?stats_before (reply : Request.reply) =
   List.iter report_diag reply.Request.diagnostics;
   (match reply.Request.blocked_summary with
   | Some summary -> Format.eprintf "rlcheck: %s@." summary
@@ -182,9 +203,11 @@ let print_reply (reply : Request.reply) =
   | Request.Holds | Request.Fails -> Format.printf "%s@." reply.Request.message
   | Request.Blocked -> ()
   | Request.Failed err -> Format.eprintf "rlcheck: %a@." Error.pp err);
+  emit_stats stats_before;
   exit (Request.exit_code reply)
 
-let run_check mode path formula_src max_states timeout bound jobs no_lint =
+let run_check mode path formula_src max_states timeout bound jobs no_lint
+    stats =
   let kind =
     match mode with `Sat -> Request.Sat | `Rl -> Request.Rl | `Rs -> Request.Rs
   in
@@ -192,13 +215,15 @@ let run_check mode path formula_src max_states timeout bound jobs no_lint =
     Request.job ?max_states ?timeout ?bound ~no_lint kind (Request.File path)
       formula_src
   in
-  with_jobs jobs @@ fun pool -> print_reply (Request.run ?pool job)
+  let stats_before = if stats then Some (Stats.snapshot ()) else None in
+  with_jobs jobs @@ fun pool ->
+  print_reply ?stats_before (Request.run ?pool job)
 
 let check_cmd name mode doc =
   let term =
     Term.(
       const (run_check mode) $ system_arg $ formula_arg $ max_states_arg
-      $ timeout_arg $ bound_arg $ jobs_arg $ no_lint_arg)
+      $ timeout_arg $ bound_arg $ jobs_arg $ no_lint_arg $ stats_arg)
   in
   Cmd.v (Cmd.info name ~doc) term
 
@@ -213,8 +238,9 @@ let eps_check =
   Arg.(value & flag & info [ "check-concrete" ] ~doc)
 
 let run_abstract path formula_src keep check_concrete max_states timeout bound
-    jobs no_lint =
+    jobs no_lint stats =
   let budget = Budget.create ?max_states ?timeout () in
+  let stats_before = if stats then Some (Stats.snapshot ()) else None in
   guarded @@ fun () ->
   with_jobs jobs @@ fun pool ->
   let* f = parse_formula formula_src in
@@ -240,6 +266,7 @@ let run_abstract path formula_src keep check_concrete max_states timeout bound
       | Ok () -> "R̄(η) is a relative liveness property of lim(L)"
       | Error _ -> "R̄(η) is NOT a relative liveness property of lim(L)")
   end;
+  emit_stats stats_before;
   match report.Abstraction.conclusion with
   | `Concrete_holds -> Ok ()
   | `Concrete_fails -> exit 1
@@ -250,7 +277,8 @@ let abstract_cmd =
   let term =
     Term.(
       const run_abstract $ system_arg $ formula_arg $ keep_arg $ eps_check
-      $ max_states_arg $ timeout_arg $ bound_arg $ jobs_arg $ no_lint_arg)
+      $ max_states_arg $ timeout_arg $ bound_arg $ jobs_arg $ no_lint_arg
+      $ stats_arg)
   in
   Cmd.v (Cmd.info "abstract" ~doc) term
 
@@ -620,6 +648,9 @@ let main =
    [~catch:false] lets exceptions out of cmdliner so the contract above
    is kept even for defects guarded code did not anticipate. *)
 let () =
+  (* engine GC defaults (or the RLCHECK_GC override) for the main domain;
+     Pool workers apply the same tuning when they spawn *)
+  Stats.gc_tune ();
   match Cmd.eval ~catch:false main with
   (* cmdliner reports its own CLI-parsing errors with 124; fold them
      into the documented usage exit *)

@@ -2,6 +2,7 @@ open Rl_prelude
 open Rl_sigma
 module Budget = Rl_engine_kernel.Budget
 module Pool = Rl_engine_kernel.Pool
+module Stats = Rl_engine_kernel.Stats
 
 (* Antichain-based inclusion check, after De Wulf–Doyen–Henzinger–Raskin
    ("Antichains: a new algorithm for checking universality of finite
@@ -32,31 +33,27 @@ module Pool = Rl_engine_kernel.Pool
    domain-parallel version deterministic: each round first scans the
    current frontier for witnesses (picking the lexicographically least
    among the shortest), then computes every frontier node's successor
-   subsets and covers — the expensive bitset unions — as a pure
-   [Pool.parmap], and finally merges the results into the antichain
-   sequentially, in frontier order, on the calling domain. All antichain
-   mutation, budget ticking and witness selection happen on one domain in
-   a schedule-independent order, so verdict, witness and exhaustion point
-   are identical for every pool size.
+   subsets and covers, and merges them into the antichain in frontier
+   order. Under a pool the expansion — the expensive bitset unions — runs
+   as a pure [Pool.parmap] and only the merge is sequential; serially the
+   two steps interleave per node, which yields the same enqueue order and
+   the same [Budget.tick] sequence (ticks fire on accepted nodes only,
+   and [poll] never trips a pure state budget), hence identical verdict,
+   witness and exhaustion point for every pool size.
 
-   Transitions are stepped through flat CSR tables ([Rl_prelude.Csr]),
-   built once per call: A-moves scan a contiguous slice, and the B-side
-   per-(state, letter) successor bitsets used by the frontier posts are
-   filled from CSR slices instead of list traversals. *)
+   Representation. Steady-state exploration allocates nothing on the
+   minor heap per node: nodes live in parallel append-only [Vec]s
+   (A-state, parent, letter — the parent chain replaces the per-node
+   reversed word), their B-subset and cover bitsets are slices of one
+   [Arena], whose generation-indexed reuse recycles evicted nodes'
+   slices at the next level boundary, and all set operations are
+   open-coded word loops over the raw storage of the arena, the
+   [Bitset]s and the [Preorder] rows. Transitions are stepped through
+   the automata's own CSR tables, built once at construction. *)
 
 type subsumption = [ `Subset | `Simulation ]
 
-type node = {
-  q : int;
-  set : Bitset.t;
-  cover : Bitset.t;
-      (* states simulated by some member of [set]; equals [set]
-         physically under [`Subset] subsumption *)
-  rev_word : int list;
-  mutable live : bool;
-      (* cleared when a later subsuming node evicts this node from the
-         antichain; replaces a bucket scan with an O(1) flag *)
-}
+let isz = Sys.int_size
 
 let included ?(budget = Budget.unlimited) ?pool ?(subsumption = `Simulation) a
     b =
@@ -65,23 +62,18 @@ let included ?(budget = Budget.unlimited) ?pool ?(subsumption = `Simulation) a
   let a = Nfa.remove_eps a and b = Nfa.remove_eps b in
   let k = Alphabet.size (Nfa.alphabet a) in
   let na = Nfa.states a and nb = Nfa.states b in
-  (* flat transition tables, built once: the pre-language NFAs coming out
-     of [Buchi.pre_language] are stepped as CSR slices here, never as
-     transition lists again *)
-  let csr_a = Csr.of_fn ~states:na ~symbols:k (fun q s -> Nfa.successors a q s) in
-  let csr_b = Csr.of_fn ~states:nb ~symbols:k (fun q s -> Nfa.successors b q s) in
-  let succ_b =
+  let csr_a = Nfa.csr a in
+  let width = (nb + isz - 1) / isz in
+  (* per-(B-state, letter) successor sets, as raw bitset words: the
+     frontier posts are pure word-ORs of these rows *)
+  let succ_w =
     Array.init (nb * k) (fun cell ->
         let bs = Bitset.create nb in
-        Csr.iter_succ csr_b (cell / k) (cell mod k) (fun q' -> Bitset.add bs q');
-        bs)
+        Nfa.iter_succ b (cell / k) (cell mod k) (fun q' -> Bitset.add bs q');
+        Bitset.unsafe_words bs)
   in
-  let finals_a = Nfa.finals a and finals_b = Nfa.finals b in
-  let post set s =
-    let out = Bitset.create nb in
-    Bitset.iter (fun q -> Bitset.union_into ~into:out succ_b.((q * k) + s)) set;
-    out
-  in
+  let finals_a = Nfa.finals a in
+  let finals_b_w = Bitset.unsafe_words (Nfa.finals b) in
   (* the preorders driving subsumption; [None] = identity ([`Subset]) *)
   let sims =
     match subsumption with
@@ -90,114 +82,372 @@ let included ?(budget = Budget.unlimited) ?pool ?(subsumption = `Simulation) a
         if na = 0 || nb = 0 then None
         else Some (Preorder.forward a, Preorder.forward b)
   in
-  let cover_of set =
+  let cover_distinct = sims <> None in
+  (* preorder rows as raw words, fetched once (cached rows are
+     immutable): simulators/simulated-by over A drive the subsumption
+     and eviction bucket fans, simulated-by over B builds covers *)
+  let sim_a_rows, simby_a_rows, cover_rows =
     match sims with
-    | None -> set
-    | Some (_, pb) ->
-        let c = Bitset.create nb in
-        Bitset.iter
-          (fun p -> Bitset.union_into ~into:c (Preorder.simulated_by pb p))
-          set;
-        c
+    | None -> ([||], [||], [||])
+    | Some (pa, pb) ->
+        ( Array.init na (fun q -> Bitset.unsafe_words (Preorder.simulators pa q)),
+          Array.init na (fun q ->
+              Bitset.unsafe_words (Preorder.simulated_by pa q)),
+          Array.init nb (fun p ->
+              Bitset.unsafe_words (Preorder.simulated_by pb p)) )
   in
-  (* per-A-state antichain of subsumption-minimal B-subsets seen so far *)
-  let antichain : node list array = Array.make (max na 1) [] in
-  let bucket_subsumes q' cover =
-    List.exists (fun n -> Bitset.subset n.set cover) antichain.(q')
+  (* node store: parallel append-only vectors. Slices are recycled;
+     these never are — witness reconstruction walks parent chains of
+     nodes long since evicted. *)
+  let node_q = Vec.create ~capacity:64 () in
+  let node_parent = Vec.create ~capacity:64 () in
+  let node_letter = Vec.create ~capacity:64 () in
+  let node_set = Vec.create ~capacity:64 () in
+  let node_cover = Vec.create ~capacity:64 () in
+  let node_live = Vec.create ~capacity:64 () in
+  let arena = Arena.create ~width in
+  (* per-A-state antichain buckets of node ids, compacted in place *)
+  let buckets = Array.init (max na 1) (fun _ -> Vec.create ()) in
+  let frontier = ref (Vec.create ()) and next = ref (Vec.create ()) in
+  let live_ids = Vec.create () in
+  (* hoisted mutable temporaries: the word loops below share these so
+     the steady state allocates no refs *)
+  let r_bits = ref 0 and r_j = ref 0 in
+  let r_ok = ref false and r_found = ref false in
+  let r_dst = ref 0 in
+  let scratch_set = Array.make width 0 in
+  let scratch_cover = if cover_distinct then Array.make width 0 else scratch_set in
+  (* cover(scratch_set) into scratch_cover (Simulation mode only) *)
+  let fill_cover () =
+    Array.fill scratch_cover 0 width 0;
+    for w = 0 to width - 1 do
+      r_bits := Array.unsafe_get scratch_set w;
+      if !r_bits <> 0 then begin
+        let base = w * isz in
+        r_j := 0;
+        while !r_bits <> 0 do
+          if !r_bits land 1 <> 0 then begin
+            let row = Array.unsafe_get cover_rows (base + !r_j) in
+            for v = 0 to width - 1 do
+              Array.unsafe_set scratch_cover v
+                (Array.unsafe_get scratch_cover v lor Array.unsafe_get row v)
+            done
+          end;
+          r_bits := !r_bits lsr 1;
+          incr r_j
+        done
+      end
+    done
   in
-  (* is the candidate (q, ·) with cover [cover] subsumed by a stored node? *)
-  let subsumed q cover =
-    match sims with
-    | None -> bucket_subsumes q cover
-    | Some (pa, _) ->
-        Bitset.fold
-          (fun q' acc -> acc || bucket_subsumes q' cover)
-          (Preorder.simulators pa q) false
+  (* does some node of bucket [qb] have set ⊆ [cw]?  (sets [r_found]) *)
+  let subsumed_in qb cw =
+    let bucket = buckets.(qb) in
+    let aw = Arena.words arena in
+    for i = 0 to Vec.length bucket - 1 do
+      if not !r_found then begin
+        let off = Vec.get node_set (Vec.get bucket i) * width in
+        r_ok := true;
+        for w = 0 to width - 1 do
+          if
+            Array.unsafe_get aw (off + w) land lnot (Array.unsafe_get cw w)
+            <> 0
+          then r_ok := false
+        done;
+        if !r_ok then r_found := true
+      end
+    done
   in
-  (* evict stored nodes the accepted (q, set) subsumes *)
-  let evict_bucket q' set =
-    antichain.(q') <-
-      List.filter
-        (fun n ->
-          if Bitset.subset set n.cover then begin
-            n.live <- false;
-            false
+  (* drop every node of bucket [qb] whose cover contains [sw] *)
+  let evict_bucket qb sw =
+    let bucket = buckets.(qb) in
+    let aw = Arena.words arena in
+    r_dst := 0;
+    for i = 0 to Vec.length bucket - 1 do
+      let id = Vec.get bucket i in
+      let coff = Vec.get node_cover id * width in
+      r_ok := true;
+      for w = 0 to width - 1 do
+        if
+          Array.unsafe_get sw w land lnot (Array.unsafe_get aw (coff + w))
+          <> 0
+        then r_ok := false
+      done;
+      if !r_ok then begin
+        Vec.set node_live id 0;
+        Arena.defer_release arena (Vec.get node_set id);
+        if cover_distinct then Arena.defer_release arena (Vec.get node_cover id);
+        Stats.incr_evictions ()
+      end
+      else begin
+        Vec.set bucket !r_dst id;
+        incr r_dst
+      end
+    done;
+    Vec.truncate bucket !r_dst
+  in
+  (* accept or discard candidate (q', sw) with cover [cw]; on accept the
+     scratch words are copied into fresh arena slices, so callers may
+     keep reusing [sw]/[cw] for the node's remaining A-successors *)
+  let enqueue q' ~sw ~cw ~parent ~letter =
+    r_found := false;
+    (match sims with
+    | None -> subsumed_in q' cw
+    | Some _ ->
+        let row = Array.unsafe_get sim_a_rows q' in
+        for w = 0 to Array.length row - 1 do
+          if not !r_found then begin
+            r_bits := Array.unsafe_get row w;
+            if !r_bits <> 0 then begin
+              let base = w * isz in
+              r_j := 0;
+              while !r_bits <> 0 do
+                if !r_bits land 1 <> 0 && not !r_found then
+                  subsumed_in (base + !r_j) cw;
+                r_bits := !r_bits lsr 1;
+                incr r_j
+              done
+            end
           end
-          else true)
-        antichain.(q')
-  in
-  let evict q set =
-    match sims with
-    | None -> evict_bucket q set
-    | Some (pa, _) -> Bitset.iter (fun q' -> evict_bucket q' set) (Preorder.simulated_by pa q)
-  in
-  let next = ref [] (* next frontier, most recent first *) in
-  let enqueue q set cover rev_word =
-    if not (subsumed q cover) then begin
+        done);
+    if !r_found then Stats.incr_antichain_hits ()
+    else begin
       Budget.tick budget;
-      evict q set;
-      let node = { q; set; cover; rev_word; live = true } in
-      antichain.(q) <- node :: antichain.(q);
-      next := node :: !next
+      Stats.incr_nodes ();
+      (match sims with
+      | None -> evict_bucket q' sw
+      | Some _ ->
+          let row = Array.unsafe_get simby_a_rows q' in
+          for w = 0 to Array.length row - 1 do
+            r_bits := Array.unsafe_get row w;
+            if !r_bits <> 0 then begin
+              let base = w * isz in
+              r_j := 0;
+              while !r_bits <> 0 do
+                if !r_bits land 1 <> 0 then evict_bucket (base + !r_j) sw;
+                r_bits := !r_bits lsr 1;
+                incr r_j
+              done
+            end
+          done);
+      let sid = Arena.alloc arena in
+      Array.blit sw 0 (Arena.words arena) (sid * width) width;
+      let cid =
+        if cover_distinct then begin
+          let cid = Arena.alloc arena in
+          Array.blit cw 0 (Arena.words arena) (cid * width) width;
+          cid
+        end
+        else sid
+      in
+      let id = Vec.length node_q in
+      Vec.push node_q q';
+      Vec.push node_parent parent;
+      Vec.push node_letter letter;
+      Vec.push node_set sid;
+      Vec.push node_cover cid;
+      Vec.push node_live 1;
+      Vec.push buckets.(q') id;
+      Vec.push !next id
     end
   in
-  let init_set = Bitset.of_list nb (Nfa.initial b) in
-  let init_cover = cover_of init_set in
-  List.iter
-    (fun q -> enqueue q init_set init_cover [])
-    (List.sort_uniq compare (Nfa.initial a));
-  (* successor subsets (and their covers) of one live frontier node, one
-     per letter with an A-move; pure up to [Budget.poll], hence safe on
-     worker domains *)
-  let expand node =
+  (* post of one frontier node on letter [s] into scratch_set, then the
+     cover, then enqueue every A-successor of the CSR slice *)
+  let expand_serial id =
+    let q = Vec.get node_q id in
+    let set_off = Vec.get node_set id * width in
+    for s = 0 to k - 1 do
+      let lo = Csr.row_start csr_a q s and hi = Csr.row_stop csr_a q s in
+      if hi > lo then begin
+        Array.fill scratch_set 0 width 0;
+        let aw = Arena.words arena in
+        for w = 0 to width - 1 do
+          r_bits := Array.unsafe_get aw (set_off + w);
+          if !r_bits <> 0 then begin
+            let base = w * isz in
+            r_j := 0;
+            while !r_bits <> 0 do
+              if !r_bits land 1 <> 0 then begin
+                let row = Array.unsafe_get succ_w (((base + !r_j) * k) + s) in
+                for v = 0 to width - 1 do
+                  Array.unsafe_set scratch_set v
+                    (Array.unsafe_get scratch_set v
+                    lor Array.unsafe_get row v)
+                done
+              end;
+              r_bits := !r_bits lsr 1;
+              incr r_j
+            done
+          end
+        done;
+        if cover_distinct then fill_cover ();
+        for i = lo to hi - 1 do
+          enqueue (Csr.target csr_a i) ~sw:scratch_set ~cw:scratch_cover
+            ~parent:id ~letter:s
+        done
+      end
+    done
+  in
+  (* worker-side expansion: pure up to [Budget.poll], allocates its own
+     result arrays (the parallel mode trades allocation for cores; the
+     merge below copies into the arena exactly as the serial path does) *)
+  let expand_par id =
     Budget.poll budget;
+    let aw = Arena.words arena in
+    let q = Vec.get node_q id in
+    let set_off = Vec.get node_set id * width in
     Array.init k (fun s ->
-        if not (Csr.has_succ csr_a node.q s) then None
-        else
-          let set' = post node.set s in
-          Some (set', cover_of set'))
+        let lo = Csr.row_start csr_a q s and hi = Csr.row_stop csr_a q s in
+        if hi <= lo then None
+        else begin
+          let sw = Array.make width 0 in
+          for w = 0 to width - 1 do
+            let bits = ref (Array.unsafe_get aw (set_off + w)) in
+            if !bits <> 0 then begin
+              let base = w * isz in
+              let j = ref 0 in
+              while !bits <> 0 do
+                if !bits land 1 <> 0 then begin
+                  let row = Array.unsafe_get succ_w (((base + !j) * k) + s) in
+                  for v = 0 to width - 1 do
+                    Array.unsafe_set sw v
+                      (Array.unsafe_get sw v lor Array.unsafe_get row v)
+                  done
+                end;
+                bits := !bits lsr 1;
+                incr j
+              done
+            end
+          done;
+          let cw =
+            if not cover_distinct then sw
+            else begin
+              let cw = Array.make width 0 in
+              for w = 0 to width - 1 do
+                let bits = ref (Array.unsafe_get sw w) in
+                if !bits <> 0 then begin
+                  let base = w * isz in
+                  let j = ref 0 in
+                  while !bits <> 0 do
+                    if !bits land 1 <> 0 then begin
+                      let row = Array.unsafe_get cover_rows (base + !j) in
+                      for v = 0 to width - 1 do
+                        Array.unsafe_set cw v
+                          (Array.unsafe_get cw v lor Array.unsafe_get row v)
+                      done
+                    end;
+                    bits := !bits lsr 1;
+                    incr j
+                  done
+                end
+              done;
+              cw
+            end
+          in
+          Some (sw, cw)
+        end)
   in
-  let witness = ref None in
-  while !next <> [] && !witness = None do
-    let frontier = Array.of_list (List.rev !next) in
-    next := [];
-    (* 1. witness scan: shortest, lexicographically least among the
-       level's surviving nodes *)
-    Array.iter
-      (fun n ->
-        if n.live && Bitset.mem finals_a n.q && Bitset.disjoint n.set finals_b
-        then
-          let w = List.rev n.rev_word in
-          match !witness with
-          | Some w' when compare w' w <= 0 -> ()
-          | _ -> witness := Some w)
-      frontier;
-    if !witness = None then begin
-      let live =
-        Array.of_list (List.filter (fun n -> n.live) (Array.to_list frontier))
-      in
-      (* 2. expansion: the parallel region *)
-      let expanded =
+  (* forward word of a node, rebuilt from the parent chain (initial
+     nodes carry parent = letter = -1); only witness candidates pay *)
+  let rec word_of id acc =
+    let l = Vec.get node_letter id in
+    if l < 0 then acc else word_of (Vec.get node_parent id) (l :: acc)
+  in
+  let best = ref None in
+  let run () =
+    (* seed: every (sorted, distinct) initial A-state with B's initial set *)
+    Array.fill scratch_set 0 width 0;
+    List.iter
+      (fun p ->
+        scratch_set.(p / isz) <- scratch_set.(p / isz) lor (1 lsl (p mod isz)))
+      (Nfa.initial b);
+    if cover_distinct then fill_cover ();
+    List.iter
+      (fun q ->
+        enqueue q ~sw:scratch_set ~cw:scratch_cover ~parent:(-1) ~letter:(-1))
+      (List.sort_uniq compare (Nfa.initial a));
+    while not (Vec.is_empty !next) && !best = None do
+      let f = !frontier in
+      frontier := !next;
+      next := f;
+      Vec.clear !next;
+      (* evicted slices from the previous merge are reusable now: every
+         node that could still reference one has been flagged dead, and
+         the scans below skip dead nodes before any re-allocation *)
+      Arena.reclaim arena;
+      let front = !frontier in
+      (* 1. witness scan: shortest, lexicographically least among the
+         level's surviving nodes *)
+      for i = 0 to Vec.length front - 1 do
+        let id = Vec.get front i in
+        if Vec.get node_live id = 1 && Bitset.mem finals_a (Vec.get node_q id)
+        then begin
+          let off = Vec.get node_set id * width in
+          let aw = Arena.words arena in
+          r_ok := true;
+          for w = 0 to width - 1 do
+            if
+              Array.unsafe_get aw (off + w)
+              land Array.unsafe_get finals_b_w w
+              <> 0
+            then r_ok := false
+          done;
+          if !r_ok then begin
+            let word = word_of id [] in
+            match !best with
+            | Some w' when compare w' word <= 0 -> ()
+            | _ -> best := Some word
+          end
+        end
+      done;
+      if !best = None then begin
+        (* freeze the level's live set before expanding anything: a node
+           evicted by an enqueue later in this same merge is still
+           expanded (its quarantined slices stay readable until the next
+           [reclaim]) — the frontier membership a node earned at accept
+           time is not revoked mid-level, so the serial and pooled paths
+           expand exactly the same nodes *)
+        Vec.clear live_ids;
+        for i = 0 to Vec.length front - 1 do
+          let id = Vec.get front i in
+          if Vec.get node_live id = 1 then Vec.push live_ids id
+        done;
         match pool with
-        | Some p -> Pool.parmap p expand live
-        | None -> Array.map expand live
-      in
-      (* 3. merge, sequential and in frontier order *)
-      Array.iteri
-        (fun i n ->
-          let sets = expanded.(i) in
-          for s = 0 to k - 1 do
-            match sets.(s) with
-            | None -> ()
-            | Some (set', cover') ->
-                let rev_word' = s :: n.rev_word in
-                Csr.iter_succ csr_a n.q s (fun q' ->
-                    enqueue q' set' cover' rev_word')
-          done)
-        live
-    end
-  done;
-  match !witness with
+        | None ->
+            (* 2+3 interleaved: expansion feeds the merge node by node;
+               same enqueue order and tick sequence as the pooled path
+               ([poll] never trips a pure state budget) *)
+            for i = 0 to Vec.length live_ids - 1 do
+              Budget.poll budget;
+              expand_serial (Vec.get live_ids i)
+            done
+        | Some p ->
+            (* 2. expansion: the parallel region *)
+            let ids = Vec.to_array live_ids in
+            let expanded = Pool.parmap p expand_par ids in
+            (* 3. merge, sequential and in frontier order *)
+            Array.iteri
+              (fun i id ->
+                let per_sym = expanded.(i) in
+                let q = Vec.get node_q id in
+                for s = 0 to k - 1 do
+                  match per_sym.(s) with
+                  | None -> ()
+                  | Some (sw, cw) ->
+                      let lo = Csr.row_start csr_a q s
+                      and hi = Csr.row_stop csr_a q s in
+                      for j = lo to hi - 1 do
+                        enqueue (Csr.target csr_a j) ~sw ~cw ~parent:id
+                          ~letter:s
+                      done
+                done)
+              ids
+      end
+    done
+  in
+  Fun.protect
+    ~finally:(fun () -> Stats.note_arena_words (Arena.high_water_words arena))
+    run;
+  match !best with
   | None -> Ok ()
   | Some syms -> Error (Word.of_list syms)
 

@@ -8,41 +8,52 @@ type t = {
   finals : Bitset.t;
   delta : int list array array; (* delta.(q).(a) = successors *)
   eps : int list array;
+  csr : Csr.t;
+      (* the canonical flat transition table, built once per automaton;
+         [delta] survives as the construction-time and compatibility
+         representation. Slice order equals list order, so the two views
+         agree successor-for-successor. *)
 }
 
-let check_state t q =
-  if q < 0 || q >= t.states then invalid_arg "Nfa: state out of range"
+(* Every construction site funnels through [make]: the labeled delta is
+   frozen into a CSR table exactly once, after all mutation. *)
+let make ~alphabet ~states ~initial ~finals ~delta ~eps =
+  let csr = Csr.of_lists ~states ~symbols:(Alphabet.size alphabet) delta in
+  { alphabet; states; initial; finals; delta; eps; csr }
 
 let create ~alphabet ~states ~initial ~finals ~transitions ?(eps = []) () =
   if states < 0 then invalid_arg "Nfa.create: negative state count";
   let k = Alphabet.size alphabet in
+  let check q =
+    if q < 0 || q >= states then invalid_arg "Nfa: state out of range"
+  in
   let delta = Array.init states (fun _ -> Array.make k []) in
   let epsa = Array.make (max states 1) [] in
   let fin = Bitset.create states in
-  let t = { alphabet; states; initial; finals = fin; delta; eps = epsa } in
-  List.iter (fun q -> check_state t q) initial;
+  List.iter check initial;
   List.iter
     (fun q ->
-      check_state t q;
+      check q;
       Bitset.add fin q)
     finals;
   List.iter
     (fun (q, a, q') ->
-      check_state t q;
-      check_state t q';
+      check q;
+      check q';
       if a < 0 || a >= k then invalid_arg "Nfa.create: symbol out of range";
       delta.(q).(a) <- q' :: delta.(q).(a))
     transitions;
   List.iter
     (fun (q, q') ->
-      check_state t q;
-      check_state t q';
+      check q;
+      check q';
       epsa.(q) <- q' :: epsa.(q))
     eps;
-  t
+  make ~alphabet ~states ~initial ~finals:fin ~delta ~eps:epsa
 
 let of_dfa_parts ~alphabet ~states ~initial ~finals ~delta =
-  { alphabet; states; initial; finals; delta; eps = Array.make (max states 1) [] }
+  make ~alphabet ~states ~initial ~finals ~delta
+    ~eps:(Array.make (max states 1) [])
 
 let alphabet t = t.alphabet
 let states t = t.states
@@ -50,6 +61,8 @@ let initial t = t.initial
 let finals t = t.finals
 let is_final t q = Bitset.mem t.finals q
 let successors t q a = t.delta.(q).(a)
+let csr t = t.csr
+let iter_succ t q a f = Csr.iter_succ t.csr q a f
 let eps_successors t q = if t.states = 0 then [] else t.eps.(q)
 let has_eps t = Array.exists (fun l -> l <> []) t.eps
 
@@ -122,14 +135,9 @@ let remove_eps t =
         delta.(q).(a) <- Bitset.elements out
       done
     done;
-    {
-      alphabet = t.alphabet;
-      states = t.states;
-      initial = t.initial;
-      finals;
-      delta;
-      eps = Array.make (max t.states 1) [];
-    }
+    make ~alphabet:t.alphabet ~states:t.states ~initial:t.initial ~finals
+      ~delta
+      ~eps:(Array.make (max t.states 1) [])
   end
 
 let forward_closure ~start ~succ n =
@@ -205,7 +213,7 @@ let restrict t keep =
       (fun q -> if Bitset.mem keep q then Some remap.(q) else None)
       t.initial
   in
-  { alphabet = t.alphabet; states = n; initial; finals; delta; eps }
+  make ~alphabet:t.alphabet ~states:n ~initial ~finals ~delta ~eps
 
 let trim t =
   let keep = reachable t in
@@ -267,14 +275,8 @@ let inter a b =
   let n = a.states * b.states in
   let pair p q = (p * b.states) + q in
   if a.states = 0 || b.states = 0 then
-    {
-      alphabet = a.alphabet;
-      states = 0;
-      initial = [];
-      finals = Bitset.create 0;
-      delta = [||];
-      eps = [| [] |];
-    }
+    make ~alphabet:a.alphabet ~states:0 ~initial:[] ~finals:(Bitset.create 0)
+      ~delta:[||] ~eps:[| [] |]
   else begin
     let delta = Array.init n (fun _ -> Array.make k []) in
     let finals = Bitset.create n in
@@ -293,7 +295,8 @@ let inter a b =
     let initial =
       List.concat_map (fun p -> List.map (pair p) b.initial) a.initial
     in
-    { alphabet = a.alphabet; states = n; initial; finals; delta; eps = Array.make (max n 1) [] }
+    make ~alphabet:a.alphabet ~states:n ~initial ~finals ~delta
+      ~eps:(Array.make (max n 1) [])
   end
 
 let union a b =
@@ -320,14 +323,9 @@ let union a b =
     eps.(shift q) <- List.map shift b.eps.(q)
   done;
   let delta = if n = 0 then [||] else Array.sub delta 0 n in
-  {
-    alphabet = a.alphabet;
-    states = n;
-    initial = a.initial @ List.map shift b.initial;
-    finals;
-    delta;
-    eps;
-  }
+  make ~alphabet:a.alphabet ~states:n
+    ~initial:(a.initial @ List.map shift b.initial)
+    ~finals ~delta ~eps
 
 let reverse t =
   let k = Alphabet.size t.alphabet in
@@ -340,14 +338,10 @@ let reverse t =
     List.iter (fun q' -> eps.(q') <- q :: eps.(q')) t.eps.(q)
   done;
   let delta = if t.states = 0 then [||] else Array.sub delta 0 t.states in
-  {
-    alphabet = t.alphabet;
-    states = t.states;
-    initial = Bitset.elements t.finals;
-    finals = Bitset.of_list t.states t.initial;
-    delta;
-    eps;
-  }
+  make ~alphabet:t.alphabet ~states:t.states
+    ~initial:(Bitset.elements t.finals)
+    ~finals:(Bitset.of_list t.states t.initial)
+    ~delta ~eps
 
 let prefix_language t =
   let t = trim t in
@@ -375,14 +369,8 @@ let map_symbols ~alphabet f t =
     done
   done;
   let delta = if t.states = 0 then [||] else Array.sub delta 0 t.states in
-  {
-    alphabet;
-    states = t.states;
-    initial = t.initial;
-    finals = Bitset.copy t.finals;
-    delta;
-    eps;
-  }
+  make ~alphabet ~states:t.states ~initial:t.initial
+    ~finals:(Bitset.copy t.finals) ~delta ~eps
 
 let residual t w =
   if t.states = 0 then t

@@ -49,6 +49,16 @@ val is_final : t -> int -> bool
     (ε-moves excluded). *)
 val successors : t -> int -> Alphabet.symbol -> int list
 
+(** [csr n] is the flat CSR view of the labelled transitions (ε-moves
+    excluded), built once at construction. Slice order equals the list
+    order of {!successors}, so the two views agree successor-for-
+    successor; the hot loops step this table and never re-walk lists. *)
+val csr : t -> Rl_prelude.Csr.t
+
+(** [iter_succ n q a f] applies [f] to every [a]-successor of [q], in
+    {!successors} order, through the CSR table (no list allocation). *)
+val iter_succ : t -> int -> Alphabet.symbol -> (int -> unit) -> unit
+
 (** [eps_successors n q] is the list of ε-successors of [q]. *)
 val eps_successors : t -> int -> int list
 

@@ -50,11 +50,17 @@ let of_rows rows = { rows; tr = transpose_rows rows }
    member set M, q ∈ M implies p ∈ M. Direct forward simulation passes
    the final states; backward simulation passes initial and final
    states. *)
-let refine ~states:n ~symbols:k ~(memberships : Bitset.t list)
-    ~(succ : int -> int -> int list) =
+let refine ~(delta : Csr.t option) ~states:n ~symbols:k
+    ~(memberships : Bitset.t list) ~(succ : int -> int -> int list) =
   if n = 0 then [||]
   else begin
-    let delta = Csr.of_fn ~states:n ~symbols:k succ in
+    (* [delta], when given, must be the CSR view of [succ]: callers that
+       already hold the automaton's table skip rebuilding it here *)
+    let delta =
+      match delta with
+      | Some d -> d
+      | None -> Csr.of_fn ~states:n ~symbols:k succ
+    in
     let rdelta = Csr.transpose delta in
     (* pred_bs.(p'*k + a) = bitset of a-predecessors of p' *)
     let pred_bs =
@@ -134,10 +140,13 @@ let fingerprint ~tag ~states ~symbols ~memberships ~succ =
   done;
   Digest.to_hex (Digest.string (Buffer.contents buf))
 
-let of_view ?(cache = true) ~tag ~states ~symbols ~memberships ~succ () =
-  let compute () = refine ~states ~symbols ~memberships ~succ in
+let of_view ?(cache = true) ?delta ~tag ~states ~symbols ~memberships ~succ ()
+    =
+  let compute () = refine ~delta ~states ~symbols ~memberships ~succ in
   let rows =
     if cache then
+      (* the fingerprint is always taken over the list view: a caller
+         passing [delta] must not change the cache key *)
       Simcache.find_or_compute
         (fingerprint ~tag ~states ~symbols ~memberships ~succ)
         compute
@@ -151,7 +160,7 @@ let require_eps_free who n =
 
 let forward ?cache n =
   require_eps_free "Preorder.forward" n;
-  of_view ?cache ~tag:"nfa-fwd" ~states:(Nfa.states n)
+  of_view ?cache ~delta:(Nfa.csr n) ~tag:"nfa-fwd" ~states:(Nfa.states n)
     ~symbols:(Alphabet.size (Nfa.alphabet n))
     ~memberships:[ Nfa.finals n ]
     ~succ:(fun q a -> Nfa.successors n q a)

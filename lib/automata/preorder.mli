@@ -52,9 +52,12 @@ val backward : ?cache:bool -> Nfa.t -> t
     module depending on it. [memberships] lists the state sets the
     relation must respect downward ([q ∈ M] forces simulators of [q]
     into [M]); [succ q a] must be deterministic. [tag] namespaces the
-    cache key and must be distinct per relation kind. *)
+    cache key and must be distinct per relation kind. [delta], when
+    given, must be the CSR view of [succ]: it only skips rebuilding the
+    table, the cache key is unchanged. *)
 val of_view :
   ?cache:bool ->
+  ?delta:Rl_prelude.Csr.t ->
   tag:string ->
   states:int ->
   symbols:int ->

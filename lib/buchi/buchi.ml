@@ -8,31 +8,39 @@ type t = {
   initial : int list;
   accepting : Bitset.t;
   delta : int list array array;
+  csr : Csr.t;
+      (* the canonical flat transition table, built once per automaton;
+         slice order equals the [delta] list order *)
 }
 
-let check_state t q =
-  if q < 0 || q >= t.states then invalid_arg "Buchi: state out of range"
+(* Every construction site funnels through [make]: the delta is frozen
+   into a CSR table exactly once, after all mutation. *)
+let make ~alphabet ~states ~initial ~accepting ~delta =
+  let csr = Csr.of_lists ~states ~symbols:(Alphabet.size alphabet) delta in
+  { alphabet; states; initial; accepting; delta; csr }
 
 let create ~alphabet ~states ~initial ~accepting ~transitions () =
   if states < 0 then invalid_arg "Buchi.create: negative state count";
   let k = Alphabet.size alphabet in
+  let check q =
+    if q < 0 || q >= states then invalid_arg "Buchi: state out of range"
+  in
   let delta = Array.init states (fun _ -> Array.make k []) in
   let acc = Bitset.create states in
-  let t = { alphabet; states; initial; accepting = acc; delta } in
-  List.iter (fun q -> check_state t q) initial;
+  List.iter check initial;
   List.iter
     (fun q ->
-      check_state t q;
+      check q;
       Bitset.add acc q)
     accepting;
   List.iter
     (fun (q, a, q') ->
-      check_state t q;
-      check_state t q';
+      check q;
+      check q';
       if a < 0 || a >= k then invalid_arg "Buchi.create: symbol out of range";
       delta.(q).(a) <- q' :: delta.(q).(a))
     transitions;
-  t
+  make ~alphabet ~states ~initial ~accepting:acc ~delta
 
 let alphabet t = t.alphabet
 let states t = t.states
@@ -40,6 +48,9 @@ let initial t = t.initial
 let accepting t = t.accepting
 let is_accepting t q = Bitset.mem t.accepting q
 let successors t q a = t.delta.(q).(a)
+let csr t = t.csr
+let iter_succ t q a f = Csr.iter_succ t.csr q a f
+let has_edge t q a q' = Csr.mem_succ t.csr q a q'
 
 let transitions t =
   let acc = ref [] in
@@ -93,6 +104,10 @@ let of_lasso alphabet x =
 
 (* --- graph analyses --- *)
 
+(* Kept as a compatibility shim: [tarjan] iterates these lists, and its
+   SCC numbering (observable through [bottom_sccs] grouping order in the
+   fairness layer) depends on this exact successor order. The
+   order-insensitive analyses below step the CSR table instead. *)
 let all_successors t q =
   Array.fold_left (fun acc l -> List.rev_append l acc) [] t.delta.(q)
 
@@ -111,13 +126,11 @@ let reachable t =
     | [] -> ()
     | q :: rest ->
         stack := rest;
-        List.iter
-          (fun q' ->
+        Csr.iter_row_all t.csr q (fun q' ->
             if not (Bitset.mem seen q') then begin
               Bitset.add seen q';
               stack := q' :: !stack
             end)
-          (all_successors t q)
   done;
   seen
 
@@ -193,8 +206,8 @@ let good_sccs t (scc_id, scc_count) =
   for q = 0 to t.states - 1 do
     let id = scc_id.(q) in
     if Bitset.mem t.accepting q then has_acc.(id) <- true;
-    List.iter (fun q' -> if scc_id.(q') = id then nontrivial.(id) <- true)
-      (all_successors t q)
+    Csr.iter_row_all t.csr q (fun q' ->
+        if scc_id.(q') = id then nontrivial.(id) <- true)
   done;
   Array.init scc_count (fun id -> nontrivial.(id) && has_acc.(id))
 
@@ -206,7 +219,7 @@ let live t =
     let live = Bitset.create t.states in
     let pred = Array.make t.states [] in
     for q = 0 to t.states - 1 do
-      List.iter (fun q' -> pred.(q') <- q :: pred.(q')) (all_successors t q)
+      Csr.iter_row_all t.csr q (fun q' -> pred.(q') <- q :: pred.(q'))
     done;
     let stack = ref [] in
     for q = 0 to t.states - 1 do
@@ -259,7 +272,7 @@ let restrict t keep =
       (fun q -> if Bitset.mem keep q then Some remap.(q) else None)
       t.initial
   in
-  { alphabet = t.alphabet; states = n; initial; accepting; delta }
+  make ~alphabet:t.alphabet ~states:n ~initial ~accepting ~delta
 
 let trim t =
   let keep = reachable t in
@@ -444,13 +457,9 @@ module Gba = struct
     let m = Array.length g.g_sets in
     if m = 0 then
       (* no constraint: every infinite run accepts *)
-      {
-        alphabet = g.g_alphabet;
-        states = g.g_states;
-        initial = g.g_initial;
-        accepting = Bitset.of_list g.g_states (List.init g.g_states Fun.id);
-        delta = g.g_delta;
-      }
+      make ~alphabet:g.g_alphabet ~states:g.g_states ~initial:g.g_initial
+        ~accepting:(Bitset.of_list g.g_states (List.init g.g_states Fun.id))
+        ~delta:g.g_delta
     else begin
       let k = Alphabet.size g.g_alphabet in
       let n = g.g_states in
@@ -470,13 +479,9 @@ module Gba = struct
       for q = 0 to n - 1 do
         if Bitset.mem g.g_sets.(0) q then Bitset.add accepting (encode q 0)
       done;
-      {
-        alphabet = g.g_alphabet;
-        states = total;
-        initial = List.map (fun q -> encode q 0) g.g_initial;
-        accepting;
-        delta;
-      }
+      make ~alphabet:g.g_alphabet ~states:total
+        ~initial:(List.map (fun q -> encode q 0) g.g_initial)
+        ~accepting ~delta
     end
 end
 

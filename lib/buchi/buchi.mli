@@ -52,6 +52,18 @@ val is_accepting : t -> int -> bool
 val successors : t -> int -> Alphabet.symbol -> int list
 val transitions : t -> (int * Alphabet.symbol * int) list
 
+(** [csr b] is the flat CSR view of the transitions, built once at
+    construction. Slice order equals the list order of {!successors}. *)
+val csr : t -> Rl_prelude.Csr.t
+
+(** [iter_succ b q a f] applies [f] to every [a]-successor of [q], in
+    {!successors} order, through the CSR table (no list allocation). *)
+val iter_succ : t -> int -> Alphabet.symbol -> (int -> unit) -> unit
+
+(** [has_edge b q a q'] decides whether [q --a--> q'] is a transition
+    (linear scan of the CSR slice; no allocation). *)
+val has_edge : t -> int -> Alphabet.symbol -> int -> bool
+
 (** {1 Structural operations} *)
 
 (** [reachable b] is the set of states reachable from the initial states. *)

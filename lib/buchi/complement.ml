@@ -48,13 +48,13 @@ let complement ?(budget = Budget.unlimited) ?max_states ?pool b =
   end
   else begin
     let max_rank = 2 * n in
-    (* flat CSR transition table, built once: the rank-enumeration hot
-       loop below steps it as contiguous slices instead of re-walking
-       successor lists for every (frontier state, symbol) pair *)
-    let csr =
-      Rl_prelude.Csr.of_fn ~states:n ~symbols:k (fun q a ->
-          Buchi.successors b q a)
-    in
+    (* the automaton's own CSR table, built once at construction: the
+       rank-enumeration hot loop below steps it as contiguous slices
+       instead of re-walking successor lists for every (frontier state,
+       symbol) pair *)
+    let csr = Buchi.csr b in
+    let offs = Rl_prelude.Csr.offsets csr
+    and tgts = Rl_prelude.Csr.targets csr in
     let table : (key, int) Hashtbl.t = Hashtbl.create 256 in
     let count = ref 0 in
     let intern key =
@@ -71,22 +71,32 @@ let complement ?(budget = Budget.unlimited) ?max_states ?pool b =
           (id, true)
     in
     (* All successor keys of (g, o) on symbol [a], in enumeration order.
-       Pure up to [Budget.poll]: runs on worker domains. *)
-    let successor_keys (g, o) a =
+       Pure up to [Budget.poll]: runs on worker domains. [bound] and
+       [o_succ] are caller-provided scratch, refilled here — the serial
+       path reuses one pair across the whole construction, workers carry
+       their own (the arrays escape into neither result nor table). *)
+    let successor_keys ~bound ~o_succ (g, o) a =
       (* Rank bound for each successor state: min over its ranked
          predecessors. -1 means "not a successor" (stays ⊥). *)
-      let bound = Array.make n (-1) in
+      Array.fill bound 0 n (-1);
       for q = 0 to n - 1 do
-        if g.(q) >= 0 then
-          Rl_prelude.Csr.iter_succ csr q a (fun q' ->
-              bound.(q') <-
-                (if bound.(q') = -1 then g.(q) else min bound.(q') g.(q)))
+        let r = g.(q) in
+        if r >= 0 then begin
+          let lo = offs.((q * k) + a) and hi = offs.((q * k) + a + 1) in
+          for i = lo to hi - 1 do
+            let q' = tgts.(i) in
+            bound.(q') <- (if bound.(q') = -1 then r else min bound.(q') r)
+          done
+        end
       done;
       (* Successors of the breakpoint set o. *)
-      let o_succ = Array.make n false in
+      Array.fill o_succ 0 n false;
       List.iter
         (fun q ->
-          Rl_prelude.Csr.iter_succ csr q a (fun q' -> o_succ.(q') <- true))
+          let lo = offs.((q * k) + a) and hi = offs.((q * k) + a + 1) in
+          for i = lo to hi - 1 do
+            o_succ.(tgts.(i)) <- true
+          done)
         o;
       (* Enumerate all rankings g' compatible with the bounds. *)
       let dom = ref [] in
@@ -122,9 +132,9 @@ let complement ?(budget = Budget.unlimited) ?max_states ?pool b =
       enumerate [] !dom;
       List.rev !acc
     in
-    let expand key =
+    let expand_with ~bound ~o_succ key =
       Budget.poll budget;
-      Array.init k (fun a -> successor_keys key a)
+      Array.init k (fun a -> successor_keys ~bound ~o_succ key a)
     in
     let initial_set = Rl_prelude.Bitset.of_list n (Buchi.initial b) in
     let init_ranks =
@@ -146,8 +156,15 @@ let complement ?(budget = Budget.unlimited) ?max_states ?pool b =
       frontier := [];
       let expanded =
         match pool with
-        | Some p -> Pool.parmap p expand keys
-        | None -> Array.map expand keys
+        | Some p ->
+            Pool.parmap p
+              (fun key ->
+                expand_with ~bound:(Array.make n (-1))
+                  ~o_succ:(Array.make n false) key)
+              keys
+        | None ->
+            let bound = Array.make n (-1) and o_succ = Array.make n false in
+            Array.map (expand_with ~bound ~o_succ) keys
       in
       (* Intern sequentially, in frontier order: FIFO worklist order. *)
       Array.iteri

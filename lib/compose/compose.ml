@@ -10,7 +10,12 @@ let check_ts n =
 let union_alphabet a b =
   let na = Alphabet.names (Nfa.alphabet a) in
   let nb = Alphabet.names (Nfa.alphabet b) in
-  Alphabet.make (na @ List.filter (fun n -> not (List.mem n na)) nb)
+  (* membership via a hash set of [a]'s names: the List.mem scan made
+     this quadratic in the alphabet size, which showed up on composed
+     systems with wide action alphabets *)
+  let seen = Hashtbl.create (List.length na) in
+  List.iter (fun n -> Hashtbl.replace seen n ()) na;
+  Alphabet.make (na @ List.filter (fun n -> not (Hashtbl.mem seen n)) nb)
 
 (* Per-letter moves of the product: (pairs of successor chooser).
    [moves_a] / [moves_b] give the component moves for a union-alphabet

@@ -167,7 +167,12 @@ let set_phase b name = b.phase <- name
 let with_phase b name f =
   let saved = b.phase in
   b.phase <- name;
-  Fun.protect ~finally:(fun () -> b.phase <- saved) f
+  let t0 = Unix.gettimeofday () in
+  Fun.protect
+    ~finally:(fun () ->
+      b.phase <- saved;
+      Stats.record_phase name (Unix.gettimeofday () -. t0))
+    f
 
 let states_explored b = Atomic.get b.states
 let current_phase b = b.phase

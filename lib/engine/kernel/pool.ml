@@ -86,6 +86,9 @@ let default_cutoff () =
 (* [start_epoch] is [pool.epoch] at spawn time: a worker respawned by
    [heal] must not mistake the regions it missed for a pending job. *)
 let worker_loop pool me start_epoch =
+  (* minor-heap sizing is per-domain: each worker applies the same
+     tuning the calling domain got (RLCHECK_GC still opts out) *)
+  Stats.gc_tune ();
   let my_epoch = ref start_epoch in
   let running = ref true in
   while !running do

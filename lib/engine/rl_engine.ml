@@ -10,6 +10,7 @@ module Pool = Rl_engine_kernel.Pool
 module Fault = Rl_engine_kernel.Fault
 module Lru = Rl_engine_kernel.Lru
 module Simcache = Rl_engine_kernel.Simcache
+module Stats = Rl_engine_kernel.Stats
 
 module Error = struct
   include Rl_engine_kernel.Error

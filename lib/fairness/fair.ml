@@ -20,9 +20,9 @@ let label_lasso b r =
 let consecutive_ok b seq next_state =
   let rec check = function
     | [] -> true
-    | [ (q, a) ] -> List.mem next_state (Buchi.successors b q a)
+    | [ (q, a) ] -> Buchi.has_edge b q a next_state
     | (q, a) :: ((q', _) :: _ as rest) ->
-        List.mem q' (Buchi.successors b q a) && check rest
+        Buchi.has_edge b q a q' && check rest
   in
   check seq
 
@@ -63,15 +63,15 @@ let is_strongly_fair b r =
   let inf = infinitely_visited r in
   let taken = edge_table (cycle_edges r) in
   let k = Alphabet.size (Buchi.alphabet b) in
-  List.for_all
+  let ok = ref true in
+  List.iter
     (fun q ->
-      List.for_all
-        (fun a ->
-          List.for_all
-            (fun q' -> Hashtbl.mem taken (q, a, q'))
-            (Buchi.successors b q a))
-        (List.init k Fun.id))
-    inf
+      for a = 0 to k - 1 do
+        Buchi.iter_succ b q a (fun q' ->
+            if not (Hashtbl.mem taken (q, a, q')) then ok := false)
+      done)
+    inf;
+  !ok
 
 let is_weakly_fair b r =
   match infinitely_visited r with
@@ -80,12 +80,12 @@ let is_weakly_fair b r =
          continuously enabled *)
       let taken = edge_table (cycle_edges r) in
       let k = Alphabet.size (Buchi.alphabet b) in
-      List.for_all
-        (fun a ->
-          List.for_all
-            (fun q' -> Hashtbl.mem taken (q, a, q'))
-            (Buchi.successors b q a))
-        (List.init k Fun.id)
+      let ok = ref true in
+      for a = 0 to k - 1 do
+        Buchi.iter_succ b q a (fun q' ->
+            if not (Hashtbl.mem taken (q, a, q')) then ok := false)
+      done;
+      !ok
   | _ -> true (* no transition is continuously enabled *)
 
 let visits_accepting_infinitely b r =
@@ -108,15 +108,13 @@ let bfs_path b ~allowed ~src ~dst =
     while (not !found) && not (Queue.is_empty queue) do
       let q = Queue.pop queue in
       for a = 0 to k - 1 do
-        List.iter
-          (fun q' ->
+        Buchi.iter_succ b q a (fun q' ->
             if allowed q' && not (Bitset.mem seen q') then begin
               Bitset.add seen q';
               parent.(q') <- Some (q, a);
               Queue.add q' queue;
               if q' = dst then found := true
             end)
-          (Buchi.successors b q a)
       done
     done;
     if not !found then None
@@ -143,10 +141,9 @@ let bottom_sccs b =
       let id = scc_id.(q) in
       members.(id) <- q :: members.(id);
       for a = 0 to k - 1 do
-        List.iter
-          (fun q' ->
-            if scc_id.(q') <> id then leaves.(id) <- true else has_edge.(id) <- true)
-          (Buchi.successors b q a)
+        Buchi.iter_succ b q a (fun q' ->
+            if scc_id.(q') <> id then leaves.(id) <- true
+            else has_edge.(id) <- true)
       done)
     (Bitset.elements reach);
   List.filter_map

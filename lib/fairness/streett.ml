@@ -9,13 +9,22 @@ let create ~graph ~pairs = { graph; pairs }
 let graph s = s.graph
 
 (* SCC decomposition of the subgraph induced by [alive]; returns
-   (component id per state or -1, component count). Iterative Tarjan. *)
+   (component id per state or -1, component count). Iterative Tarjan.
+
+   A state's successor slices are contiguous in the CSR targets pool
+   across all symbols, so the call stack holds a cursor into that one
+   range per state instead of a materialized successor list; the cursor
+   skips dead targets in place. Visitation order equals the old
+   symbol-ascending list concatenation, so component numbering is
+   unchanged. *)
 let sccs_within g alive =
   let n = Buchi.states g in
   let k = Alphabet.size (Buchi.alphabet g) in
-  let succs q =
-    List.concat (List.init k (fun a -> Buchi.successors g q a))
-    |> List.filter (fun q' -> alive.(q'))
+  let csr = Buchi.csr g in
+  let offs = Csr.offsets csr and tgts = Csr.targets csr in
+  let row_lo q = offs.(q * k) and row_hi q = offs.((q * k) + k) in
+  let rec skip i hi =
+    if i < hi && not alive.(tgts.(i)) then skip (i + 1) hi else i
   in
   let index = Array.make n (-1) in
   let lowlink = Array.make n 0 in
@@ -26,7 +35,8 @@ let sccs_within g alive =
   let count = ref 0 in
   for root = 0 to n - 1 do
     if alive.(root) && index.(root) = -1 then begin
-      let call = ref [ (root, ref (succs root)) ] in
+      let hi = row_hi root in
+      let call = ref [ (root, ref (skip (row_lo root) hi), hi) ] in
       index.(root) <- !next;
       lowlink.(root) <- !next;
       incr next;
@@ -35,38 +45,42 @@ let sccs_within g alive =
       while !call <> [] do
         match !call with
         | [] -> ()
-        | (v, rest) :: tail -> (
-            match !rest with
-            | w :: more ->
-                rest := more;
-                if index.(w) = -1 then begin
-                  index.(w) <- !next;
-                  lowlink.(w) <- !next;
-                  incr next;
-                  stack := w :: !stack;
-                  on_stack.(w) <- true;
-                  call := (w, ref (succs w)) :: !call
-                end
-                else if on_stack.(w) then lowlink.(v) <- min lowlink.(v) index.(w)
-            | [] ->
-                call := tail;
-                (match tail with
-                | (parent, _) :: _ -> lowlink.(parent) <- min lowlink.(parent) lowlink.(v)
-                | [] -> ());
-                if lowlink.(v) = index.(v) then begin
-                  let id = !count in
-                  incr count;
-                  let continue = ref true in
-                  while !continue do
-                    match !stack with
-                    | [] -> continue := false
-                    | w :: tl ->
-                        stack := tl;
-                        on_stack.(w) <- false;
-                        comp.(w) <- id;
-                        if w = v then continue := false
-                  done
-                end)
+        | (v, cur, hi) :: tail ->
+            if !cur < hi then begin
+              let w = tgts.(!cur) in
+              cur := skip (!cur + 1) hi;
+              if index.(w) = -1 then begin
+                index.(w) <- !next;
+                lowlink.(w) <- !next;
+                incr next;
+                stack := w :: !stack;
+                on_stack.(w) <- true;
+                let whi = row_hi w in
+                call := (w, ref (skip (row_lo w) whi), whi) :: !call
+              end
+              else if on_stack.(w) then lowlink.(v) <- min lowlink.(v) index.(w)
+            end
+            else begin
+              call := tail;
+              (match tail with
+              | (parent, _, _) :: _ ->
+                  lowlink.(parent) <- min lowlink.(parent) lowlink.(v)
+              | [] -> ());
+              if lowlink.(v) = index.(v) then begin
+                let id = !count in
+                incr count;
+                let continue = ref true in
+                while !continue do
+                  match !stack with
+                  | [] -> continue := false
+                  | w :: tl ->
+                      stack := tl;
+                      on_stack.(w) <- false;
+                      comp.(w) <- id;
+                      if w = v then continue := false
+                done
+              end
+            end
       done
     end
   done;
@@ -74,14 +88,16 @@ let sccs_within g alive =
 
 let has_internal_edge g members =
   let k = Alphabet.size (Buchi.alphabet g) in
-  let inside = Hashtbl.create 16 in
-  List.iter (fun q -> Hashtbl.replace inside q ()) members;
-  List.exists
+  let inside = Bitset.of_list (Buchi.states g) members in
+  let found = ref false in
+  List.iter
     (fun q ->
-      List.exists
-        (fun a -> List.exists (Hashtbl.mem inside) (Buchi.successors g q a))
-        (List.init k Fun.id))
-    members
+      for a = 0 to k - 1 do
+        Buchi.iter_succ g q a (fun q' ->
+            if Bitset.mem inside q' then found := true)
+      done)
+    members;
+  !found
 
 (* Find a reachable, non-trivial, strongly connected set of states meeting
    every pair ("good component"): SCC decomposition; remove the enabling
@@ -154,15 +170,13 @@ let bfs_path g ~allowed ~src ~dst =
     while (not !found) && not (Queue.is_empty queue) do
       let q = Queue.pop queue in
       for a = 0 to k - 1 do
-        List.iter
-          (fun q' ->
+        Buchi.iter_succ g q a (fun q' ->
             if allowed q' && not (Bitset.mem seen q') then begin
               Bitset.add seen q';
               parent.(q') <- Some (q, a);
               Queue.add q' queue;
               if q' = dst then found := true
             end)
-          (Buchi.successors g q a)
       done
     done;
     if not !found then None

@@ -18,6 +18,26 @@ let eval ~labeling x f =
   let letter_props =
     Array.init total (fun i -> labeling (Lasso.at x i))
   in
+  (* one membership row per atom, built in a single pass over the
+     positions: evaluating [Atom p] becomes a table lookup instead of a
+     [List.mem] scan per position per occurrence *)
+  let atom_rows : (string, bool array) Hashtbl.t = Hashtbl.create 16 in
+  Array.iteri
+    (fun i props ->
+      List.iter
+        (fun p ->
+          let row =
+            match Hashtbl.find_opt atom_rows p with
+            | Some row -> row
+            | None ->
+                let row = Array.make total false in
+                Hashtbl.add atom_rows p row;
+                row
+          in
+          row.(i) <- true)
+        props)
+    letter_props;
+  let absent = lazy (Array.make total false) in
   let cache : (Formula.t, bool array) Hashtbl.t = Hashtbl.create 64 in
   let rec go f =
     match Hashtbl.find_opt cache f with
@@ -30,7 +50,12 @@ let eval ~labeling x f =
     match (f : Formula.t) with
     | True -> Array.make total true
     | False -> Array.make total false
-    | Atom p -> Array.init total (fun i -> List.mem p letter_props.(i))
+    | Atom p -> (
+        (* rows are shared between subformulas mentioning the same atom;
+           the formula cache already treats vectors as read-only *)
+        match Hashtbl.find_opt atom_rows p with
+        | Some row -> row
+        | None -> Lazy.force absent)
     | Not g -> Array.map not (go g)
     | And (g, h) ->
         let vg = go g and vh = go h in

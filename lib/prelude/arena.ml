@@ -1,0 +1,83 @@
+(* A pool of fixed-width bitset slices with generation-indexed reuse.
+
+   The antichain engine stores one or two state-set bitsets per explored
+   (q, S) node. Allocating those as individual [Bitset.t] values puts a
+   fresh array on the minor heap per node and leaves the collector to
+   chase them; the arena packs all of them into one growable [int array]
+   of [width]-word slices, so steady-state exploration performs no
+   minor-heap allocation per node and the whole working set is
+   cache-contiguous.
+
+   Reuse is generation-indexed: a slice released with [defer_release]
+   stays quarantined until the next [reclaim] call, at which point it
+   becomes allocatable again. The engine calls [reclaim] at each BFS
+   level boundary — a node evicted from the antichain during a merge may
+   still sit in the frontier being built, so its slice must survive
+   until that frontier's liveness filter has run; one generation of
+   quarantine is exactly that guarantee.
+
+   The backing array doubles on growth, so [words] must be re-fetched
+   after any [alloc] that may have grown the pool. Growth always jumps
+   past [Max_young_wosize] (256 words), so the runtime allocates the
+   doubled array directly on the major heap, keeping growth off the
+   minor-word counters. *)
+
+type t = {
+  width : int; (* words per slice *)
+  mutable words : int array;
+  mutable next : int; (* bump pointer, in slices *)
+  free : Vec.t; (* slice ids allocatable now *)
+  pending : Vec.t; (* slice ids released this generation *)
+  mutable high_water : int;
+      (* peak bump-pointer position: the backing-store footprint in
+         slices. Fresh slices come from the free list first, so this
+         only grows when every released slice is already in use —
+         i.e. it tracks peak live + one generation of quarantine. *)
+}
+
+let create ~width =
+  if width < 0 then invalid_arg "Arena.create: negative width";
+  {
+    width;
+    words = Array.make (max (16 * width) 1) 0;
+    next = 0;
+    free = Vec.create ();
+    pending = Vec.create ();
+    high_water = 0;
+  }
+
+let width t = t.width
+let words t = t.words
+
+let live t = t.next - Vec.length t.free - Vec.length t.pending
+let high_water t = t.high_water
+let high_water_words t = t.high_water * t.width
+
+let alloc t =
+  if not (Vec.is_empty t.free) then Vec.pop t.free
+  else begin
+    let id = t.next in
+    if t.width > 0 && (id + 1) * t.width > Array.length t.words then begin
+      let cap =
+        max (max (2 * Array.length t.words) ((id + 1) * t.width)) 257
+      in
+      let words = Array.make cap 0 in
+      Array.blit t.words 0 words 0 (t.next * t.width);
+      t.words <- words
+    end;
+    t.next <- id + 1;
+    if id + 1 > t.high_water then t.high_water <- id + 1;
+    id
+  end
+
+let clear_slice t id = Array.fill t.words (id * t.width) t.width 0
+
+let defer_release t id = Vec.push t.pending id
+
+(* open-coded rather than [Vec.iter]: the closure the iterator would
+   capture is the only allocation a level boundary performs *)
+let reclaim t =
+  for i = 0 to Vec.length t.pending - 1 do
+    Vec.push t.free (Vec.get t.pending i)
+  done;
+  Vec.clear t.pending

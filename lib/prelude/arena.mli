@@ -1,0 +1,47 @@
+(** A pool of fixed-width bitset slices with generation-indexed reuse.
+
+    Backs the antichain engine's per-node state sets: every slice is
+    [width] words of one shared growable [int array], so steady-state
+    exploration allocates nothing on the minor heap per node. Callers
+    index the raw storage directly — slice [id] occupies words
+    [id * width .. (id + 1) * width - 1] of [words t] — and must
+    re-fetch [words t] after any [alloc], which may grow (and therefore
+    replace) the backing array.
+
+    Reuse is generation-indexed: [defer_release] quarantines a slice for
+    the current generation, [reclaim] opens a new generation and makes
+    every quarantined slice allocatable again. Release a slice only when
+    no reader can reach it after the next [reclaim]. Not thread-safe;
+    share slices across domains only while no [alloc] can run. *)
+
+type t
+
+(** [create ~width] is an empty arena of [width]-word slices. *)
+val create : width:int -> t
+
+val width : t -> int
+
+(** The shared backing storage. Invalidated by [alloc] — re-fetch. *)
+val words : t -> int array
+
+(** [alloc t] returns a slice id, reusing reclaimed slices first. The
+    slice contents are unspecified — fill it or [clear_slice] it. *)
+val alloc : t -> int
+
+(** [clear_slice t id] zeroes slice [id]. *)
+val clear_slice : t -> int -> unit
+
+(** [defer_release t id] marks [id] reusable from the next generation. *)
+val defer_release : t -> int -> unit
+
+(** [reclaim t] starts a new generation: every slice deferred since the
+    previous [reclaim] becomes allocatable. *)
+val reclaim : t -> unit
+
+(** Currently allocated slices (excluding quarantined and free ones). *)
+val live : t -> int
+
+(** Peak backing-store footprint, in slices / in words. *)
+val high_water : t -> int
+
+val high_water_words : t -> int

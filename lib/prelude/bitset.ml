@@ -8,6 +8,7 @@ let create cap =
 
 let capacity s = s.cap
 let copy s = { cap = s.cap; words = Array.copy s.words }
+let unsafe_words s = s.words
 
 let check s i =
   if i < 0 || i >= s.cap then invalid_arg "Bitset: element out of range"

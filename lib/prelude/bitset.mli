@@ -16,6 +16,13 @@ val capacity : t -> int
 (** [copy s] is an independent copy of [s]. *)
 val copy : t -> t
 
+(** [unsafe_words s] is the set's own backing storage: one int per
+    [Sys.int_size] elements, bit [i mod Sys.int_size] of word
+    [i / Sys.int_size] set iff [i ∈ s]. Exposed for the allocation-free
+    hot loops that blend bitsets with arena slices; treat the array as
+    read-only unless you own the set. *)
+val unsafe_words : t -> int array
+
 val add : t -> int -> unit
 val remove : t -> int -> unit
 val mem : t -> int -> bool

@@ -19,6 +19,35 @@ type t = {
 let states t = t.states
 let symbols t = t.symbols
 
+let of_lists ~states ~symbols rows =
+  (* direct construction from the [int list array array] shape the
+     automata keep for their construction-time API: one traversal to
+     count, one to fill, no double evaluation of a successor function *)
+  let cells = (states * symbols) + 1 in
+  let offsets = Array.make cells 0 in
+  for q = 0 to states - 1 do
+    let row = rows.(q) in
+    for a = 0 to symbols - 1 do
+      offsets.((q * symbols) + a + 1) <- List.length row.(a)
+    done
+  done;
+  for i = 1 to cells - 1 do
+    offsets.(i) <- offsets.(i) + offsets.(i - 1)
+  done;
+  let targets = Array.make offsets.(cells - 1) 0 in
+  for q = 0 to states - 1 do
+    let row = rows.(q) in
+    for a = 0 to symbols - 1 do
+      let base = ref offsets.((q * symbols) + a) in
+      List.iter
+        (fun q' ->
+          targets.(!base) <- q';
+          incr base)
+        row.(a)
+    done
+  done;
+  { states; symbols; offsets; targets }
+
 let of_fn ~states ~symbols succ =
   let cells = (states * symbols) + 1 in
   let offsets = Array.make cells 0 in
@@ -49,6 +78,32 @@ let degree t q a =
   t.offsets.(cell + 1) - t.offsets.(cell)
 
 let has_succ t q a = degree t q a > 0
+
+(* Raw slice access, for closure-free inner loops: a caller iterates
+   [row_start .. row_stop - 1] and reads targets with [target]. The
+   returned arrays of [offsets]/[targets] are the table's own storage
+   and must be treated as read-only. *)
+let row_start t q a = t.offsets.((q * t.symbols) + a)
+let row_stop t q a = t.offsets.((q * t.symbols) + a + 1)
+let target t i = t.targets.(i)
+let offsets t = t.offsets
+let targets t = t.targets
+
+let mem_succ t q a q' =
+  let cell = (q * t.symbols) + a in
+  let stop = t.offsets.(cell + 1) in
+  let rec scan i = i < stop && (t.targets.(i) = q' || scan (i + 1)) in
+  scan t.offsets.(cell)
+
+(* All successors of [q] across every symbol. A state's cells are
+   contiguous in [offsets], so the union of its per-symbol slices is one
+   contiguous [targets] range. *)
+let iter_row_all t q f =
+  let lo = t.offsets.(q * t.symbols) in
+  let hi = t.offsets.((q * t.symbols) + t.symbols) in
+  for i = lo to hi - 1 do
+    f t.targets.(i)
+  done
 
 let iter_succ t q a f =
   let cell = (q * t.symbols) + a in

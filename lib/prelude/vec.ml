@@ -1,0 +1,56 @@
+(* Growable int vectors.
+
+   The arena'd antichain engine keeps its node store, per-state buckets
+   and frontiers as flat int vectors instead of cons lists: a push is a
+   store plus the occasional doubling, a scan is a contiguous array
+   walk, and nothing is consed on the minor heap in steady state. The
+   runtime only allocates arrays longer than [Max_young_wosize] (256
+   words) directly on the major heap, so growth never doubles within
+   the minor range: the first growth of a small vector jumps straight
+   past that threshold. Small initial capacities still live on the
+   minor heap — that is a per-structure setup cost, not a per-push
+   one. *)
+
+type t = { mutable data : int array; mutable len : int }
+
+let create ?(capacity = 16) () =
+  { data = Array.make (max capacity 1) 0; len = 0 }
+
+let length t = t.len
+let is_empty t = t.len = 0
+
+let get t i =
+  if i < 0 || i >= t.len then invalid_arg "Vec.get: index out of bounds";
+  Array.unsafe_get t.data i
+
+let set t i v =
+  if i < 0 || i >= t.len then invalid_arg "Vec.set: index out of bounds";
+  Array.unsafe_set t.data i v
+
+let push t v =
+  if t.len = Array.length t.data then begin
+    let data = Array.make (max (2 * t.len) 257) 0 in
+    Array.blit t.data 0 data 0 t.len;
+    t.data <- data
+  end;
+  Array.unsafe_set t.data t.len v;
+  t.len <- t.len + 1
+
+let pop t =
+  if t.len = 0 then invalid_arg "Vec.pop: empty vector";
+  t.len <- t.len - 1;
+  Array.unsafe_get t.data t.len
+
+let clear t = t.len <- 0
+
+let truncate t n =
+  if n < 0 || n > t.len then invalid_arg "Vec.truncate: bad length";
+  t.len <- n
+
+let iter f t =
+  for i = 0 to t.len - 1 do
+    f (Array.unsafe_get t.data i)
+  done
+
+let to_list t = List.init t.len (fun i -> t.data.(i))
+let to_array t = Array.sub t.data 0 t.len

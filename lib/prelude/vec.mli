@@ -1,0 +1,36 @@
+(** Growable int vectors.
+
+    The flat, cons-free building block of the arena'd antichain engine:
+    node stores, per-state antichain buckets and BFS frontiers are all
+    int vectors. Pushes are amortized O(1); reads and in-place
+    compaction are bounds-checked array accesses. Not thread-safe. *)
+
+type t
+
+(** [create ?capacity ()] is an empty vector; [capacity] (default 16) is
+    the initial backing-array size. *)
+val create : ?capacity:int -> unit -> t
+
+val length : t -> int
+val is_empty : t -> bool
+
+(** [get t i] / [set t i v] access element [i] ([0 <= i < length t]). *)
+val get : t -> int -> int
+
+val set : t -> int -> int -> unit
+
+(** [push t v] appends [v], growing the backing array by doubling. *)
+val push : t -> int -> unit
+
+(** [pop t] removes and returns the last element. *)
+val pop : t -> int
+
+(** [clear t] makes the vector empty without releasing storage. *)
+val clear : t -> unit
+
+(** [truncate t n] drops every element at index [>= n]. *)
+val truncate : t -> int -> unit
+
+val iter : (int -> unit) -> t -> unit
+val to_list : t -> int list
+val to_array : t -> int array

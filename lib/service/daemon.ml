@@ -36,6 +36,7 @@ module Error = Rl_engine.Error
 module Pool = Rl_engine.Pool
 module Fault = Rl_engine.Fault
 module Simcache = Rl_engine.Simcache
+module Stats = Rl_engine.Stats
 module Diagnostic = Rl_analysis.Diagnostic
 module J = Jsonx
 
@@ -359,6 +360,24 @@ let stats_json d =
             ("skipped", J.Num (float_of_int c.skipped));
           ] );
       ("pool", pool_json);
+      (* the engine's process-lifetime hot-path counters — the same
+         figures `rlcheck --stats` reports per run, but monotonic since
+         daemon start (clients diff successive stats replies) *)
+      ( "hotpath",
+        let s = Stats.snapshot () in
+        J.Obj
+          [
+            ("nodes", J.Num (float_of_int s.Stats.nodes));
+            ("antichain_hits", J.Num (float_of_int s.Stats.antichain_hits));
+            ("evictions", J.Num (float_of_int s.Stats.evictions));
+            ( "arena_high_water_words",
+              J.Num (float_of_int s.Stats.arena_high_water_words) );
+            ("minor_words", J.Num s.Stats.minor_words);
+            ("promoted_words", J.Num s.Stats.promoted_words);
+            ("major_words", J.Num s.Stats.major_words);
+            ("minor_collections", J.Num (float_of_int s.Stats.minor_collections));
+            ("major_collections", J.Num (float_of_int s.Stats.major_collections));
+          ] );
       ( "simcache",
         J.Obj
           [
@@ -631,6 +650,7 @@ let claim_socket_path path =
   | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
 
 let serve config =
+  Stats.gc_tune ();
   let d =
     {
       config;

@@ -57,6 +57,294 @@ let prop_bitset_model =
       && List.for_all (Bitset.mem s) model
       && Bitset.hash s = Bitset.hash (Bitset.of_list 60 (List.rev xs)))
 
+(* The raw-word layout the antichain engine's inner loops hard-code:
+   bit [i] of the set is bit [i mod int_size] of word [i / int_size],
+   and the array has exactly [(capacity + int_size - 1) / int_size]
+   words. A change here silently breaks every hoisted word loop. *)
+let test_bitset_word_layout () =
+  let isz = Sys.int_size in
+  let nb = (2 * isz) + 5 in
+  let s = Bitset.create nb in
+  let w = Bitset.unsafe_words s in
+  Alcotest.(check int) "word count" ((nb + isz - 1) / isz) (Array.length w);
+  let probes = [ 0; 1; isz - 1; isz; (2 * isz) - 1; 2 * isz; nb - 1 ] in
+  List.iter (Bitset.add s) probes;
+  let w = Bitset.unsafe_words s in
+  List.iter
+    (fun i ->
+      Alcotest.(check bool)
+        (Printf.sprintf "bit %d set in word %d" i (i / isz))
+        true
+        (w.(i / isz) land (1 lsl (i mod isz)) <> 0))
+    probes;
+  (* and only those bits: popcount over the words equals the cardinal *)
+  let bits = ref 0 in
+  Array.iter
+    (fun word ->
+      let x = ref word in
+      while !x <> 0 do
+        bits := !bits + (!x land 1);
+        x := !x lsr 1
+      done)
+    w;
+  Alcotest.(check int) "popcount = cardinal" (Bitset.cardinal s) !bits
+
+let prop_bitset_setops_model =
+  (* the in-place set operations against the sorted-list model — these
+     are the exact primitives the frontier loops OR/AND over raw words *)
+  QCheck2.Test.make ~name:"bitset set operations agree with the model"
+    ~count:300
+    QCheck2.Gen.(
+      pair (list_size (0 -- 30) (0 -- 99)) (list_size (0 -- 30) (0 -- 99)))
+    (fun (xs, ys) ->
+      let a = Bitset.of_list 100 xs and b = Bitset.of_list 100 ys in
+      let xs = List.sort_uniq compare xs
+      and ys = List.sort_uniq compare ys in
+      let union = Bitset.copy a in
+      Bitset.union_into ~into:union b;
+      let inter = Bitset.copy a in
+      Bitset.inter_into ~into:inter b;
+      let diff = Bitset.copy a in
+      Bitset.diff_into ~into:diff b;
+      Bitset.elements union = List.sort_uniq compare (xs @ ys)
+      && Bitset.elements inter = List.filter (fun x -> List.mem x ys) xs
+      && Bitset.elements diff
+         = List.filter (fun x -> not (List.mem x ys)) xs
+      && Bitset.subset a b
+         = List.for_all (fun x -> List.mem x ys) xs
+      && Bitset.disjoint a b
+         = List.for_all (fun x -> not (List.mem x ys)) xs)
+
+(* --- Csr --- *)
+
+(* rows.(q).(a) in exactly the order the triples listed them — CSR
+   construction must preserve slice order, duplicates included *)
+let rows_of_triples ~states ~symbols triples =
+  let rows = Array.init states (fun _ -> Array.make symbols []) in
+  List.iter
+    (fun (q, a, q') -> rows.(q).(a) <- q' :: rows.(q).(a))
+    (List.rev triples);
+  rows
+
+let test_csr_small () =
+  (* 3 states, 2 symbols; state 1 has a duplicate a-edge to 2 *)
+  let triples = [ (0, 0, 1); (0, 0, 2); (1, 0, 2); (1, 0, 2); (2, 1, 0) ] in
+  let rows = rows_of_triples ~states:3 ~symbols:2 triples in
+  let t = Csr.of_lists ~states:3 ~symbols:2 rows in
+  Alcotest.(check int) "states" 3 (Csr.states t);
+  Alcotest.(check int) "symbols" 2 (Csr.symbols t);
+  Alcotest.(check int) "degree 0 a" 2 (Csr.degree t 0 0);
+  Alcotest.(check int) "duplicate kept" 2 (Csr.degree t 1 0);
+  Alcotest.(check int) "empty row" 0 (Csr.degree t 0 1);
+  Alcotest.(check bool) "has_succ" true (Csr.has_succ t 2 1);
+  Alcotest.(check bool) "has_succ empty" false (Csr.has_succ t 2 0);
+  Alcotest.(check bool) "mem_succ" true (Csr.mem_succ t 0 0 2);
+  Alcotest.(check bool) "not mem_succ" false (Csr.mem_succ t 0 0 0);
+  (* raw slice access agrees with iter_succ, in order *)
+  let by_iter = ref [] in
+  Csr.iter_succ t 0 0 (fun q' -> by_iter := q' :: !by_iter);
+  let by_slice = ref [] in
+  for i = Csr.row_stop t 0 0 - 1 downto Csr.row_start t 0 0 do
+    by_slice := Csr.target t i :: !by_slice
+  done;
+  Alcotest.(check (list int)) "slice = iter" (List.rev !by_iter) !by_slice;
+  Alcotest.(check (list int)) "slice order = input order" [ 1; 2 ] !by_slice;
+  (* iter_row_all is the symbol-major concatenation *)
+  let all = ref [] in
+  Csr.iter_row_all t 0 (fun q' -> all := q' :: !all);
+  Alcotest.(check (list int)) "row-all" [ 1; 2 ] (List.rev !all);
+  Alcotest.(check int) "fold_succ" 3
+    (Csr.fold_succ t 0 0 (fun q' acc -> q' + acc) 0);
+  (* offsets: length states*symbols+1, nondecreasing, end = pool size *)
+  let offs = Csr.offsets t in
+  Alcotest.(check int) "offsets length" 7 (Array.length offs);
+  Alcotest.(check int) "total" (List.length triples)
+    (Array.length (Csr.targets t));
+  Array.iteri
+    (fun i o -> if i > 0 && o < offs.(i - 1) then Alcotest.fail "decreasing")
+    offs
+
+let test_csr_empty () =
+  let t = Csr.of_fn ~states:0 ~symbols:3 (fun _ _ -> []) in
+  Alcotest.(check int) "no states" 0 (Csr.states t);
+  Alcotest.(check int) "offsets of empty" 1 (Array.length (Csr.offsets t));
+  let t = Csr.of_fn ~states:4 ~symbols:2 (fun _ _ -> []) in
+  for q = 0 to 3 do
+    Csr.iter_row_all t q (fun _ -> Alcotest.fail "edge in empty table")
+  done
+
+let gen_csr_input =
+  QCheck2.Gen.(
+    bind
+      (pair (1 -- 6) (1 -- 3))
+      (fun (n, k) ->
+        let edge = triple (0 -- (n - 1)) (0 -- (k - 1)) (0 -- (n - 1)) in
+        map (fun ts -> (n, k, ts)) (list_size (0 -- 25) edge)))
+
+let prop_csr_of_lists_eq_of_fn =
+  QCheck2.Test.make ~name:"csr: of_lists and of_fn build identical tables"
+    ~count:300 gen_csr_input (fun (n, k, triples) ->
+      let rows = rows_of_triples ~states:n ~symbols:k triples in
+      let a = Csr.of_lists ~states:n ~symbols:k rows in
+      let b = Csr.of_fn ~states:n ~symbols:k (fun q s -> rows.(q).(s)) in
+      Csr.offsets a = Csr.offsets b && Csr.targets a = Csr.targets b)
+
+let prop_csr_model =
+  QCheck2.Test.make ~name:"csr agrees with the successor-list model"
+    ~count:300 gen_csr_input (fun (n, k, triples) ->
+      let rows = rows_of_triples ~states:n ~symbols:k triples in
+      let t = Csr.of_lists ~states:n ~symbols:k rows in
+      let ok = ref true in
+      for q = 0 to n - 1 do
+        let concat = ref [] in
+        for a = k - 1 downto 0 do
+          let want = rows.(q).(a) in
+          concat := want @ !concat;
+          if Csr.degree t q a <> List.length want then ok := false;
+          if Csr.has_succ t q a <> (want <> []) then ok := false;
+          if List.rev (Csr.fold_succ t q a (fun x acc -> x :: acc) []) <> want
+          then ok := false;
+          for q' = 0 to n - 1 do
+            if Csr.mem_succ t q a q' <> List.mem q' want then ok := false
+          done
+        done;
+        let all = ref [] in
+        Csr.iter_row_all t q (fun x -> all := x :: !all);
+        if List.rev !all <> !concat then ok := false
+      done;
+      !ok)
+
+let prop_csr_transpose =
+  QCheck2.Test.make ~name:"csr: transpose reverses the relation" ~count:300
+    gen_csr_input (fun (n, k, triples) ->
+      let rows = rows_of_triples ~states:n ~symbols:k triples in
+      let t = Csr.of_lists ~states:n ~symbols:k rows in
+      let r = Csr.transpose t in
+      let ok = ref true in
+      for q = 0 to n - 1 do
+        for a = 0 to k - 1 do
+          for q' = 0 to n - 1 do
+            if Csr.mem_succ r q' a q <> Csr.mem_succ t q a q' then ok := false
+          done;
+          (* documented: transposed slices are sorted by source state *)
+          let slice = List.rev (Csr.fold_succ r q a (fun x acc -> x :: acc) []) in
+          if List.sort compare slice <> slice then ok := false
+        done
+      done;
+      !ok)
+
+(* --- Vec --- *)
+
+let test_vec_basic () =
+  let v = Vec.create () in
+  Alcotest.(check bool) "fresh is empty" true (Vec.is_empty v);
+  for i = 0 to 299 do
+    Vec.push v (i * 2)
+  done;
+  Alcotest.(check int) "length" 300 (Vec.length v);
+  Alcotest.(check int) "get" 84 (Vec.get v 42);
+  Vec.set v 42 (-1);
+  Alcotest.(check int) "set" (-1) (Vec.get v 42);
+  Alcotest.(check int) "pop is LIFO" 598 (Vec.pop v);
+  Alcotest.(check int) "pop shrinks" 299 (Vec.length v);
+  Vec.truncate v 10;
+  Alcotest.(check int) "truncate" 10 (Vec.length v);
+  Alcotest.(check (list int)) "to_list survives truncation"
+    (List.init 10 (fun i -> i * 2))
+    (Vec.to_list v);
+  Vec.clear v;
+  Alcotest.(check bool) "cleared" true (Vec.is_empty v)
+
+let prop_vec_model =
+  QCheck2.Test.make ~name:"vec agrees with a list model (push/pop mix)"
+    ~count:300
+    QCheck2.Gen.(list_size (0 -- 60) (option (0 -- 999)))
+    (fun ops ->
+      (* Some x = push x, None = pop (ignored when empty) *)
+      let v = Vec.create () in
+      let model = ref [] in
+      List.iter
+        (fun op ->
+          match op with
+          | Some x ->
+              Vec.push v x;
+              model := x :: !model
+          | None -> (
+              match !model with
+              | [] -> ()
+              | x :: rest ->
+                  if Vec.pop v <> x then failwith "pop mismatch";
+                  model := rest))
+        ops;
+      Vec.to_list v = List.rev !model
+      && Vec.length v = List.length !model
+      && Array.to_list (Vec.to_array v) = List.rev !model)
+
+(* --- Arena --- *)
+
+let test_arena_slices () =
+  let a = Arena.create ~width:3 in
+  Alcotest.(check int) "width" 3 (Arena.width a);
+  let s0 = Arena.alloc a and s1 = Arena.alloc a in
+  Alcotest.(check bool) "distinct slices" true (s0 <> s1);
+  Alcotest.(check int) "live" 2 (Arena.live a);
+  (* write through the raw storage, then force growth and re-read: the
+     contents must survive the backing array being replaced *)
+  let w = Arena.words a in
+  for j = 0 to 2 do
+    w.((s0 * 3) + j) <- 100 + j;
+    w.((s1 * 3) + j) <- 200 + j
+  done;
+  let more = List.init 40 (fun _ -> Arena.alloc a) in
+  let w = Arena.words a in
+  for j = 0 to 2 do
+    Alcotest.(check int) "s0 survives growth" (100 + j) w.((s0 * 3) + j);
+    Alcotest.(check int) "s1 survives growth" (200 + j) w.((s1 * 3) + j)
+  done;
+  Arena.clear_slice a s0;
+  let w = Arena.words a in
+  for j = 0 to 2 do
+    Alcotest.(check int) "cleared" 0 w.((s0 * 3) + j)
+  done;
+  Alcotest.(check int) "live counts all" (2 + List.length more) (Arena.live a);
+  Alcotest.(check bool) "high water in words" true
+    (Arena.high_water_words a >= 42 * 3)
+
+let test_arena_quarantine () =
+  let a = Arena.create ~width:2 in
+  let s0 = Arena.alloc a in
+  let w = Arena.words a in
+  w.(s0 * 2) <- 7;
+  w.((s0 * 2) + 1) <- 8;
+  Arena.defer_release a s0;
+  (* quarantined, not free: a fresh alloc must NOT hand s0 back, and the
+     slice stays readable — the antichain engine reads evicted-but-live
+     nodes' sets until the level boundary *)
+  let s1 = Arena.alloc a in
+  Alcotest.(check bool) "no reuse before reclaim" true (s1 <> s0);
+  let w = Arena.words a in
+  Alcotest.(check int) "quarantined slice readable" 7 w.(s0 * 2);
+  Arena.reclaim a;
+  (* after the generation boundary the slice is allocatable again *)
+  let s2 = Arena.alloc a in
+  Alcotest.(check int) "freed slice reused first" s0 s2;
+  Alcotest.(check int) "high water unchanged by reuse" (Arena.high_water a) 2
+
+let prop_arena_reuse_bounds_footprint =
+  QCheck2.Test.make
+    ~name:"arena: alternating alloc/defer/reclaim reuses slices" ~count:200
+    QCheck2.Gen.(pair (1 -- 4) (1 -- 20))
+    (fun (width, levels) ->
+      let a = Arena.create ~width in
+      (* each level allocates 3 slices and defers them; with reclaim at
+         every level boundary the pool never exceeds two generations *)
+      for _ = 1 to levels do
+        Arena.reclaim a;
+        let ids = List.init 3 (fun _ -> Arena.alloc a) in
+        List.iter (fun id -> Arena.defer_release a id) ids
+      done;
+      Arena.high_water a <= 6 && Arena.live a = 0)
+
 (* --- Union-find --- *)
 
 let test_union_find () =
@@ -169,7 +457,17 @@ let prop_prng_roughly_uniform =
 
 let qsuite =
   List.map QCheck_alcotest.to_alcotest
-    [ prop_bitset_model; prop_union_find_equivalence; prop_prng_roughly_uniform ]
+    [
+      prop_bitset_model;
+      prop_bitset_setops_model;
+      prop_csr_of_lists_eq_of_fn;
+      prop_csr_model;
+      prop_csr_transpose;
+      prop_vec_model;
+      prop_arena_reuse_bounds_footprint;
+      prop_union_find_equivalence;
+      prop_prng_roughly_uniform;
+    ]
 
 let () =
   Alcotest.run "prelude"
@@ -179,6 +477,19 @@ let () =
           Alcotest.test_case "basic" `Quick test_bitset_basic;
           Alcotest.test_case "bounds" `Quick test_bitset_bounds;
           Alcotest.test_case "set operations" `Quick test_bitset_setops;
+          Alcotest.test_case "word layout" `Quick test_bitset_word_layout;
+        ] );
+      ( "csr",
+        [
+          Alcotest.test_case "small table" `Quick test_csr_small;
+          Alcotest.test_case "empty tables" `Quick test_csr_empty;
+        ] );
+      ( "vec", [ Alcotest.test_case "basic" `Quick test_vec_basic ] );
+      ( "arena",
+        [
+          Alcotest.test_case "slices and growth" `Quick test_arena_slices;
+          Alcotest.test_case "quarantine and reuse" `Quick
+            test_arena_quarantine;
         ] );
       ( "union-find",
         [ Alcotest.test_case "basic" `Quick test_union_find ] );
