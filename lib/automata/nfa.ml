@@ -13,13 +13,20 @@ type t = {
          [delta] survives as the construction-time and compatibility
          representation. Slice order equals list order, so the two views
          agree successor-for-successor. *)
+  rcsr : Csr.t option Atomic.t;
+      (* the transposed table, built lazily on first backward pass and
+         cached — preorder refinement and fairness passes stopped
+         rebuilding it per call. In an [Atomic] (keep-first CAS) so the
+         record stays safely shareable across domains; [{t with ...}]
+         copies share the cell, which is sound because they never change
+         [delta]. *)
 }
 
 (* Every construction site funnels through [make]: the labeled delta is
    frozen into a CSR table exactly once, after all mutation. *)
 let make ~alphabet ~states ~initial ~finals ~delta ~eps =
   let csr = Csr.of_lists ~states ~symbols:(Alphabet.size alphabet) delta in
-  { alphabet; states; initial; finals; delta; eps; csr }
+  { alphabet; states; initial; finals; delta; eps; csr; rcsr = Atomic.make None }
 
 let create ~alphabet ~states ~initial ~finals ~transitions ?(eps = []) () =
   if states < 0 then invalid_arg "Nfa.create: negative state count";
@@ -62,6 +69,16 @@ let finals t = t.finals
 let is_final t q = Bitset.mem t.finals q
 let successors t q a = t.delta.(q).(a)
 let csr t = t.csr
+
+let rcsr t =
+  match Atomic.get t.rcsr with
+  | Some r -> r
+  | None ->
+      let r = Csr.transpose t.csr in
+      (* keep-first: a concurrent builder computed the same table *)
+      if Atomic.compare_and_set t.rcsr None (Some r) then r
+      else (match Atomic.get t.rcsr with Some r -> r | None -> r)
+
 let iter_succ t q a f = Csr.iter_succ t.csr q a f
 let eps_successors t q = if t.states = 0 then [] else t.eps.(q)
 let has_eps t = Array.exists (fun l -> l <> []) t.eps

@@ -55,6 +55,13 @@ val successors : t -> int -> Alphabet.symbol -> int list
     successor; the hot loops step this table and never re-walk lists. *)
 val csr : t -> Rl_prelude.Csr.t
 
+(** [rcsr n] is the transposed CSR table ([Csr.transpose (csr n)]),
+    built on first use and cached on the automaton — repeated backward
+    passes (preorder refinement, liveness pruning) stop rebuilding it.
+    Domain-safe: concurrent first calls race benignly on a keep-first
+    CAS over the same deterministic table. *)
+val rcsr : t -> Rl_prelude.Csr.t
+
 (** [iter_succ n q a f] applies [f] to every [a]-successor of [q], in
     {!successors} order, through the CSR table (no list allocation). *)
 val iter_succ : t -> int -> Alphabet.symbol -> (int -> unit) -> unit

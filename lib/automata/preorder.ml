@@ -50,8 +50,9 @@ let of_rows rows = { rows; tr = transpose_rows rows }
    member set M, q ∈ M implies p ∈ M. Direct forward simulation passes
    the final states; backward simulation passes initial and final
    states. *)
-let refine ~(delta : Csr.t option) ~states:n ~symbols:k
-    ~(memberships : Bitset.t list) ~(succ : int -> int -> int list) =
+let refine ~(delta : Csr.t option) ~(rdelta : Csr.t option) ~states:n
+    ~symbols:k ~(memberships : Bitset.t list)
+    ~(succ : int -> int -> int list) =
   if n = 0 then [||]
   else begin
     (* [delta], when given, must be the CSR view of [succ]: callers that
@@ -61,7 +62,12 @@ let refine ~(delta : Csr.t option) ~states:n ~symbols:k
       | Some d -> d
       | None -> Csr.of_fn ~states:n ~symbols:k succ
     in
-    let rdelta = Csr.transpose delta in
+    (* likewise [rdelta] must be [Csr.transpose delta]: callers holding
+       an automaton pass its cached transpose (Nfa.rcsr) so repeated
+       refinements stop re-transposing the table *)
+    let rdelta =
+      match rdelta with Some r -> r | None -> Csr.transpose delta
+    in
     (* pred_bs.(p'*k + a) = bitset of a-predecessors of p' *)
     let pred_bs =
       Array.init (n * k) (fun cell ->
@@ -140,9 +146,9 @@ let fingerprint ~tag ~states ~symbols ~memberships ~succ =
   done;
   Digest.to_hex (Digest.string (Buffer.contents buf))
 
-let of_view ?(cache = true) ?delta ~tag ~states ~symbols ~memberships ~succ ()
-    =
-  let compute () = refine ~delta ~states ~symbols ~memberships ~succ in
+let of_view ?(cache = true) ?delta ?rdelta ~tag ~states ~symbols ~memberships
+    ~succ () =
+  let compute () = refine ~delta ~rdelta ~states ~symbols ~memberships ~succ in
   let rows =
     if cache then
       (* the fingerprint is always taken over the list view: a caller
@@ -160,7 +166,8 @@ let require_eps_free who n =
 
 let forward ?cache n =
   require_eps_free "Preorder.forward" n;
-  of_view ?cache ~delta:(Nfa.csr n) ~tag:"nfa-fwd" ~states:(Nfa.states n)
+  of_view ?cache ~delta:(Nfa.csr n) ~rdelta:(Nfa.rcsr n) ~tag:"nfa-fwd"
+    ~states:(Nfa.states n)
     ~symbols:(Alphabet.size (Nfa.alphabet n))
     ~memberships:[ Nfa.finals n ]
     ~succ:(fun q a -> Nfa.successors n q a)

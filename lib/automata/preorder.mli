@@ -53,11 +53,13 @@ val backward : ?cache:bool -> Nfa.t -> t
     relation must respect downward ([q ∈ M] forces simulators of [q]
     into [M]); [succ q a] must be deterministic. [tag] namespaces the
     cache key and must be distinct per relation kind. [delta], when
-    given, must be the CSR view of [succ]: it only skips rebuilding the
-    table, the cache key is unchanged. *)
+    given, must be the CSR view of [succ], and [rdelta] its transpose
+    (automaton callers pass the cached [Nfa.rcsr]/[Buchi.rcsr]): both
+    only skip rebuilding tables, the cache key is unchanged. *)
 val of_view :
   ?cache:bool ->
   ?delta:Rl_prelude.Csr.t ->
+  ?rdelta:Rl_prelude.Csr.t ->
   tag:string ->
   states:int ->
   symbols:int ->

@@ -11,13 +11,17 @@ type t = {
   csr : Csr.t;
       (* the canonical flat transition table, built once per automaton;
          slice order equals the [delta] list order *)
+  rcsr : Csr.t option Atomic.t;
+      (* the transposed table, built lazily on first backward pass
+         (liveness pruning, simulation refinement) and cached; the
+         keep-first CAS makes the cell domain-safe *)
 }
 
 (* Every construction site funnels through [make]: the delta is frozen
    into a CSR table exactly once, after all mutation. *)
 let make ~alphabet ~states ~initial ~accepting ~delta =
   let csr = Csr.of_lists ~states ~symbols:(Alphabet.size alphabet) delta in
-  { alphabet; states; initial; accepting; delta; csr }
+  { alphabet; states; initial; accepting; delta; csr; rcsr = Atomic.make None }
 
 let create ~alphabet ~states ~initial ~accepting ~transitions () =
   if states < 0 then invalid_arg "Buchi.create: negative state count";
@@ -49,6 +53,15 @@ let accepting t = t.accepting
 let is_accepting t q = Bitset.mem t.accepting q
 let successors t q a = t.delta.(q).(a)
 let csr t = t.csr
+
+let rcsr t =
+  match Atomic.get t.rcsr with
+  | Some r -> r
+  | None ->
+      let r = Csr.transpose t.csr in
+      if Atomic.compare_and_set t.rcsr None (Some r) then r
+      else (match Atomic.get t.rcsr with Some r -> r | None -> r)
+
 let iter_succ t q a f = Csr.iter_succ t.csr q a f
 let has_edge t q a q' = Csr.mem_succ t.csr q a q'
 
@@ -217,10 +230,9 @@ let live t =
     let ((scc_id, _) as sccs) = tarjan t in
     let good = good_sccs t sccs in
     let live = Bitset.create t.states in
-    let pred = Array.make t.states [] in
-    for q = 0 to t.states - 1 do
-      Csr.iter_row_all t.csr q (fun q' -> pred.(q') <- q :: pred.(q'))
-    done;
+    (* backward closure over the cached transpose: predecessors of [q]
+       are one contiguous row scan, no per-state list building *)
+    let rdelta = rcsr t in
     let stack = ref [] in
     for q = 0 to t.states - 1 do
       if good.(scc_id.(q)) && not (Bitset.mem live q) then begin
@@ -233,13 +245,11 @@ let live t =
       | [] -> ()
       | q :: rest ->
           stack := rest;
-          List.iter
-            (fun p ->
+          Csr.iter_row_all rdelta q (fun p ->
               if not (Bitset.mem live p) then begin
                 Bitset.add live p;
                 stack := p :: !stack
               end)
-            pred.(q)
     done;
     live
   end

@@ -56,6 +56,12 @@ val transitions : t -> (int * Alphabet.symbol * int) list
     construction. Slice order equals the list order of {!successors}. *)
 val csr : t -> Rl_prelude.Csr.t
 
+(** [rcsr b] is the transposed CSR table ([Csr.transpose (csr b)]),
+    built on first use and cached on the automaton — the backward
+    passes (liveness pruning, simulation refinement) stop rebuilding
+    it. Domain-safe (keep-first CAS). *)
+val rcsr : t -> Rl_prelude.Csr.t
+
 (** [iter_succ b q a f] applies [f] to every [a]-successor of [q], in
     {!successors} order, through the CSR table (no list allocation). *)
 val iter_succ : t -> int -> Alphabet.symbol -> (int -> unit) -> unit

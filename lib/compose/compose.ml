@@ -8,23 +8,33 @@ let check_ts n =
     invalid_arg "Compose: operands must be transition systems (all states final)"
 
 let union_alphabet a b =
-  let na = Alphabet.names (Nfa.alphabet a) in
-  let nb = Alphabet.names (Nfa.alphabet b) in
-  (* membership via a hash set of [a]'s names: the List.mem scan made
-     this quadratic in the alphabet size, which showed up on composed
-     systems with wide action alphabets *)
-  let seen = Hashtbl.create (List.length na) in
-  List.iter (fun n -> Hashtbl.replace seen n ()) na;
-  Alphabet.make (na @ List.filter (fun n -> not (Hashtbl.mem seen n)) nb)
+  let aa = Nfa.alphabet a and ab = Nfa.alphabet b in
+  (* membership via a hash set of [a]'s intern ids: integer keys, no
+     string hashing (the old name-keyed set was itself a fix for a
+     quadratic List.mem scan on wide action alphabets) *)
+  let seen = Hashtbl.create (Alphabet.size aa) in
+  List.iter
+    (fun s -> Hashtbl.replace seen (Alphabet.intern_id aa s) ())
+    (Alphabet.symbols aa);
+  Alphabet.make
+    (Alphabet.names aa
+    @ List.filter_map
+        (fun s ->
+          if Hashtbl.mem seen (Alphabet.intern_id ab s) then None
+          else Some (Alphabet.name ab s))
+        (Alphabet.symbols ab))
 
 (* Per-letter moves of the product: (pairs of successor chooser).
    [moves_a] / [moves_b] give the component moves for a union-alphabet
    symbol, or None when the component does not know the action (it then
-   stays put). *)
+   stays put). The translation is a dense intern-id remap built once per
+   operand — the per-(pair, symbol) hot loops of the product BFS no
+   longer hash a name per step. *)
 let component_view n union_alpha =
-  let alpha = Nfa.alphabet n in
+  let remap = Alphabet.remap ~src:union_alpha ~dst:(Nfa.alphabet n) in
   fun sym ->
-    Alphabet.symbol_opt alpha (Alphabet.name union_alpha sym)
+    let s = remap.(sym) in
+    if s < 0 then None else Some s
 
 (* Quotient the operands by mutual simulation before exploring the
    product: the language of a CSP-style synchronized product depends only

@@ -31,9 +31,14 @@ type t = {
   alphabet_removed : string list;
 }
 
-let named_transitions n =
+(* Diff on (source, intern-id, target) int triples: labels hash and
+   compare as integers; names are restored only on the (small) diff
+   itself when the exposed string-labeled shape is built. *)
+let id_transitions n =
   let al = Nfa.alphabet n in
-  List.map (fun (q, a, q') -> (q, Alphabet.name al a, q')) (Nfa.transitions n)
+  List.map
+    (fun (q, a, q') -> (q, Alphabet.intern_id al a, q'))
+    (Nfa.transitions n)
 
 let diff_lists xs ys =
   (* elements of xs not in ys, set-wise *)
@@ -42,18 +47,23 @@ let diff_lists xs ys =
   List.sort_uniq compare (List.filter (fun x -> not (Hashtbl.mem seen x)) xs)
 
 let compute ~old_ ~next =
-  let to_ = named_transitions old_ and tn = named_transitions next in
+  let to_ = id_transitions old_ and tn = id_transitions next in
   let io = List.sort_uniq compare (Nfa.initial old_)
   and inx = List.sort_uniq compare (Nfa.initial next) in
-  let ao = List.sort String.compare (Alphabet.names (Nfa.alphabet old_))
-  and an = List.sort String.compare (Alphabet.names (Nfa.alphabet next)) in
+  let ids n =
+    let al = Nfa.alphabet n in
+    List.sort_uniq compare
+      (List.map (Alphabet.intern_id al) (Alphabet.symbols al))
+  in
+  let ao = ids old_ and an = ids next in
+  let restore = List.map (fun (q, a, q') -> (q, Intern.name a, q')) in
   {
-    added = diff_lists tn to_;
-    removed = diff_lists to_ tn;
+    added = restore (diff_lists tn to_);
+    removed = restore (diff_lists to_ tn);
     initial_added = diff_lists inx io;
     initial_removed = diff_lists io inx;
-    alphabet_added = diff_lists an ao;
-    alphabet_removed = diff_lists ao an;
+    alphabet_added = List.map Intern.name (diff_lists an ao);
+    alphabet_removed = List.map Intern.name (diff_lists ao an);
   }
 
 let is_empty d =
@@ -79,12 +89,11 @@ let touched d =
    what makes [Equivalent] sound. *)
 let structural_equal a b =
   Nfa.states a = Nfa.states b
-  && Alphabet.names (Nfa.alphabet a) = Alphabet.names (Nfa.alphabet b)
+  && Alphabet.equal (Nfa.alphabet a) (Nfa.alphabet b)
   && List.sort_uniq compare (Nfa.initial a)
      = List.sort_uniq compare (Nfa.initial b)
   && Rl_prelude.Bitset.equal (Nfa.finals a) (Nfa.finals b)
-  && List.sort compare (named_transitions a)
-     = List.sort compare (named_transitions b)
+  && List.sort compare (id_transitions a) = List.sort compare (id_transitions b)
   && Nfa.has_eps a = Nfa.has_eps b
 
 type classification =

@@ -116,6 +116,11 @@ let worker_loop pool me start_epoch =
              death included — retires this worker. The pending decrement
              comes first and unconditionally: the barrier must complete
              even as the worker dies. *)
+          (* quick_stat is domain-local: sample around the job body so
+             the worker's allocation is folded into the shared Stats
+             accumulators — without this, --stats under --jobs N would
+             report the main domain only *)
+          let g0 = Gc.quick_stat () in
           let death =
             match
               if Fault.armed () then Fault.fire Fault.Pool_domain_death;
@@ -124,6 +129,7 @@ let worker_loop pool me start_epoch =
             | () -> None
             | exception e -> Some e
           in
+          Stats.note_domain_gc ~before:g0 ~after:(Gc.quick_stat ());
           Mutex.lock pool.mutex;
           pool.pending <- pool.pending - 1;
           if pool.pending = 0 then Condition.signal pool.finished;
@@ -327,6 +333,25 @@ let run_parallel (type a b) pool (f : a -> b) (xs : a array)
       if results.(j) = None then results.(j) <- Some (f xs.(j))
     done;
     Array.map (function Some v -> v | None -> assert false) results
+  end
+
+(* Hand the raw membership to a caller-supplied scheduler: [body member]
+   runs once on every live member, member 0 being the caller. This is
+   the work-stealing engine's entry point — unlike [parmap] there is no
+   index space and no repair pass, so the body must tolerate members
+   that die mid-job (the barrier itself always completes) and must
+   catch its own exceptions (a caller-side raise is swallowed by
+   [run_job]'s barrier discipline). Returns [false] without running
+   anything when the pool is serial or a region is already in flight —
+   the caller falls back to its serial path. *)
+let run_members pool body =
+  if pool.size = 1 || not (Atomic.compare_and_set pool.busy false true) then
+    false
+  else begin
+    Fun.protect
+      ~finally:(fun () -> Atomic.set pool.busy false)
+      (fun () -> run_job pool body);
+    true
   end
 
 (* The raw fan-out, no cutoff: used by [parfan], whose few thunks are

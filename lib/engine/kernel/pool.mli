@@ -124,6 +124,21 @@ val with_pool : ?jobs:int -> ?cutoff:int -> (t -> 'a) -> 'a
     (runs inline serially). *)
 val parmap : t -> ('a -> 'b) -> 'a array -> 'b array
 
+(** [run_members p body] claims the pool's region slot and runs
+    [body member] once on every live member — the caller as member [0],
+    each live worker under its own member index in [1 .. size-1] —
+    returning [true] after all of them finish. Returns [false] without
+    running anything when the pool is serial ([size p = 1]) or another
+    region holds the slot (nested call); the caller then falls back to
+    its serial path. This is the primitive beneath the work-stealing
+    engine: there is no index space, no positional result and no repair
+    pass, so the body must coordinate through its own shared structures,
+    tolerate members that die mid-job (the join barrier still
+    completes), and catch its own exceptions — an escaping worker-side
+    exception retires that worker, and a caller-side one is swallowed by
+    the barrier discipline. *)
+val run_members : t -> (int -> unit) -> bool
+
 (** [parfan p thunks] runs independent sub-checks concurrently and
     returns their results in order; exceptions behave as in {!parmap}.
     Thunks that must not be abandoned on a sibling's failure should

@@ -18,10 +18,16 @@ let nodes = Atomic.make 0
 let antichain_hits = Atomic.make 0
 let evictions = Atomic.make 0
 let arena_hw_words = Atomic.make 0
+let steals = Atomic.make 0
+let parks = Atomic.make 0
+let shard_contention = Atomic.make 0
 
 let incr_nodes () = Atomic.incr nodes
 let incr_antichain_hits () = Atomic.incr antichain_hits
 let incr_evictions () = Atomic.incr evictions
+let incr_steals () = Atomic.incr steals
+let incr_parks () = Atomic.incr parks
+let incr_shard_contention () = Atomic.incr shard_contention
 
 let note_arena_words w =
   let rec go () =
@@ -29,6 +35,34 @@ let note_arena_words w =
     if w > cur && not (Atomic.compare_and_set arena_hw_words cur w) then go ()
   in
   go ()
+
+(* --- worker-domain GC aggregation --- *)
+
+(* [Gc.quick_stat] reads domain-local accumulators, so a snapshot taken
+   on the calling domain misses every word a pool worker allocated. The
+   pool therefore samples each worker's quick_stat around its share of a
+   job and folds the deltas in here; [snapshot] adds the fold to the
+   caller's own quick_stat, so --stats tables and the allocation bars
+   cover all domains, and diffs stay monotonic. *)
+
+let dom_mutex = Mutex.create ()
+let dom_minor = ref 0.
+let dom_promoted = ref 0.
+let dom_major = ref 0.
+let dom_minor_cols = ref 0
+let dom_major_cols = ref 0
+
+let note_domain_gc ~before ~after =
+  Mutex.lock dom_mutex;
+  dom_minor := !dom_minor +. (after.Gc.minor_words -. before.Gc.minor_words);
+  dom_promoted :=
+    !dom_promoted +. (after.Gc.promoted_words -. before.Gc.promoted_words);
+  dom_major := !dom_major +. (after.Gc.major_words -. before.Gc.major_words);
+  dom_minor_cols :=
+    !dom_minor_cols + (after.Gc.minor_collections - before.Gc.minor_collections);
+  dom_major_cols :=
+    !dom_major_cols + (after.Gc.major_collections - before.Gc.major_collections);
+  Mutex.unlock dom_mutex
 
 (* --- phase timers --- *)
 
@@ -65,6 +99,9 @@ type snapshot = {
   antichain_hits : int;
   evictions : int;
   arena_high_water_words : int;
+  steals : int;
+  parks : int;
+  shard_contention : int;
   sim_hits : int;
   sim_misses : int;
   minor_words : float;
@@ -77,19 +114,29 @@ type snapshot = {
 let snapshot () =
   let g = Gc.quick_stat () in
   let sim_hits, sim_misses, _ = Simcache.stats () in
+  Mutex.lock dom_mutex;
+  let dm = !dom_minor
+  and dp = !dom_promoted
+  and dj = !dom_major
+  and dmc = !dom_minor_cols
+  and djc = !dom_major_cols in
+  Mutex.unlock dom_mutex;
   {
     wall = Unix.gettimeofday ();
     nodes = Atomic.get nodes;
     antichain_hits = Atomic.get antichain_hits;
     evictions = Atomic.get evictions;
     arena_high_water_words = Atomic.get arena_hw_words;
+    steals = Atomic.get steals;
+    parks = Atomic.get parks;
+    shard_contention = Atomic.get shard_contention;
     sim_hits;
     sim_misses;
-    minor_words = g.Gc.minor_words;
-    promoted_words = g.Gc.promoted_words;
-    major_words = g.Gc.major_words;
-    minor_collections = g.Gc.minor_collections;
-    major_collections = g.Gc.major_collections;
+    minor_words = g.Gc.minor_words +. dm;
+    promoted_words = g.Gc.promoted_words +. dp;
+    major_words = g.Gc.major_words +. dj;
+    minor_collections = g.Gc.minor_collections + dmc;
+    major_collections = g.Gc.major_collections + djc;
   }
 
 (* Counters are monotonic, so a delta is just a fieldwise subtraction;
@@ -102,6 +149,9 @@ let diff ~before ~after =
     antichain_hits = after.antichain_hits - before.antichain_hits;
     evictions = after.evictions - before.evictions;
     arena_high_water_words = after.arena_high_water_words;
+    steals = after.steals - before.steals;
+    parks = after.parks - before.parks;
+    shard_contention = after.shard_contention - before.shard_contention;
     sim_hits = after.sim_hits - before.sim_hits;
     sim_misses = after.sim_misses - before.sim_misses;
     minor_words = after.minor_words -. before.minor_words;
@@ -125,6 +175,8 @@ let pp_human ppf s =
   line "  antichain hits       %10d@," s.antichain_hits;
   line "  antichain evictions  %10d@," s.evictions;
   line "  arena high water     %10d words@," s.arena_high_water_words;
+  line "  steals / parks       %10d / %d@," s.steals s.parks;
+  line "  shard contention     %10d@," s.shard_contention;
   line "  simcache hits/misses %10d / %d@," s.sim_hits s.sim_misses;
   line "  minor words          %14.0f  (%.2f / node)@," s.minor_words
     (minor_words_per_node s);
@@ -167,6 +219,9 @@ let to_json ?(extra = []) s =
   field "antichain_hits" (string_of_int s.antichain_hits);
   field "evictions" (string_of_int s.evictions);
   field "arena_high_water_words" (string_of_int s.arena_high_water_words);
+  field "steals" (string_of_int s.steals);
+  field "parks" (string_of_int s.parks);
+  field "shard_contention" (string_of_int s.shard_contention);
   field "sim_hits" (string_of_int s.sim_hits);
   field "sim_misses" (string_of_int s.sim_misses);
   field "minor_words" (Printf.sprintf "%.0f" s.minor_words);

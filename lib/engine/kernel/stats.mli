@@ -23,6 +23,26 @@ val incr_evictions : unit -> unit
     [w] if larger (max-merge across engines and calls). *)
 val note_arena_words : int -> unit
 
+(** One successful steal by a work-stealing member (it took a node from
+    another member's deque). *)
+val incr_steals : unit -> unit
+
+(** One parking episode: a member found every deque empty and spun or
+    slept until work (or quiescence) appeared. *)
+val incr_parks : unit -> unit
+
+(** One contended antichain-shard lock acquisition ([Mutex.try_lock]
+    failed and the member had to block). *)
+val incr_shard_contention : unit -> unit
+
+(** [note_domain_gc ~before ~after] folds one worker domain's
+    [Gc.quick_stat] delta into the process-wide accumulators that
+    {!snapshot} adds to the calling domain's own figures. [quick_stat]
+    is domain-local, so without this a [--jobs N] run would report only
+    the main domain's allocation. The pool calls it around each worker's
+    share of a job; thread-safe. *)
+val note_domain_gc : before:Gc.stat -> after:Gc.stat -> unit
+
 (** {1 Phase timers} *)
 
 (** [record_phase name seconds] adds one timed run of phase [name].
@@ -41,6 +61,9 @@ type snapshot = {
   antichain_hits : int;
   evictions : int;
   arena_high_water_words : int;
+  steals : int;  (** work-stealing: nodes taken from another member *)
+  parks : int;  (** work-stealing: empty-deque parking episodes *)
+  shard_contention : int;  (** contended antichain-shard acquisitions *)
   sim_hits : int;  (** {!Simcache} hits *)
   sim_misses : int;
   minor_words : float;

@@ -1,0 +1,128 @@
+(* Work-stealing deques of ints, THE-protocol style (Frigo–Leiserson–
+   Randall's Cilk scheduler), adapted to OCaml 5.
+
+   Layout: a power-of-two ring buffer of plain ints indexed by two
+   monotonically increasing virtual cursors, [top] (next steal slot) and
+   [bottom] (next push slot); the element at virtual index [i] lives in
+   [buf.(i land mask)] and the deque holds [bottom - top] elements.
+
+   Synchronization: [bottom] and [top] are sequentially consistent
+   [Atomic.t]s. Thieves always hold the mutex, so steals serialize
+   against each other and against growth; the owner takes the mutex only
+   when a pop may race a steal for the last element. Why this is safe:
+
+   - Owner pop decrements [bottom] to [b] and then reads [top]. If it
+     reads [top < b] there are at least two elements, and no thief can
+     take the one at [b]: a steal of virtual index [b] requires the
+     thief to read [top = b], and both cursors are SC, so the thief's
+     [top]-advance to [b + 1] and the owner's read of [top] are totally
+     ordered — the owner would have seen [top > b] (empty) or [top = b]
+     (conflict) instead.
+   - On [top = b] (one element) the owner takes the mutex and re-reads
+     [top]: either the element is still there (no thief claimed it —
+     thieves move [top] only under the same mutex) and the owner takes
+     it, or a thief won and the owner reports empty. Either way both
+     cursors are renormalized to an empty deque under the lock.
+   - Buffer contents cross domains only with a happens-before edge:
+     a thief reads slot [t] after acquiring the mutex, and the owner's
+     write of that slot happened before its SC publication of
+     [bottom >= t + 1], which the thief read before the slot. Growth
+     runs under the mutex, so no thief ever reads a buffer being
+     replaced. *)
+
+type t = {
+  mutable buf : int array;
+  mutable mask : int;
+  bottom : int Atomic.t; (* next push slot; owner-written *)
+  top : int Atomic.t; (* next steal slot; thief-written (under lock) *)
+  lock : Mutex.t;
+}
+
+let round_pow2 n =
+  let rec go p = if p >= n then p else go (p * 2) in
+  go 16
+
+let create ?(capacity = 256) () =
+  let cap = round_pow2 (max 16 capacity) in
+  {
+    buf = Array.make cap 0;
+    mask = cap - 1;
+    bottom = Atomic.make 0;
+    top = Atomic.make 0;
+    lock = Mutex.create ();
+  }
+
+let length t = max 0 (Atomic.get t.bottom - Atomic.get t.top)
+
+(* Double the buffer, owner-side, excluding thieves for the copy. [top]
+   cannot move while we hold the lock, so the occupied virtual range
+   [t0, b) is stable; re-indexing by the new mask preserves it. *)
+let grow t b =
+  Mutex.lock t.lock;
+  let t0 = Atomic.get t.top in
+  if b - t0 >= Array.length t.buf then begin
+    let cap = Array.length t.buf * 2 in
+    let buf = Array.make cap 0 in
+    let mask = cap - 1 in
+    for i = t0 to b - 1 do
+      buf.(i land mask) <- t.buf.(i land t.mask)
+    done;
+    t.buf <- buf;
+    t.mask <- mask
+  end;
+  Mutex.unlock t.lock
+
+let push t v =
+  if v < 0 then invalid_arg "Deque.push: negative value";
+  let b = Atomic.get t.bottom in
+  if b - Atomic.get t.top >= Array.length t.buf then grow t b;
+  t.buf.(b land t.mask) <- v;
+  (* SC publication: the slot write above happens-before any read that
+     observed bottom >= b + 1 *)
+  Atomic.set t.bottom (b + 1)
+
+let pop t =
+  let b = Atomic.get t.bottom - 1 in
+  Atomic.set t.bottom b;
+  let tp = Atomic.get t.top in
+  if tp < b then t.buf.(b land t.mask) (* >= 2 elements: conflict-free *)
+  else if tp > b then begin
+    (* was empty; renormalize ([top] cannot move past [bottom], so [tp]
+       is still current) *)
+    Atomic.set t.bottom tp;
+    -1
+  end
+  else begin
+    (* exactly one element: race a thief for it under the lock *)
+    Mutex.lock t.lock;
+    let tp' = Atomic.get t.top in
+    let v =
+      if tp' = tp then begin
+        let v = t.buf.(b land t.mask) in
+        Atomic.set t.top (tp + 1);
+        Atomic.set t.bottom (tp + 1);
+        v
+      end
+      else begin
+        (* a thief claimed it between our reads *)
+        Atomic.set t.bottom tp';
+        -1
+      end
+    in
+    Mutex.unlock t.lock;
+    v
+  end
+
+let steal t =
+  Mutex.lock t.lock;
+  let tp = Atomic.get t.top in
+  let v =
+    if tp < Atomic.get t.bottom then begin
+      let v = t.buf.(tp land t.mask) in
+      Atomic.set t.top (tp + 1);
+      v
+    end
+    else -1
+  in
+  Mutex.unlock t.lock;
+  v

@@ -1,0 +1,45 @@
+(** Work-stealing deques of non-negative ints.
+
+    One deque per pool member: the owner pushes and pops node handles at
+    the bottom (LIFO, so exploration stays depth-biased and cache-warm),
+    thieves steal from the top (FIFO, so they take the oldest — usually
+    largest — pending subtree). The element type is [int] and the empty
+    answer is [-1], so neither operation allocates; callers must only
+    store non-negative values.
+
+    The implementation is the THE protocol (Cilk) rather than lock-free
+    Chase–Lev: [bottom] and [top] are sequentially consistent [Atomic]s
+    over a plain power-of-two ring buffer, and a per-deque mutex
+    serializes thieves against each other, against buffer growth, and
+    against the owner on the last-element conflict only. Owner pushes
+    and non-conflicting pops touch no lock. The mutex keeps every
+    cross-domain buffer access inside a happens-before edge, so the
+    structure is race-free under the OCaml memory model (and clean under
+    ThreadSanitizer) without atomic arrays, which OCaml does not have.
+
+    Ownership is a protocol, not an enforced property: exactly one
+    domain may call {!push}/{!pop} on a given deque; any domain may call
+    {!steal}. *)
+
+type t
+
+(** [create ?capacity ()] is an empty deque; [capacity] (default [256])
+    is rounded up to a power of two and grows on demand. *)
+val create : ?capacity:int -> unit -> t
+
+(** [push t v] appends [v] at the bottom. Owner only.
+    @raise Invalid_argument if [v < 0]. *)
+val push : t -> int -> unit
+
+(** [pop t] removes and returns the most recently pushed value, or [-1]
+    when the deque is empty. Owner only. *)
+val pop : t -> int
+
+(** [steal t] removes and returns the oldest value, or [-1] when the
+    deque is empty (or the last element was lost to a concurrent
+    {!pop}). Any domain. *)
+val steal : t -> int
+
+(** [length t] is a snapshot of the element count — exact when no other
+    domain is mutating [t], a hint otherwise. *)
+val length : t -> int

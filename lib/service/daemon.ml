@@ -370,6 +370,10 @@ let stats_json d =
             ("nodes", J.Num (float_of_int s.Stats.nodes));
             ("antichain_hits", J.Num (float_of_int s.Stats.antichain_hits));
             ("evictions", J.Num (float_of_int s.Stats.evictions));
+            ("steals", J.Num (float_of_int s.Stats.steals));
+            ("parks", J.Num (float_of_int s.Stats.parks));
+            ( "shard_contention",
+              J.Num (float_of_int s.Stats.shard_contention) );
             ( "arena_high_water_words",
               J.Num (float_of_int s.Stats.arena_high_water_words) );
             ("minor_words", J.Num s.Stats.minor_words);

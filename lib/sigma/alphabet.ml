@@ -1,5 +1,13 @@
 type symbol = int
-type t = { names : string array; index : (string, int) Hashtbl.t }
+
+type t = {
+  names : string array;
+  ids : int array;
+      (* per-symbol global {!Intern} ids, fixed at construction: every
+         cross-alphabet question (equality, union dedup, remaps, diffs)
+         compares these ints instead of hashing names *)
+  index : (string, int) Hashtbl.t;
+}
 
 let make names =
   if names = [] then invalid_arg "Alphabet.make: empty alphabet";
@@ -11,7 +19,7 @@ let make names =
         invalid_arg (Printf.sprintf "Alphabet.make: duplicate name %S" n);
       Hashtbl.add index n i)
     arr;
-  { names = arr; index }
+  { names = arr; ids = Array.map Intern.id arr; index }
 
 let size a = Array.length a.names
 
@@ -24,7 +32,24 @@ let symbol_opt a n = Hashtbl.find_opt a.index n
 let mem_name a n = Hashtbl.mem a.index n
 let symbols a = List.init (size a) Fun.id
 let names a = Array.to_list a.names
-let equal a b = a.names = b.names
+
+let intern_id a s =
+  if s < 0 || s >= size a then invalid_arg "Alphabet.intern_id: bad symbol";
+  a.ids.(s)
+
+(* same names in the same order ⟺ same intern ids in the same order;
+   comparing int arrays skips the per-character string compares *)
+let equal a b = a == b || a.ids = b.ids
+
+(* Dense symbol translation: one array lookup per step replaces a
+   name-keyed hashtable probe in the composition hot loops. Built by
+   probing [dst]'s id set once per [src] symbol. *)
+let remap ~src ~dst =
+  let by_id = Hashtbl.create (size dst * 2) in
+  Array.iteri (fun s id -> Hashtbl.replace by_id id s) dst.ids;
+  Array.map
+    (fun id -> match Hashtbl.find_opt by_id id with Some s -> s | None -> -1)
+    src.ids
 
 let pp ppf a =
   Format.fprintf ppf "{%a}"

@@ -37,8 +37,21 @@ val symbols : t -> symbol list
 val names : t -> string list
 
 (** [equal a b] holds iff [a] and [b] have the same names in the same
-    order. *)
+    order — decided by comparing the symbols' global {!Intern} ids, so
+    no string is hashed or compared. *)
 val equal : t -> t -> bool
+
+(** [intern_id a s] is the process-wide {!Intern} id of symbol [s] —
+    the integer key under which every alphabet of the process knows the
+    same action name. *)
+val intern_id : t -> symbol -> int
+
+(** [remap ~src ~dst] is the dense symbol translation table from [src]
+    to [dst]: entry [s] is the [dst]-symbol carrying the same name as
+    [src]-symbol [s], or [-1] when [dst] lacks the name. One array
+    lookup per translated symbol; built once per operand pair, it
+    replaces per-step name hashing in composition and diff hot loops. *)
+val remap : src:t -> dst:t -> int array
 
 val pp : Format.formatter -> t -> unit
 

@@ -1,0 +1,49 @@
+(* The process-wide symbol intern table.
+
+   A mutex-guarded hashtable maps names to dense ids; the reverse map is
+   a count + growable array published through one [Atomic], so [name] —
+   the only call that can appear on a hot path (witness printing, diff
+   rendering) — reads without taking the lock: the snapshot it loads
+   covers every id published before the load, because the writer fills
+   the slot before the SC [Atomic.set] that publishes the new count. *)
+
+type rev = { n : int; arr : string array }
+
+let lock = Mutex.create ()
+let table : (string, int) Hashtbl.t = Hashtbl.create 256
+let names : rev Atomic.t = Atomic.make { n = 0; arr = Array.make 16 "" }
+
+let id s =
+  Mutex.lock lock;
+  let i =
+    match Hashtbl.find_opt table s with
+    | Some i -> i
+    | None ->
+        let { n; arr } = Atomic.get names in
+        let arr =
+          if n < Array.length arr then arr
+          else begin
+            let bigger = Array.make (Array.length arr * 2) "" in
+            Array.blit arr 0 bigger 0 (Array.length arr);
+            bigger
+          end
+        in
+        arr.(n) <- s;
+        Atomic.set names { n = n + 1; arr };
+        Hashtbl.add table s n;
+        n
+  in
+  Mutex.unlock lock;
+  i
+
+let find s =
+  Mutex.lock lock;
+  let r = Hashtbl.find_opt table s in
+  Mutex.unlock lock;
+  r
+
+let count () = (Atomic.get names).n
+
+let name i =
+  let { n; arr } = Atomic.get names in
+  if i < 0 || i >= n then invalid_arg "Intern.name: unknown id" else arr.(i)

@@ -244,6 +244,27 @@ verdicts, witnesses and exit codes (RLCHECK_JOBS sets the default):
   rlcheck: state limit 10 reached during Büchi complementation after exploring 10 states
   [4]
 
+--jobs 2 --stats: the work-stealing scheduler's counters (steals, parks,
+shard contention) ride the same epilogue as the serial profile — one
+JSON line tagged "rlcheck_stats":1 on stdout after the verdict, the
+human table on stderr. The counter values depend on scheduling, so we
+assert the verdict is byte-identical to the serial run and that the
+scheduler counters are present, not their values (RLCHECK_WS_MIN=0
+forces the work-stealing path even on this small model):
+
+  $ RLCHECK_WS_MIN=0 rlcheck rl big.ts -f '[]<>a' --jobs 2 --stats 2>/dev/null | head -n 1
+  RELATIVE LIVENESS: every prefix extends to a behavior satisfying []<>a
+  $ RLCHECK_WS_MIN=0 rlcheck rl big.ts -f '[]<>a' --jobs 2 --stats 2>stats.err \
+  >   | grep -c '"rlcheck_stats":1'
+  1
+  $ RLCHECK_WS_MIN=0 rlcheck rl big.ts -f '[]<>a' --jobs 2 --stats 2>/dev/null \
+  >   | grep -o '"steals":\|"parks":\|"shard_contention":' | sort
+  "parks":
+  "shard_contention":
+  "steals":
+  $ grep -c 'steals / parks' stats.err
+  1
+
 Static diagnostics. The shipped example models lint clean (exit 0, no
 errors or warnings):
 

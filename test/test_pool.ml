@@ -309,6 +309,105 @@ let prop_exhaustion_jobs_invariant =
       in
       run None = with_pool (fun pool -> run (Some pool)))
 
+(* --- the work-stealing scheduler leg --- *)
+
+(* The generated automata here are tiny (na*nb <= 36), far below the
+   default RLCHECK_WS_MIN product of 256, so without forcing the gate
+   every case would take the parmap path and the work-stealing engine
+   would go untested. The gate is re-read per [Inclusion.included] call,
+   so a putenv around the check is enough. *)
+let with_ws_forced f =
+  Unix.putenv "RLCHECK_WS_MIN" "0";
+  Fun.protect ~finally:(fun () -> Unix.putenv "RLCHECK_WS_MIN" "256") f
+
+let prop_ws_inclusion_invariant =
+  QCheck2.Test.make
+    ~name:
+      "work stealing: Inclusion verdict and witness identical to serial"
+    ~count:150 gen_nfa_pair (fun (a, b) ->
+      let serial = Inclusion.included a b in
+      let ws =
+        with_ws_forced (fun () ->
+            with_pool (fun pool -> Inclusion.included ~pool a b))
+      in
+      match (serial, ws) with
+      | Ok (), Ok () -> true
+      | Error w, Error w' -> Word.equal w w'
+      | _ -> false)
+
+let prop_ws_rl_verdict_invariant =
+  QCheck2.Test.make
+    ~name:"work stealing: relative-liveness verdict identical to serial"
+    ~count:40
+    QCheck2.Gen.(pair gen_ts gen_formula)
+    (fun (ts, f) ->
+      let system = Buchi.of_transition_system ts in
+      let p = Relative.ltl abc f in
+      let serial = Relative.is_relative_liveness ~system p in
+      let ws =
+        with_ws_forced (fun () ->
+            with_pool (fun pool ->
+                Relative.is_relative_liveness ~pool ~system p))
+      in
+      match (serial, ws) with
+      | Ok (), Ok () -> true
+      | Error w, Error w' -> Word.equal w w'
+      | _ -> false)
+
+let prop_ws_budget_gate =
+  QCheck2.Test.make
+    ~name:
+      "work stealing: finite max_states keeps exhaustion identical (the \
+       eligibility gate routes to the counted path)"
+    ~count:60
+    QCheck2.Gen.(pair gen_nfa_pair (5 -- 40))
+    (fun ((a, b), limit) ->
+      let run pool =
+        let budget = Budget.create ~max_states:limit () in
+        match Inclusion.included ~budget ?pool a b with
+        | Ok () -> `Ok
+        | Error w -> `Cex w
+        | exception Budget.Exhausted e -> `Exhausted e.Budget.states_explored
+      in
+      run None
+      = with_ws_forced (fun () -> with_pool (fun pool -> run (Some pool))))
+
+(* Workers under [Pool_domain_death] die at job pickup, before the
+   member body runs: the work-stealing region then completes on the
+   caller plus whichever workers survived, stealing the dead members'
+   share. The verdicts must not notice. *)
+let test_ws_worker_death () =
+  with_ws_forced @@ fun () ->
+  Pool.with_pool ~jobs ~cutoff:0 @@ fun pool ->
+  let cases =
+    List.init 12 (fun i ->
+        let rng = Helpers.mk_rng (1000 + (37 * i)) in
+        let mk states =
+          Rl_automata.Gen.nfa rng ~alphabet:abc ~states ~density:0.25
+            ~final_prob:0.5
+        in
+        (mk (1 + (i mod 6)), mk (1 + ((i / 2) mod 6))))
+  in
+  let expect = List.map (fun (a, b) -> Inclusion.included a b) cases in
+  Fault.configure ~seed:11 [ (Fault.Pool_domain_death, 0.25) ];
+  Fun.protect ~finally:Fault.reset (fun () ->
+      List.iteri
+        (fun i (a, b) ->
+          let got = Inclusion.included ~pool a b in
+          let same =
+            match (List.nth expect i, got) with
+            | Ok (), Ok () -> true
+            | Error w, Error w' -> Word.equal w w'
+            | _ -> false
+          in
+          Alcotest.(check bool)
+            (Printf.sprintf "case %d verdict under dying workers" i)
+            true same;
+          Pool.heal pool)
+        cases);
+  Alcotest.(check int) "every death was healed" (Pool.deaths pool)
+    (Pool.heals pool)
+
 let qcheck = QCheck_alcotest.to_alcotest
 
 let () =
@@ -346,5 +445,13 @@ let () =
           qcheck prop_complement_jobs_invariant;
           qcheck prop_rl_verdict_jobs_invariant;
           qcheck prop_exhaustion_jobs_invariant;
+        ] );
+      ( "work stealing",
+        [
+          qcheck prop_ws_inclusion_invariant;
+          qcheck prop_ws_rl_verdict_invariant;
+          qcheck prop_ws_budget_gate;
+          Alcotest.test_case "verdicts survive dying workers" `Quick
+            test_ws_worker_death;
         ] );
     ]

@@ -223,8 +223,81 @@ let prop_word_prefix_drop =
       let n = min n (Word.length u) in
       Word.equal u (Word.append (Word.prefix u n) (Word.drop u n)))
 
+(* --- Intern / alphabet remaps --- *)
+
+let test_intern_roundtrip () =
+  let names = [ "ir-alpha"; "ir-beta"; "ir-gamma" ] in
+  let ids = List.map Intern.id names in
+  (* stable: re-interning yields the same ids *)
+  Alcotest.(check (list int)) "stable" ids (List.map Intern.id names);
+  List.iter2
+    (fun n i -> Alcotest.(check string) n n (Intern.name i))
+    names ids;
+  List.iter2
+    (fun n i -> Alcotest.(check (option int)) n (Some i) (Intern.find n))
+    names ids;
+  Alcotest.(check (option int))
+    "never interned" None
+    (Intern.find "ir-never-interned");
+  Alcotest.(check bool) "count covers ids" true
+    (List.for_all (fun i -> i < Intern.count ()) ids);
+  Alcotest.check_raises "out of range"
+    (Invalid_argument "Intern.name: unknown id") (fun () ->
+      ignore (Intern.name max_int))
+
+let gen_names =
+  (* small pools so overlap between the two generated alphabets is common *)
+  QCheck2.Gen.(
+    let name = map (Printf.sprintf "s%d") (int_range 0 9) in
+    map
+      (fun l ->
+        List.sort_uniq compare l |> function [] -> [ "s0" ] | l -> l)
+      (list_size (int_range 1 8) name))
+
+let prop_alphabet_equal_iff_names =
+  QCheck2.Test.make ~name:"alphabet: equal iff same names in same order"
+    ~count:500
+    QCheck2.Gen.(pair gen_names gen_names)
+    (fun (n1, n2) ->
+      let a = Alphabet.make n1 and b = Alphabet.make n2 in
+      Alphabet.equal a b = (n1 = n2))
+
+let prop_alphabet_remap_agrees_with_names =
+  QCheck2.Test.make
+    ~name:"alphabet: remap agrees with name lookup, -1 iff missing"
+    ~count:500
+    QCheck2.Gen.(pair gen_names gen_names)
+    (fun (n1, n2) ->
+      let src = Alphabet.make n1 and dst = Alphabet.make n2 in
+      let tbl = Alphabet.remap ~src ~dst in
+      Array.length tbl = Alphabet.size src
+      && List.for_all
+           (fun s ->
+             match Alphabet.symbol_opt dst (Alphabet.name src s) with
+             | Some d -> tbl.(s) = d
+             | None -> tbl.(s) = -1)
+           (Alphabet.symbols src))
+
+let prop_alphabet_intern_id_name =
+  QCheck2.Test.make
+    ~name:"alphabet: intern ids are name-equal across alphabets" ~count:500
+    QCheck2.Gen.(pair gen_names gen_names)
+    (fun (n1, n2) ->
+      let a = Alphabet.make n1 and b = Alphabet.make n2 in
+      List.for_all
+        (fun s ->
+          List.for_all
+            (fun t ->
+              Alphabet.intern_id a s = Alphabet.intern_id b t
+              = (Alphabet.name a s = Alphabet.name b t))
+            (Alphabet.symbols b))
+        (Alphabet.symbols a))
+
 let qsuite = List.map QCheck_alcotest.to_alcotest
     [
+      prop_alphabet_equal_iff_names;
+      prop_alphabet_remap_agrees_with_names;
+      prop_alphabet_intern_id_name;
       prop_lasso_at_independent_of_form;
       prop_lasso_suffix_at;
       prop_lasso_equal_iff_same_letters;
@@ -244,6 +317,7 @@ let () =
           Alcotest.test_case "roundtrip" `Quick test_alphabet_roundtrip;
           Alcotest.test_case "duplicate rejected" `Quick test_alphabet_duplicate;
           Alcotest.test_case "unknown name" `Quick test_alphabet_unknown;
+          Alcotest.test_case "intern roundtrip" `Quick test_intern_roundtrip;
         ] );
       ( "word",
         [
