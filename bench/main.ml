@@ -1320,9 +1320,20 @@ type lint_row = {
   lint_overhead_pct : float;
   lint_bar_armed : bool;
   lint_diags : int;
+  (* the opt-in RL5xx fixpoint passes, timed on the same family. They
+     never run in the pre-flight (the <5% bar above is shallow-only);
+     this records what `rlcheck lint` pays for the full semantic report,
+     so a regression in the dataflow engine shows up in review. *)
+  deep_s : float;
+  deep_diags : int;
 }
 
 let lint_check_floor = 0.05
+
+(* the deep passes are polynomial fixpoints while the checks they inform
+   are exponential searches, so on any family slow enough to measure the
+   full `rlcheck lint` report must cost at most twice the check itself *)
+let deep_bar_ratio = 2.0
 
 let lint_families () =
   [
@@ -1331,13 +1342,20 @@ let lint_families () =
     ("lint/counter-4290", counter_ts [ 2; 3; 5; 11; 13 ], "true");
   ]
 
-let lint_json ~worst rows =
+let lint_json ~worst ~deep_worst_ratio rows =
   let record r =
     Printf.sprintf
       "    {\"family\": \"%s\", \"lint_s\": %.6f, \"check_s\": %.6f, \
        \"overhead_pct\": %.3f, \"bar_armed\": %b, \"diagnostics\": %d}"
       (json_escape r.lint_family) r.lint_s r.lint_check_s
       r.lint_overhead_pct r.lint_bar_armed r.lint_diags
+  in
+  let deep_record r =
+    Printf.sprintf
+      "    {\"family\": \"%s\", \"deep_s\": %.6f, \"diagnostics\": %d, \
+       \"vs_check_ratio\": %.3f}"
+      (json_escape r.lint_family) r.deep_s r.deep_diags
+      (r.deep_s /. r.lint_check_s)
   in
   Printf.sprintf
     "{\n\
@@ -1347,10 +1365,19 @@ let lint_json ~worst rows =
     \  \"worst_armed_overhead_pct\": %.3f,\n\
     \  \"families\": [\n\
      %s\n\
-    \  ]\n\
+    \  ],\n\
+    \  \"deep\": {\n\
+    \    \"bar_vs_check_ratio\": %.1f,\n\
+    \    \"worst_armed_ratio\": %.3f,\n\
+    \    \"families\": [\n\
+     %s\n\
+    \    ]\n\
+    \  }\n\
      }\n"
     (host_json ()) lint_check_floor worst
     (String.concat ",\n" (List.map record rows))
+    deep_bar_ratio deep_worst_ratio
+    (String.concat ",\n" (List.map deep_record rows))
 
 let lint_profile () =
   header "LINT PROFILE (pre-flight overhead vs end-to-end rl check)";
@@ -1369,6 +1396,9 @@ let lint_profile () =
         let diags, lint_s =
           best_wall (fun () -> Rl_analysis.Lint.run ~deep:false input)
         in
+        let deep_diags, deep_s =
+          best_wall (fun () -> Rl_analysis.Lint.run ~deep:true input)
+        in
         let system = Buchi.of_transition_system ts in
         let p = Relative.ltl (Nfa.alphabet ts) f in
         let _, check_s =
@@ -1377,8 +1407,9 @@ let lint_profile () =
         in
         let overhead = 100. *. lint_s /. check_s in
         let armed = check_s >= lint_check_floor in
-        Printf.printf "  lint %.6f s, check %.6f s → %.3f%% (%s)\n%!" lint_s
-          check_s overhead
+        Printf.printf
+          "  lint %.6f s, deep %.6f s, check %.6f s → %.3f%% (%s)\n%!" lint_s
+          deep_s check_s overhead
           (if armed then "bar armed" else "recorded only");
         {
           lint_family = name;
@@ -1387,6 +1418,8 @@ let lint_profile () =
           lint_overhead_pct = overhead;
           lint_bar_armed = armed;
           lint_diags = List.length diags;
+          deep_s;
+          deep_diags = List.length deep_diags;
         })
       (lint_families ())
   in
@@ -1402,7 +1435,22 @@ let lint_profile () =
       worst;
     exit 1
   end;
-  let json = lint_json ~worst rows in
+  let deep_worst_ratio =
+    List.fold_left
+      (fun acc r ->
+        if r.lint_bar_armed then max acc (r.deep_s /. r.lint_check_s) else acc)
+      0. rows
+  in
+  Printf.printf "deep-pass %.1fx-of-check bar: worst armed %.3fx\n"
+    deep_bar_ratio deep_worst_ratio;
+  if deep_worst_ratio >= deep_bar_ratio then begin
+    Printf.eprintf
+      "bench: deep lint passes exceeded %.1fx of the check itself (worst \
+       %.3fx)\n"
+      deep_bar_ratio deep_worst_ratio;
+    exit 1
+  end;
+  let json = lint_json ~worst ~deep_worst_ratio rows in
   Out_channel.with_open_text "BENCH_lint.json" (fun oc -> output_string oc json);
   Printf.printf "(written to BENCH_lint.json)\n"
 

@@ -525,7 +525,53 @@ let format_arg =
     & opt (Arg.enum [ ("human", `Human); ("json", `Json); ("sarif", `Sarif) ]) `Human
     & info [ "format" ] ~docv:"FORMAT" ~doc)
 
-let run_lint path formula_src keep format max_states timeout bound =
+(* SYSTEM is optional here (unlike the deciders): --list-passes needs none *)
+let lint_system_arg =
+  let doc = "System file: a transition system, or a Petri net if it ends in .pn." in
+  Arg.(value & pos 0 (some file) None & info [] ~docv:"SYSTEM" ~doc)
+
+let fix_arg =
+  let doc =
+    "Apply the machine-applicable fixes (e.g. dead-transition removal, \
+     RL501) to the model file and rewrite it in place. Idempotent; refuses \
+     conflicting edits and any rewrite after which the model no longer \
+     parses."
+  in
+  Arg.(value & flag & info [ "fix" ] ~doc)
+
+let baseline_arg =
+  let doc =
+    "Suppress the findings recorded in the baseline file $(docv) and fail \
+     (exit 2) if any new finding remains — the CI gate. Record the file \
+     with --write-baseline."
+  in
+  Arg.(value & opt (some string) None & info [ "baseline" ] ~docv:"FILE" ~doc)
+
+let write_baseline_arg =
+  let doc =
+    "Record the current findings as the baseline file $(docv) and exit 0."
+  in
+  Arg.(
+    value & opt (some string) None & info [ "write-baseline" ] ~docv:"FILE" ~doc)
+
+let list_passes_arg =
+  let doc = "List the registered lint passes and exit." in
+  Arg.(value & flag & info [ "list-passes" ] ~doc)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_file path content =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc content)
+
+let run_lint path formula_src keep format max_states timeout bound fix
+    baseline_file write_baseline list_passes =
   (* only an explicit limit becomes the deep-pass budget; otherwise the
      passes fall back to their own internal cap *)
   let budget =
@@ -534,38 +580,130 @@ let run_lint path formula_src keep format max_states timeout bound =
     | _ -> Some (Budget.create ?max_states ?timeout ())
   in
   guarded @@ fun () ->
-  let parse_diags = ref [] in
-  let collect d = parse_diags := d :: !parse_diags in
-  let* sys = Ts_format.load_result ~on_diagnostic:collect ?budget ?bound path in
-  let* formula =
-    match formula_src with
-    | None -> Ok None
-    | Some s -> Result.map Option.some (parse_formula s)
-  in
-  let diags =
-    Lint.run
-      {
-        Lint.empty with
-        file = Some path;
-        parse = List.rev !parse_diags;
-        system = Some sys;
-        formula;
-        keep;
-        budget;
-      }
-  in
-  (match format with
-  | `Human ->
-      List.iter
-        (fun d ->
-          Format.printf "%a@." Diagnostic.pp d;
-          if d.Diagnostic.fix <> None then
-            Format.printf "%a@." Diagnostic.pp_fix d)
-        diags;
-      Format.printf "%s@." (Diagnostic.summary diags)
-  | `Json -> print_string (Diagnostic.report_json diags)
-  | `Sarif -> print_string (Diagnostic.report_sarif ~rules:Lint.rules diags));
-  if List.exists Diagnostic.is_error diags then exit 2 else Ok ()
+  if list_passes then begin
+    List.iter
+      (fun p ->
+        Format.printf "%-22s %-10s %s%s@." p.Lint.name
+          (if p.Lint.deep then "deep" else "pre-flight")
+          (String.concat "," p.Lint.codes)
+          (if p.Lint.name = "dead-transitions" then " (fixable)" else ""))
+      Lint.passes;
+    Ok ()
+  end
+  else
+    let* path =
+      match path with
+      | Some p -> Ok p
+      | None ->
+          Error
+            (Error.Internal
+               "a SYSTEM file is required unless --list-passes is given")
+    in
+    let parse_diags = ref [] in
+    let collect d = parse_diags := d :: !parse_diags in
+    (* the raw source backs the RL501 line spans and --fix; Petri nets
+       have no line-per-transition correspondence *)
+    let src =
+      if Filename.check_suffix path ".pn" then None else Some (read_file path)
+    in
+    let locs =
+      match src with
+      | None -> []
+      | Some text ->
+          List.map
+            (fun (t, l) ->
+              (t, (l.Ts_format.line, l.Ts_format.start_col, l.Ts_format.end_col)))
+            (Ts_format.transition_locs text)
+    in
+    let* sys = Ts_format.load_result ~on_diagnostic:collect ?budget ?bound path in
+    let* formula =
+      match formula_src with
+      | None -> Ok None
+      | Some s -> Result.map Option.some (parse_formula s)
+    in
+    let diags =
+      Lint.run
+        {
+          Lint.empty with
+          file = Some path;
+          parse = List.rev !parse_diags;
+          system = Some sys;
+          formula;
+          keep;
+          budget;
+          locs;
+        }
+    in
+    if fix then begin
+      match src with
+      | None -> Error (Error.Internal "--fix supports only .ts models")
+      | Some text -> (
+          let* edits =
+            Result.map_error
+              (fun m -> Error.Internal m)
+              (Rl_analysis.Fix.plan diags)
+          in
+          if edits = [] then begin
+            Format.printf "no machine-applicable fixes@.";
+            Ok ()
+          end
+          else
+            let fixed = Rl_analysis.Fix.apply ~src:text edits in
+            match Ts_format.parse_ts_result ~file:path fixed with
+            | Error e ->
+                Error
+                  (Error.Internal
+                     (Format.asprintf
+                        "refusing --fix: the rewritten model no longer \
+                         parses (%a)"
+                        Error.pp e))
+            | Ok _ ->
+                write_file path fixed;
+                Format.printf "%s: applied %d fix%s@." path (List.length edits)
+                  (if List.length edits = 1 then "" else "es");
+                Ok ())
+    end
+    else
+      match write_baseline with
+      | Some bpath ->
+          write_file bpath (Rl_analysis.Baseline.render diags);
+          Format.printf "%s: recorded %d finding%s@." bpath (List.length diags)
+            (if List.length diags = 1 then "" else "s");
+          Ok ()
+      | None ->
+          let* diags, suppressed =
+            match baseline_file with
+            | None -> Ok (diags, 0)
+            | Some bpath ->
+                let* fps =
+                  Result.map_error
+                    (fun m -> Error.Internal (bpath ^ ": " ^ m))
+                    (Rl_analysis.Baseline.parse (read_file bpath))
+                in
+                Ok (Rl_analysis.Baseline.filter ~baseline:fps diags)
+          in
+          (match format with
+          | `Human ->
+              List.iter
+                (fun d ->
+                  Format.printf "%a@." Diagnostic.pp d;
+                  if d.Diagnostic.fix <> None then
+                    Format.printf "%a@." Diagnostic.pp_fix d)
+                diags;
+              Format.printf "%s%s@."
+                (Diagnostic.summary diags)
+                (if suppressed > 0 then
+                   Printf.sprintf " (%d suppressed by baseline)" suppressed
+                 else "")
+          | `Json -> print_string (Diagnostic.report_json diags)
+          | `Sarif -> print_string (Diagnostic.report_sarif ~rules:Lint.rules diags));
+          (* with a baseline, any unsuppressed finding is new and fails
+             the gate; without one, only Errors do *)
+          let failing =
+            if baseline_file <> None then diags <> []
+            else List.exists Diagnostic.is_error diags
+          in
+          if failing then exit 2 else Ok ()
 
 let lint_cmd =
   let doc =
@@ -574,8 +712,9 @@ let lint_cmd =
   in
   Cmd.v (Cmd.info "lint" ~doc)
     Term.(
-      const run_lint $ system_arg $ lint_formula_arg $ lint_keep_arg
-      $ format_arg $ max_states_arg $ timeout_arg $ bound_arg)
+      const run_lint $ lint_system_arg $ lint_formula_arg $ lint_keep_arg
+      $ format_arg $ max_states_arg $ timeout_arg $ bound_arg $ fix_arg
+      $ baseline_arg $ write_baseline_arg $ list_passes_arg)
 
 (* --- info / dot --- *)
 

@@ -1,0 +1,14 @@
+# A billing pipeline carried over from an older revision. Two findings
+# are accepted and recorded in lint.baseline rather than fixed:
+#   - the `audit` transition out of state 3 survives from a feature that
+#     no longer has a caller, so state 3 is unreachable (dead transition);
+#   - once an invoice is written off (state 2) the model never returns
+#     to the active cycle (a trap component, kept intentionally).
+alphabet invoice pay remind writeoff archive audit
+initial 0
+0 invoice 1
+1 pay 0
+1 remind 1
+1 writeoff 2
+2 archive 2
+3 audit 0

@@ -1,0 +1,7 @@
+# A three-phase traffic light: the canonical strongly-connected cycle.
+# Every state lies on the cycle, so the full lint report is silent.
+alphabet go caution stop
+initial 0
+0 go 1
+1 caution 2
+2 stop 0

@@ -1,0 +1,13 @@
+# A two-slot worker pool: jobs are submitted, picked up, and completed
+# or retried. The pool can always drain back to idle, so no state is a
+# trap and no transition is dead.
+alphabet submit pick done retry
+initial 0
+0 submit 1
+1 pick 2
+2 done 0
+2 retry 1
+1 submit 3
+3 pick 4
+4 done 1
+4 retry 3

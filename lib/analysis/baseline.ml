@@ -1,0 +1,45 @@
+let header = "# rlcheck lint baseline v1"
+
+(* tabs and newlines are the format's structure; escape them (and other
+   control characters) out of the free-text message *)
+let escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let fingerprint d =
+  Printf.sprintf "%s\t%s\t%s" d.Diagnostic.code
+    (escape (Option.value d.Diagnostic.file ~default:"-"))
+    (escape d.Diagnostic.message)
+
+let render ds =
+  let fps = List.sort_uniq String.compare (List.map fingerprint ds) in
+  String.concat "\n" ((header :: fps) @ [ "" ])
+
+let parse src =
+  match String.split_on_char '\n' src with
+  | first :: rest when String.trim first = header ->
+      Ok
+        (List.filter
+           (fun l ->
+             let l = String.trim l in
+             l <> "" && l.[0] <> '#')
+           rest)
+  | _ ->
+      Error
+        (Printf.sprintf "not a lint baseline (expected a '%s' header line)"
+           header)
+
+let filter ~baseline ds =
+  let keep, drop =
+    List.partition (fun d -> not (List.mem (fingerprint d) baseline)) ds
+  in
+  (keep, List.length drop)

@@ -1,0 +1,32 @@
+(** Lint baselines: suppress known findings, fail only on new ones.
+
+    A baseline file records the findings a project has accepted (or not
+    yet fixed) so CI gates only on {e new} diagnostics. The format is
+    deliberately plain text — one fingerprint per line after a versioned
+    header — so baselines diff cleanly and can be audited by eye:
+
+    {v
+    # rlcheck lint baseline v1
+    RL202	fig3.ts	2 transitions leave states that lie on no cycle: ...
+    v}
+
+    A fingerprint is [code TAB file TAB message] (control characters
+    escaped, file ["-"] when absent). Line numbers are deliberately {e
+    excluded}: edits elsewhere in the file must not churn the baseline. *)
+
+(** [fingerprint d] is [d]'s one-line identity in a baseline —
+    [code TAB file TAB message], line numbers excluded. *)
+val fingerprint : Diagnostic.t -> string
+
+(** [render ds] is the baseline file content recording [ds]. Fingerprints
+    are sorted and deduplicated. *)
+val render : Diagnostic.t list -> string
+
+(** [parse src] is the fingerprint set of a baseline file, or [Error] on
+    a missing/unknown header. Blank lines and [#] comments are ignored. *)
+val parse : string -> (string list, string) result
+
+(** [filter ~baseline ds] splits [ds] into (new findings, suppressed
+    count): a diagnostic is suppressed when its fingerprint is in
+    [baseline]. *)
+val filter : baseline:string list -> Diagnostic.t list -> Diagnostic.t list * int

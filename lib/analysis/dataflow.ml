@@ -1,0 +1,61 @@
+module Csr = Rl_prelude.Csr
+module Bitset = Rl_prelude.Bitset
+
+type direction = Forward | Backward
+
+type problem = {
+  width : int;
+  init : int -> Bitset.t -> unit;
+  transfer : int -> int -> int -> Bitset.t -> Bitset.t -> unit;
+}
+
+let solve ?(direction = Forward) csr p =
+  let g = match direction with Forward -> csr | Backward -> Csr.transpose csr in
+  let n = Csr.states g in
+  let facts = Array.init n (fun _ -> Bitset.create p.width) in
+  for q = 0 to n - 1 do
+    p.init q facts.(q)
+  done;
+  let queue = Queue.create () in
+  let queued = Array.make n true in
+  for q = 0 to n - 1 do
+    Queue.add q queue
+  done;
+  let out = Bitset.create p.width in
+  while not (Queue.is_empty queue) do
+    let q = Queue.pop queue in
+    queued.(q) <- false;
+    for a = 0 to Csr.symbols g - 1 do
+      Csr.iter_succ g q a (fun q' ->
+          Bitset.diff_into ~into:out out;
+          p.transfer q a q' facts.(q) out;
+          if not (Bitset.subset out facts.(q')) then begin
+            Bitset.union_into ~into:facts.(q') out;
+            if not queued.(q') then begin
+              queued.(q') <- true;
+              Queue.add q' queue
+            end
+          end)
+    done
+  done;
+  facts
+
+(* the 1-bit gen/propagate instance: bit 0 = "marked" *)
+let mark_instance ~seeds =
+  {
+    width = 1;
+    init = (fun q s -> if List.mem q seeds then Bitset.add s 0);
+    transfer =
+      (fun _src _sym _dst in_ out -> if Bitset.mem in_ 0 then Bitset.add out 0);
+  }
+
+let collect csr facts =
+  let marked = Bitset.create (Csr.states csr) in
+  Array.iteri (fun q s -> if Bitset.mem s 0 then Bitset.add marked q) facts;
+  marked
+
+let reachable csr ~init =
+  collect csr (solve csr (mark_instance ~seeds:init))
+
+let coreachable csr ~targets =
+  collect csr (solve ~direction:Backward csr (mark_instance ~seeds:targets))

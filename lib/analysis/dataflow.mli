@@ -1,0 +1,49 @@
+(** Monotone-fixpoint dataflow over CSR transition tables.
+
+    The RL5xx semantic passes all reduce to the same engine: one bitset of
+    [width] facts per state, joined by union (facts only grow), with a
+    per-edge monotone transfer, iterated to the least fixpoint by a
+    worklist. Edges come from the canonical {!Rl_prelude.Csr} table of an
+    automaton; [Backward] problems run the same engine on the transposed
+    table, so "what can this state reach" and "what reaches this state"
+    are the same ten lines of solver. *)
+
+module Csr := Rl_prelude.Csr
+module Bitset := Rl_prelude.Bitset
+
+type direction =
+  | Forward  (** facts flow along edges, source to target *)
+  | Backward  (** facts flow against edges (runs on {!Csr.transpose}) *)
+
+(** A monotone problem over a [width]-bit fact domain. [init q facts]
+    seeds state [q]'s fact set. [transfer src sym dst in_ out] contributes
+    facts for the edge [src --sym--> dst] by adding to [out] (cleared
+    before each call); [in_] is the current fact set of [src] and must not
+    be mutated. Under [Backward], [src]/[dst] are in the orientation of
+    the {e transposed} graph: [src] is the original edge's target.
+    Monotonicity ([out] grows when [in_] grows) is the caller's
+    obligation; it is what makes the fixpoint least and the iteration
+    terminating. *)
+type problem = {
+  width : int;
+  init : int -> Bitset.t -> unit;
+  transfer : int -> int -> int -> Bitset.t -> Bitset.t -> unit;
+}
+
+(** [solve ?direction csr p] iterates [p] to its least fixpoint and
+    returns the per-state fact sets. [direction] defaults to [Forward]. *)
+val solve : ?direction:direction -> Csr.t -> problem -> Bitset.t array
+
+(** {2 Canned analyses}
+
+    The two 1-bit instances every pass starts from. *)
+
+(** [reachable csr ~init] is the set of states reachable from [init] —
+    the forward gen/propagate instance. Agrees with
+    [Rl_automata.Nfa.reachable] on an automaton's own table (qcheck-pinned
+    in the test suite). *)
+val reachable : Csr.t -> init:int list -> Bitset.t
+
+(** [coreachable csr ~targets] is the set of states from which some state
+    of [targets] is reachable — the same instance run [Backward]. *)
+val coreachable : Csr.t -> targets:int list -> Bitset.t

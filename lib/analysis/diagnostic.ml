@@ -1,6 +1,13 @@
 type severity = Error | Warning | Hint
 
-type span = { start_line : int; end_line : int }
+type span = {
+  start_line : int;
+  end_line : int;
+  start_col : int;
+  end_col : int option;
+}
+
+type edit = Remove_line of int
 
 type t = {
   code : string;
@@ -9,15 +16,24 @@ type t = {
   span : span option;
   message : string;
   fix : string option;
+  edit : edit option;
 }
 
-let make ?file ?line ?end_line ?fix ~code ~severity message =
+let make ?file ?line ?end_line ?col ?end_col ?fix ?edit ~code ~severity message
+    =
   let span =
     match line with
     | None -> None
-    | Some l -> Some { start_line = l; end_line = Option.value end_line ~default:l }
+    | Some l ->
+        Some
+          {
+            start_line = l;
+            end_line = Option.value end_line ~default:l;
+            start_col = Option.value col ~default:1;
+            end_col;
+          }
   in
-  { code; severity; file; span; message; fix }
+  { code; severity; file; span; message; fix; edit }
 
 let severity_label = function
   | Error -> "error"
@@ -154,8 +170,12 @@ let report_sarif ~rules ds =
             match d.span with
             | Some s when s.start_line >= 1 ->
                 Printf.sprintf
-                  ", \"region\": {\"startLine\": %d, \"endLine\": %d}"
-                  s.start_line s.end_line
+                  ", \"region\": {\"startLine\": %d, \"startColumn\": %d, \
+                   \"endLine\": %d%s}"
+                  s.start_line s.start_col s.end_line
+                  (match s.end_col with
+                  | Some c -> Printf.sprintf ", \"endColumn\": %d" c
+                  | None -> "")
             | _ -> ""
           in
           Printf.sprintf

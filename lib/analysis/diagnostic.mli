@@ -18,9 +18,22 @@ type severity =
   | Warning  (** legal but suspicious; printed to stderr, check proceeds *)
   | Hint  (** stylistic or informational; shown only by [rlcheck lint] *)
 
-(** A source span, in 1-based line numbers ([end_line >= start_line]).
-    Diagnostics about the model as a whole carry no span. *)
-type span = { start_line : int; end_line : int }
+(** A source span, in 1-based line numbers ([end_line >= start_line]) and
+    1-based columns. [start_col] is [1] when only the line is known;
+    [end_col] is the column one past the last character (SARIF
+    convention), [None] when unknown. Diagnostics about the model as a
+    whole carry no span. *)
+type span = {
+  start_line : int;
+  end_line : int;
+  start_col : int;
+  end_col : int option;
+}
+
+(** A machine-applicable source edit. [fix] strings are prose for humans;
+    an [edit] is precise enough for [rlcheck lint --fix] to rewrite the
+    model file (see {!Fix}). *)
+type edit = Remove_line of int  (** delete the given 1-based line *)
 
 type t = {
   code : string;  (** stable diagnostic code, e.g. ["RL103"] *)
@@ -29,15 +42,19 @@ type t = {
   span : span option;
   message : string;
   fix : string option;  (** an actionable suggestion, when one exists *)
+  edit : edit option;  (** a machine-applicable fix, when one exists *)
 }
 
 (** [make ~code ~severity msg] builds a diagnostic; [line]/[end_line]
-    populate the span ([end_line] defaults to [line]). *)
+    populate the span ([end_line] defaults to [line], [col] to 1). *)
 val make :
   ?file:string ->
   ?line:int ->
   ?end_line:int ->
+  ?col:int ->
+  ?end_col:int ->
   ?fix:string ->
+  ?edit:edit ->
   code:string ->
   severity:severity ->
   string ->

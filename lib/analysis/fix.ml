@@ -1,0 +1,43 @@
+let edit_line (Diagnostic.Remove_line l) = l
+
+let plan ds =
+  let edits =
+    List.sort_uniq compare (List.filter_map (fun d -> d.Diagnostic.edit) ds)
+  in
+  (* only [Remove_line] exists today, so distinct edits on one line are a
+     planner bug upstream — still refuse rather than corrupt the file *)
+  let rec conflict = function
+    | a :: (b :: _ as rest) ->
+        if a <> b && edit_line a = edit_line b then Some (edit_line a)
+        else conflict rest
+    | _ -> None
+  in
+  match conflict edits with
+  | Some l ->
+      Error
+        (Printf.sprintf
+           "conflicting fixes on line %d: refusing to apply any edit" l)
+  | None -> Ok edits
+
+let apply ~src edits =
+  let doomed = List.map edit_line edits in
+  let buf = Buffer.create (String.length src) in
+  let lines = String.split_on_char '\n' src in
+  (* a trailing "\n" splits into a final "" pseudo-line; keep it out of
+     the numbering and re-add the newline at the end *)
+  let trailing_nl = String.length src > 0 && src.[String.length src - 1] = '\n' in
+  let lines =
+    if trailing_nl then List.filteri (fun i _ -> i < List.length lines - 1) lines
+    else lines
+  in
+  let first = ref true in
+  List.iteri
+    (fun i line ->
+      if not (List.mem (i + 1) doomed) then begin
+        if not !first then Buffer.add_char buf '\n';
+        first := false;
+        Buffer.add_string buf line
+      end)
+    lines;
+  if trailing_nl && Buffer.length buf > 0 then Buffer.add_char buf '\n';
+  Buffer.contents buf

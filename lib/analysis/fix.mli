@@ -1,0 +1,20 @@
+(** Applying machine-applicable lint fixes to model sources.
+
+    [rlcheck lint --fix] is the consumer: it plans the edits carried by a
+    report's diagnostics ({!Diagnostic.edit}), applies them to the raw
+    [.ts] source text, and rewrites the file. Application is pure text
+    surgery — no reparse, no reprint — so user formatting and comments on
+    untouched lines survive, and a fixed file re-lints to a report with no
+    further machine-applicable edits (idempotence, qcheck-pinned in the
+    test suite). *)
+
+(** [plan ds] extracts the edits of the machine-applicable diagnostics,
+    deduplicates identical ones, and refuses conflicting distinct edits
+    on the same line: [Error msg] names the first conflicting line.
+    The result is sorted by line. *)
+val plan : Diagnostic.t list -> (Diagnostic.edit list, string) result
+
+(** [apply ~src edits] applies [edits] to the source text. Line numbers
+    are 1-based into [src]'s lines; edits past the last line are ignored.
+    A trailing newline is preserved. *)
+val apply : src:string -> Diagnostic.edit list -> string

@@ -13,6 +13,7 @@ type input = {
   formula : Formula.t option;
   keep : string list option;
   budget : Budget.t option;
+  locs : ((int * string * int) * (int * int * int)) list;
 }
 
 let empty =
@@ -24,6 +25,7 @@ let empty =
     formula = None;
     keep = None;
     budget = None;
+    locs = [];
   }
 
 type pass = {
@@ -434,10 +436,401 @@ let run_keep i =
       unknown_diags @ structural
   | _ -> []
 
-let run_simplicity i =
-  match hiding_hom i with
+(* --- the RL5xx dataflow passes ---
+
+   Everything below is fixpoint/SCC reasoning over the canonical CSR
+   tables: reachability through {!Dataflow}, component structure through
+   {!Rl_prelude.Scc}. All passes are [deep] — they never run in the
+   deciders' pre-flight. *)
+
+module Scc = Rl_prelude.Scc
+
+let reach_of sys = Dataflow.reachable (Nfa.csr sys) ~init:(Nfa.initial sys)
+
+(* structural guard shared by the component passes: the semantic
+   arguments below assume an ε-free system with at least one state *)
+let plain_system i =
+  match i.system with
+  | Some sys when Nfa.states sys > 0 && not (Nfa.has_eps sys) -> Some sys
+  | _ -> None
+
+(* [RL501] A transition is dead iff its source state is unreachable: no
+   run can take it, so removing it changes neither L nor any verdict
+   (the deciders trim to the reachable part anyway). When the declaring
+   line is known the removal is machine-applicable — unless the label
+   occurs on no live line and the alphabet is inferred, where deleting
+   the line could shrink the alphabet. *)
+let run_dead_transitions i =
+  match i.system with
   | None -> []
-  | Some (hom, sys) -> (
+  | Some sys ->
+      let reach = reach_of sys in
+      let al = Nfa.alphabet sys in
+      let dead =
+        List.sort_uniq compare
+          (List.filter
+             (fun (q, _, _) -> not (Bitset.mem reach q))
+             (Nfa.transitions sys))
+      in
+      if dead = [] then []
+      else
+        let live_labels =
+          List.sort_uniq String.compare
+            (List.filter_map
+               (fun (q, a, _) ->
+                 if Bitset.mem reach q then Some (Alphabet.name al a) else None)
+               (Nfa.transitions sys))
+        in
+        List.concat_map
+          (fun (q, a, q') ->
+            let name = Alphabet.name al a in
+            let msg =
+              Printf.sprintf
+                "transition %d %s %d is dead: state %d is unreachable, so no \
+                 run can ever take it"
+                q name q' q
+            in
+            let label_safe = List.mem name live_labels in
+            match
+              List.filter
+                (fun ((s, l, d), _) -> s = q && l = name && d = q')
+                i.locs
+            with
+            | [] ->
+                [
+                  Diagnostic.make ?file:i.file ~code:"RL501" ~severity:Warning
+                    ~fix:"remove the transition, or reconnect its source state"
+                    msg;
+                ]
+            | locs ->
+                List.map
+                  (fun (_, (line, c0, c1)) ->
+                    let edit =
+                      if label_safe then Some (Diagnostic.Remove_line line)
+                      else None
+                    in
+                    let fix =
+                      if label_safe then
+                        "remove this line (machine-applicable: rlcheck lint \
+                         --fix)"
+                      else
+                        Printf.sprintf
+                          "remove this line and declare '%s' on an explicit \
+                           'alphabet' line (not auto-fixed: the label occurs \
+                           on no live transition)"
+                          name
+                    in
+                    Diagnostic.make ?file:i.file ~line ~col:c0 ~end_col:c1
+                      ?edit ~fix ~code:"RL501" ~severity:Warning msg)
+                  locs)
+          dead
+
+(* reachable components a run could stay in forever *)
+let cycle_component reach scc c =
+  Scc.nontrivial scc c
+  && (match Scc.members scc c with q :: _ -> Bitset.mem reach q | [] -> false)
+
+(* the components a strongly fair run can have as its infinity set: the
+   infinity set of a fair run is closed under every transition (each is
+   enabled, hence taken, infinitely often), strongly connected, and
+   reachable — and conversely a round-robin tour of a reachable closed
+   cycle-bearing SCC is strongly fair. *)
+let feasible_components reach scc =
+  List.filter
+    (fun c -> scc.Scc.closed.(c) && cycle_component reach scc c)
+    (List.init scc.Scc.count Fun.id)
+
+(* [RL502] A trap: a reachable closed cycle-bearing component that is a
+   proper subset of the reachable states — once a run enters, the rest of
+   the system is gone for good. *)
+let run_trap_components i =
+  match plain_system i with
+  | None -> []
+  | Some sys ->
+      let reach = reach_of sys in
+      let scc = Scc.of_csr (Nfa.csr sys) in
+      let nreach = Bitset.cardinal reach in
+      let traps =
+        List.filter
+          (fun c -> scc.Scc.size.(c) < nreach)
+          (feasible_components reach scc)
+      in
+      List.filteri (fun idx _ -> idx < 4) traps
+      |> List.map (fun c ->
+             Diagnostic.make ?file:i.file ~code:"RL502" ~severity:Hint
+               ~fix:
+                 "add an exit transition if the divergence is unintended, or \
+                  keep it and read liveness verdicts accordingly"
+               (Printf.sprintf
+                  "%s form%s a trap (a divergence/sink component): once a \
+                   run enters, no other state is ever reachable again"
+                  (fmt_states (Scc.members scc c))
+                  (if scc.Scc.size.(c) = 1 then "s" else "")))
+
+(* [RL503] Streett-pair infeasibility, per SCC: when no reachable
+   cycle-bearing component is closed, strong transition fairness is
+   unsatisfiable (RL201), and each open cycle-bearing component is a
+   structural reason why — fairness forces every run out through its exit
+   edges. *)
+let run_fair_infeasibility i =
+  match plain_system i with
+  | None -> []
+  | Some sys -> (
+      match ts_buchi sys with
+      | None -> []
+      | Some b ->
+          if Buchi.is_empty b then []
+          else
+            let reach = reach_of sys in
+            let scc = Scc.of_csr (Nfa.csr sys) in
+            if feasible_components reach scc <> [] then []
+            else
+              let al = Nfa.alphabet sys in
+              let candidates =
+                List.filter
+                  (fun c -> cycle_component reach scc c)
+                  (List.init scc.Scc.count Fun.id)
+              in
+              List.filteri (fun idx _ -> idx < 4) candidates
+              |> List.map (fun c ->
+                     let exit =
+                       List.find_opt
+                         (fun (q, _, q') ->
+                           scc.Scc.comp.(q) = c && scc.Scc.comp.(q') <> c)
+                         (Nfa.transitions sys)
+                     in
+                     let via =
+                       match exit with
+                       | Some (q, a, q') ->
+                           Printf.sprintf " (e.g. %d %s %d)" q
+                             (Alphabet.name al a) q'
+                       | None -> ""
+                     in
+                     Diagnostic.make ?file:i.file ~code:"RL503"
+                       ~severity:Warning
+                       ~fix:
+                         "close the component (give its exits a way back) or \
+                          drop the fairness assumption"
+                       (Printf.sprintf
+                          "the cycle through %s cannot be the infinity set \
+                           of a strongly fair run: fairness forces the run \
+                           out through its exit transitions%s"
+                          (fmt_states (Scc.members scc c))
+                          via)))
+
+(* [RL505] Vacuity under fairness: an action with no occurrence inside
+   any feasible component is taken only finitely often in every strongly
+   fair run — recurrence verdicts about it are predetermined. *)
+let run_fair_atom_vacuity i =
+  match (i.formula, plain_system i) with
+  | Some f, Some sys -> (
+      match ts_buchi sys with
+      | None -> []
+      | Some b ->
+          if Buchi.is_empty b then []
+          else
+            let reach = reach_of sys in
+            let scc = Scc.of_csr (Nfa.csr sys) in
+            let feasible = feasible_components reach scc in
+            if feasible = [] then [] (* RL201/RL503 already apply *)
+            else
+              let al = Nfa.alphabet sys in
+              let occurring, recurring =
+                List.fold_left
+                  (fun (occ, rec_) (q, a, _) ->
+                    if Bitset.mem reach q then
+                      let n = Alphabet.name al a in
+                      ( n :: occ,
+                        if List.mem scc.Scc.comp.(q) feasible then n :: rec_
+                        else rec_ )
+                    else (occ, rec_))
+                  ([], []) (Nfa.transitions sys)
+              in
+              List.filter_map
+                (fun x ->
+                  if List.mem x occurring && not (List.mem x recurring) then
+                    Some
+                      (Diagnostic.make ?file:i.file ~code:"RL505"
+                         ~severity:Hint
+                         (Printf.sprintf
+                            "action '%s' occurs in no component a strongly \
+                             fair run can settle in: it happens only \
+                             finitely often in every fair run, so \
+                             fairness-relative recurrence verdicts about it \
+                             are predetermined"
+                            x))
+                  else None)
+                (List.sort_uniq String.compare (Formula.atoms f)))
+  | _ -> []
+
+(* --- static abstraction cleanliness (RL504/RL506) ---
+
+   Both analyses look at the hidden-transition subgraph of the reachable
+   part: abstract classes are its SCCs. *)
+
+let hidden_scc sys reach hidden =
+  let k = Alphabet.size (Nfa.alphabet sys) in
+  Scc.of_succ ~states:(Nfa.states sys) (fun q f ->
+      if Bitset.mem reach q then
+        for a = 0 to k - 1 do
+          if hidden.(a) then Nfa.iter_succ sys q a f
+        done)
+
+let abstraction_structure i =
+  match hiding_hom i with
+  | None -> None
+  | Some (hom, sys) ->
+      if Nfa.states sys = 0 || Nfa.has_eps sys then None
+      else
+        let k = Alphabet.size (Nfa.alphabet sys) in
+        let hidden =
+          Array.init k (fun a -> Rl_hom.Hom.apply_symbol hom a = None)
+        in
+        let reach = reach_of sys in
+        Some (sys, hidden, reach)
+
+(* A sufficient static condition for Definition 6.3 simplicity. Either
+   no reachable transition is hidden (h is then injective on L, every
+   abstract word has a unique preimage, and the continuations coincide
+   with u = ε), or the hidden subgraph decomposes into confined classes
+   with a deterministic observable interface:
+
+   (a) every reachable hidden edge stays inside its SCC of the hidden
+       subgraph (the "abstract classes" — so the ε-closure of any state
+       is exactly its class);
+   (b) all initial states share one class;
+   (c) for every class and observable action, the successors of all
+       members lie in a single common class, and if any member moves,
+       all members can.
+
+   Then the set of classes reached after a word depends only on its
+   image, the subset-construction state of h(L) after h(w) equals the
+   ε-closure of the states after any preimage w, and Definition 6.3
+   holds at every configuration with u = ε. *)
+let static_simplicity i =
+  match abstraction_structure i with
+  | None -> None
+  | Some (sys, hidden, reach) ->
+      let k = Alphabet.size (Nfa.alphabet sys) in
+      let any_hidden_live = ref false in
+      Bitset.iter
+        (fun q ->
+          for a = 0 to k - 1 do
+            if hidden.(a) then
+              Nfa.iter_succ sys q a (fun _ -> any_hidden_live := true)
+          done)
+        reach;
+      if not !any_hidden_live then Some true
+      else
+        let scc = hidden_scc sys reach hidden in
+        let ok = ref true in
+        (* (a) hidden edges confined to their class *)
+        Bitset.iter
+          (fun q ->
+            for a = 0 to k - 1 do
+              if hidden.(a) then
+                Nfa.iter_succ sys q a (fun q' ->
+                    if scc.Scc.comp.(q) <> scc.Scc.comp.(q') then ok := false)
+            done)
+          reach;
+        (* (b) one initial class *)
+        (match Nfa.initial sys with
+        | [] -> ()
+        | q0 :: rest ->
+            List.iter
+              (fun q ->
+                if scc.Scc.comp.(q) <> scc.Scc.comp.(q0) then ok := false)
+              rest);
+        (* (c) class-deterministic, class-uniform observable steps *)
+        if !ok then begin
+          let classes =
+            List.sort_uniq compare
+              (Bitset.fold (fun q acc -> scc.Scc.comp.(q) :: acc) reach [])
+          in
+          List.iter
+            (fun c ->
+              let members =
+                List.filter (fun q -> Bitset.mem reach q) (Scc.members scc c)
+              in
+              for a = 0 to k - 1 do
+                if not hidden.(a) then begin
+                  let target_classes q =
+                    let acc = ref [] in
+                    Nfa.iter_succ sys q a (fun q' ->
+                        acc := scc.Scc.comp.(q') :: !acc);
+                    List.sort_uniq compare !acc
+                  in
+                  match List.map target_classes members with
+                  | [] -> ()
+                  | t0 :: rest ->
+                      if List.length t0 > 1 then ok := false;
+                      List.iter (fun t -> if t <> t0 then ok := false) rest
+                end
+              done)
+            classes
+        end;
+        Some !ok
+
+(* A sufficient static condition for "h(L) has no maximal words": no
+   reachable deadlock, and no reachable cycle of hidden transitions.
+   Every word of h(L) then extends — follow hidden edges (an acyclic
+   walk, so it ends) to a state whose obligatory outgoing transition is
+   observable. *)
+let static_no_maximal i =
+  match abstraction_structure i with
+  | None -> None
+  | Some (sys, hidden, reach) ->
+      let k = Alphabet.size (Nfa.alphabet sys) in
+      let deadlock_free = ref true in
+      Bitset.iter
+        (fun q ->
+          let out = ref false in
+          for a = 0 to k - 1 do
+            Nfa.iter_succ sys q a (fun _ -> out := true)
+          done;
+          if not !out then deadlock_free := false)
+        reach;
+      if not !deadlock_free then Some false
+      else
+        let scc = hidden_scc sys reach hidden in
+        let acyclic = ref true in
+        Bitset.iter
+          (fun q ->
+            if Scc.nontrivial scc scc.Scc.comp.(q) then acyclic := false)
+          reach;
+        Some !acyclic
+
+(* [RL504] the positive form: simplicity proved without the search *)
+let run_static_simplicity i =
+  match static_simplicity i with
+  | Some true ->
+      [
+        Diagnostic.make ?file:i.file ~code:"RL504" ~severity:Hint
+          "the abstraction is provably simple on L (hidden actions stay \
+           inside strongly-connected abstract classes with a deterministic \
+           observable interface): Theorem 8.2 applies, no bounded \
+           Definition 6.3 search needed";
+      ]
+  | _ -> []
+
+(* [RL506] the positive form: no maximal words, proved statically *)
+let run_static_maximal_words i =
+  match static_no_maximal i with
+  | Some true ->
+      [
+        Diagnostic.make ?file:i.file ~code:"RL506" ~severity:Hint
+          "h(L) provably contains no maximal words (no reachable deadlock, \
+           hidden transitions acyclic): the maximal-word hypothesis of \
+           Theorems 8.2/8.3 holds, no bounded search needed";
+      ]
+  | _ -> []
+
+let run_simplicity i =
+  if static_simplicity i = Some true then []
+  else
+    match hiding_hom i with
+    | None -> []
+    | Some (hom, sys) -> (
       let sys = Nfa.trim sys in
       if Nfa.states sys = 0 then []
       else
@@ -454,14 +847,16 @@ let run_simplicity i =
               [ not_simple_hint ?file:i.file ?witness () ])
 
 let run_maximal_words i =
-  match hiding_hom i with
-  | None -> []
-  | Some (hom, sys) -> (
-      let img = Rl_hom.Hom.image_ts hom (Nfa.trim sys) in
-      match Rl_hom.Hom.has_maximal_words ~budget:(lint_budget i) img with
-      | exception Budget.Exhausted _ -> []
-      | true -> [ maximal_words_hint ?file:i.file () ]
-      | false -> [])
+  if static_no_maximal i = Some true then []
+  else
+    match hiding_hom i with
+    | None -> []
+    | Some (hom, sys) -> (
+        let img = Rl_hom.Hom.image_ts hom (Nfa.trim sys) in
+        match Rl_hom.Hom.has_maximal_words ~budget:(lint_budget i) img with
+        | exception Budget.Exhausted _ -> []
+        | true -> [ maximal_words_hint ?file:i.file () ]
+        | false -> [])
 
 (* --- the registry --- *)
 
@@ -533,6 +928,42 @@ let passes =
       deep = true;
       run = run_maximal_words;
     };
+    {
+      name = "dead-transitions";
+      codes = [ "RL501" ];
+      deep = true;
+      run = run_dead_transitions;
+    };
+    {
+      name = "trap-components";
+      codes = [ "RL502" ];
+      deep = true;
+      run = run_trap_components;
+    };
+    {
+      name = "fair-infeasibility";
+      codes = [ "RL503" ];
+      deep = true;
+      run = run_fair_infeasibility;
+    };
+    {
+      name = "static-simplicity";
+      codes = [ "RL504" ];
+      deep = true;
+      run = run_static_simplicity;
+    };
+    {
+      name = "fair-atom-vacuity";
+      codes = [ "RL505" ];
+      deep = true;
+      run = run_fair_atom_vacuity;
+    };
+    {
+      name = "static-maximal-words";
+      codes = [ "RL506" ];
+      deep = true;
+      run = run_static_maximal_words;
+    };
   ]
 
 let rules =
@@ -556,6 +987,16 @@ let rules =
     ("RL403", "the abstraction is not simple on L (Theorem 8.2 inapplicable)");
     ("RL404", "h(L) contains maximal words (Theorems 8.2/8.3 inapplicable)");
     ("RL405", "the abstraction hides nothing");
+    ("RL501", "a transition's source state is unreachable: it is dead");
+    ("RL502", "a trap (divergence/sink) component: no way back out");
+    ( "RL503",
+      "a cycle no strongly fair run can settle in (Streett-infeasible \
+       component)" );
+    ("RL504", "simplicity on L established statically (no bounded search)");
+    ( "RL505",
+      "an action a strongly fair run takes only finitely often: recurrence \
+       verdicts predetermined" );
+    ("RL506", "no maximal words in h(L), established statically");
   ]
 
 let run ?(deep = true) input =

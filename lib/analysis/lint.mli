@@ -30,7 +30,17 @@
     Abstraction: [RL401] observable action unknown (error), [RL402] fully
     erasing homomorphism (error), [RL403] not simple on [L] (bounded
     search), [RL404] maximal words in [h(L)], [RL405] identity
-    abstraction. *)
+    abstraction.
+
+    Semantic (the RL5xx dataflow family, all deep — see {!Dataflow} and
+    {!Rl_prelude.Scc}): [RL501] dead transitions (machine-applicable
+    removal when the declaring line is known), [RL502] trap
+    (divergence/sink) components, [RL503] Streett-infeasible components
+    (the per-SCC strengthening of [RL201]), [RL504] simplicity proved
+    statically (positive — [RL403]'s bounded search is skipped), [RL505]
+    actions every strongly fair run takes only finitely often (vacuity
+    under fairness), [RL506] absence of maximal words proved statically
+    (positive — [RL404]'s bounded search is skipped). *)
 
 open Rl_sigma
 open Rl_automata
@@ -43,7 +53,10 @@ open Rl_ltl
     carries the parse-time diagnostics to merge into the report; [keep]
     is the observable sub-alphabet of a hiding abstraction; [budget]
     caps the bounded searches of the deep passes (a fresh internal cap is
-    used when absent). *)
+    used when absent); [locs] maps transition triples
+    [(source, label, target)] to [(line, start_col, end_col)] source
+    locations (see [Rl_core.Ts_format.transition_locs]) — with it, dead
+    transitions get precise spans and machine-applicable removal edits. *)
 type input = {
   file : string option;
   parse : Diagnostic.t list;
@@ -52,6 +65,7 @@ type input = {
   formula : Formula.t option;
   keep : string list option;
   budget : Rl_engine_kernel.Budget.t option;
+  locs : ((int * string * int) * (int * int * int)) list;
 }
 
 val empty : input

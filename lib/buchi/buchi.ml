@@ -147,66 +147,12 @@ let reachable t =
   done;
   seen
 
-(* Iterative Tarjan SCC. Returns (scc_id array, scc_count). *)
+(* SCC decomposition, delegated to the shared prelude Tarjan. Feeding it
+   [all_successors] in list order reproduces the numbering of the
+   original embedded implementation bit-for-bit. *)
 let tarjan t =
-  let n = t.states in
-  let index = Array.make n (-1) in
-  let lowlink = Array.make n 0 in
-  let on_stack = Array.make n false in
-  let scc_id = Array.make n (-1) in
-  let stack = ref [] in
-  let next_index = ref 0 in
-  let scc_count = ref 0 in
-  (* Explicit DFS stack: (state, remaining successors). *)
-  for root = 0 to n - 1 do
-    if index.(root) = -1 then begin
-      let call = ref [ (root, ref (all_successors t root)) ] in
-      index.(root) <- !next_index;
-      lowlink.(root) <- !next_index;
-      incr next_index;
-      stack := root :: !stack;
-      on_stack.(root) <- true;
-      while !call <> [] do
-        match !call with
-        | [] -> ()
-        | (v, succs) :: rest -> (
-            match !succs with
-            | w :: more ->
-                succs := more;
-                if index.(w) = -1 then begin
-                  index.(w) <- !next_index;
-                  lowlink.(w) <- !next_index;
-                  incr next_index;
-                  stack := w :: !stack;
-                  on_stack.(w) <- true;
-                  call := (w, ref (all_successors t w)) :: !call
-                end
-                else if on_stack.(w) then
-                  lowlink.(v) <- min lowlink.(v) index.(w)
-            | [] ->
-                call := rest;
-                (match rest with
-                | (parent, _) :: _ ->
-                    lowlink.(parent) <- min lowlink.(parent) lowlink.(v)
-                | [] -> ());
-                if lowlink.(v) = index.(v) then begin
-                  let id = !scc_count in
-                  incr scc_count;
-                  let continue = ref true in
-                  while !continue do
-                    match !stack with
-                    | [] -> continue := false
-                    | w :: tl ->
-                        stack := tl;
-                        on_stack.(w) <- false;
-                        scc_id.(w) <- id;
-                        if w = v then continue := false
-                  done
-                end)
-      done
-    end
-  done;
-  (scc_id, !scc_count)
+  let s = Scc.of_succ ~states:t.states (fun q f -> List.iter f (all_successors t q)) in
+  (s.Scc.comp, s.Scc.count)
 
 let sccs = tarjan
 

@@ -14,12 +14,8 @@ let relevant_lines src =
 let words l =
   String.split_on_char ' ' l |> List.filter (fun w -> w <> "")
 
-let parse_ts ?(on_warning = fun _ -> ()) ?(on_diagnostic = fun _ -> ()) src =
-  (* the deprecated string shim sees exactly the typed message *)
-  let emit d =
-    on_diagnostic d;
-    on_warning d.Diagnostic.message
-  in
+let parse_ts ?(on_diagnostic = fun _ -> ()) src =
+  let emit = on_diagnostic in
   let lines = relevant_lines src in
   (* accumulators build in reverse (constant-time prepend) and are flipped
      once at the end; appending per line would be quadratic in file size *)
@@ -181,13 +177,7 @@ let with_file path on_diagnostic =
     (fun f d -> f { d with Diagnostic.file = Some path })
     on_diagnostic
 
-(* the deprecated string shim gets the same file context the typed
-   callback gets — a bare message with no path is useless to a caller
-   loading more than one file *)
-let with_file_warning path on_warning =
-  Option.map (fun f msg -> f (path ^ ": " ^ msg)) on_warning
-
-let load ?on_warning ?on_diagnostic ?budget ?bound path =
+let load ?on_diagnostic ?budget ?bound path =
   let ic = open_in path in
   let len = in_channel_length ic in
   let src = really_input_string ic len in
@@ -195,29 +185,25 @@ let load ?on_warning ?on_diagnostic ?budget ?bound path =
   if Filename.check_suffix path ".pn" then
     Nfa.trim
       (fst (Rl_petri.Petri.reachability_graph ?budget ?bound (parse_petri src)))
-  else
-    parse_ts
-      ?on_warning:(with_file_warning path on_warning)
-      ?on_diagnostic:(with_file path on_diagnostic) src
+  else parse_ts ?on_diagnostic:(with_file path on_diagnostic) src
 
 let bound_or_default bound =
   Option.value bound ~default:Rl_petri.Petri.default_bound
 
-let parse_ts_result ?on_warning ?on_diagnostic ?file src =
-  let on_warning, on_diagnostic =
+let parse_ts_result ?on_diagnostic ?file src =
+  let on_diagnostic =
     match file with
-    | Some path ->
-        (with_file_warning path on_warning, with_file path on_diagnostic)
-    | None -> (on_warning, on_diagnostic)
+    | Some path -> with_file path on_diagnostic
+    | None -> on_diagnostic
   in
   Rl_engine_kernel.Error.protect
     ~handler:(function
       | Syntax_error (line, msg) ->
           Some (Rl_engine_kernel.Error.Parse_error { file; line; msg })
       | _ -> None)
-    (fun () -> parse_ts ?on_warning ?on_diagnostic src)
+    (fun () -> parse_ts ?on_diagnostic src)
 
-let load_result ?on_warning ?on_diagnostic ?budget ?bound path =
+let load_result ?on_diagnostic ?budget ?bound path =
   Rl_engine_kernel.Error.protect
     ~handler:(function
       | Syntax_error (line, msg) ->
@@ -228,7 +214,38 @@ let load_result ?on_warning ?on_diagnostic ?budget ?bound path =
                { place; bound = bound_or_default bound })
       | Sys_error msg -> Some (Rl_engine_kernel.Error.Internal msg)
       | _ -> None)
-    (fun () -> load ?on_warning ?on_diagnostic ?budget ?bound path)
+    (fun () -> load ?on_diagnostic ?budget ?bound path)
+
+type loc = { line : int; start_col : int; end_col : int }
+
+(* where the trimmed content of [raw] starts (0-based); String.trim
+   removes exactly the bytes <= ' ' *)
+let content_start raw =
+  let len = String.length raw in
+  let rec go i = if i < len && raw.[i] <= ' ' then go (i + 1) else i in
+  go 0
+
+let transition_locs src =
+  String.split_on_char '\n' src
+  |> List.mapi (fun i raw -> (i + 1, raw))
+  |> List.filter_map (fun (ln, raw) ->
+         let trimmed = String.trim raw in
+         if trimmed = "" || trimmed.[0] = '#' then None
+         else
+           match words trimmed with
+           | [ s; label; d ] -> (
+               match (int_of_string_opt s, int_of_string_opt d) with
+               | Some s, Some d when s >= 0 && d >= 0 ->
+                   let start = content_start raw in
+                   Some
+                     ( (s, label, d),
+                       {
+                         line = ln;
+                         start_col = start + 1;
+                         end_col = start + String.length trimmed + 1;
+                       } )
+               | _ -> None)
+           | _ -> None)
 
 let print_ts ts =
   let buf = Buffer.create 256 in

@@ -45,15 +45,8 @@ exception Syntax_error of int * string
     [initial] line — defaults to state 0, code [RL001], with the span of
     the first state declaration — and initial states that are isolated
     ([RL002]) or have no outgoing transitions ([RL003]), each pointing at
-    the declaring [initial] line.
-
-    [on_warning] is the deprecated string shim: it receives the
-    [message] field of each diagnostic — prefixed with the file path in
-    the entry points that know one ({!load}, and {!parse_ts_result} with
-    [file]), exactly like the typed callback's [file] field. New code
-    should use [on_diagnostic]. *)
+    the declaring [initial] line. *)
 val parse_ts :
-  ?on_warning:(string -> unit) ->
   ?on_diagnostic:(Rl_analysis.Diagnostic.t -> unit) ->
   string ->
   Rl_automata.Nfa.t
@@ -68,7 +61,6 @@ val parse_petri : string -> Rl_petri.Petri.t
     delivered with [file] set to [path].
     @raise Rl_petri.Petri.Unbounded if a place exceeds [bound]. *)
 val load :
-  ?on_warning:(string -> unit) ->
   ?on_diagnostic:(Rl_analysis.Diagnostic.t -> unit) ->
   ?budget:Rl_engine_kernel.Budget.t ->
   ?bound:int ->
@@ -82,19 +74,33 @@ val load :
     {!Rl_engine_kernel.Error.t} values ready for uniform reporting. *)
 
 val parse_ts_result :
-  ?on_warning:(string -> unit) ->
   ?on_diagnostic:(Rl_analysis.Diagnostic.t -> unit) ->
   ?file:string ->
   string ->
   (Rl_automata.Nfa.t, Rl_engine_kernel.Error.t) result
 
 val load_result :
-  ?on_warning:(string -> unit) ->
   ?on_diagnostic:(Rl_analysis.Diagnostic.t -> unit) ->
   ?budget:Rl_engine_kernel.Budget.t ->
   ?bound:int ->
   string ->
   (Rl_automata.Nfa.t, Rl_engine_kernel.Error.t) result
+
+(** {2 Source locations}
+
+    The lint layer's machine-applicable fixes ([rlcheck lint --fix])
+    need to point back into the raw [.ts] text. *)
+
+(** Location of one declaration line: 1-based [line], 1-based [start_col]
+    of its first non-blank character, [end_col] one past its last. *)
+type loc = { line : int; start_col : int; end_col : int }
+
+(** [transition_locs src] maps each transition declaration
+    [(source, label, target)] to the location of its declaring line, in
+    file order. Duplicate declarations yield one entry per line;
+    malformed lines are skipped (the parser, not this scanner, reports
+    them). *)
+val transition_locs : string -> ((int * string * int) * loc) list
 
 (** [print_ts ts] renders a transition system in the [.ts] syntax. *)
 val print_ts : Rl_automata.Nfa.t -> string

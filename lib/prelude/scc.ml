@@ -1,0 +1,109 @@
+type t = {
+  comp : int array;
+  count : int;
+  size : int array;
+  self_loop : bool array;
+  closed : bool array;
+}
+
+(* Iterative Tarjan. Components are numbered in completion order, which
+   for Tarjan is reverse topological order: a component is completed only
+   after every component it can reach. *)
+let of_succ ~states succ =
+  (* materialize the successor rows once so the explicit DFS stack can
+     hold plain integer cursors *)
+  let succs = Array.make states [||] in
+  for q = 0 to states - 1 do
+    let buf = ref [] and len = ref 0 in
+    succ q (fun q' ->
+        buf := q' :: !buf;
+        incr len);
+    let row = Array.make !len 0 in
+    let i = ref (!len - 1) in
+    List.iter
+      (fun q' ->
+        row.(!i) <- q';
+        decr i)
+      !buf;
+    succs.(q) <- row
+  done;
+  let index = Array.make states (-1) in
+  let lowlink = Array.make states 0 in
+  let on_stack = Array.make states false in
+  let comp = Array.make states (-1) in
+  let stack = ref [] in
+  let next = ref 0 in
+  let count = ref 0 in
+  for root = 0 to states - 1 do
+    if index.(root) = -1 then begin
+      let call = ref [ (root, ref 0) ] in
+      index.(root) <- !next;
+      lowlink.(root) <- !next;
+      incr next;
+      stack := root :: !stack;
+      on_stack.(root) <- true;
+      while !call <> [] do
+        match !call with
+        | [] -> ()
+        | (v, cursor) :: rest ->
+            let row = succs.(v) in
+            if !cursor < Array.length row then begin
+              let w = row.(!cursor) in
+              incr cursor;
+              if index.(w) = -1 then begin
+                index.(w) <- !next;
+                lowlink.(w) <- !next;
+                incr next;
+                stack := w :: !stack;
+                on_stack.(w) <- true;
+                call := (w, ref 0) :: !call
+              end
+              else if on_stack.(w) then
+                lowlink.(v) <- min lowlink.(v) index.(w)
+            end
+            else begin
+              call := rest;
+              (match rest with
+              | (parent, _) :: _ ->
+                  lowlink.(parent) <- min lowlink.(parent) lowlink.(v)
+              | [] -> ());
+              if lowlink.(v) = index.(v) then begin
+                let id = !count in
+                incr count;
+                let continue = ref true in
+                while !continue do
+                  match !stack with
+                  | [] -> continue := false
+                  | w :: tl ->
+                      stack := tl;
+                      on_stack.(w) <- false;
+                      comp.(w) <- id;
+                      if w = v then continue := false
+                done
+              end
+            end
+      done
+    end
+  done;
+  let count = !count in
+  let size = Array.make count 0 in
+  Array.iter (fun c -> size.(c) <- size.(c) + 1) comp;
+  let self_loop = Array.make count false in
+  let closed = Array.make count true in
+  for q = 0 to states - 1 do
+    Array.iter
+      (fun q' ->
+        if q = q' then self_loop.(comp.(q)) <- true;
+        if comp.(q) <> comp.(q') then closed.(comp.(q)) <- false)
+      succs.(q)
+  done;
+  { comp; count; size; self_loop; closed }
+
+let of_csr csr =
+  of_succ ~states:(Csr.states csr) (fun q f -> Csr.iter_row_all csr q f)
+
+let nontrivial t c = t.size.(c) > 1 || t.self_loop.(c)
+
+let members t c =
+  let states = Array.length t.comp in
+  List.filter (fun q -> t.comp.(q) = c) (List.init states Fun.id)

@@ -413,6 +413,18 @@ let stats_json d =
             ("evictions", J.Num (float_of_int m_evictions));
             ("hit_rate", rate m_hits m_misses);
           ] );
+      ( "lint_stats",
+        let l_hits, l_misses, l_entries, l_invalidated =
+          Request.lint_stats d.cache
+        in
+        J.Obj
+          [
+            ("hits", J.Num (float_of_int l_hits));
+            ("misses", J.Num (float_of_int l_misses));
+            ("entries", J.Num (float_of_int l_entries));
+            ("invalidated", J.Num (float_of_int l_invalidated));
+            ("hit_rate", rate l_hits l_misses);
+          ] );
       ("zombies", J.Num (float_of_int (Supervisor.zombies ())));
       ( "faults",
         J.Obj

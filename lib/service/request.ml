@@ -7,8 +7,9 @@
    its independent replay does not confirm), and the exit-code mapping.
 
    Service-only additions: a bounded cross-request model cache (a cache
-   hit skips re-parsing, never re-linting — diagnostics are recomputed
-   per request so a reply is self-contained); the incremental re-check
+   hit skips re-parsing); a lint-report memo keyed on the untrimmed
+   system, so a resubmission re-lints only when its diagnostics could
+   differ; the incremental re-check
    (see the section below), which diffs a resubmitted model against its
    previous version, replays memoized verdicts when the edit provably
    cannot change them, and eagerly evicts the Simcache entries an edit
@@ -116,6 +117,11 @@ type cache = {
   mutable misses : int;
   history : (string, version) Lru.t; (* model name -> last version *)
   memo : (string, outcome) Lru.t; (* decide_key -> outcome *)
+  lint_memo : (string, Diagnostic.t list) Lru.t; (* lint_key -> report *)
+  lint_index : (string, string list) Lru.t; (* model name -> lint keys *)
+  mutable lint_hits : int;
+  mutable lint_misses : int;
+  mutable lint_invalidated : int;
   mutable recheck : recheck_stats;
   mutex : Mutex.t;
 }
@@ -127,6 +133,11 @@ let cache ~capacity () =
     misses = 0;
     history = Lru.create ~capacity ();
     memo = Lru.create ~capacity ();
+    lint_memo = Lru.create ~capacity ();
+    lint_index = Lru.create ~capacity ();
+    lint_hits = 0;
+    lint_misses = 0;
+    lint_invalidated = 0;
     recheck = no_rechecks;
     mutex = Mutex.create ();
   }
@@ -134,6 +145,14 @@ let cache ~capacity () =
 let cache_stats c =
   Mutex.lock c.mutex;
   let s = (c.hits, c.misses, Lru.length c.lru, Lru.evictions c.lru) in
+  Mutex.unlock c.mutex;
+  s
+
+let lint_stats c =
+  Mutex.lock c.mutex;
+  let s =
+    (c.lint_hits, c.lint_misses, Lru.length c.lint_memo, c.lint_invalidated)
+  in
   Mutex.unlock c.mutex;
   s
 
@@ -239,23 +258,116 @@ let load_model ?cache ~budget job =
 let model_name job =
   match job.model with File path -> path | Inline { name; _ } -> name
 
+(* serialize the full structure of a system into [b] — the shared tail of
+   the decide and lint memo keys *)
+let add_system b ts =
+  let sep () = Buffer.add_char b '\x00' in
+  Buffer.add_string b (string_of_int (Nfa.states ts));
+  List.iter
+    (fun name ->
+      Buffer.add_char b ',';
+      Buffer.add_string b name)
+    (Alphabet.names (Nfa.alphabet ts));
+  sep ();
+  List.iter
+    (fun q ->
+      Buffer.add_string b (string_of_int q);
+      Buffer.add_char b ',')
+    (List.sort_uniq compare (Nfa.initial ts));
+  sep ();
+  Rl_prelude.Bitset.iter
+    (fun q ->
+      Buffer.add_string b (string_of_int q);
+      Buffer.add_char b ',')
+    (Nfa.finals ts);
+  sep ();
+  List.iter
+    (fun (q, a, q') ->
+      Buffer.add_string b (string_of_int q);
+      Buffer.add_char b '.';
+      Buffer.add_string b (string_of_int a);
+      Buffer.add_char b '.';
+      Buffer.add_string b (string_of_int q');
+      Buffer.add_char b ';')
+    (List.sort compare (Nfa.transitions ts));
+  if Nfa.has_eps ts then Buffer.add_string b "|eps"
+
+(* digest of everything the pre-flight lint consumes: the model name (it
+   appears in the rendered diagnostics), the formula, and the untrimmed
+   system together with its parse-time diagnostics — an unreachable-
+   region edit changes this key even though it leaves the decide key
+   alone, so a memoized lint report is never stale *)
+let lint_key job ~formula (sys, parse_diags) =
+  let b = Buffer.create 1024 in
+  let sep () = Buffer.add_char b '\x00' in
+  Buffer.add_string b (model_name job);
+  sep ();
+  Buffer.add_string b (Format.asprintf "%a" Rl_ltl.Formula.pp formula);
+  sep ();
+  List.iter
+    (fun d ->
+      Buffer.add_string b (Format.asprintf "%a" Diagnostic.pp d);
+      sep ())
+    parse_diags;
+  add_system b sys;
+  Digest.to_hex (Digest.string (Buffer.contents b))
+
 (* Pre-flight, exactly as the CLI's load_and_lint: run the cheap lint
    passes on the untrimmed system, surface everything but Hints, refuse
    Errors (unless no_lint) — parse diagnostics survive --no-lint, as they
    predate the lint phase. Returns the trimmed system or the Blocked
-   summary. *)
-let lint_phase job ~formula (sys, parse_diags) =
+   summary.
+
+   Under a cache, the diagnostic list is memoized per lint key (the
+   passes are deterministic in their input, and the cheap ~deep:false
+   phase never consults the budget, so the report is a pure function of
+   the key). Only the report is memoized — [Nfa.trim] is recomputed so
+   the decide step always gets a fresh trimmed system. Fault-injection
+   runs bypass the memo: chaos must exercise the real passes. The third
+   component of [`Proceed] is the key this request stored, so the
+   incremental layer can spare it when it evicts the model's stale lint
+   entries. *)
+let lint_phase ?cache job ~formula (sys, parse_diags) =
+  let fresh_key = ref None in
   let diags =
     if job.no_lint then parse_diags
     else
-      Lint.run ~deep:false
-        {
-          Lint.empty with
-          file = Some (model_name job);
-          parse = parse_diags;
-          system = Some sys;
-          formula = Some formula;
-        }
+      let compute () =
+        Lint.run ~deep:false
+          {
+            Lint.empty with
+            file = Some (model_name job);
+            parse = parse_diags;
+            system = Some sys;
+            formula = Some formula;
+          }
+      in
+      match cache with
+      | Some c when not (Fault.armed ()) -> (
+          let key = lint_key job ~formula (sys, parse_diags) in
+          fresh_key := Some key;
+          Mutex.lock c.mutex;
+          let hit = Lru.find c.lint_memo key in
+          (match hit with
+          | Some _ -> c.lint_hits <- c.lint_hits + 1
+          | None -> c.lint_misses <- c.lint_misses + 1);
+          Mutex.unlock c.mutex;
+          match hit with
+          | Some ds -> ds
+          | None ->
+              let ds = compute () in
+              let name = model_name job in
+              Mutex.lock c.mutex;
+              Lru.put c.lint_memo key ds;
+              let keys =
+                match Lru.find c.lint_index name with
+                | Some ks -> List.filter (fun k -> k <> key) ks
+                | None -> []
+              in
+              Lru.put c.lint_index name (key :: keys);
+              Mutex.unlock c.mutex;
+              ds)
+      | _ -> compute ()
   in
   let visible =
     List.filter (fun d -> d.Diagnostic.severity <> Diagnostic.Hint) diags
@@ -267,7 +379,7 @@ let lint_phase job ~formula (sys, parse_diags) =
           "pre-flight lint failed (%s); rerun with --no-lint to proceed \
            anyway"
           (Diagnostic.summary visible) )
-  else `Proceed (visible, Nfa.trim sys)
+  else `Proceed (visible, Nfa.trim sys, !fresh_key)
 
 let parse_formula s =
   try Ok (Rl_ltl.Parser.parse s)
@@ -354,10 +466,12 @@ let budget_of_job job =
    or formatting change, or an edit confined to the unreachable region —
    the memoized verdict is replayed without re-deciding. Soundness does
    not lean on the diff analysis: equal keys mean the decide step would
-   receive bit-for-bit the same input. Lint is never memoized — an
-   unreachable-region edit leaves the trimmed system alone but can
-   change diagnostics (and an Error diagnostic blocks the check), so the
-   lint phase always runs on the submitted source.
+   receive bit-for-bit the same input. The lint phase has its own memo
+   ([cache.lint_memo]) with a stricter key — the {e untrimmed} system
+   plus the parse diagnostics — because an unreachable-region edit
+   leaves the trimmed system alone but can change diagnostics (and an
+   Error diagnostic blocks the check); a reachable edit additionally
+   evicts the model's stale lint entries ([invalidate_lint]).
 
    Memoization is bypassed whenever the outcome could be run-dependent:
    a wall-clock [timeout] (the one budget limit that is not a function
@@ -380,40 +494,32 @@ let decide_key job f ts =
   | Some n -> Buffer.add_string b (string_of_int n)
   | None -> ());
   sep ();
-  Buffer.add_string b (string_of_int (Nfa.states ts));
-  List.iter
-    (fun name ->
-      Buffer.add_char b ',';
-      Buffer.add_string b name)
-    (Alphabet.names (Nfa.alphabet ts));
-  sep ();
-  List.iter
-    (fun q ->
-      Buffer.add_string b (string_of_int q);
-      Buffer.add_char b ',')
-    (List.sort_uniq compare (Nfa.initial ts));
-  sep ();
-  Rl_prelude.Bitset.iter
-    (fun q ->
-      Buffer.add_string b (string_of_int q);
-      Buffer.add_char b ',')
-    (Nfa.finals ts);
-  sep ();
-  List.iter
-    (fun (q, a, q') ->
-      Buffer.add_string b (string_of_int q);
-      Buffer.add_char b '.';
-      Buffer.add_string b (string_of_int a);
-      Buffer.add_char b '.';
-      Buffer.add_string b (string_of_int q');
-      Buffer.add_char b ';')
-    (List.sort compare (Nfa.transitions ts));
-  if Nfa.has_eps ts then Buffer.add_string b "|eps";
+  add_system b ts;
   Digest.to_hex (Digest.string (Buffer.contents b))
 
+(* A reachable edit makes the previous version's lint reports dead
+   weight (their keys embed the old untrimmed structure and can never be
+   hit again), so evict them eagerly — all but [fresh_lint], the entry
+   this very request just stored for the new version. *)
+let invalidate_lint c name ~fresh_lint =
+  Mutex.lock c.mutex;
+  (match Lru.find c.lint_index name with
+  | None -> ()
+  | Some keys ->
+      let live, dead =
+        List.partition (fun k -> Some k = fresh_lint) keys
+      in
+      List.iter
+        (fun k ->
+          if Lru.remove c.lint_memo k then
+            c.lint_invalidated <- c.lint_invalidated + 1)
+        dead;
+      Lru.put c.lint_index name live);
+  Mutex.unlock c.mutex
+
 (* classify the edit against the model's previous version, evict the
-   keys a reachable edit killed; feeds only stats and the Simcache *)
-let note_edit c name sys =
+   keys a reachable edit killed; feeds only stats and the caches *)
+let note_edit c name sys ~fresh_lint =
   Mutex.lock c.mutex;
   let prev = Lru.find c.history name in
   Mutex.unlock c.mutex;
@@ -428,9 +534,11 @@ let note_edit c name sys =
           tally c (fun r -> { r with equivalent = r.equivalent + 1 })
       | Ts_diff.Local _ ->
           List.iter Simcache.remove v.v_keys;
+          invalidate_lint c name ~fresh_lint;
           tally c (fun r -> { r with local = r.local + 1 })
       | Ts_diff.Global _ ->
           List.iter Simcache.remove v.v_keys;
+          invalidate_lint c name ~fresh_lint;
           tally c (fun r -> { r with global = r.global + 1 }))
 
 let record_version c name sys keys =
@@ -441,12 +549,13 @@ let record_version c name sys keys =
 (* the decide step behind the memo and the per-model history; returns
    the verdict plus the states count to report when the decide itself
    was skipped. Without a cache (the CLI) this is just [decide]. *)
-let decide_incremental ?pool ?cache ~budget ~fresh job f ~parsed_sys ts =
+let decide_incremental ?pool ?cache ?(fresh_lint = None) ~budget ~fresh job f
+    ~parsed_sys ts =
   match cache with
   | None -> (decide ?pool ~budget ~fresh job f ts, None)
   | Some c -> (
       let name = model_name job in
-      note_edit c name parsed_sys;
+      note_edit c name parsed_sys ~fresh_lint;
       let key =
         if decide_memoizable job then Some (decide_key job f ts) else None
       in
@@ -534,14 +643,14 @@ let run ?pool ?cache ?budget job =
             match load_model ?cache ~budget job with
             | Error err -> finish (Failed err) ""
             | Ok parsed -> (
-                match lint_phase job ~formula:f parsed with
+                match lint_phase ?cache job ~formula:f parsed with
                 | `Blocked (visible, summary) ->
                     finish ~diagnostics:visible ~blocked_summary:summary
                       Blocked ""
-                | `Proceed (visible, ts) -> (
+                | `Proceed (visible, ts, fresh_lint) -> (
                     let verdict, states =
-                      decide_incremental ?pool ?cache ~budget ~fresh job f
-                        ~parsed_sys:(fst parsed) ts
+                      decide_incremental ?pool ?cache ~fresh_lint ~budget
+                        ~fresh job f ~parsed_sys:(fst parsed) ts
                     in
                     match verdict with
                     | `Holds message ->

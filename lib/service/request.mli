@@ -89,6 +89,12 @@ val cache : capacity:int -> unit -> cache
 (** [(hits, misses, entries, evictions)] *)
 val cache_stats : cache -> int * int * int * int
 
+(** [(hits, misses, entries, invalidated)] for the lint-report memo: a
+    hit replays the pre-flight diagnostic list without re-running the
+    passes; [invalidated] counts entries evicted eagerly because a
+    reachable ([Local]/[Global]) edit made them unreachable forever. *)
+val lint_stats : cache -> int * int * int * int
+
 (** {2 Incremental re-check}
 
     Per model name, the cache also remembers the last version that
@@ -97,9 +103,11 @@ val cache_stats : cache -> int * int * int * int
     state limit). A resubmission whose edit leaves the trimmed system
     intact — byte-identical source, comment/formatting changes, or
     edits confined to the unreachable region ([Ts_diff.Equivalent]) —
-    replays the memoized verdict without re-deciding; the lint phase
-    always re-runs on the submitted source, so diagnostics (and lint
-    refusals) are never stale. Reachable edits re-decide from scratch,
+    replays the memoized verdict without re-deciding; the lint phase is
+    memoized separately under a stricter key (the {e untrimmed} system
+    plus its parse diagnostics — see {!lint_stats}), so a memoized lint
+    report is replayed only when the submitted source could not have
+    changed it. Reachable edits re-decide from scratch,
     and the Simcache entries the old version's decide had fingerprinted
     are evicted eagerly (they are content-addressed and can never be
     hit again). Memoization is disabled for jobs with a wall-clock

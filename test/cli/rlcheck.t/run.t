@@ -315,7 +315,10 @@ apply) -- the deep lint pass finds it:
   fig3.ts: warning[RL403]: the abstraction is not simple on L (Definition 6.3 fails at 'lock'): an abstract 'yes' does not transfer to the concrete system (Theorem 8.2 inapplicable — the Fig. 3 trap)
     fix: trust only abstract refutations (Theorem 8.3), or keep more actions observable
   fig3.ts: hint[RL202]: 1 transition leaves states that lie on no cycle: the corresponding strong-fairness (Streett) constraints can never be enabled infinitely often and are vacuous
-  0 errors, 1 warning, 1 hint
+  fig3.ts: hint[RL502]: 3 states (4, 5, 6) form a trap (a divergence/sink component): once a run enters, no other state is ever reachable again
+    fix: add an exit transition if the divergence is unintended, or keep it and read liveness verdicts accordingly
+  fig3.ts: hint[RL506]: h(L) provably contains no maximal words (no reachable deadlock, hidden transitions acyclic): the maximal-word hypothesis of Theorems 8.2/8.3 holds, no bounded search needed
+  0 errors, 1 warning, 3 hints
 
   $ rlcheck abstract fig3.ts --keep request,result,reject -f '[]<> result'
   abstraction: 8 states → 4 states
@@ -344,3 +347,64 @@ Machine-readable reports:
   {
     "$schema": "https://json.schemastore.org/sarif-2.1.0.json",
     "version": "2.1.0",
+
+The semantic (RL5xx) pass family rides only under `rlcheck lint` -- the
+registry enumerates every pass with its phase and codes:
+
+  $ rlcheck lint --list-passes
+  unreachable-states     pre-flight RL101
+  behavior-vacuity       pre-flight RL102,RL103
+  alphabet-mismatch      pre-flight RL104
+  fair-vacuity           pre-flight RL201
+  vacuous-fairness-pairs pre-flight RL202
+  formula-atoms          pre-flight RL301
+  formula-trivial        pre-flight RL302
+  sigma-normal-form      pre-flight RL303
+  abstraction-structure  pre-flight RL401,RL402,RL405
+  simplicity             deep       RL403
+  maximal-words          deep       RL404
+  dead-transitions       deep       RL501 (fixable)
+  trap-components        deep       RL502
+  fair-infeasibility     deep       RL503
+  static-simplicity      deep       RL504
+  fair-atom-vacuity      deep       RL505
+  static-maximal-words   deep       RL506
+
+A dead transition (its source unreachable) gets a precise source span
+and a machine-applicable removal; --fix rewrites the file in place and
+is idempotent:
+
+  $ printf 'initial 0\n0 request 1\n1 result 0\n7 request 8\n' > stale.ts
+  $ rlcheck lint stale.ts
+  stale.ts:4: warning[RL501]: transition 7 request 8 is dead: state 7 is unreachable, so no run can ever take it
+    fix: remove this line (machine-applicable: rlcheck lint --fix)
+  stale.ts: warning[RL101]: 7 states (2, 3, 4, 5, 6, 7, 8) are unreachable from the initial states and silently ignored by every check
+    fix: remove the states or fix the 'initial' line
+  0 errors, 2 warnings, 0 hints
+  $ rlcheck lint stale.ts --fix
+  stale.ts: applied 1 fix
+  $ cat stale.ts
+  initial 0
+  0 request 1
+  1 result 0
+  $ rlcheck lint stale.ts --fix
+  no machine-applicable fixes
+  $ rlcheck lint stale.ts
+  0 errors, 0 warnings, 0 hints
+
+A baseline records the findings a project has accepted, and the gate
+then fails only on new ones:
+
+  $ printf 'initial 0\n0 a 0\n0 b 1\n' > legacy.ts
+  $ rlcheck lint legacy.ts --write-baseline legacy.baseline
+  legacy.baseline: recorded 3 findings
+  $ rlcheck lint legacy.ts --baseline legacy.baseline
+  0 errors, 0 warnings, 0 hints (3 suppressed by baseline)
+  $ printf '5 a 6\n' >> legacy.ts
+  $ rlcheck lint legacy.ts --baseline legacy.baseline
+  legacy.ts:4: warning[RL501]: transition 5 a 6 is dead: state 5 is unreachable, so no run can ever take it
+    fix: remove this line (machine-applicable: rlcheck lint --fix)
+  legacy.ts: warning[RL101]: 5 states (2, 3, 4, 5, 6) are unreachable from the initial states and silently ignored by every check
+    fix: remove the states or fix the 'initial' line
+  0 errors, 2 warnings, 0 hints (3 suppressed by baseline)
+  [2]

@@ -38,6 +38,18 @@ Input errors are typed and exit 2, and the daemon survives them:
   $ rlcheckd check --socket rld.sock --kind rl server.ts -f '[]<>result'
   RELATIVE LIVENESS: every prefix extends to a behavior satisfying []<>result
 
+The pre-flight lint report is memoized per model version (the repeated
+server.ts check above replayed it, as did the sat/rl pair — lint does
+not depend on the check kind); a global edit — here a changed initial
+state — evicts the stale entry instead of waiting for LRU pressure:
+
+  $ cp server.ts edited.ts
+  $ rlcheckd check --socket rld.sock --kind rl edited.ts -f '[]<>result'
+  RELATIVE LIVENESS: every prefix extends to a behavior satisfying []<>result
+  $ sed 's/^initial 0$/initial 1/' edited.ts > edited.tmp && mv edited.tmp edited.ts
+  $ rlcheckd check --socket rld.sock --kind rl edited.ts -f '[]<>result'
+  RELATIVE LIVENESS: every prefix extends to a behavior satisfying []<>result
+
 The health report carries the request counters, cache statistics, pool
 state and fault-injection status (load-dependent values are not
 asserted; the counters this session determined are):
@@ -46,7 +58,7 @@ asserted; the counters this session determined are):
   $ grep -c '"uptime_s"' stats.json
   1
   $ grep -o '"holds": [0-9]*' stats.json
-  "holds": 3
+  "holds": 5
   $ grep -o '"fails": [0-9]*' stats.json
   "fails": 2
   $ grep -o '"errors": [0-9]*' stats.json
@@ -57,6 +69,10 @@ asserted; the counters this session determined are):
   "degraded": false
   $ grep -o '"armed": [a-z]*' stats.json
   "armed": false
+  $ grep -o '"lint_stats": {[^}]*}' stats.json | grep -o '"hits": [0-9]*'
+  "hits": 2
+  $ grep -o '"lint_stats": {[^}]*}' stats.json | grep -o '"invalidated": [0-9]*'
+  "invalidated": 1
 
 Shutdown removes the socket file:
 

@@ -10,19 +10,27 @@ open Rl_analysis
 module D = Diagnostic
 
 (* Parse a .ts source and lint it, collecting the parse-time diagnostics
-   exactly as the CLI pre-flight does. *)
-let lint ?(deep = true) ?formula ?keep src =
+   and per-transition source locations exactly as the CLI does. *)
+let lint ?(deep = true) ?file ?formula ?keep src =
   let parse = ref [] in
   let sys =
     Ts_format.parse_ts ~on_diagnostic:(fun d -> parse := d :: !parse) src
   in
+  let locs =
+    List.map
+      (fun (t, l) ->
+        (t, (l.Ts_format.line, l.Ts_format.start_col, l.Ts_format.end_col)))
+      (Ts_format.transition_locs src)
+  in
   Lint.run ~deep
     {
       Lint.empty with
+      file;
       parse = List.rev !parse;
       system = Some sys;
       formula = Option.map Rl_ltl.Parser.parse formula;
       keep;
+      locs;
     }
 
 let codes ds = List.map (fun d -> d.D.code) ds
@@ -187,6 +195,138 @@ let test_abstraction_codes () =
     (lint ~keep:[ "a" ] clean);
   Alcotest.(check bool) "RL404 is a deep pass" false
     (has "RL404" (lint ~deep:false ~keep:[ "a" ] "initial 0\n0 a 1\n1 b 1\n"))
+
+(* --- semantic codes (the RL5xx dataflow family) --- *)
+
+(* state 5 is unreachable, so its transition is dead; 'a' also occurs on
+   a live line, so removal is alphabet-safe and machine-applicable *)
+let dead_src = "initial 0\n0 a 1\n1 b 0\n5 a 6\n"
+
+let test_semantic_codes () =
+  check_fires "RL501 (dead transition)" "RL501" (lint dead_src) (lint clean);
+  Alcotest.(check bool) "RL501 is a deep pass" false
+    (has "RL501" (lint ~deep:false dead_src));
+  (match List.find_opt (fun d -> d.D.code = "RL501") (lint dead_src) with
+  | Some d ->
+      Alcotest.(check (option int)) "RL501 span = declaring line" (Some 4)
+        (Option.map (fun s -> s.D.start_line) d.D.span);
+      Alcotest.(check bool) "RL501 columns cover the line" true
+        (match d.D.span with
+        | Some s -> s.D.start_col = 1 && s.D.end_col = Some 6
+        | None -> false);
+      Alcotest.(check bool) "RL501 carries the removal edit" true
+        (d.D.edit = Some (D.Remove_line 4))
+  | None -> Alcotest.fail "RL501 expected");
+  (* when the dead line is the label's only occurrence, removal would
+     shrink the inferred alphabet: reported, but not machine-applicable *)
+  (match
+     List.find_opt
+       (fun d -> d.D.code = "RL501")
+       (lint "initial 0\n0 a 1\n1 b 0\n5 c 6\n")
+   with
+  | Some d ->
+      Alcotest.(check bool) "alphabet-unsafe removal has no edit" true
+        (d.D.edit = None)
+  | None -> Alcotest.fail "RL501 expected on the c-transition");
+  (* RL502: the self-loop at 2 is a closed, cycle-bearing proper subset *)
+  check_fires "RL502 (trap component)" "RL502"
+    (lint "initial 0\n0 a 1\n1 a 0\n0 b 2\n2 c 2\n")
+    (lint clean);
+  (* RL503: every cycle has an exit edge, so no strongly fair run exists *)
+  check_fires "RL503 (no feasible component)" "RL503"
+    (lint "initial 0\n0 a 0\n0 b 1\n")
+    (lint clean);
+  (* RL504: the hidden 't' self-loop stays inside its class and the
+     observable steps are class-deterministic — simplicity without the
+     bounded search *)
+  let simple_src = "initial 0\n0 a 1\n1 t 1\n1 b 0\n" in
+  check_fires "RL504 (static simplicity)" "RL504"
+    (lint ~keep:[ "a"; "b" ] simple_src)
+    (lint ~keep:[ "request"; "result"; "reject" ] fig3);
+  Alcotest.(check bool) "RL504 suppresses the RL403 search" false
+    (has "RL403" (lint ~keep:[ "a"; "b" ] simple_src));
+  (* RL505: 'a' happens only before the closed {1} component, so every
+     strongly fair run sees it finitely often — []<> a is then vacuous *)
+  check_fires "RL505 (fair-atom vacuity)" "RL505"
+    (lint ~formula:"[]<> a" "initial 0\n0 a 1\n1 b 1\n")
+    (lint ~formula:"[]<> a" clean);
+  (* RL506: deadlock-free and the hidden subgraph is acyclic — no maximal
+     words without the bounded search *)
+  check_fires "RL506 (static maximal-word freedom)" "RL506"
+    (lint ~keep:[ "a" ] "initial 0\n0 a 1\n1 t 0\n")
+    (lint ~keep:[ "a" ] "initial 0\n0 a 1\n1 b 1\n")
+
+(* --- machine-applicable fixes --- *)
+
+let test_fix () =
+  let ds = lint dead_src in
+  (match Fix.plan ds with
+  | Ok [ D.Remove_line 4 ] -> ()
+  | Ok _ -> Alcotest.fail "expected exactly the line-4 removal"
+  | Error m -> Alcotest.fail m);
+  let fixed = Fix.apply ~src:dead_src [ D.Remove_line 4 ] in
+  Alcotest.(check string) "the dead line is gone" "initial 0\n0 a 1\n1 b 0\n"
+    fixed;
+  (* the fixed model parses, lints clean of RL501, and a second plan is
+     empty: --fix is idempotent *)
+  let ds' = lint fixed in
+  Alcotest.(check bool) "no RL501 after the fix" false (has "RL501" ds');
+  (match Fix.plan ds' with
+  | Ok [] -> ()
+  | Ok _ -> Alcotest.fail "second fix must find nothing"
+  | Error m -> Alcotest.fail m);
+  (* the languages agree: removal only touched the unreachable region *)
+  let before = Nfa.trim (Ts_format.parse_ts dead_src) in
+  let after = Nfa.trim (Ts_format.parse_ts fixed) in
+  (match Dfa.equivalent (Dfa.determinize before) (Dfa.determinize after) with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "fix changed the language");
+  (* conflicting edits on one line are refused *)
+  let d l =
+    D.make ~code:"RL501" ~severity:D.Warning ~line:l ~edit:(D.Remove_line l)
+      "dead"
+  in
+  match Fix.plan [ d 2; d 2 ] with
+  | Ok [ D.Remove_line 2 ] -> () (* identical edits dedup, no conflict *)
+  | Ok _ | Error _ -> Alcotest.fail "identical edits must merge"
+
+(* --- baselines --- *)
+
+let test_baseline () =
+  let ds = lint ~file:"m.ts" dead_src in
+  let text = Baseline.render ds in
+  (match Baseline.parse text with
+  | Ok fps ->
+      let fresh, suppressed = Baseline.filter ~baseline:fps ds in
+      Alcotest.(check int) "all findings suppressed" 0 (List.length fresh);
+      Alcotest.(check int) "suppressed count" (List.length ds) suppressed
+  | Error m -> Alcotest.fail m);
+  (* a finding not in the baseline survives the filter *)
+  (match Baseline.parse text with
+  | Ok fps ->
+      let extra = D.make ~code:"RL999" ~severity:D.Warning "novel" in
+      let fresh, _ = Baseline.filter ~baseline:fps (extra :: ds) in
+      Alcotest.(check (list string)) "only the novel finding remains"
+        [ "RL999" ] (codes fresh)
+  | Error m -> Alcotest.fail m);
+  (* fingerprints are line-independent: moving a finding does not
+     un-suppress it *)
+  let a = D.make ~code:"RL501" ~severity:D.Warning ~line:4 "same message" in
+  let b = D.make ~code:"RL501" ~severity:D.Warning ~line:9 "same message" in
+  Alcotest.(check string) "fingerprint ignores the line"
+    (Baseline.fingerprint a) (Baseline.fingerprint b);
+  (* messages with tabs and newlines survive the textual format *)
+  let tricky = D.make ~code:"RL101" ~severity:D.Warning "a\tb\nc\\d" in
+  (match Baseline.parse (Baseline.render [ tricky ]) with
+  | Ok fps ->
+      let fresh, suppressed = Baseline.filter ~baseline:fps [ tricky ] in
+      Alcotest.(check int) "escaped finding suppressed" 0 (List.length fresh);
+      Alcotest.(check int) "escaped suppressed count" 1 suppressed
+  | Error m -> Alcotest.fail m);
+  (* a file without the version header is rejected *)
+  match Baseline.parse "RL101\t-\tmessage\n" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "headerless baseline accepted"
 
 (* the deciders attach the same diagnostics to their verdicts *)
 let test_library_hints () =
@@ -442,7 +582,50 @@ let test_sarif_roundtrip () =
       let id = Json.(to_str (member "ruleId" r)) in
       Alcotest.(check bool) ("rule declared: " ^ id) true
         (List.mem id declared))
-    results
+    results;
+  (* a diagnostic with a full span renders a complete SARIF region:
+     startLine, startColumn, endLine and (here) endColumn *)
+  let spanned = lint ~file:"m.ts" dead_src in
+  let j2 = Json.parse (D.report_sarif ~rules:Lint.rules spanned) in
+  let results2 =
+    Json.(to_list (member "results" (List.hd (to_list (member "runs" j2)))))
+  in
+  let regions =
+    List.filter_map
+      (fun r ->
+        match Json.member "locations" r with
+        | exception Not_found -> None
+        | locs -> (
+            match Json.to_list locs with
+            | loc :: _ -> (
+                match
+                  Json.(member "region" (member "physicalLocation" loc))
+                with
+                | exception Not_found -> None
+                | region -> Some region)
+            | [] -> None))
+      results2
+  in
+  Alcotest.(check bool) "at least one region rendered" true (regions <> []);
+  List.iter
+    (fun region ->
+      let num k = int_of_float Json.(to_num (member k region)) in
+      Alcotest.(check bool) "startLine >= 1" true (num "startLine" >= 1);
+      Alcotest.(check bool) "startColumn >= 1" true (num "startColumn" >= 1);
+      Alcotest.(check bool) "endLine >= startLine" true
+        (num "endLine" >= num "startLine"))
+    regions;
+  (* the RL501 region spans the declaring line's text *)
+  match
+    List.find_opt
+      (fun region ->
+        match Json.member "endColumn" region with
+        | exception Not_found -> false
+        | c -> int_of_float (Json.to_num c) > 1)
+      regions
+  with
+  | Some _ -> ()
+  | None -> Alcotest.fail "expected a region with an endColumn"
 
 let prop_reports_parse =
   QCheck2.Test.make ~name:"reports of random systems always parse" ~count:200
@@ -500,8 +683,14 @@ let () =
           Alcotest.test_case "fairness codes" `Quick test_fairness_codes;
           Alcotest.test_case "formula codes" `Quick test_formula_codes;
           Alcotest.test_case "abstraction codes" `Quick test_abstraction_codes;
+          Alcotest.test_case "semantic codes" `Quick test_semantic_codes;
           Alcotest.test_case "library hints" `Quick test_library_hints;
           Alcotest.test_case "registry invariants" `Quick test_registry;
+        ] );
+      ( "fixes-and-baselines",
+        [
+          Alcotest.test_case "fix plan/apply/idempotence" `Quick test_fix;
+          Alcotest.test_case "baseline suppression" `Quick test_baseline;
         ] );
       ( "reports",
         [

@@ -163,13 +163,7 @@ let test_ts_validation () =
       Alcotest.(check (option int))
         "RL003 points at the declaring line" (Some 1)
         (Option.map (fun s -> s.D.start_line) d.D.span)
-  | None -> Alcotest.fail "dead-end initial should emit RL003");
-  (* the deprecated string shim still sees the messages verbatim *)
-  let warnings = ref [] in
-  let on_warning w = warnings := w :: !warnings in
-  ignore (Ts_format.parse_ts ~on_warning "0 a 1\n");
-  Alcotest.(check bool) "shim still warned" true
-    (List.exists (fun w -> contains_sub w "defaulting") !warnings)
+  | None -> Alcotest.fail "dead-end initial should emit RL003")
 
 (* --- Certify on a concrete system --- *)
 

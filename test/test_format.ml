@@ -78,9 +78,7 @@ let test_parse_petri_errors () =
   | exception Ts_format.Syntax_error (1, _) -> ()
   | _ -> Alcotest.fail "missing arrow accepted"
 
-(* the deprecated on_warning shim must get the same file context the
-   typed on_diagnostic channel gets — the entry points that know a path
-   prefix it onto every message *)
+(* the entry points that know a path attach it to every diagnostic *)
 let test_load_warning_file_context () =
   let path = Filename.temp_file "rl_fmt_warn" ".ts" in
   Fun.protect
@@ -90,47 +88,31 @@ let test_load_warning_file_context () =
       (* no initial declaration: the RL001 warning *)
       output_string oc "0 a 0\n";
       close_out oc;
-      let shim = ref [] and typed = ref [] in
+      let typed = ref [] in
       let _ts =
-        Ts_format.load
-          ~on_warning:(fun m -> shim := m :: !shim)
-          ~on_diagnostic:(fun d -> typed := d :: !typed)
-          path
+        Ts_format.load ~on_diagnostic:(fun d -> typed := d :: !typed) path
       in
       Alcotest.(check bool) "the warning fired" true (!typed <> []);
-      Alcotest.(check int) "shim and typed channel agree on the count"
-        (List.length !typed) (List.length !shim);
-      let prefix = path ^ ": " in
-      let plen = String.length prefix in
-      List.iter
-        (fun m ->
-          Alcotest.(check bool)
-            (Printf.sprintf "shim message %S carries the file context" m)
-            true
-            (String.length m > plen && String.sub m 0 plen = prefix))
-        !shim;
       List.iter
         (fun d ->
           Alcotest.(check (option string)) "typed diagnostic carries the file"
             (Some path) d.Rl_analysis.Diagnostic.file)
         !typed;
-      (* parse_ts_result ~file prefixes the same way *)
-      let shim2 = ref [] in
+      (* parse_ts_result ~file attaches the same way *)
+      let typed2 = ref [] in
       (match
          Ts_format.parse_ts_result ~file:"m.ts"
-           ~on_warning:(fun m -> shim2 := m :: !shim2)
+           ~on_diagnostic:(fun d -> typed2 := d :: !typed2)
            "0 a 0\n"
        with
       | Ok _ -> ()
       | Error _ -> Alcotest.fail "parse_ts_result rejected a valid model");
       List.iter
-        (fun m ->
-          Alcotest.(check bool)
-            (Printf.sprintf "result-shim message %S carries the file" m)
-            true
-            (String.length m > 6 && String.sub m 0 6 = "m.ts: "))
-        !shim2;
-      Alcotest.(check bool) "result-shim fired" true (!shim2 <> []))
+        (fun d ->
+          Alcotest.(check (option string)) "result diagnostic carries the file"
+            (Some "m.ts") d.Rl_analysis.Diagnostic.file)
+        !typed2;
+      Alcotest.(check bool) "result diagnostics fired" true (!typed2 <> []))
 
 (* --- ts_diff: the analysis behind the service's incremental re-check --- *)
 
@@ -215,7 +197,7 @@ let () =
           Alcotest.test_case "multiple initial" `Quick test_parse_ts_multiple_initial;
           Alcotest.test_case "errors with line numbers" `Quick test_parse_ts_errors;
           Alcotest.test_case "print/parse roundtrip" `Quick test_print_parse_roundtrip;
-          Alcotest.test_case "warning shim carries file context" `Quick
+          Alcotest.test_case "diagnostics carry file context" `Quick
             test_load_warning_file_context;
         ] );
       ( "ts-diff",

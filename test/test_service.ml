@@ -459,6 +459,35 @@ let test_incremental_timeout_bypasses_memo () =
   Alcotest.(check int) "both runs decide" 2 s.Request.decides;
   Alcotest.(check bool) "verdicts still agree" true (reply_repr a = reply_repr b)
 
+let test_lint_memo_hit () =
+  let cache = Request.cache ~capacity:8 () in
+  let job = Request.job Request.Rl (inline "srv" server) "[]<>result" in
+  let a = run ~cache job in
+  let b = run ~cache job in
+  let hits, misses, entries, invalidated = Request.lint_stats cache in
+  Alcotest.(check int) "first run misses the lint memo" 1 misses;
+  Alcotest.(check int) "resubmission hits it" 1 hits;
+  Alcotest.(check int) "one memoized report" 1 entries;
+  Alcotest.(check int) "nothing invalidated" 0 invalidated;
+  Alcotest.(check bool) "diagnostics replayed identically" true
+    (a.Request.diagnostics = b.Request.diagnostics)
+
+let test_lint_memo_invalidation () =
+  let cache = Request.cache ~capacity:8 () in
+  let j text = Request.job Request.Rl (inline "g" text) "[]<>a" in
+  ignore (run ~cache (j "initial 0\n0 a 1\n1 b 0\n"));
+  (* an initial-state change always classifies Global: the previous
+     version's lint report can never be requested again, so it is
+     evicted eagerly rather than waiting for LRU pressure *)
+  ignore (run ~cache (j "initial 1\n0 a 1\n1 b 0\n"));
+  let s = Request.recheck_stats cache in
+  Alcotest.(check int) "edit classified global" 1 s.Request.global;
+  let hits, misses, entries, invalidated = Request.lint_stats cache in
+  Alcotest.(check int) "no lint hit across the edit" 0 hits;
+  Alcotest.(check int) "both versions linted for real" 2 misses;
+  Alcotest.(check int) "the stale report was evicted" 1 invalidated;
+  Alcotest.(check int) "only the new report remains" 1 entries
+
 (* --- supervisor --- *)
 
 let test_supervisor_completes () =
@@ -1092,6 +1121,10 @@ let () =
             `Quick test_incremental_invalidation;
           Alcotest.test_case "wall-clock timeouts bypass the memo" `Quick
             test_incremental_timeout_bypasses_memo;
+          Alcotest.test_case "identical resubmission hits the lint memo"
+            `Quick test_lint_memo_hit;
+          Alcotest.test_case "global edit invalidates the lint memo" `Quick
+            test_lint_memo_invalidation;
           qcheck prop_incremental_equals_scratch;
         ] );
       ( "supervisor",
